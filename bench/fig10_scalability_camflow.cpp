@@ -1,0 +1,9 @@
+// Reproduces paper Figure 10: scalability with target size, CamFlow. The
+// time roughly doubles with each doubling of the target action.
+#include "timing_common.h"
+
+int main() {
+  return provmark_bench::run_timing_figure(
+      "Figure 10: scalability results, CamFlow+ProvJson", "camflow",
+      provmark_bench::scale_programs());
+}

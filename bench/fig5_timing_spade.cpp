@@ -1,0 +1,9 @@
+// Reproduces paper Figure 5: per-stage ProvMark processing time for five
+// representative syscalls with SPADE + Graphviz.
+#include "timing_common.h"
+
+int main() {
+  return provmark_bench::run_timing_figure(
+      "Figure 5: timing results, SPADE+Graphviz", "spade",
+      provmark_bench::figure5_programs());
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Figure 6: per-stage ProvMark processing time for five
+// representative syscalls with OPUS + Neo4j. Transformation dominates
+// because extraction pays the Neo4j startup/query cost and OPUS graphs
+// are larger (environment variables).
+#include "timing_common.h"
+
+int main() {
+  return provmark_bench::run_timing_figure(
+      "Figure 6: timing results, OPUS+Neo4j", "opus",
+      provmark_bench::figure5_programs());
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Figure 7: per-stage ProvMark processing time for five
+// representative syscalls with CamFlow + PROV-JSON.
+#include "timing_common.h"
+
+int main() {
+  return provmark_bench::run_timing_figure(
+      "Figure 7: timing results, CamFlow+ProvJson", "camflow",
+      provmark_bench::figure5_programs());
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Figure 8: scalability of ProvMark processing with the
+// size of the target action (scaleK = K x (creat; unlink)), SPADE.
+#include "timing_common.h"
+
+int main() {
+  return provmark_bench::run_timing_figure(
+      "Figure 8: scalability results, SPADE+Graphviz", "spade",
+      provmark_bench::scale_programs());
+}

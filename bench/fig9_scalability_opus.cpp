@@ -1,0 +1,9 @@
+// Reproduces paper Figure 9: scalability with target size, OPUS. The
+// Neo4j transformation overhead dwarfs the growth of the other stages.
+#include "timing_common.h"
+
+int main() {
+  return provmark_bench::run_timing_figure(
+      "Figure 9: scalability results, OPUS+Neo4j", "opus",
+      provmark_bench::scale_programs());
+}

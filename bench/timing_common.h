@@ -1,0 +1,84 @@
+// Shared harness for the Figure 5-10 reproductions: run the pipeline for a
+// set of benchmarks on one system and print per-stage timing rows plus
+// ASCII bars shaped like the paper's charts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+
+namespace provmark_bench {
+
+inline void print_bar(const char* label, double seconds, double max_seconds) {
+  int width = max_seconds > 0
+                  ? static_cast<int>(50.0 * seconds / max_seconds)
+                  : 0;
+  std::printf("  %-16s %8.4fs |", label, seconds);
+  for (int i = 0; i < width; ++i) std::printf("#");
+  std::printf("\n");
+}
+
+struct TimingRow {
+  std::string name;
+  provmark::core::StageTimings timings;
+  const char* status;
+};
+
+/// Run the pipeline for each program; print a table and stacked bars of
+/// transformation / generalization / comparison (the Figure 5-10 series).
+inline int run_timing_figure(
+    const char* figure_title, const char* system,
+    const std::vector<provmark::bench_suite::BenchmarkProgram>& programs) {
+  using namespace provmark;
+  std::printf("%s (system: %s)\n\n", figure_title, system);
+  std::vector<TimingRow> rows;
+  double max_total = 0;
+  for (const bench_suite::BenchmarkProgram& program : programs) {
+    core::PipelineOptions options;
+    options.system = system;
+    options.seed = 11;
+    core::BenchmarkResult result = core::run_benchmark(program, options);
+    rows.push_back({program.name, result.timings,
+                    core::status_name(result.status)});
+    if (result.timings.processing_total() > max_total) {
+      max_total = result.timings.processing_total();
+    }
+  }
+  std::printf("%-12s %14s %14s %14s %14s %10s\n", "benchmark",
+              "transform(s)", "generalize(s)", "compare(s)", "total(s)",
+              "status");
+  for (const TimingRow& row : rows) {
+    std::printf("%-12s %14.4f %14.4f %14.4f %14.4f %10s\n",
+                row.name.c_str(), row.timings.transformation,
+                row.timings.generalization, row.timings.comparison,
+                row.timings.processing_total(), row.status);
+  }
+  std::printf("\nstacked bars (transformation+generalization+comparison):\n");
+  for (const TimingRow& row : rows) {
+    print_bar(row.name.c_str(), row.timings.processing_total(), max_total);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+/// The five representative syscalls of Figures 5-7.
+inline std::vector<provmark::bench_suite::BenchmarkProgram>
+figure5_programs() {
+  using provmark::bench_suite::benchmark_by_name;
+  return {benchmark_by_name("open"), benchmark_by_name("execve"),
+          benchmark_by_name("fork"), benchmark_by_name("setuid"),
+          benchmark_by_name("rename")};
+}
+
+/// The scale1/2/4/8 programs of Figures 8-10.
+inline std::vector<provmark::bench_suite::BenchmarkProgram>
+scale_programs() {
+  using provmark::bench_suite::scale_benchmark;
+  return {scale_benchmark(1), scale_benchmark(2), scale_benchmark(4),
+          scale_benchmark(8)};
+}
+
+}  // namespace provmark_bench

@@ -1,0 +1,68 @@
+// Use case "Tracking failed calls" (Alice, §3.1).
+//
+// A security analyst wants to know which recorders track syscalls that
+// fail due to access-control violations: an unprivileged user attempts to
+// overwrite /etc/passwd by renaming another file onto it.
+//
+// Expected outcome (paper):
+//   * SPADE records nothing — its default audit rules only report
+//     successful calls.
+//   * OPUS intercepts the libc call before the kernel refuses it, so it
+//     produces the same structure as a successful rename but with a
+//     return-value property of -1.
+//   * CamFlow could in principle observe the refused permission check but
+//     does not serialize it in the baseline configuration.
+#include <cstdio>
+#include <memory>
+
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "systems/camflow.h"
+
+using namespace provmark;
+
+int main() {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::failed_rename_benchmark();
+  std::printf("Alice's scenario: unprivileged rename of %s onto %s\n\n",
+              "~/myfile", "/etc/passwd");
+
+  for (const char* system : {"spade", "opus", "camflow"}) {
+    core::PipelineOptions options;
+    options.system = system;
+    core::BenchmarkResult result = core::run_benchmark(program, options);
+    std::printf("== %s: %s ==\n", system,
+                core::status_name(result.status));
+    if (result.status == core::BenchmarkStatus::Ok) {
+      std::printf("%s", core::result_dot(result).c_str());
+      // Surface the return-value property OPUS attaches.
+      for (const graph::Node& n : result.result.nodes()) {
+        auto ret = n.props.find("ret");
+        if (ret != n.props.end()) {
+          std::printf("   -> node %s records ret=%s (errno=%s)\n",
+                      n.id.c_str(), ret->second.c_str(),
+                      n.props.count("errno") ? n.props.at("errno").c_str()
+                                             : "?");
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  // CamFlow *can* monitor failed permission checks; show what a
+  // deny-recording configuration would capture.
+  std::printf("== camflow (record_denied=true, non-baseline) ==\n");
+  systems::CamflowConfig config;
+  config.record_denied = true;
+  core::PipelineOptions options;
+  options.recorder = std::make_shared<systems::CamflowRecorder>(config);
+  core::BenchmarkResult result = core::run_benchmark(program, options);
+  std::printf("status: %s\n", core::status_name(result.status));
+  if (result.status == core::BenchmarkStatus::Ok) {
+    std::printf("%s", core::result_dot(result).c_str());
+  }
+  std::printf("\nAlice's conclusion: for auditing failed calls, OPUS is the "
+              "only recorder\nthat captures them out of the box.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: benchmark one syscall on one provenance system.
+//
+// Mirrors the paper's single-execution usage:
+//   ./fullAutomation.py spg <SPADE> benchmarkProgram/.../cmdRename 2
+//
+// Usage: quickstart [system] [syscall]
+//   system   spade | opus | camflow     (default: spade)
+//   syscall  any Table 1 benchmark name (default: rename)
+#include <cstdio>
+#include <string>
+
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "datalog/fact_io.h"
+
+using namespace provmark;
+
+int main(int argc, char** argv) {
+  std::string system = argc > 1 ? argv[1] : "spade";
+  std::string syscall = argc > 2 ? argv[2] : "rename";
+
+  const bench_suite::BenchmarkProgram& program =
+      bench_suite::benchmark_by_name(syscall);
+
+  core::PipelineOptions options;
+  options.system = system;
+  core::BenchmarkResult result = core::run_benchmark(program, options);
+
+  std::printf("%s\n\n", core::summarize(result).c_str());
+  std::printf("benchmark result (Graphviz DOT):\n%s\n",
+              core::result_dot(result).c_str());
+  std::printf("benchmark result (Datalog, the paper's uniform format):\n%s\n",
+              datalog::to_datalog(result.result, "result").c_str());
+  std::printf("pipeline stages: recording %.3fs, transformation %.3fs, "
+              "generalization %.3fs, comparison %.3fs\n",
+              result.timings.recording, result.timings.transformation,
+              result.timings.generalization, result.timings.comparison);
+  std::printf("trials: %d run, %d discarded as inconsistent, "
+              "%d transient properties stripped\n",
+              result.trials_run, result.trials_discarded,
+              result.transient_properties);
+  return result.status == core::BenchmarkStatus::Failed ? 1 : 0;
+}

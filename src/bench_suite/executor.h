@@ -1,0 +1,32 @@
+// Executes a benchmark program against the simulated kernel, producing the
+// per-layer event trace that the recorder simulators consume.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "bench_suite/program.h"
+#include "os/kernel.h"
+
+namespace provmark::bench_suite {
+
+struct ExecutionResult {
+  os::EventTrace trace;
+  /// All non-expect_failure ops succeeded and all expect_failure ops
+  /// failed (the paper's per-benchmark "tests to ensure that the target
+  /// behavior was performed successfully").
+  bool behaviour_ok = true;
+  std::string failure_reason;
+};
+
+/// Run one trial. `include_target` selects the foreground (true) or
+/// background (false) variant. `seed` drives all transient values for the
+/// trial (pids, timestamps, audit serials, deferred-free timing).
+/// `extra_audit_rules` are audit rules installed by the recorder under
+/// test beyond the kernel defaults.
+ExecutionResult execute_program(
+    const BenchmarkProgram& program, bool include_target, std::uint64_t seed,
+    const std::set<std::string>& extra_audit_rules = {});
+
+}  // namespace provmark::bench_suite

@@ -1,0 +1,116 @@
+// Benchmark programs: the syscall-op DSL standing in for the paper's
+// small C programs (appendix A.2, benchmarkProgram/).
+//
+// Each paper benchmark is a tiny C file whose target call is wrapped in
+// `#ifdef TARGET`; ProvMark compiles it twice to get a foreground program
+// (everything) and a background program (everything but the target). Here
+// a program is a sequence of ops, each flagged `target` or not, executed
+// against the simulated kernel — the foreground run executes all ops, the
+// background run skips the targets. Staging actions prepare the filesystem
+// *before recording starts*, mirroring the per-syscall setup scripts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/events.h"
+
+namespace provmark::bench_suite {
+
+enum class OpCode {
+  Open, OpenAt, Creat, Close,
+  Dup, Dup2, Dup3,
+  Read, PRead, Write, PWrite,
+  Link, LinkAt, Symlink, SymlinkAt,
+  Mknod, MknodAt,
+  Rename, RenameAt,
+  Truncate, FTruncate,
+  Unlink, UnlinkAt,
+  Chmod, FChmod, FChmodAt,
+  Chown, FChown, FChownAt,
+  SetGid, SetReGid, SetResGid, SetUid, SetReUid, SetResUid,
+  Pipe, Pipe2, Tee,
+  Fork, VFork, Clone, Execve, Exit, Kill,
+};
+
+const char* opcode_name(OpCode code);
+
+/// One operation of a benchmark program. Ops communicate through named
+/// variables: an op with a non-empty `out` stores its primary result (an
+/// fd, or a child pid for fork-type ops; for pipes `out` holds the read fd
+/// and `out2` the write fd), and `var`/`var2` reference such results.
+struct Op {
+  OpCode code = OpCode::Open;
+  bool target = false;        ///< inside the #ifdef TARGET block?
+  std::string path;           ///< first path argument
+  std::string path2;          ///< second path argument (link/rename)
+  std::string var;            ///< input variable (fd or pid)
+  std::string var2;           ///< second input variable (tee)
+  std::string out;            ///< output variable name
+  std::string out2;           ///< second output variable (pipe write end)
+  int flags = 0;              ///< open flags
+  int mode = 0644;
+  long a = 0;                 ///< numeric args (count / uid / sig / ...)
+  long b = 0;
+  long c = 0;
+  /// When true, the op is expected to fail (failure-case benchmarks such
+  /// as Alice's rename onto /etc/passwd).
+  bool expect_failure = false;
+  /// When true, the op may succeed or fail depending on schedule
+  /// (nondeterministic benchmarks); the behaviour check ignores it.
+  bool may_fail = false;
+};
+
+/// Filesystem preparation performed by the harness before recording.
+struct StageAction {
+  enum class Kind { File, Fifo, Symlink, Remove };
+  Kind kind = Kind::File;
+  std::string path;
+  std::string target;  ///< symlink target
+  int mode = 0644;
+  int uid = 0;
+  int gid = 0;
+};
+
+struct BenchmarkProgram {
+  std::string name;    ///< e.g. "creat", "rename", "scale4"
+  int group = 1;       ///< Table 1 group number
+  std::string family;  ///< Table 1 family ("Files", "Processes", ...)
+  std::vector<StageAction> staging;
+  std::vector<Op> ops;
+  /// Credential override for the launched process (failure scenarios run
+  /// unprivileged); nullopt = kernel default (root).
+  std::optional<os::Credentials> creds;
+  /// Nondeterministic target activity (§5.4 extension): when set, the
+  /// *order* of the target ops is chosen per trial (modelling scheduler
+  /// interleavings of concurrent work). Only meaningful when the target
+  /// ops are mutually independent.
+  bool shuffle_targets = false;
+};
+
+/// A demonstration nondeterministic program: `threads` independent file
+/// creations whose completion order varies per trial.
+BenchmarkProgram nondeterministic_benchmark(int threads);
+
+/// The 44 Table 1 / Table 2 syscall benchmarks, in table order (Table 1
+/// lists them as 22 bracket-collapsed families, e.g. dup[2,3]).
+std::vector<BenchmarkProgram> table_benchmarks();
+
+/// Scalability programs (§5.2): `scale1`, `scale2`, `scale4`, `scale8`;
+/// scaleK repeats (creat file; unlink file) K times as the target.
+BenchmarkProgram scale_benchmark(int k);
+
+/// Failure-case variants used by the §3.1 use-case examples.
+BenchmarkProgram failed_rename_benchmark();
+
+/// A registry of access-control failure benchmarks (§3.1: "most only take
+/// a few minutes to write, by modifying other, similar benchmarks for
+/// successful calls"): each targets a syscall that fails with EACCES /
+/// EPERM / ENOENT for an unprivileged caller.
+std::vector<BenchmarkProgram> failure_benchmarks();
+
+/// Find a table benchmark by name; throws std::out_of_range when absent.
+const BenchmarkProgram& benchmark_by_name(const std::string& name);
+
+}  // namespace provmark::bench_suite

@@ -1,0 +1,259 @@
+#include "bench_suite/program_text.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "os/kernel.h"
+#include "util/strings.h"
+
+namespace provmark::bench_suite {
+
+namespace {
+
+const std::map<std::string, OpCode>& opcode_names() {
+  static const std::map<std::string, OpCode> kNames = [] {
+    std::map<std::string, OpCode> names;
+    for (int i = 0; i <= static_cast<int>(OpCode::Kill); ++i) {
+      OpCode code = static_cast<OpCode>(i);
+      names[opcode_name(code)] = code;
+    }
+    return names;
+  }();
+  return kNames;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("program line " + std::to_string(line_no) +
+                              ": " + message);
+}
+
+int parse_flags(const std::string& text, std::size_t line_no) {
+  int flags = 0;
+  for (const std::string& piece : util::split_nonempty(text, '+')) {
+    if (piece == "r") {
+      flags |= os::kO_RDONLY;
+    } else if (piece == "w") {
+      flags |= os::kO_WRONLY;
+    } else if (piece == "rw") {
+      flags |= os::kO_RDWR;
+    } else if (piece == "creat") {
+      flags |= os::kO_CREAT;
+    } else if (piece == "trunc") {
+      flags |= os::kO_TRUNC;
+    } else {
+      fail(line_no, "unknown flag '" + piece + "'");
+    }
+  }
+  return flags;
+}
+
+std::string flags_to_text(int flags) {
+  std::string out;
+  switch (flags & 03) {
+    case os::kO_WRONLY: out = "w"; break;
+    case os::kO_RDWR: out = "rw"; break;
+    default: out = "r"; break;
+  }
+  if (flags & os::kO_CREAT) out += "+creat";
+  if (flags & os::kO_TRUNC) out += "+trunc";
+  return out;
+}
+
+/// Parse `key=value` tokens into a map; bare tokens map to "".
+std::map<std::string, std::string> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t start,
+    std::size_t line_no) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = start; i < tokens.size(); ++i) {
+    std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, "expected key=value, found '" + tokens[i] + "'");
+    }
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+Op parse_op_line(const std::vector<std::string>& tokens,
+                 std::size_t line_no) {
+  if (tokens.size() < 2) fail(line_no, "missing op code");
+  Op o;
+  const std::string& keyword = tokens[0];
+  o.target = keyword != "op";
+  o.expect_failure = keyword == "target!";
+  o.may_fail = keyword == "target?";
+  auto it = opcode_names().find(tokens[1]);
+  if (it == opcode_names().end()) {
+    fail(line_no, "unknown op '" + tokens[1] + "'");
+  }
+  o.code = it->second;
+  for (const auto& [key, value] : parse_kv(tokens, 2, line_no)) {
+    if (key == "path") {
+      o.path = value;
+    } else if (key == "path2") {
+      o.path2 = value;
+    } else if (key == "var") {
+      o.var = value;
+    } else if (key == "var2") {
+      o.var2 = value;
+    } else if (key == "out") {
+      o.out = value;
+    } else if (key == "out2") {
+      o.out2 = value;
+    } else if (key == "flags") {
+      o.flags = parse_flags(value, line_no);
+    } else if (key == "mode") {
+      o.mode = static_cast<int>(std::stol(value, nullptr, 8));
+    } else if (key == "a") {
+      o.a = std::stol(value);
+    } else if (key == "b") {
+      o.b = std::stol(value);
+    } else if (key == "c") {
+      o.c = std::stol(value);
+    } else {
+      fail(line_no, "unknown op argument '" + key + "'");
+    }
+  }
+  return o;
+}
+
+StageAction parse_stage_line(const std::vector<std::string>& tokens,
+                             std::size_t line_no) {
+  if (tokens.size() < 3) fail(line_no, "stage needs a kind and a path");
+  StageAction action;
+  const std::string& kind = tokens[1];
+  if (kind == "file") {
+    action.kind = StageAction::Kind::File;
+  } else if (kind == "fifo") {
+    action.kind = StageAction::Kind::Fifo;
+  } else if (kind == "symlink") {
+    action.kind = StageAction::Kind::Symlink;
+  } else if (kind == "remove") {
+    action.kind = StageAction::Kind::Remove;
+  } else {
+    fail(line_no, "unknown stage kind '" + kind + "'");
+  }
+  action.path = tokens[2];
+  for (const auto& [key, value] : parse_kv(tokens, 3, line_no)) {
+    if (key == "mode") {
+      action.mode = static_cast<int>(std::stol(value, nullptr, 8));
+    } else if (key == "uid") {
+      action.uid = std::stoi(value);
+      action.gid = action.uid;
+    } else if (key == "target") {
+      action.target = value;
+    } else {
+      fail(line_no, "unknown stage argument '" + key + "'");
+    }
+  }
+  return action;
+}
+
+}  // namespace
+
+OpCode opcode_from_name(std::string_view name) {
+  auto it = opcode_names().find(std::string(name));
+  if (it == opcode_names().end()) {
+    throw std::invalid_argument("unknown op name: " + std::string(name));
+  }
+  return it->second;
+}
+
+BenchmarkProgram parse_program(std::string_view text) {
+  BenchmarkProgram program;
+  std::size_t line_no = 0;
+  bool named = false;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    // Strip trailing comment.
+    std::size_t hash = line.find(" #");
+    if (hash != std::string_view::npos) {
+      line = util::trim(line.substr(0, hash));
+    }
+    std::vector<std::string> tokens =
+        util::split_nonempty(line, ' ');
+    const std::string& keyword = tokens[0];
+    if (keyword == "name") {
+      if (tokens.size() != 2) fail(line_no, "name needs one argument");
+      program.name = tokens[1];
+      named = true;
+    } else if (keyword == "group") {
+      if (tokens.size() < 2) fail(line_no, "group needs a number");
+      program.group = std::stoi(tokens[1]);
+      if (tokens.size() > 2) program.family = tokens[2];
+    } else if (keyword == "creds") {
+      if (tokens.size() != 2) fail(line_no, "creds needs a uid");
+      int uid = std::stoi(tokens[1]);
+      program.creds = os::Credentials{uid, uid, uid, uid, uid, uid};
+    } else if (keyword == "shuffle-targets") {
+      program.shuffle_targets = true;
+    } else if (keyword == "stage") {
+      program.staging.push_back(parse_stage_line(tokens, line_no));
+    } else if (keyword == "op" || keyword == "target" ||
+               keyword == "target!" || keyword == "target?") {
+      program.ops.push_back(parse_op_line(tokens, line_no));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!named) throw std::invalid_argument("program has no name line");
+  if (program.ops.empty()) {
+    throw std::invalid_argument("program has no ops");
+  }
+  return program;
+}
+
+std::string format_program(const BenchmarkProgram& program) {
+  std::string out = "name " + program.name + "\n";
+  out += "group " + std::to_string(program.group);
+  if (!program.family.empty()) out += " " + program.family;
+  out += "\n";
+  if (program.creds.has_value()) {
+    out += "creds " + std::to_string(program.creds->uid) + "\n";
+  }
+  if (program.shuffle_targets) out += "shuffle-targets\n";
+  for (const StageAction& action : program.staging) {
+    out += "stage ";
+    switch (action.kind) {
+      case StageAction::Kind::File:
+        out += "file " + action.path +
+               util::format(" mode=%o uid=%d", action.mode, action.uid);
+        break;
+      case StageAction::Kind::Fifo: out += "fifo " + action.path; break;
+      case StageAction::Kind::Symlink:
+        out += "symlink " + action.path + " target=" + action.target;
+        break;
+      case StageAction::Kind::Remove:
+        out += "remove " + action.path;
+        break;
+    }
+    out += "\n";
+  }
+  for (const Op& o : program.ops) {
+    out += o.target ? (o.expect_failure ? "target!"
+                       : o.may_fail     ? "target?"
+                                        : "target")
+                    : "op";
+    out += " ";
+    out += opcode_name(o.code);
+    if (!o.path.empty()) out += " path=" + o.path;
+    if (!o.path2.empty()) out += " path2=" + o.path2;
+    if (!o.var.empty()) out += " var=" + o.var;
+    if (!o.var2.empty()) out += " var2=" + o.var2;
+    if (!o.out.empty()) out += " out=" + o.out;
+    if (!o.out2.empty()) out += " out2=" + o.out2;
+    if (o.code == OpCode::Open || o.code == OpCode::OpenAt) {
+      out += " flags=" + flags_to_text(o.flags);
+    }
+    if (o.mode != 0644) out += util::format(" mode=%o", o.mode);
+    if (o.a != 0) out += " a=" + std::to_string(o.a);
+    if (o.b != 0) out += " b=" + std::to_string(o.b);
+    if (o.c != 0) out += " c=" + std::to_string(o.c);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace provmark::bench_suite

@@ -1,0 +1,46 @@
+// Textual benchmark-program format.
+//
+// The paper ships its benchmarks as a directory of small C programs plus
+// per-syscall setup scripts (appendix A.2, benchmarkProgram/); users add
+// a benchmark by writing a new file, not by recompiling ProvMark. This
+// module provides the equivalent: a line-based program format that
+// round-trips with the op DSL.
+//
+//   # comment
+//   name close
+//   group 1 Files
+//   creds 1000              # optional: run unprivileged
+//   shuffle-targets         # optional: nondeterministic target order
+//   stage file test.txt mode=644 uid=0
+//   stage remove old.txt
+//   stage fifo pipe0
+//   stage symlink link0 target=/etc/passwd
+//   op open path=test.txt flags=rw out=fd
+//   target close var=fd
+//   target! rename path=a path2=/etc/passwd     # '!' = expect failure
+//   target? link path=a path2=b                 # '?' = may fail
+//
+// Op arguments: path=, path2=, var=, var2=, out=, out2=, flags= (r|w|rw,
+// +creat, +trunc), mode= (octal), a=, b=, c= (numeric).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "bench_suite/program.h"
+
+namespace provmark::bench_suite {
+
+/// Parse the textual format. Throws std::invalid_argument with a line
+/// number on malformed input.
+BenchmarkProgram parse_program(std::string_view text);
+
+/// Serialize a program to the textual format (round-trips with
+/// parse_program).
+std::string format_program(const BenchmarkProgram& program);
+
+/// Map an op-code name ("open", "setresuid", ...) to its OpCode.
+/// Throws std::invalid_argument for unknown names.
+OpCode opcode_from_name(std::string_view name);
+
+}  // namespace provmark::bench_suite

@@ -1,0 +1,636 @@
+#include "bench_suite/program.h"
+
+#include <stdexcept>
+
+#include "os/kernel.h"
+
+namespace provmark::bench_suite {
+
+namespace {
+
+using os::kO_CREAT;
+using os::kO_RDONLY;
+using os::kO_RDWR;
+using os::kO_WRONLY;
+
+StageAction stage_file(std::string path, int mode = 0644, int uid = 0) {
+  StageAction a;
+  a.kind = StageAction::Kind::File;
+  a.path = std::move(path);
+  a.mode = mode;
+  a.uid = uid;
+  a.gid = uid;
+  return a;
+}
+
+StageAction stage_remove(std::string path) {
+  StageAction a;
+  a.kind = StageAction::Kind::Remove;
+  a.path = std::move(path);
+  return a;
+}
+
+Op op(OpCode code) {
+  Op o;
+  o.code = code;
+  return o;
+}
+
+Op target(Op o) {
+  o.target = true;
+  return o;
+}
+
+Op open_op(std::string path, int flags, std::string out) {
+  Op o = op(OpCode::Open);
+  o.path = std::move(path);
+  o.flags = flags;
+  o.out = std::move(out);
+  return o;
+}
+
+BenchmarkProgram files_program(std::string name) {
+  BenchmarkProgram p;
+  p.name = std::move(name);
+  p.group = 1;
+  p.family = "Files";
+  return p;
+}
+
+BenchmarkProgram process_program(std::string name) {
+  BenchmarkProgram p;
+  p.name = std::move(name);
+  p.group = 2;
+  p.family = "Processes";
+  return p;
+}
+
+BenchmarkProgram perm_program(std::string name) {
+  BenchmarkProgram p;
+  p.name = std::move(name);
+  p.group = 3;
+  p.family = "Permissions";
+  return p;
+}
+
+BenchmarkProgram pipe_program(std::string name) {
+  BenchmarkProgram p;
+  p.name = std::move(name);
+  p.group = 4;
+  p.family = "Pipes";
+  return p;
+}
+
+}  // namespace
+
+const char* opcode_name(OpCode code) {
+  switch (code) {
+    case OpCode::Open: return "open";
+    case OpCode::OpenAt: return "openat";
+    case OpCode::Creat: return "creat";
+    case OpCode::Close: return "close";
+    case OpCode::Dup: return "dup";
+    case OpCode::Dup2: return "dup2";
+    case OpCode::Dup3: return "dup3";
+    case OpCode::Read: return "read";
+    case OpCode::PRead: return "pread";
+    case OpCode::Write: return "write";
+    case OpCode::PWrite: return "pwrite";
+    case OpCode::Link: return "link";
+    case OpCode::LinkAt: return "linkat";
+    case OpCode::Symlink: return "symlink";
+    case OpCode::SymlinkAt: return "symlinkat";
+    case OpCode::Mknod: return "mknod";
+    case OpCode::MknodAt: return "mknodat";
+    case OpCode::Rename: return "rename";
+    case OpCode::RenameAt: return "renameat";
+    case OpCode::Truncate: return "truncate";
+    case OpCode::FTruncate: return "ftruncate";
+    case OpCode::Unlink: return "unlink";
+    case OpCode::UnlinkAt: return "unlinkat";
+    case OpCode::Chmod: return "chmod";
+    case OpCode::FChmod: return "fchmod";
+    case OpCode::FChmodAt: return "fchmodat";
+    case OpCode::Chown: return "chown";
+    case OpCode::FChown: return "fchown";
+    case OpCode::FChownAt: return "fchownat";
+    case OpCode::SetGid: return "setgid";
+    case OpCode::SetReGid: return "setregid";
+    case OpCode::SetResGid: return "setresgid";
+    case OpCode::SetUid: return "setuid";
+    case OpCode::SetReUid: return "setreuid";
+    case OpCode::SetResUid: return "setresuid";
+    case OpCode::Pipe: return "pipe";
+    case OpCode::Pipe2: return "pipe2";
+    case OpCode::Tee: return "tee";
+    case OpCode::Fork: return "fork";
+    case OpCode::VFork: return "vfork";
+    case OpCode::Clone: return "clone";
+    case OpCode::Execve: return "execve";
+    case OpCode::Exit: return "exit";
+    case OpCode::Kill: return "kill";
+  }
+  return "?";
+}
+
+std::vector<BenchmarkProgram> table_benchmarks() {
+  std::vector<BenchmarkProgram> programs;
+
+  // ---- Group 1: files -----------------------------------------------------
+
+  {  // close.c (paper §3): open in background, close as target.
+    BenchmarkProgram p = files_program("close");
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op c = op(OpCode::Close);
+    c.var = "fd";
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = files_program("creat");
+    p.staging = {stage_remove("/home/user/test.txt")};
+    Op c = op(OpCode::Creat);
+    c.path = "test.txt";
+    c.out = "fd";
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Dup, OpCode::Dup2, OpCode::Dup3}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op d = op(code);
+    d.var = "fd";
+    d.a = 10;  // newfd for dup2/dup3
+    d.out = "fd2";
+    p.ops.push_back(target(d));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Link, OpCode::LinkAt}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("old.txt"),
+                 stage_remove("/home/user/new.txt")};
+    Op l = op(code);
+    l.path = "old.txt";
+    l.path2 = "new.txt";
+    p.ops.push_back(target(l));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Symlink, OpCode::SymlinkAt}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("old.txt"),
+                 stage_remove("/home/user/slink")};
+    Op l = op(code);
+    l.path = "old.txt";   // link target
+    l.path2 = "slink";    // link path
+    p.ops.push_back(target(l));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Mknod, OpCode::MknodAt}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_remove("/home/user/node0")};
+    Op m = op(code);
+    m.path = "node0";
+    m.mode = 0644;
+    p.ops.push_back(target(m));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Open, OpCode::OpenAt}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("test.txt")};
+    Op o = op(code);
+    o.path = "test.txt";
+    o.flags = kO_RDWR;
+    o.out = "fd";
+    p.ops.push_back(target(o));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Read, OpCode::PRead}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op r = op(code);
+    r.var = "fd";
+    r.a = 100;  // count
+    p.ops.push_back(target(r));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Rename, OpCode::RenameAt}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("old.txt"),
+                 stage_remove("/home/user/new.txt")};
+    Op r = op(code);
+    r.path = "old.txt";
+    r.path2 = "new.txt";
+    p.ops.push_back(target(r));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = files_program("truncate");
+    p.staging = {stage_file("test.txt")};
+    Op t = op(OpCode::Truncate);
+    t.path = "test.txt";
+    t.a = 16;  // length
+    p.ops.push_back(target(t));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = files_program("ftruncate");
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op t = op(OpCode::FTruncate);
+    t.var = "fd";
+    t.a = 16;
+    p.ops.push_back(target(t));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Unlink, OpCode::UnlinkAt}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("doomed.txt")};
+    Op u = op(code);
+    u.path = "doomed.txt";
+    p.ops.push_back(target(u));
+    programs.push_back(p);
+  }
+  for (OpCode code : {OpCode::Write, OpCode::PWrite}) {
+    BenchmarkProgram p = files_program(opcode_name(code));
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op w = op(code);
+    w.var = "fd";
+    w.a = 100;
+    p.ops.push_back(target(w));
+    programs.push_back(p);
+  }
+
+  // ---- Group 2: processes -------------------------------------------------
+
+  {
+    BenchmarkProgram p = process_program("clone");
+    Op c = op(OpCode::Clone);
+    c.out = "child";
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = process_program("execve");
+    Op e = op(OpCode::Execve);
+    e.path = "/usr/bin/true";
+    p.ops.push_back(target(e));
+    programs.push_back(p);
+  }
+  {
+    // A process always has an implicit exit at the end — the foreground
+    // and background graphs are similar, so the benchmark is empty
+    // (note LP).
+    BenchmarkProgram p = process_program("exit");
+    Op e = op(OpCode::Exit);
+    p.ops.push_back(target(e));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = process_program("fork");
+    Op f = op(OpCode::Fork);
+    f.out = "child";
+    p.ops.push_back(target(f));
+    programs.push_back(p);
+  }
+  {
+    // The signal is delivered to an already-exited child: signalled
+    // termination deviates from ProvMark's normal-exit assumption, so the
+    // benchmark targets a no-op delivery (note LP).
+    BenchmarkProgram p = process_program("kill");
+    Op f = op(OpCode::Fork);
+    f.out = "child";
+    p.ops.push_back(f);
+    Op k = op(OpCode::Kill);
+    k.var = "child";
+    k.a = 15;  // SIGTERM
+    k.expect_failure = true;  // the child has already exited (ESRCH)
+    p.ops.push_back(target(k));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = process_program("vfork");
+    Op f = op(OpCode::VFork);
+    f.out = "child";
+    p.ops.push_back(target(f));
+    programs.push_back(p);
+  }
+
+  // ---- Group 3: permissions -----------------------------------------------
+
+  {
+    BenchmarkProgram p = perm_program("chmod");
+    p.staging = {stage_file("test.txt")};
+    Op c = op(OpCode::Chmod);
+    c.path = "test.txt";
+    c.mode = 0600;
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("fchmod");
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op c = op(OpCode::FChmod);
+    c.var = "fd";
+    c.mode = 0600;
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("fchmodat");
+    p.staging = {stage_file("test.txt")};
+    Op c = op(OpCode::FChmodAt);
+    c.path = "test.txt";
+    c.mode = 0600;
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("chown");
+    p.staging = {stage_file("test.txt")};
+    Op c = op(OpCode::Chown);
+    c.path = "test.txt";
+    c.a = 1000;  // uid
+    c.b = 1000;  // gid
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("fchown");
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op c = op(OpCode::FChown);
+    c.var = "fd";
+    c.a = 1000;
+    c.b = 1000;
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("fchownat");
+    p.staging = {stage_file("test.txt")};
+    Op c = op(OpCode::FChownAt);
+    c.path = "test.txt";
+    c.a = 1000;
+    c.b = 1000;
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("setgid");
+    Op s = op(OpCode::SetGid);
+    s.a = 100;
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("setregid");
+    Op s = op(OpCode::SetReGid);
+    s.a = 100;
+    s.b = 100;
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+  {
+    // Sets the group ids to their *current* values: SPADE's attribute
+    // change detection sees nothing (note SC; §4.3).
+    BenchmarkProgram p = perm_program("setresgid");
+    Op s = op(OpCode::SetResGid);
+    s.a = 0;
+    s.b = 0;
+    s.c = 0;
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("setuid");
+    Op s = op(OpCode::SetUid);
+    s.a = 100;
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = perm_program("setreuid");
+    Op s = op(OpCode::SetReUid);
+    s.a = 100;
+    s.b = 100;
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+  {
+    // Actually changes the user id, so SPADE's change detection notices
+    // even though setresuid is not explicitly audited (ok, note SC).
+    BenchmarkProgram p = perm_program("setresuid");
+    Op s = op(OpCode::SetResUid);
+    s.a = 1000;
+    s.b = 1000;
+    s.c = 1000;
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+
+  // ---- Group 4: pipes -----------------------------------------------------
+
+  for (OpCode code : {OpCode::Pipe, OpCode::Pipe2}) {
+    BenchmarkProgram p = pipe_program(opcode_name(code));
+    Op o = op(code);
+    o.out = "rfd";
+    o.out2 = "wfd";
+    p.ops.push_back(target(o));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = pipe_program("tee");
+    Op p1 = op(OpCode::Pipe);
+    p1.out = "r1";
+    p1.out2 = "w1";
+    p.ops.push_back(p1);
+    Op p2 = op(OpCode::Pipe);
+    p2.out = "r2";
+    p2.out2 = "w2";
+    p.ops.push_back(p2);
+    Op t = op(OpCode::Tee);
+    t.var = "r1";
+    t.var2 = "w2";
+    t.a = 4096;
+    p.ops.push_back(target(t));
+    programs.push_back(p);
+  }
+
+  return programs;
+}
+
+BenchmarkProgram scale_benchmark(int k) {
+  BenchmarkProgram p;
+  p.name = "scale" + std::to_string(k);
+  p.group = 0;
+  p.family = "Scalability";
+  for (int i = 0; i < k; ++i) {
+    std::string file = "scale" + std::to_string(i) + ".txt";
+    p.staging.push_back(stage_remove("/home/user/" + file));
+    Op c = op(OpCode::Creat);
+    c.path = file;
+    c.out = "fd" + std::to_string(i);
+    p.ops.push_back(target(c));
+    Op u = op(OpCode::Unlink);
+    u.path = file;
+    p.ops.push_back(target(u));
+  }
+  return p;
+}
+
+BenchmarkProgram failed_rename_benchmark() {
+  // Alice's scenario (§3.1): an unprivileged user tries to overwrite
+  // /etc/passwd by renaming another file onto it.
+  BenchmarkProgram p;
+  p.name = "rename-fail";
+  p.group = 1;
+  p.family = "Failure cases";
+  p.staging = {stage_file("/home/user/myfile", 0644, 1000)};
+  p.creds = os::Credentials{1000, 1000, 1000, 1000, 1000, 1000};
+  Op r = op(OpCode::Rename);
+  r.path = "myfile";
+  r.path2 = "/etc/passwd";
+  r.expect_failure = true;
+  p.ops.push_back(target(r));
+  return p;
+}
+
+BenchmarkProgram nondeterministic_benchmark(int threads) {
+  // A dependency chain executed by concurrent "threads": thread 0 creates
+  // chain0, thread i links chain(i-1) -> chain(i). A link only succeeds
+  // if its predecessor already exists, so the *shape* of the recorded
+  // provenance depends on the schedule — exactly the multiple-structures-
+  // per-program situation of §5.4.
+  BenchmarkProgram p;
+  p.name = "nondet" + std::to_string(threads);
+  p.group = 0;
+  p.family = "Nondeterministic";
+  p.shuffle_targets = true;
+  for (int i = 0; i < threads; ++i) {
+    p.staging.push_back(
+        stage_remove("/home/user/chain" + std::to_string(i)));
+  }
+  Op create = op(OpCode::Creat);
+  create.path = "chain0";
+  create.out = "fd0";
+  create.target = true;
+  p.ops.push_back(create);
+  for (int i = 1; i < threads; ++i) {
+    Op link = op(OpCode::Link);
+    link.path = "chain" + std::to_string(i - 1);
+    link.path2 = "chain" + std::to_string(i);
+    link.target = true;
+    link.may_fail = true;  // fails when scheduled before its predecessor
+    p.ops.push_back(link);
+  }
+  return p;
+}
+
+std::vector<BenchmarkProgram> failure_benchmarks() {
+  std::vector<BenchmarkProgram> programs;
+  const os::Credentials unprivileged{1000, 1000, 1000, 1000, 1000, 1000};
+
+  programs.push_back(failed_rename_benchmark());
+
+  {  // open of a missing file: ENOENT.
+    BenchmarkProgram p;
+    p.name = "open-enoent";
+    p.group = 1;
+    p.family = "Failure cases";
+    p.creds = unprivileged;
+    Op o = op(OpCode::Open);
+    o.path = "missing.txt";
+    o.flags = kO_RDONLY;
+    o.target = true;
+    o.expect_failure = true;
+    p.ops.push_back(o);
+    programs.push_back(p);
+  }
+  {  // open of a root-only file for writing: EACCES.
+    BenchmarkProgram p;
+    p.name = "open-eacces";
+    p.group = 1;
+    p.family = "Failure cases";
+    p.creds = unprivileged;
+    Op o = op(OpCode::Open);
+    o.path = "/etc/passwd";
+    o.flags = kO_WRONLY;
+    o.target = true;
+    o.expect_failure = true;
+    p.ops.push_back(o);
+    programs.push_back(p);
+  }
+  {  // unlink in a root-owned directory: EACCES.
+    BenchmarkProgram p;
+    p.name = "unlink-eacces";
+    p.group = 1;
+    p.family = "Failure cases";
+    p.creds = unprivileged;
+    Op o = op(OpCode::Unlink);
+    o.path = "/etc/passwd";
+    o.target = true;
+    o.expect_failure = true;
+    p.ops.push_back(o);
+    programs.push_back(p);
+  }
+  {  // chmod of a file the caller does not own: EPERM.
+    BenchmarkProgram p;
+    p.name = "chmod-eperm";
+    p.group = 3;
+    p.family = "Failure cases";
+    p.creds = unprivileged;
+    Op o = op(OpCode::Chmod);
+    o.path = "/etc/passwd";
+    o.mode = 0666;
+    o.target = true;
+    o.expect_failure = true;
+    p.ops.push_back(o);
+    programs.push_back(p);
+  }
+  {  // chown without privilege: EPERM.
+    BenchmarkProgram p;
+    p.name = "chown-eperm";
+    p.group = 3;
+    p.family = "Failure cases";
+    p.creds = unprivileged;
+    p.staging = {stage_file("mine.txt", 0644, 1000)};
+    Op o = op(OpCode::Chown);
+    o.path = "mine.txt";
+    o.a = 0;
+    o.b = 0;
+    o.target = true;
+    o.expect_failure = true;
+    p.ops.push_back(o);
+    programs.push_back(p);
+  }
+  {  // truncate of an unwritable file: EACCES.
+    BenchmarkProgram p;
+    p.name = "truncate-eacces";
+    p.group = 1;
+    p.family = "Failure cases";
+    p.creds = unprivileged;
+    Op o = op(OpCode::Truncate);
+    o.path = "/etc/passwd";
+    o.a = 0;
+    o.target = true;
+    o.expect_failure = true;
+    p.ops.push_back(o);
+    programs.push_back(p);
+  }
+  return programs;
+}
+
+const BenchmarkProgram& benchmark_by_name(const std::string& name) {
+  static const std::vector<BenchmarkProgram> programs = table_benchmarks();
+  for (const BenchmarkProgram& p : programs) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("no benchmark named " + name);
+}
+
+}  // namespace provmark::bench_suite

@@ -1,0 +1,129 @@
+#include "core/generalize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+
+namespace provmark::core {
+
+std::vector<std::vector<std::size_t>> similarity_classes(
+    const std::vector<graph::PropertyGraph>& trials) {
+  // Bucket by structural digest first (equal digests are necessary for
+  // similarity), then confirm with the exact matcher inside each bucket.
+  std::map<std::uint64_t, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    buckets[graph::structural_digest(trials[i])].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> classes;
+  for (auto& [digest, members] : buckets) {
+    // Within a bucket, split by exact similarity (digest collisions are
+    // possible in principle).
+    std::vector<std::vector<std::size_t>> sub;
+    for (std::size_t index : members) {
+      bool placed = false;
+      for (std::vector<std::size_t>& cls : sub) {
+        if (matcher::similar(trials[cls.front()], trials[index])) {
+          cls.push_back(index);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) sub.push_back({index});
+    }
+    for (std::vector<std::size_t>& cls : sub) classes.push_back(std::move(cls));
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return classes;
+}
+
+std::optional<graph::PropertyGraph> generalize_pair(
+    const graph::PropertyGraph& a, const graph::PropertyGraph& b,
+    const GeneralizeOptions& options) {
+  matcher::SearchOptions search;
+  search.cost_model = matcher::CostModel::Symmetric;
+  search.candidate_pruning = options.candidate_pruning;
+  search.cost_bounding = options.cost_bounding;
+  std::optional<matcher::Matching> matching =
+      matcher::best_isomorphism(a, b, search);
+  if (!matching.has_value()) return std::nullopt;
+
+  // Keep exactly the properties equal under the optimal matching; values
+  // that differ (timestamps, serials, pids) are transient and dropped.
+  graph::PropertyGraph out;
+  for (const graph::Node& n : a.nodes()) {
+    const graph::Node* other = b.find_node(matching->node_map.at(n.id));
+    graph::Properties kept;
+    for (const auto& [k, v] : n.props) {
+      auto it = other->props.find(k);
+      if (it != other->props.end() && it->second == v) kept[k] = v;
+    }
+    out.add_node(n.id, n.label, std::move(kept));
+  }
+  for (const graph::Edge& e : a.edges()) {
+    const graph::Edge* other = b.find_edge(matching->edge_map.at(e.id));
+    graph::Properties kept;
+    for (const auto& [k, v] : e.props) {
+      auto it = other->props.find(k);
+      if (it != other->props.end() && it->second == v) kept[k] = v;
+    }
+    out.add_edge(e.id, e.src, e.tgt, e.label, std::move(kept));
+  }
+  return out;
+}
+
+std::optional<GeneralizeResult> generalize_trials(
+    const std::vector<graph::PropertyGraph>& trials,
+    const GeneralizeOptions& options) {
+  std::vector<std::vector<std::size_t>> classes = similarity_classes(trials);
+  GeneralizeResult result;
+  result.classes = classes.size();
+  // Discard singleton classes: failed runs (§3.4).
+  std::vector<std::vector<std::size_t>> viable;
+  for (std::vector<std::size_t>& cls : classes) {
+    if (cls.size() >= 2) {
+      viable.push_back(std::move(cls));
+    } else {
+      ++result.discarded;
+    }
+  }
+  if (viable.empty()) return std::nullopt;
+
+  // Among the surviving classes, choose by representative graph size.
+  auto size_of = [&](const std::vector<std::size_t>& cls) {
+    return trials[cls.front()].size();
+  };
+  const std::vector<std::size_t>* chosen = &viable.front();
+  for (const std::vector<std::size_t>& cls : viable) {
+    bool better = options.pick == PickStrategy::SmallestClass
+                      ? size_of(cls) < size_of(*chosen)
+                      : size_of(cls) > size_of(*chosen);
+    if (better) chosen = &cls;
+  }
+
+  const graph::PropertyGraph& a = trials[(*chosen)[0]];
+  const graph::PropertyGraph& b = trials[(*chosen)[1]];
+  std::optional<graph::PropertyGraph> generalized =
+      generalize_pair(a, b, options);
+  if (!generalized.has_value()) return std::nullopt;  // unreachable in theory
+
+  int before = 0, after = 0;
+  for (const graph::Node& n : a.nodes()) {
+    before += static_cast<int>(n.props.size());
+  }
+  for (const graph::Edge& e : a.edges()) {
+    before += static_cast<int>(e.props.size());
+  }
+  for (const graph::Node& n : generalized->nodes()) {
+    after += static_cast<int>(n.props.size());
+  }
+  for (const graph::Edge& e : generalized->edges()) {
+    after += static_cast<int>(e.props.size());
+  }
+  result.transient_properties = before - after;
+  result.graph = std::move(*generalized);
+  return result;
+}
+
+}  // namespace provmark::core

@@ -1,0 +1,62 @@
+// Stage 3 — Generalization (§3.4): from several recorded trials of the
+// same program, produce one representative graph with transient
+// properties removed.
+//
+// Procedure (following the paper exactly):
+//  1. Partition the trial graphs into similarity classes (graph
+//     isomorphism ignoring properties — Listing 3 semantics).
+//  2. Discard classes of size one: such runs are failed/garbled
+//     recordings (truncated SPADE output, CamFlow interference).
+//  3. From the smallest surviving class, take two representative graphs.
+//     (The paper notes picking the two largest also works but choosing a
+//     mixed pair does not; `PickStrategy` exposes both for the ablation
+//     test.)
+//  4. Find the property-mismatch-minimizing isomorphism between the two
+//     representatives and keep only properties equal under it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "matcher/matcher.h"
+
+namespace provmark::core {
+
+enum class PickStrategy { SmallestClass, LargestClass };
+
+struct GeneralizeOptions {
+  PickStrategy pick = PickStrategy::SmallestClass;
+  /// Passed through to the matcher (ablation knobs).
+  bool candidate_pruning = true;
+  bool cost_bounding = true;
+};
+
+struct GeneralizeResult {
+  graph::PropertyGraph graph;  ///< the generalized representative
+  std::size_t classes = 0;     ///< similarity classes found
+  std::size_t discarded = 0;   ///< trials discarded as inconsistent
+  int transient_properties = 0;  ///< properties removed as volatile
+};
+
+/// Partition trial graphs into similarity classes; returns indices into
+/// `trials` grouped by class, largest class first.
+std::vector<std::vector<std::size_t>> similarity_classes(
+    const std::vector<graph::PropertyGraph>& trials);
+
+/// Generalize two similar graphs: keep exactly the properties preserved
+/// by the optimal (cost-minimizing) isomorphism. Returns std::nullopt if
+/// the graphs are not similar.
+std::optional<graph::PropertyGraph> generalize_pair(
+    const graph::PropertyGraph& a, const graph::PropertyGraph& b,
+    const GeneralizeOptions& options = {});
+
+/// The full stage: partition, discard singletons, pick a representative
+/// pair, generalize. Returns std::nullopt when no class has >= 2 members
+/// (the paper's recording stage would run more trials in that case).
+std::optional<GeneralizeResult> generalize_trials(
+    const std::vector<graph::PropertyGraph>& trials,
+    const GeneralizeOptions& options = {});
+
+}  // namespace provmark::core

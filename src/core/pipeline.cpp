@@ -1,0 +1,194 @@
+#include "core/pipeline.h"
+
+#include <set>
+
+#include "bench_suite/executor.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace provmark::core {
+
+const char* status_name(BenchmarkStatus status) {
+  switch (status) {
+    case BenchmarkStatus::Ok: return "ok";
+    case BenchmarkStatus::Empty: return "empty";
+    case BenchmarkStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+int default_trials(const std::string& system) {
+  if (system == "opus") return 2;   // any two runs are usually consistent
+  if (system == "spade") return 6;  // headroom for truncated flushes
+  // CamFlow needs the most headroom: interference plus deferred frees
+  // fragment the trials into many similarity classes. The paper's own
+  // batch run already uses 11 trials for CamFlow (appendix A.6.3); 16
+  // keeps the clean class populated even for close-heavy benchmarks.
+  if (system == "camflow") return 16;
+  if (system == "spade-camflow") return 16;
+  return 4;
+}
+
+std::vector<graph::Id> BenchmarkResult::disconnected_nodes() const {
+  std::set<graph::Id> dummies(dummy_nodes.begin(), dummy_nodes.end());
+  std::set<graph::Id> touched;
+  for (const graph::Edge& e : result.edges()) {
+    touched.insert(e.src);
+    touched.insert(e.tgt);
+  }
+  std::vector<graph::Id> out;
+  for (const graph::Node& n : result.nodes()) {
+    if (touched.count(n.id) == 0 && dummies.count(n.id) == 0) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Record `count` trials of one program variant; returns native outputs.
+std::vector<std::string> record_trials(
+    const bench_suite::BenchmarkProgram& program, bool foreground,
+    int count, int first_trial_index, systems::Recorder& recorder,
+    std::uint64_t seed, std::string* behaviour_error) {
+  std::vector<std::string> outputs;
+  outputs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int trial_index = first_trial_index + i;
+    std::uint64_t trial_seed =
+        util::Rng(seed ^ util::stable_hash(program.name))
+            .fork(static_cast<std::uint64_t>(trial_index) * 2 +
+                  (foreground ? 1 : 0))
+            .next_u64();
+    bench_suite::ExecutionResult run = bench_suite::execute_program(
+        program, foreground, trial_seed, recorder.extra_audit_rules());
+    if (foreground && !run.behaviour_ok && behaviour_error != nullptr &&
+        behaviour_error->empty()) {
+      *behaviour_error = run.failure_reason;
+    }
+    systems::TrialContext trial{trial_seed ^ 0xC0FFEEULL};
+    outputs.push_back(recorder.record(run.trace, trial));
+  }
+  return outputs;
+}
+
+}  // namespace
+
+BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
+                              const PipelineOptions& options) {
+  BenchmarkResult result;
+  result.benchmark = program.name;
+
+  std::shared_ptr<systems::Recorder> recorder = options.recorder;
+  if (!recorder) {
+    recorder = systems::make_recorder(options.system);
+  }
+  result.system = recorder->name();
+
+  int trials = options.trials > 0 ? options.trials
+                                  : default_trials(recorder->name());
+
+  std::vector<std::string> bg_native, fg_native;
+  std::optional<GeneralizeResult> bg_general, fg_general;
+  std::optional<CompareResult> compared;
+  std::string behaviour_error;
+
+  // Retry loop: when generalization cannot find two consistent runs, or
+  // the background does not embed into the foreground (inconsistently
+  // chosen representative classes — the §3.4 failure mode), run more
+  // trials, as the paper's recording subsystem does.
+  for (int round = 0; round <= options.max_retry_rounds; ++round) {
+    int already = static_cast<int>(bg_native.size());
+    int want = round == 0 ? trials : already;  // double on each retry
+
+    // -- (1) recording ------------------------------------------------------
+    util::Stopwatch watch;
+    std::vector<std::string> new_bg = record_trials(
+        program, /*foreground=*/false, want, already, *recorder,
+        options.seed, nullptr);
+    std::vector<std::string> new_fg = record_trials(
+        program, /*foreground=*/true, want, already, *recorder,
+        options.seed, &behaviour_error);
+    bg_native.insert(bg_native.end(), new_bg.begin(), new_bg.end());
+    fg_native.insert(fg_native.end(), new_fg.begin(), new_fg.end());
+    result.timings.recording += watch.elapsed_seconds();
+
+    // -- (2) transformation -------------------------------------------------
+    watch.reset();
+    std::vector<graph::PropertyGraph> bg_graphs, fg_graphs;
+    int unparseable = 0;
+    for (const std::string& native : bg_native) {
+      try {
+        bg_graphs.push_back(transform_native(native, options.transform));
+      } catch (const std::exception&) {
+        // Garbled (truncated) output: the trial is a failed run and is
+        // excluded before similarity classification.
+        ++unparseable;
+      }
+    }
+    for (const std::string& native : fg_native) {
+      try {
+        fg_graphs.push_back(transform_native(native, options.transform));
+      } catch (const std::exception&) {
+        ++unparseable;
+      }
+    }
+    result.timings.transformation += watch.elapsed_seconds();
+
+    // -- (3) generalization -------------------------------------------------
+    watch.reset();
+    bg_general = generalize_trials(bg_graphs, options.generalize);
+    fg_general = generalize_trials(fg_graphs, options.generalize);
+    result.timings.generalization += watch.elapsed_seconds();
+    result.trials_unparseable = unparseable;
+
+    result.trials_run = static_cast<int>(bg_native.size());
+    if (!bg_general.has_value() || !fg_general.has_value()) continue;
+
+    // -- (4) comparison -----------------------------------------------------
+    watch.reset();
+    compared = compare_graphs(bg_general->graph, fg_general->graph,
+                              options.compare);
+    result.timings.comparison += watch.elapsed_seconds();
+    if (!compared->embedding_failed) break;
+  }
+
+  if (!behaviour_error.empty()) {
+    result.status = BenchmarkStatus::Failed;
+    result.failure_reason = "target behaviour check failed: " +
+                            behaviour_error;
+    // Failure-case benchmarks mark ops expect_failure instead; reaching
+    // this means the benchmark itself is broken. Continue anyway so the
+    // caller can inspect partial results.
+  }
+
+  if (!bg_general.has_value() || !fg_general.has_value()) {
+    result.status = BenchmarkStatus::Failed;
+    result.failure_reason = "no two consistent recordings after retries";
+    return result;
+  }
+
+  result.generalized_background = bg_general->graph;
+  result.generalized_foreground = fg_general->graph;
+  result.trials_discarded = static_cast<int>(bg_general->discarded +
+                                             fg_general->discarded);
+  result.transient_properties =
+      bg_general->transient_properties + fg_general->transient_properties;
+
+  if (!compared.has_value() || compared->embedding_failed) {
+    result.status = BenchmarkStatus::Failed;
+    result.failure_reason =
+        "background graph does not embed into foreground graph";
+    return result;
+  }
+  result.result = std::move(compared->benchmark);
+  result.dummy_nodes = std::move(compared->dummy_nodes);
+  if (result.failure_reason.empty()) {
+    result.status = result.result.empty() ? BenchmarkStatus::Empty
+                                          : BenchmarkStatus::Ok;
+  }
+  return result;
+}
+
+}  // namespace provmark::core

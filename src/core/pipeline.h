@@ -1,0 +1,94 @@
+// The ProvMark pipeline (Figure 3): recording -> transformation ->
+// generalization -> comparison, orchestrated per (benchmark, system) with
+// per-stage wall-clock timing for the Figures 5-10 reproductions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_suite/program.h"
+#include "core/compare.h"
+#include "core/generalize.h"
+#include "core/transform.h"
+#include "graph/property_graph.h"
+#include "systems/recorder.h"
+
+namespace provmark::core {
+
+struct PipelineOptions {
+  /// Provenance system to benchmark: "spade" | "opus" | "camflow".
+  /// Ignored when `recorder` is supplied.
+  std::string system = "spade";
+  /// Custom (e.g. reconfigured) recorder instance; overrides `system`.
+  std::shared_ptr<systems::Recorder> recorder;
+  /// Trials per program variant; 0 = per-system default (OPUS runs are
+  /// stable so 2 suffice; SPADE and CamFlow need more, §3.2).
+  int trials = 0;
+  std::uint64_t seed = 42;
+  /// If generalization cannot find two consistent runs, retry with twice
+  /// the trials, up to this many rounds (the paper "runs a larger number
+  /// of trials" in that case).
+  int max_retry_rounds = 3;
+  TransformOptions transform;
+  GeneralizeOptions generalize;
+  CompareOptions compare;
+};
+
+/// Seconds spent in each subsystem (the bar segments of Figures 5-10).
+struct StageTimings {
+  double recording = 0;
+  double transformation = 0;
+  double generalization = 0;
+  double comparison = 0;
+
+  double processing_total() const {
+    return transformation + generalization + comparison;
+  }
+};
+
+enum class BenchmarkStatus {
+  /// Non-empty benchmark result: the target activity was recorded.
+  Ok,
+  /// Foreground and background generalized to similar graphs: the target
+  /// activity is invisible to this recorder.
+  Empty,
+  /// The pipeline could not produce a result (no consistent runs, or the
+  /// background did not embed into the foreground).
+  Failed,
+};
+
+const char* status_name(BenchmarkStatus status);
+
+struct BenchmarkResult {
+  std::string system;
+  std::string benchmark;
+  BenchmarkStatus status = BenchmarkStatus::Failed;
+  std::string failure_reason;
+
+  graph::PropertyGraph result;  ///< the target-activity subgraph
+  std::vector<graph::Id> dummy_nodes;
+  graph::PropertyGraph generalized_foreground;
+  graph::PropertyGraph generalized_background;
+
+  StageTimings timings;
+  int trials_run = 0;        ///< per variant, including retries
+  int trials_discarded = 0;  ///< singleton similarity classes (both variants)
+  int trials_unparseable = 0;  ///< garbled recorder output (excluded early)
+  int transient_properties = 0;  ///< stripped during generalization
+
+  /// Nodes in `result` that are neither dummies nor edge endpoints —
+  /// disconnected structure such as SPADE's vfork child (note DV).
+  std::vector<graph::Id> disconnected_nodes() const;
+};
+
+/// Default trials per system (SPADE and CamFlow need headroom for
+/// discarded runs; OPUS is stable).
+int default_trials(const std::string& system);
+
+/// Run the full pipeline for one benchmark program on one system.
+BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
+                              const PipelineOptions& options = {});
+
+}  // namespace provmark::core

@@ -1,0 +1,96 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "formats/dot.h"
+#include "graph/algorithms.h"
+#include "util/strings.h"
+
+namespace provmark::core {
+
+std::string summarize(const BenchmarkResult& result) {
+  std::size_t real_nodes =
+      result.result.node_count() - result.dummy_nodes.size();
+  return util::format("%s %s: %s (%zu nodes, %zu edges, %zu dummies)",
+                      result.system.c_str(), result.benchmark.c_str(),
+                      status_name(result.status), real_nodes,
+                      result.result.edge_count(),
+                      result.dummy_nodes.size());
+}
+
+std::string result_dot(const BenchmarkResult& result) {
+  graph::PropertyGraph g = result.result;
+  for (const graph::Id& id : result.dummy_nodes) {
+    if (g.find_node(id) != nullptr) {
+      g.set_property(id, "type", "dummy");
+      g.set_property(id, "color", "gray");
+    }
+  }
+  return formats::to_dot(g, "benchmark_" + result.benchmark);
+}
+
+std::string validation_table(const std::vector<BenchmarkResult>& results) {
+  // Collect systems (columns) and benchmarks (rows) preserving first-seen
+  // order.
+  std::vector<std::string> systems;
+  std::vector<std::string> benchmarks;
+  std::map<std::pair<std::string, std::string>, const BenchmarkResult*> cell;
+  for (const BenchmarkResult& r : results) {
+    if (std::find(systems.begin(), systems.end(), r.system) ==
+        systems.end()) {
+      systems.push_back(r.system);
+    }
+    if (std::find(benchmarks.begin(), benchmarks.end(), r.benchmark) ==
+        benchmarks.end()) {
+      benchmarks.push_back(r.benchmark);
+    }
+    cell[{r.benchmark, r.system}] = &r;
+  }
+  std::string out = util::format("%-12s", "syscall");
+  for (const std::string& s : systems) out += util::format(" %-10s", s.c_str());
+  out += "\n";
+  for (const std::string& b : benchmarks) {
+    out += util::format("%-12s", b.c_str());
+    for (const std::string& s : systems) {
+      auto it = cell.find({b, s});
+      out += util::format(
+          " %-10s",
+          it == cell.end() ? "-" : status_name(it->second->status));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string html_report(const std::vector<BenchmarkResult>& results) {
+  std::string out =
+      "<!DOCTYPE html>\n<html><head><title>ProvMark benchmark results"
+      "</title></head>\n<body>\n<h1>ProvMark benchmark results</h1>\n";
+  out += "<table border=\"1\"><tr><th>benchmark</th><th>system</th>"
+         "<th>status</th><th>result</th></tr>\n";
+  for (const BenchmarkResult& r : results) {
+    out += "<tr><td>" + r.benchmark + "</td><td>" + r.system + "</td><td>" +
+           status_name(r.status) + "</td><td>" +
+           graph::structure_summary(r.result) + "</td></tr>\n";
+  }
+  out += "</table>\n";
+  for (const BenchmarkResult& r : results) {
+    out += "<h2>" + r.system + " / " + r.benchmark + "</h2>\n";
+    out += "<p>status: " + std::string(status_name(r.status)) + "</p>\n";
+    if (!r.failure_reason.empty()) {
+      out += "<p>failure: " + r.failure_reason + "</p>\n";
+    }
+    out += "<h3>benchmark result</h3>\n<pre>\n" + result_dot(r) +
+           "</pre>\n";
+    out += "<h3>generalized foreground</h3>\n<p>" +
+           graph::structure_summary(r.generalized_foreground) + "</p>\n";
+    out += "<h3>generalized background</h3>\n<p>" +
+           graph::structure_summary(r.generalized_background) + "</p>\n";
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace provmark::core

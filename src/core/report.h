@@ -1,0 +1,27 @@
+// Result rendering: the text/DOT/HTML views of benchmark results that the
+// real ProvMark exposes via its `rb`/`rg`/`rh` result types (appendix A.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace provmark::core {
+
+/// One-line summary: "<system> <benchmark>: ok (3 nodes, 2 edges)".
+std::string summarize(const BenchmarkResult& result);
+
+/// DOT rendering of the benchmark result with dummy nodes drawn gray.
+std::string result_dot(const BenchmarkResult& result);
+
+/// A Table 2-style text table over many results (rows: benchmark; columns:
+/// one per system, cells ok/empty/failed).
+std::string validation_table(const std::vector<BenchmarkResult>& results);
+
+/// HTML page with per-benchmark sections: status, result graph (as DOT in
+/// a <pre>), and generalized foreground/background summaries — ProvMark's
+/// `rh` result type.
+std::string html_report(const std::vector<BenchmarkResult>& results);
+
+}  // namespace provmark::core

@@ -1,0 +1,36 @@
+// Stage 2 — Transformation (§3.3): map each recorder's native output to
+// the uniform Datalog property-graph representation.
+//
+// Everything downstream (generalization, comparison, regression storage)
+// is independent of the recorder and its format once this stage has run.
+//
+// The OPUS path goes through the Neo4j store emulation: the real OPUS
+// transformation runs Neo4j queries, paying a one-time JVM/database
+// startup cost that dominates Figure 6; `Neo4jStore` reproduces that cost
+// profile with genuine index-building work.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.h"
+
+namespace provmark::core {
+
+struct TransformOptions {
+  /// Index-rebuild rounds for the Neo4j store emulation (see
+  /// formats::Neo4jStore::Options); only used for neo4j-json input.
+  int neo4j_startup_rounds = 400;
+};
+
+/// Parse a native recorder document (format auto-detected) into a
+/// property graph. Throws std::runtime_error on malformed input.
+graph::PropertyGraph transform_native(std::string_view native_output,
+                                      const TransformOptions& options = {});
+
+/// Full transformation: native document -> Datalog text under `gid`.
+std::string transform_to_datalog(std::string_view native_output,
+                                 std::string_view gid,
+                                 const TransformOptions& options = {});
+
+}  // namespace provmark::core

@@ -1,0 +1,130 @@
+// A small positive-Datalog evaluation engine.
+//
+// The paper stores benchmark graphs "as Datalog" and the regression-testing
+// use case (Charlie, §3.1) queries and compares them. This engine provides
+// that capability natively: load the facts produced by fact_io, add rules
+// (e.g. reachability over provenance edges, "process wrote file it read"
+// patterns), and evaluate to a fixpoint with semi-naive iteration.
+//
+// Supported language: positive Datalog with stratification-free rules,
+// plus built-in disequality `X != Y` in rule bodies. That is exactly the
+// fragment the paper's Listing 1 representation needs for result queries.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace provmark::datalog {
+
+/// A term is either a constant string or a variable. Variables start with
+/// an upper-case letter or '_' (Prolog convention).
+struct Term {
+  enum class Kind { Constant, Variable };
+  Kind kind;
+  std::string text;
+
+  static Term constant(std::string s) {
+    return Term{Kind::Constant, std::move(s)};
+  }
+  static Term variable(std::string s) {
+    return Term{Kind::Variable, std::move(s)};
+  }
+  bool is_variable() const { return kind == Kind::Variable; }
+  auto operator<=>(const Term&) const = default;
+};
+
+/// An atom: relation(t1, ..., tn).
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+  auto operator<=>(const Atom&) const = default;
+};
+
+/// A disequality constraint between two terms, written X != Y.
+struct Disequality {
+  Term lhs;
+  Term rhs;
+  auto operator<=>(const Disequality&) const = default;
+};
+
+/// A negated atom, written `not rel(t1, ..., tn)` — negation as failure
+/// under stratification. All variables must be bound by positive atoms.
+struct NegatedAtom {
+  Atom atom;
+  auto operator<=>(const NegatedAtom&) const = default;
+};
+
+using BodyLiteral = std::variant<Atom, Disequality, NegatedAtom>;
+
+/// head :- body1, ..., bodyn.   (empty body = ground fact)
+struct Rule {
+  Atom head;
+  std::vector<BodyLiteral> body;
+};
+
+using Tuple = std::vector<std::string>;
+
+/// The engine: a fact store plus rules, evaluated to fixpoint on demand.
+class Engine {
+ public:
+  /// Add a ground fact; throws std::invalid_argument on arity conflicts.
+  void add_fact(const std::string& relation, Tuple tuple);
+
+  /// Add a rule. The head must not contain variables absent from positive
+  /// body atoms (range restriction), and the same applies to negated
+  /// atoms and disequalities; throws std::invalid_argument otherwise.
+  /// Negation must be stratified: `run()` throws std::logic_error when a
+  /// relation transitively depends on its own negation.
+  void add_rule(Rule rule);
+
+  /// Parse a program: facts and rules in textual syntax, one clause per
+  /// line or separated by '.', e.g.
+  ///   edge(a,b). edge(b,c).
+  ///   path(X,Y) :- edge(X,Y).
+  ///   path(X,Z) :- path(X,Y), edge(Y,Z).
+  void load_program(std::string_view text);
+
+  /// Evaluate all rules to fixpoint (semi-naive, stratum by stratum when
+  /// negation is present). Idempotent.
+  void run();
+
+  /// All tuples currently derived for `relation` (runs evaluation first).
+  std::set<Tuple> relation(const std::string& relation);
+
+  /// Query with a pattern: constants must match, variables bind. Returns
+  /// one map per matching tuple, keyed by variable name.
+  std::vector<std::map<std::string, std::string>> query(const Atom& pattern);
+
+  /// Parse and run a query atom, e.g. "path(a,X)".
+  std::vector<std::map<std::string, std::string>> query(
+      std::string_view pattern_text);
+
+  std::size_t fact_count() const;
+
+ private:
+  using Bindings = std::map<std::string, std::string>;
+
+  bool unify(const Atom& pattern, const Tuple& tuple, Bindings& bindings)
+      const;
+  void check_range_restriction(const Rule& rule) const;
+  /// Assign each rule to a stratum; throws std::logic_error on negative
+  /// cycles. Returns rule indices per stratum, bottom-up.
+  std::vector<std::vector<std::size_t>> stratify() const;
+  /// Run one stratum's rules to fixpoint.
+  void run_stratum(const std::vector<std::size_t>& rule_indices);
+
+  std::map<std::string, std::set<Tuple>> facts_;
+  std::map<std::string, std::size_t> arity_;
+  std::vector<Rule> rules_;
+  bool saturated_ = true;
+};
+
+/// Parse a single atom such as `path(X, "a b")`.
+Atom parse_atom(std::string_view text);
+
+}  // namespace provmark::datalog

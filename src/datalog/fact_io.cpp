@@ -1,0 +1,225 @@
+#include "datalog/fact_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace provmark::datalog {
+
+namespace {
+
+/// Quote a string as a Datalog constant.
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Scanner for one fact line: name(arg1,arg2,...).
+struct FactScanner {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_no;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("datalog line " + std::to_string(line_no) +
+                             ": " + message);
+  }
+
+  void skip_space() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of fact");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    skip_space();
+    if (pos >= text.size() || text[pos] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  std::string identifier() {
+    skip_space();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_' || text[pos] == '.' || text[pos] == '-' ||
+            text[pos] == ':' || text[pos] == '/')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected identifier");
+    return std::string(text.substr(start, pos - start));
+  }
+
+  std::string quoted_string() {
+    skip_space();
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) fail("bad escape");
+        out += text[pos++];
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  /// Argument that may be a bare identifier or a quoted string.
+  std::string argument() {
+    skip_space();
+    if (peek() == '"') return quoted_string();
+    return identifier();
+  }
+};
+
+struct PendingEdge {
+  std::string gid, id, src, tgt, label;
+  std::size_t line_no;
+};
+
+struct PendingProp {
+  std::string gid, element, key, value;
+  std::size_t line_no;
+};
+
+}  // namespace
+
+std::string to_datalog(const graph::PropertyGraph& g, std::string_view gid) {
+  std::string sg(gid);
+  std::vector<graph::Node> nodes = g.nodes();
+  std::sort(nodes.begin(), nodes.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  std::vector<graph::Edge> edges = g.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+
+  std::string out;
+  for (const graph::Node& n : nodes) {
+    out += "n" + sg + "(" + n.id + "," + quote(n.label) + ").\n";
+  }
+  for (const graph::Edge& e : edges) {
+    out += "e" + sg + "(" + e.id + "," + e.src + "," + e.tgt + "," +
+           quote(e.label) + ").\n";
+  }
+  for (const graph::Node& n : nodes) {
+    for (const auto& [k, v] : n.props) {
+      out += "p" + sg + "(" + n.id + "," + quote(k) + "," + quote(v) + ").\n";
+    }
+  }
+  for (const graph::Edge& e : edges) {
+    for (const auto& [k, v] : e.props) {
+      out += "p" + sg + "(" + e.id + "," + quote(k) + "," + quote(v) + ").\n";
+    }
+  }
+  return out;
+}
+
+std::map<std::string, graph::PropertyGraph> from_datalog(
+    std::string_view text) {
+  std::map<std::string, graph::PropertyGraph> graphs;
+  std::vector<PendingEdge> edges;
+  std::vector<PendingProp> props;
+
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::trim(raw_line);
+    if (line.empty() || util::starts_with(line, "%") ||
+        util::starts_with(line, "//")) {
+      continue;  // comment or blank
+    }
+    FactScanner scan{line, 0, line_no};
+    std::string relation = scan.identifier();
+    if (relation.size() < 2 ||
+        (relation[0] != 'n' && relation[0] != 'e' && relation[0] != 'p')) {
+      scan.fail("unknown relation '" + relation + "'");
+    }
+    char kind = relation[0];
+    std::string gid = relation.substr(1);
+    scan.expect('(');
+    if (kind == 'n') {
+      std::string id = scan.argument();
+      scan.expect(',');
+      std::string label = scan.argument();
+      scan.expect(')');
+      scan.expect('.');
+      graphs[gid].add_node(id, label);
+    } else if (kind == 'e') {
+      PendingEdge e;
+      e.gid = gid;
+      e.line_no = line_no;
+      e.id = scan.argument();
+      scan.expect(',');
+      e.src = scan.argument();
+      scan.expect(',');
+      e.tgt = scan.argument();
+      scan.expect(',');
+      e.label = scan.argument();
+      scan.expect(')');
+      scan.expect('.');
+      edges.push_back(std::move(e));
+    } else {
+      PendingProp p;
+      p.gid = gid;
+      p.line_no = line_no;
+      p.element = scan.argument();
+      scan.expect(',');
+      p.key = scan.argument();
+      scan.expect(',');
+      p.value = scan.argument();
+      scan.expect(')');
+      scan.expect('.');
+      props.push_back(std::move(p));
+    }
+  }
+
+  // Edges and properties may appear before their nodes; resolve them now.
+  for (const PendingEdge& e : edges) {
+    auto it = graphs.find(e.gid);
+    if (it == graphs.end()) {
+      throw std::runtime_error("datalog line " + std::to_string(e.line_no) +
+                               ": edge for unknown graph " + e.gid);
+    }
+    it->second.add_edge(e.id, e.src, e.tgt, e.label);
+  }
+  for (const PendingProp& p : props) {
+    auto it = graphs.find(p.gid);
+    if (it == graphs.end() || !it->second.has_element(p.element)) {
+      throw std::runtime_error("datalog line " + std::to_string(p.line_no) +
+                               ": property on unknown element " + p.element);
+    }
+    it->second.set_property(p.element, p.key, p.value);
+  }
+  return graphs;
+}
+
+graph::PropertyGraph single_graph_from_datalog(std::string_view text,
+                                               std::string_view gid) {
+  std::map<std::string, graph::PropertyGraph> graphs = from_datalog(text);
+  auto it = graphs.find(std::string(gid));
+  if (it == graphs.end()) {
+    throw std::runtime_error("datalog document has no graph named " +
+                             std::string(gid));
+  }
+  return std::move(it->second);
+}
+
+}  // namespace provmark::datalog

@@ -1,0 +1,39 @@
+// Datalog graph format (paper Listing 1).
+//
+// A property graph G identified by string `gid` is serialized as facts:
+//   n<gid>(<nodeID>,"<label>").
+//   e<gid>(<edgeID>,<srcID>,<tgtID>,"<label>").
+//   p<gid>(<nodeID/edgeID>,"<key>","<value>").
+//
+// This is ProvMark's uniform representation: every stage downstream of
+// transformation — generalization, comparison, regression storage — works
+// on this format, making those stages independent of the provenance
+// recorder and its native output format.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.h"
+
+namespace provmark::datalog {
+
+/// Serialize `g` as Datalog facts under graph id `gid` (e.g. "g1", "bg").
+/// Nodes first, then edges, then properties; each sorted by id for
+/// deterministic output.
+std::string to_datalog(const graph::PropertyGraph& g, std::string_view gid);
+
+/// Parse a Datalog document that may interleave facts for several graph
+/// ids; returns one property graph per gid.
+///
+/// Throws std::runtime_error on malformed facts, dangling edge endpoints,
+/// or properties attached to unknown elements.
+std::map<std::string, graph::PropertyGraph> from_datalog(
+    std::string_view text);
+
+/// Convenience: parse a document expected to contain exactly one graph.
+graph::PropertyGraph single_graph_from_datalog(std::string_view text,
+                                               std::string_view gid);
+
+}  // namespace provmark::datalog

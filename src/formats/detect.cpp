@@ -1,0 +1,61 @@
+#include "formats/detect.h"
+
+#include <stdexcept>
+
+#include "datalog/fact_io.h"
+#include "formats/dot.h"
+#include "formats/neo4j.h"
+#include "formats/prov_json.h"
+#include "util/strings.h"
+
+namespace provmark::formats {
+
+Format detect_format(std::string_view text) {
+  std::string_view t = util::trim(text);
+  if (util::starts_with(t, "digraph")) return Format::Dot;
+  if (util::starts_with(t, "{")) {
+    // Distinguish PROV-JSON from Neo4j export by their top-level keys.
+    if (t.find("\"nodes\"") != std::string_view::npos &&
+        t.find("\"relationships\"") != std::string_view::npos) {
+      return Format::Neo4jJson;
+    }
+    return Format::ProvJson;
+  }
+  if (util::starts_with(t, "n") || util::starts_with(t, "e") ||
+      util::starts_with(t, "p") || util::starts_with(t, "%")) {
+    return Format::Datalog;
+  }
+  return Format::Unknown;
+}
+
+const char* format_name(Format f) {
+  switch (f) {
+    case Format::Dot: return "graphviz-dot";
+    case Format::ProvJson: return "prov-json";
+    case Format::Neo4jJson: return "neo4j-json";
+    case Format::Datalog: return "datalog";
+    case Format::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+graph::PropertyGraph parse_any(std::string_view text) {
+  switch (detect_format(text)) {
+    case Format::Dot: return from_dot(text);
+    case Format::ProvJson: return from_prov_json(text);
+    case Format::Neo4jJson: return from_neo4j_json(text);
+    case Format::Datalog: {
+      auto graphs = datalog::from_datalog(text);
+      if (graphs.size() != 1) {
+        throw std::runtime_error(
+            "expected a single graph in datalog document, found " +
+            std::to_string(graphs.size()));
+      }
+      return std::move(graphs.begin()->second);
+    }
+    case Format::Unknown: break;
+  }
+  throw std::runtime_error("unrecognized provenance output format");
+}
+
+}  // namespace provmark::formats

@@ -1,0 +1,21 @@
+// Recorder output format auto-detection for the transformation stage.
+#pragma once
+
+#include <string_view>
+
+#include "graph/property_graph.h"
+
+namespace provmark::formats {
+
+enum class Format { Dot, ProvJson, Neo4jJson, Datalog, Unknown };
+
+/// Sniff the format of a recorder output document.
+Format detect_format(std::string_view text);
+
+const char* format_name(Format f);
+
+/// Parse any supported format into a property graph (Datalog documents must
+/// contain a single graph). Throws std::runtime_error for Unknown.
+graph::PropertyGraph parse_any(std::string_view text);
+
+}  // namespace provmark::formats

@@ -1,0 +1,33 @@
+// Graphviz DOT reader/writer for property graphs.
+//
+// SPADE's Graphviz storage emits one DOT file per recording; ProvMark's
+// transformation stage parses it back into the uniform property-graph
+// representation. The writer is also used to visualize benchmark results
+// (Figure 1 / Table 3 reproductions).
+//
+// Supported DOT subset: `digraph name { ... }` with node statements
+// `id [key="value", ...];` and edge statements `a -> b [key="value", ...];`.
+// The property-graph label is carried in the `label` attribute when
+// present; remaining attributes become properties. This mirrors how SPADE
+// serializes OPM vertices/edges.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.h"
+
+namespace provmark::formats {
+
+/// Render `g` as a DOT digraph. Node/edge labels become `label` attributes
+/// and properties become further attributes; `type` styling follows the
+/// paper's figures (rectangles for processes, ovals for artifacts).
+std::string to_dot(const graph::PropertyGraph& g,
+                   std::string_view graph_name = "provenance");
+
+/// Parse the DOT subset described above. Nodes referenced only in edge
+/// statements are created implicitly with an empty label, matching
+/// Graphviz semantics. Throws std::runtime_error on syntax errors.
+graph::PropertyGraph from_dot(std::string_view text);
+
+}  // namespace provmark::formats

@@ -1,0 +1,137 @@
+#include "formats/prov_json.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace provmark::formats {
+
+namespace {
+
+using util::Json;
+
+constexpr std::array<std::string_view, 3> kNodeKinds = {"entity", "activity",
+                                                        "agent"};
+
+/// Endpoint attribute keys per PROV relation: {source key, target key}.
+/// Source/target follow the PROV-DM argument order (first argument is the
+/// edge source in our graphs, pointing to the second).
+struct RelationKeys {
+  std::string_view relation;
+  std::string_view src_key;
+  std::string_view tgt_key;
+};
+
+constexpr std::array<RelationKeys, 7> kKnownRelations = {{
+    {"used", "prov:activity", "prov:entity"},
+    {"wasGeneratedBy", "prov:entity", "prov:activity"},
+    {"wasInformedBy", "prov:informed", "prov:informant"},
+    {"wasDerivedFrom", "prov:generatedEntity", "prov:usedEntity"},
+    {"wasAssociatedWith", "prov:activity", "prov:agent"},
+    {"wasAttributedTo", "prov:entity", "prov:agent"},
+    {"actedOnBehalfOf", "prov:delegate", "prov:responsible"},
+}};
+
+const RelationKeys* known_relation(std::string_view name) {
+  for (const RelationKeys& r : kKnownRelations) {
+    if (r.relation == name) return &r;
+  }
+  return nullptr;
+}
+
+bool is_node_kind(std::string_view name) {
+  for (std::string_view k : kNodeKinds) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_prov_json(const graph::PropertyGraph& g) {
+  Json doc = Json::object();
+  for (std::string_view kind : kNodeKinds) {
+    Json section = Json::object();
+    for (const graph::Node& n : g.nodes()) {
+      if (n.label != kind) continue;
+      Json attrs = Json::object();
+      for (const auto& [k, v] : n.props) attrs.set(k, Json(v));
+      section.set(n.id, std::move(attrs));
+    }
+    if (!section.as_object().empty()) doc.set(kind, std::move(section));
+  }
+  // Group edges by relation label.
+  std::map<std::string, std::vector<const graph::Edge*>> by_relation;
+  for (const graph::Edge& e : g.edges()) {
+    by_relation[e.label].push_back(&e);
+  }
+  for (const auto& [relation, edges] : by_relation) {
+    const RelationKeys* keys = known_relation(relation);
+    std::string src_key = keys ? std::string(keys->src_key) : "prov:from";
+    std::string tgt_key = keys ? std::string(keys->tgt_key) : "prov:to";
+    Json section = Json::object();
+    for (const graph::Edge* e : edges) {
+      Json attrs = Json::object();
+      attrs.set(src_key, Json(e->src));
+      attrs.set(tgt_key, Json(e->tgt));
+      for (const auto& [k, v] : e->props) attrs.set(k, Json(v));
+      section.set(e->id, std::move(attrs));
+    }
+    doc.set(relation, std::move(section));
+  }
+  return doc.dump(2);
+}
+
+graph::PropertyGraph from_prov_json(std::string_view text) {
+  Json doc = Json::parse(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("PROV-JSON document must be an object");
+  }
+  graph::PropertyGraph g;
+  // First pass: node sections.
+  for (const auto& [section_name, section] : doc.as_object()) {
+    if (!is_node_kind(section_name)) continue;
+    if (!section.is_object()) {
+      throw std::runtime_error("PROV-JSON section " + section_name +
+                               " must be an object");
+    }
+    for (const auto& [id, attrs] : section.as_object()) {
+      graph::Properties props;
+      for (const auto& [k, v] : attrs.as_object()) {
+        props[k] = v.is_string() ? v.as_string() : v.dump();
+      }
+      g.add_node(id, section_name, std::move(props));
+    }
+  }
+  // Second pass: relation sections.
+  for (const auto& [section_name, section] : doc.as_object()) {
+    if (is_node_kind(section_name) || section_name == "prefix") continue;
+    const RelationKeys* keys = known_relation(section_name);
+    for (const auto& [id, attrs] : section.as_object()) {
+      std::string src_key = keys ? std::string(keys->src_key) : "prov:from";
+      std::string tgt_key = keys ? std::string(keys->tgt_key) : "prov:to";
+      const Json* src = attrs.find(src_key);
+      const Json* tgt = attrs.find(tgt_key);
+      if (src == nullptr || tgt == nullptr) {
+        throw std::runtime_error("PROV-JSON relation " + id +
+                                 " lacks endpoint attributes");
+      }
+      graph::Properties props;
+      for (const auto& [k, v] : attrs.as_object()) {
+        if (k == src_key || k == tgt_key) continue;
+        props[k] = v.is_string() ? v.as_string() : v.dump();
+      }
+      if (g.find_node(src->as_string()) == nullptr ||
+          g.find_node(tgt->as_string()) == nullptr) {
+        throw std::runtime_error("PROV-JSON relation " + id +
+                                 " references missing node");
+      }
+      g.add_edge(id, src->as_string(), tgt->as_string(), section_name,
+                 std::move(props));
+    }
+  }
+  return g;
+}
+
+}  // namespace provmark::formats

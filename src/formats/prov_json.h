@@ -1,0 +1,33 @@
+// W3C PROV-JSON reader/writer.
+//
+// CamFlow serializes provenance as PROV-JSON: a JSON object with one member
+// per node type ("entity", "activity", "agent") and one per relation type
+// ("used", "wasGeneratedBy", "wasInformedBy", "wasDerivedFrom", ...), each
+// mapping identifiers to attribute dictionaries. Relation records carry
+// their endpoints in role-specific keys (e.g. "prov:entity" +
+// "prov:activity" for `used`).
+//
+// The property-graph mapping: each node keeps its PROV type as its label;
+// each relation becomes an edge labelled with the relation name; all other
+// attributes become properties.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.h"
+
+namespace provmark::formats {
+
+/// Serialize to PROV-JSON. Node labels must be one of the PROV node kinds
+/// ("entity", "activity", "agent"); edge labels name the relation. Edges
+/// whose label is unknown to PROV are emitted under that label verbatim,
+/// which PROV-JSON tolerates as an extension.
+std::string to_prov_json(const graph::PropertyGraph& g);
+
+/// Parse PROV-JSON into a property graph. Unknown top-level sections are
+/// treated as relation sections. Throws std::runtime_error when a relation
+/// references a missing endpoint.
+graph::PropertyGraph from_prov_json(std::string_view text);
+
+}  // namespace provmark::formats

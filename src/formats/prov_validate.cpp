@@ -1,0 +1,84 @@
+#include "formats/prov_validate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace provmark::formats {
+
+namespace {
+
+struct EndpointRule {
+  const char* src;
+  const char* tgt;
+};
+
+const std::map<std::string, EndpointRule>& endpoint_rules() {
+  static const std::map<std::string, EndpointRule> kRules = {
+      {"used", {"activity", "entity"}},
+      {"wasGeneratedBy", {"entity", "activity"}},
+      {"wasInformedBy", {"activity", "activity"}},
+      {"wasDerivedFrom", {"entity", "entity"}},
+      {"wasAssociatedWith", {"activity", "agent"}},
+      {"wasAttributedTo", {"entity", "agent"}},
+      {"actedOnBehalfOf", {"agent", "agent"}},
+  };
+  return kRules;
+}
+
+bool is_prov_kind(const std::string& label) {
+  return label == "entity" || label == "activity" || label == "agent";
+}
+
+}  // namespace
+
+ProvValidationResult validate_prov(const graph::PropertyGraph& g) {
+  ProvValidationResult result;
+  for (const graph::Node& n : g.nodes()) {
+    if (!is_prov_kind(n.label)) {
+      result.violations.push_back(
+          {n.id, "node label '" + n.label + "' is not a PROV node kind"});
+    }
+  }
+  for (const graph::Edge& e : g.edges()) {
+    const graph::Node* src = g.find_node(e.src);
+    const graph::Node* tgt = g.find_node(e.tgt);
+    auto rule = endpoint_rules().find(e.label);
+    if (rule != endpoint_rules().end()) {
+      if (src != nullptr && src->label != rule->second.src) {
+        result.violations.push_back(
+            {e.id, e.label + " source must be " +
+                       std::string(rule->second.src) + ", found " +
+                       src->label});
+      }
+      if (tgt != nullptr && tgt->label != rule->second.tgt) {
+        result.violations.push_back(
+            {e.id, e.label + " target must be " +
+                       std::string(rule->second.tgt) + ", found " +
+                       tgt->label});
+      }
+      continue;
+    }
+    if (e.label == "wasInvalidatedBy") {
+      // Serializer order differs across tools; accept either direction
+      // between an activity and an entity.
+      bool ok = src != nullptr && tgt != nullptr &&
+                ((src->label == "activity" && tgt->label == "entity") ||
+                 (src->label == "entity" && tgt->label == "activity"));
+      if (!ok) {
+        result.violations.push_back(
+            {e.id, "wasInvalidatedBy must connect an activity and an "
+                   "entity"});
+      }
+      continue;
+    }
+    // Unknown relation: a vocabulary extension.
+    if (std::find(result.extension_relations.begin(),
+                  result.extension_relations.end(),
+                  e.label) == result.extension_relations.end()) {
+      result.extension_relations.push_back(e.label);
+    }
+  }
+  return result;
+}
+
+}  // namespace provmark::formats

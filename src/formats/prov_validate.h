@@ -1,0 +1,46 @@
+// W3C PROV-DM structural validation.
+//
+// The paper observes that recorders "do use standards such as W3C PROV
+// that establish a common vocabulary" while disagreeing on content. This
+// module checks the part a standard *can* check: that a graph claiming
+// PROV vocabulary uses it consistently — relation endpoints have the
+// right node kinds, node kinds are known, every relation is known or
+// explicitly marked an extension. Used by the CamFlow tests and available
+// to users who want to validate a recorder's output before benchmarking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace provmark::formats {
+
+struct ProvViolation {
+  graph::Id element;    ///< offending node or edge id
+  std::string message;  ///< human-readable description
+};
+
+struct ProvValidationResult {
+  std::vector<ProvViolation> violations;
+  /// Relations outside the PROV-DM core (e.g. CamFlow's "named"): legal
+  /// extensions, reported separately so callers can audit them.
+  std::vector<std::string> extension_relations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Validate a graph against PROV-DM endpoint-kind constraints:
+///   used:               activity -> entity
+///   wasGeneratedBy:     entity   -> activity
+///   wasInformedBy:      activity -> activity
+///   wasDerivedFrom:     entity   -> entity
+///   wasAssociatedWith:  activity -> agent
+///   wasAttributedTo:    entity   -> agent
+///   actedOnBehalfOf:    agent    -> agent
+///   wasInvalidatedBy:   accepts activity->entity or entity->activity
+///                       (serializer order differs between tools)
+/// Node labels must be entity / activity / agent.
+ProvValidationResult validate_prov(const graph::PropertyGraph& g);
+
+}  // namespace provmark::formats

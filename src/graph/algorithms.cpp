@@ -1,0 +1,163 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::graph {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+/// Order-independent combination (sum) so digests ignore element order.
+std::uint64_t combine_unordered(const std::vector<std::uint64_t>& hashes) {
+  std::uint64_t sum = 0x12345678ULL;
+  for (std::uint64_t h : hashes) sum += h * 0x100000001B3ULL + 1;
+  return sum;
+}
+
+}  // namespace
+
+std::map<Id, std::uint64_t> wl_colours(const PropertyGraph& g, int rounds) {
+  std::map<Id, std::uint64_t> colour;
+  for (const Node& n : g.nodes()) {
+    colour[n.id] = util::stable_hash(n.label);
+  }
+  for (int round = 0; round < rounds; ++round) {
+    std::map<Id, std::uint64_t> next;
+    for (const Node& n : g.nodes()) {
+      std::vector<std::uint64_t> in_sig, out_sig;
+      for (const Edge& e : g.edges()) {
+        if (e.tgt == n.id) {
+          in_sig.push_back(
+              mix(util::stable_hash(e.label), colour.at(e.src)));
+        }
+        if (e.src == n.id) {
+          out_sig.push_back(
+              mix(util::stable_hash(e.label), colour.at(e.tgt)));
+        }
+      }
+      std::uint64_t h = colour.at(n.id);
+      h = mix(h, combine_unordered(in_sig));
+      h = mix(mix(h, 0xABCDULL), combine_unordered(out_sig));
+      next[n.id] = h;
+    }
+    colour = std::move(next);
+  }
+  return colour;
+}
+
+std::uint64_t structural_digest(const PropertyGraph& g) {
+  // Three WL rounds suffice to distinguish the small provenance graphs we
+  // see in practice; collisions only cost matcher time, never correctness.
+  std::map<Id, std::uint64_t> colour = wl_colours(g, 3);
+  std::vector<std::uint64_t> node_hashes;
+  node_hashes.reserve(g.node_count());
+  for (const auto& [id, c] : colour) node_hashes.push_back(c);
+  std::vector<std::uint64_t> edge_hashes;
+  edge_hashes.reserve(g.edge_count());
+  for (const Edge& e : g.edges()) {
+    std::uint64_t h = util::stable_hash(e.label);
+    h = mix(h, colour.at(e.src));
+    h = mix(mix(h, 0x77ULL), colour.at(e.tgt));
+    edge_hashes.push_back(h);
+  }
+  return mix(combine_unordered(node_hashes),
+             mix(combine_unordered(edge_hashes),
+                 mix(g.node_count(), g.edge_count())));
+}
+
+std::uint64_t full_digest(const PropertyGraph& g) {
+  // Extend the node colouring with property hashes, then redo WL.
+  PropertyGraph annotated;
+  for (const Node& n : g.nodes()) {
+    std::uint64_t ph = 0;
+    for (const auto& [k, v] : n.props) {
+      ph = mix(ph, mix(util::stable_hash(k), util::stable_hash(v)));
+    }
+    annotated.add_node(n.id, n.label + "#" + std::to_string(ph));
+  }
+  for (const Edge& e : g.edges()) {
+    std::uint64_t ph = 0;
+    for (const auto& [k, v] : e.props) {
+      ph = mix(ph, mix(util::stable_hash(k), util::stable_hash(v)));
+    }
+    annotated.add_edge(e.id, e.src, e.tgt,
+                       e.label + "#" + std::to_string(ph));
+  }
+  return structural_digest(annotated);
+}
+
+std::vector<std::vector<Id>> connected_components(const PropertyGraph& g) {
+  std::map<Id, Id> parent;
+  std::function<Id(const Id&)> find = [&](const Id& x) -> Id {
+    Id root = x;
+    while (parent.at(root) != root) root = parent.at(root);
+    // Path compression.
+    Id cur = x;
+    while (parent.at(cur) != root) {
+      Id next = parent.at(cur);
+      parent[cur] = root;
+      cur = next;
+    }
+    return root;
+  };
+  for (const Node& n : g.nodes()) parent[n.id] = n.id;
+  for (const Edge& e : g.edges()) {
+    Id a = find(e.src);
+    Id b = find(e.tgt);
+    if (a != b) parent[a] = b;
+  }
+  std::map<Id, std::vector<Id>> groups;
+  for (const Node& n : g.nodes()) groups[find(n.id)].push_back(n.id);
+  std::vector<std::vector<Id>> out;
+  for (auto& [root, members] : groups) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<Id, DegreeSignature> degree_signatures(const PropertyGraph& g) {
+  std::map<Id, DegreeSignature> out;
+  for (const Node& n : g.nodes()) {
+    out[n.id] = DegreeSignature{n.label, 0, 0};
+  }
+  for (const Edge& e : g.edges()) {
+    ++out[e.src].out;
+    ++out[e.tgt].in;
+  }
+  return out;
+}
+
+std::map<Label, std::size_t> node_label_histogram(const PropertyGraph& g) {
+  std::map<Label, std::size_t> out;
+  for (const Node& n : g.nodes()) ++out[n.label];
+  return out;
+}
+
+std::map<Label, std::size_t> edge_label_histogram(const PropertyGraph& g) {
+  std::map<Label, std::size_t> out;
+  for (const Edge& e : g.edges()) ++out[e.label];
+  return out;
+}
+
+std::string structure_summary(const PropertyGraph& g) {
+  std::size_t components = connected_components(g).size();
+  std::size_t props = 0;
+  for (const Node& n : g.nodes()) props += n.props.size();
+  for (const Edge& e : g.edges()) props += e.props.size();
+  return util::format("%zu nodes, %zu edges, %zu components, %zu properties",
+                      g.node_count(), g.edge_count(), components, props);
+}
+
+}  // namespace provmark::graph

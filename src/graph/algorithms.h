@@ -1,0 +1,52 @@
+// Structural graph algorithms used by the matcher and the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace provmark::graph {
+
+/// A cheap isomorphism-invariant digest of a graph's *shape* (labels and
+/// structure, no properties). Two similar graphs (paper §3.4) always have
+/// equal digests; unequal digests prove dissimilarity. Used to bucket
+/// trial graphs into candidate similarity classes before running the exact
+/// matcher.
+std::uint64_t structural_digest(const PropertyGraph& g);
+
+/// Digest including property keys and values; equal for identical recordings
+/// modulo element ids. Useful in regression testing.
+std::uint64_t full_digest(const PropertyGraph& g);
+
+/// Weisfeiler-Leman style refinement colour per node after `rounds`
+/// iterations; the matcher uses these colours to prune candidate pairs.
+std::map<Id, std::uint64_t> wl_colours(const PropertyGraph& g, int rounds);
+
+/// Connected components (ignoring edge direction). Each component is a
+/// sorted list of node ids. Used to detect disconnected benchmark results
+/// such as SPADE's vfork child (note DV in Table 2).
+std::vector<std::vector<Id>> connected_components(const PropertyGraph& g);
+
+/// Per-node degree signature (label, in-degree, out-degree) — a coarse
+/// matching invariant.
+struct DegreeSignature {
+  Label label;
+  std::size_t in = 0;
+  std::size_t out = 0;
+  auto operator<=>(const DegreeSignature&) const = default;
+};
+std::map<Id, DegreeSignature> degree_signatures(const PropertyGraph& g);
+
+/// Multiset of node labels / edge labels; a necessary condition for
+/// similarity is equality of both multisets.
+std::map<Label, std::size_t> node_label_histogram(const PropertyGraph& g);
+std::map<Label, std::size_t> edge_label_histogram(const PropertyGraph& g);
+
+/// Human-readable one-line structure summary, e.g. "5 nodes, 4 edges,
+/// 2 components" (used in reports and Table 3 reproduction).
+std::string structure_summary(const PropertyGraph& g);
+
+}  // namespace provmark::graph

@@ -1,0 +1,147 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace provmark::graph {
+
+Node& PropertyGraph::add_node(Id id, Label label, Properties props) {
+  if (has_element(id)) {
+    throw std::invalid_argument("duplicate element id: " + id);
+  }
+  node_index_[id] = nodes_.size();
+  nodes_.push_back(Node{std::move(id), std::move(label), std::move(props)});
+  return nodes_.back();
+}
+
+Edge& PropertyGraph::add_edge(Id id, Id src, Id tgt, Label label,
+                              Properties props) {
+  if (has_element(id)) {
+    throw std::invalid_argument("duplicate element id: " + id);
+  }
+  if (find_node(src) == nullptr) {
+    throw std::invalid_argument("edge " + id + ": missing source node " + src);
+  }
+  if (find_node(tgt) == nullptr) {
+    throw std::invalid_argument("edge " + id + ": missing target node " + tgt);
+  }
+  edge_index_[id] = edges_.size();
+  edges_.push_back(Edge{std::move(id), std::move(src), std::move(tgt),
+                        std::move(label), std::move(props)});
+  return edges_.back();
+}
+
+void PropertyGraph::set_property(const Id& element_id, const std::string& key,
+                                 std::string value) {
+  Properties* props = element_props(element_id);
+  if (props == nullptr) {
+    throw std::invalid_argument("no such element: " + element_id);
+  }
+  (*props)[key] = std::move(value);
+}
+
+bool PropertyGraph::remove_node(const Id& id) {
+  if (node_index_.find(id) == node_index_.end()) return false;
+  // Remove incident edges first (does not disturb node positions).
+  for (const Id& edge_id : incident_edges(id)) {
+    remove_edge(edge_id);
+  }
+  std::size_t pos = node_index_.at(id);
+  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(pos));
+  node_index_.erase(id);
+  for (auto& [nid, npos] : node_index_) {
+    if (npos > pos) --npos;
+  }
+  return true;
+}
+
+bool PropertyGraph::remove_edge(const Id& id) {
+  auto it = edge_index_.find(id);
+  if (it == edge_index_.end()) return false;
+  std::size_t pos = it->second;
+  edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(pos));
+  edge_index_.erase(it);
+  for (auto& [eid, epos] : edge_index_) {
+    if (epos > pos) --epos;
+  }
+  return true;
+}
+
+const Node* PropertyGraph::find_node(const Id& id) const {
+  auto it = node_index_.find(id);
+  return it == node_index_.end() ? nullptr : &nodes_[it->second];
+}
+
+Node* PropertyGraph::find_node(const Id& id) {
+  auto it = node_index_.find(id);
+  return it == node_index_.end() ? nullptr : &nodes_[it->second];
+}
+
+const Edge* PropertyGraph::find_edge(const Id& id) const {
+  auto it = edge_index_.find(id);
+  return it == edge_index_.end() ? nullptr : &edges_[it->second];
+}
+
+Edge* PropertyGraph::find_edge(const Id& id) {
+  auto it = edge_index_.find(id);
+  return it == edge_index_.end() ? nullptr : &edges_[it->second];
+}
+
+std::optional<std::string> PropertyGraph::property(
+    const Id& element_id, const std::string& key) const {
+  const Properties* props = element_props(element_id);
+  if (props == nullptr) return std::nullopt;
+  auto it = props->find(key);
+  if (it == props->end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Id> PropertyGraph::incident_edges(const Id& node_id) const {
+  std::vector<Id> out;
+  for (const Edge& e : edges_) {
+    if (e.src == node_id || e.tgt == node_id) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::size_t PropertyGraph::out_degree(const Id& node_id) const {
+  return static_cast<std::size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [&](const Edge& e) { return e.src == node_id; }));
+}
+
+std::size_t PropertyGraph::in_degree(const Id& node_id) const {
+  return static_cast<std::size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [&](const Edge& e) { return e.tgt == node_id; }));
+}
+
+bool PropertyGraph::operator==(const PropertyGraph& other) const {
+  return nodes_ == other.nodes_ && edges_ == other.edges_;
+}
+
+const Properties* PropertyGraph::element_props(const Id& id) const {
+  if (const Node* n = find_node(id)) return &n->props;
+  if (const Edge* e = find_edge(id)) return &e->props;
+  return nullptr;
+}
+
+Properties* PropertyGraph::element_props(const Id& id) {
+  if (Node* n = find_node(id)) return &n->props;
+  if (Edge* e = find_edge(id)) return &e->props;
+  return nullptr;
+}
+
+PropertyGraph with_id_prefix(const PropertyGraph& g, std::string_view prefix) {
+  PropertyGraph out;
+  for (const Node& n : g.nodes()) {
+    out.add_node(std::string(prefix) + n.id, n.label, n.props);
+  }
+  for (const Edge& e : g.edges()) {
+    out.add_edge(std::string(prefix) + e.id, std::string(prefix) + e.src,
+                 std::string(prefix) + e.tgt, e.label, e.props);
+  }
+  return out;
+}
+
+}  // namespace provmark::graph

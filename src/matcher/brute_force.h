@@ -1,0 +1,24 @@
+// Brute-force reference implementations of the matcher problems.
+//
+// Deliberately written with none of the data structures or pruning of the
+// production engine, so tests can cross-check the two on small random
+// graphs. Exponential: only use on graphs with <= ~8 nodes.
+#pragma once
+
+#include <optional>
+
+#include "matcher/matcher.h"
+
+namespace provmark::matcher {
+
+/// Exhaustive optimal bijective matching (Listing 3 semantics).
+std::optional<Matching> brute_force_isomorphism(
+    const graph::PropertyGraph& g1, const graph::PropertyGraph& g2,
+    CostModel model);
+
+/// Exhaustive optimal injective embedding (Listing 4 semantics).
+std::optional<Matching> brute_force_embedding(const graph::PropertyGraph& g1,
+                                              const graph::PropertyGraph& g2,
+                                              CostModel model);
+
+}  // namespace provmark::matcher

@@ -1,0 +1,269 @@
+// The simulated kernel: processes, file descriptors, credentials, and a
+// syscall engine that emits events on the three observation layers
+// (libc / audit / LSM) exactly where the real layers would observe them.
+//
+// Recording semantics follow the paper's methodology (§3.2): staging-
+// directory setup happens before recording starts (stage_* helpers emit no
+// events); the monitored program's start-up boilerplate (fork from the
+// harness shell, execve, loader activity) *is* recorded, which is why
+// ProvMark needs background-program subtraction at all.
+//
+// Deliberately modelled idiosyncrasies (each drives a Table 2 cell or a
+// §4 observation):
+//   * Audit records are emitted at syscall exit, and a vfork'ing parent is
+//     suspended until its child exits — so the child's records precede the
+//     parent's vfork record (SPADE's disconnected vfork child, note DV).
+//   * Audit rules (SPADE defaults) cover only a subset of syscalls and
+//     only successful calls.
+//   * There is no LSM hook for dup/dup2/dup3 — the fd table is process
+//     state invisible to LSM.
+//   * inode_free LSM events (close) are deferred by RCU and flushed
+//     unreliably before recording stops — emitted with probability
+//     `free_record_probability` per trial (note LP for CamFlow close).
+//   * kill / exit produce no distinguishing events on any layer in the
+//     baseline configurations (note LP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/events.h"
+#include "os/vfs.h"
+#include "util/rng.h"
+
+namespace provmark::os {
+
+// Simplified open(2) flag bits.
+inline constexpr int kO_RDONLY = 0;
+inline constexpr int kO_WRONLY = 01;
+inline constexpr int kO_RDWR = 02;
+inline constexpr int kO_CREAT = 0100;
+inline constexpr int kO_TRUNC = 01000;
+inline constexpr int kO_CLOEXEC = 02000000;
+
+/// Result of a syscall: return value plus errno on failure.
+struct SyscallResult {
+  long ret = 0;
+  Errno error = Errno::None;
+
+  bool ok() const { return error == Errno::None; }
+  static SyscallResult success(long ret) { return {ret, Errno::None}; }
+  static SyscallResult fail(Errno e) { return {-1, e}; }
+};
+
+/// An open file description shared by duplicated descriptors.
+struct OpenFile {
+  std::uint64_t ino = 0;
+  std::string path;  ///< empty for anonymous objects (pipe ends)
+  int flags = 0;
+  bool pipe_read_end = false;
+  bool pipe_write_end = false;
+};
+
+struct Process {
+  Pid pid = 0;
+  Pid ppid = 0;
+  Credentials creds;
+  std::string comm;
+  std::string exe;
+  std::string cwd = "/home/user";
+  std::map<int, OpenFile> fds;
+  int next_fd = 3;
+  bool alive = true;
+  bool vforked_child = false;  ///< audit records of parent deferred
+};
+
+class Kernel {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Initial credentials of spawned programs. Benchmarks run as root by
+    /// default (matching the paper's Vagrant environment); use-case
+    /// examples lower this to an unprivileged uid.
+    Credentials initial_creds{0, 0, 0, 0, 0, 0};
+    /// Probability that a deferred inode_free LSM event is flushed before
+    /// recording stops (CamFlow close instability, §4.1). Kept low so the
+    /// flush lottery rarely starves the no-free similarity class that the
+    /// smallest-graph selection rule expects to find (§3.4).
+    double free_record_probability = 0.05;
+    /// Audit rules installed by the recorder beyond the defaults (SPADE
+    /// with `simplify` disabled audits setresuid/setresgid explicitly).
+    std::set<std::string> extra_audit_rules;
+  };
+
+  Kernel();
+  explicit Kernel(Options options);
+
+  Vfs& vfs() { return vfs_; }
+  const Vfs& vfs() const { return vfs_; }
+
+  // -- staging (no events) --------------------------------------------------
+
+  /// Create a file in the staging area before recording starts.
+  void stage_file(const std::string& path, int mode = 0644, int uid = 0,
+                  int gid = 0);
+  void stage_fifo(const std::string& path);
+  void stage_symlink(const std::string& target, const std::string& path);
+  /// Remove a staged path if present.
+  void stage_remove(const std::string& path);
+
+  // -- recording control ----------------------------------------------------
+
+  void start_recording() { recording_ = true; }
+  void stop_recording() { recording_ = false; }
+  const EventTrace& trace() const { return trace_; }
+
+  // -- process lifecycle ----------------------------------------------------
+
+  /// Fork+execve the benchmark binary from the harness shell, including
+  /// the loader boilerplate. Returns the new process's pid.
+  Pid launch_program(const std::string& exe_path, const std::string& comm);
+
+  /// Normal termination (implicit exit at the end of main, or exit()).
+  void finish_process(Pid pid);
+
+  const Process* process(Pid pid) const;
+
+  // -- syscalls -------------------------------------------------------------
+
+  SyscallResult sys_open(Pid pid, const std::string& path, int flags,
+                         int mode = 0644);
+  SyscallResult sys_openat(Pid pid, const std::string& path, int flags,
+                           int mode = 0644);
+  SyscallResult sys_creat(Pid pid, const std::string& path, int mode = 0644);
+  SyscallResult sys_close(Pid pid, int fd);
+  SyscallResult sys_dup(Pid pid, int fd);
+  SyscallResult sys_dup2(Pid pid, int fd, int newfd);
+  SyscallResult sys_dup3(Pid pid, int fd, int newfd, int flags);
+  SyscallResult sys_read(Pid pid, int fd, std::uint64_t count);
+  SyscallResult sys_pread(Pid pid, int fd, std::uint64_t count,
+                          std::uint64_t offset);
+  SyscallResult sys_write(Pid pid, int fd, std::uint64_t count);
+  SyscallResult sys_pwrite(Pid pid, int fd, std::uint64_t count,
+                           std::uint64_t offset);
+  SyscallResult sys_link(Pid pid, const std::string& old_path,
+                         const std::string& new_path);
+  SyscallResult sys_linkat(Pid pid, const std::string& old_path,
+                           const std::string& new_path);
+  SyscallResult sys_symlink(Pid pid, const std::string& target,
+                            const std::string& link_path);
+  SyscallResult sys_symlinkat(Pid pid, const std::string& target,
+                              const std::string& link_path);
+  SyscallResult sys_mknod(Pid pid, const std::string& path, int mode);
+  SyscallResult sys_mknodat(Pid pid, const std::string& path, int mode);
+  SyscallResult sys_rename(Pid pid, const std::string& old_path,
+                           const std::string& new_path);
+  SyscallResult sys_renameat(Pid pid, const std::string& old_path,
+                             const std::string& new_path);
+  SyscallResult sys_truncate(Pid pid, const std::string& path,
+                             std::uint64_t length);
+  SyscallResult sys_ftruncate(Pid pid, int fd, std::uint64_t length);
+  SyscallResult sys_unlink(Pid pid, const std::string& path);
+  SyscallResult sys_unlinkat(Pid pid, const std::string& path);
+  SyscallResult sys_chmod(Pid pid, const std::string& path, int mode);
+  SyscallResult sys_fchmod(Pid pid, int fd, int mode);
+  SyscallResult sys_fchmodat(Pid pid, const std::string& path, int mode);
+  SyscallResult sys_chown(Pid pid, const std::string& path, int uid, int gid);
+  SyscallResult sys_fchown(Pid pid, int fd, int uid, int gid);
+  SyscallResult sys_fchownat(Pid pid, const std::string& path, int uid,
+                             int gid);
+  SyscallResult sys_setgid(Pid pid, int gid);
+  SyscallResult sys_setregid(Pid pid, int rgid, int egid);
+  SyscallResult sys_setresgid(Pid pid, int rgid, int egid, int sgid);
+  SyscallResult sys_setuid(Pid pid, int uid);
+  SyscallResult sys_setreuid(Pid pid, int ruid, int euid);
+  SyscallResult sys_setresuid(Pid pid, int ruid, int euid, int suid);
+  /// pipe(2): on success returns the *read* fd; the write fd is read+1
+  /// (reported via `pipe_fds` out-param when non-null).
+  SyscallResult sys_pipe(Pid pid, std::pair<int, int>* pipe_fds = nullptr);
+  SyscallResult sys_pipe2(Pid pid, int flags,
+                          std::pair<int, int>* pipe_fds = nullptr);
+  SyscallResult sys_tee(Pid pid, int fd_in, int fd_out, std::uint64_t len);
+  /// fork/vfork/clone return the child pid (in the parent's view).
+  SyscallResult sys_fork(Pid pid);
+  SyscallResult sys_vfork(Pid pid);
+  SyscallResult sys_clone(Pid pid);
+  SyscallResult sys_execve(Pid pid, const std::string& path);
+  SyscallResult sys_exit(Pid pid, int code);
+  SyscallResult sys_kill(Pid pid, Pid target, int sig);
+
+ private:
+  Pid allocate_pid();
+  double now();
+
+  // Event emission helpers. Each checks `recording_`.
+  void emit_libc(Pid pid, const std::string& function,
+                 std::vector<std::string> args, long ret, Errno err);
+  /// Emits an audit record if `syscall` is in the audit rule set and the
+  /// call succeeded (SPADE's default rules ignore failures).
+  void emit_audit(Pid pid, const std::string& syscall, bool success,
+                  long exit_code, std::vector<AuditPathRecord> paths,
+                  std::map<std::string, std::string> fields = {});
+  void emit_lsm(Pid pid, const std::string& hook,
+                std::optional<LsmObject> object,
+                std::optional<LsmObject> object2 = std::nullopt,
+                std::map<std::string, std::string> fields = {},
+                bool permission_denied = false);
+
+  /// Loader boilerplate common to launch and execve: ld.so.cache + libc
+  /// opens, reads, mmap, closes.
+  void loader_activity(Pid pid);
+
+  LsmObject object_for_inode(std::uint64_t ino,
+                             std::optional<std::string> path) const;
+
+  SyscallResult do_open(Pid pid, const std::string& call,
+                        const std::string& path, int flags, int mode);
+  SyscallResult do_dup(Pid pid, const std::string& call, int fd, int newfd);
+  SyscallResult do_io(Pid pid, const std::string& call, int fd,
+                      std::uint64_t count, bool is_write);
+  SyscallResult do_link(Pid pid, const std::string& call,
+                        const std::string& old_path,
+                        const std::string& new_path);
+  SyscallResult do_symlink(Pid pid, const std::string& call,
+                           const std::string& target,
+                           const std::string& link_path);
+  SyscallResult do_mknod(Pid pid, const std::string& call,
+                         const std::string& path, int mode);
+  SyscallResult do_rename(Pid pid, const std::string& call,
+                          const std::string& old_path,
+                          const std::string& new_path);
+  SyscallResult do_unlink(Pid pid, const std::string& call,
+                          const std::string& path);
+  SyscallResult do_chmod_path(Pid pid, const std::string& call,
+                              const std::string& path, int mode);
+  SyscallResult do_chown_path(Pid pid, const std::string& call,
+                              const std::string& path, int uid, int gid);
+  SyscallResult do_setid(Pid pid, const std::string& call,
+                         const std::function<void(Credentials&)>& update,
+                         const std::vector<std::string>& args);
+  SyscallResult do_pipe(Pid pid, const std::string& call,
+                        std::pair<int, int>* pipe_fds);
+  SyscallResult do_fork(Pid pid, const std::string& call);
+
+  /// Resolve a possibly-relative path against the process cwd.
+  std::string resolve_path(const Process& p, const std::string& path) const;
+
+  Options options_;
+  util::Rng rng_;
+  Vfs vfs_;
+  std::map<Pid, Process> processes_;
+  Pid next_pid_;
+  Pid shell_pid_;
+  bool recording_ = false;
+  EventTrace trace_;
+  double clock_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_audit_serial_;
+  /// Audit records deferred because the emitting parent vforked.
+  std::map<Pid, std::vector<AuditEvent>> deferred_audit_;
+  /// Syscalls covered by the default (SPADE-installed) audit rules.
+  static const std::set<std::string>& audit_rule_set();
+};
+
+}  // namespace provmark::os

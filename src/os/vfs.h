@@ -1,0 +1,118 @@
+// A small virtual filesystem: inodes, a path hierarchy, hard and symbolic
+// links, FIFOs and device nodes — enough to execute the 43 benchmarked
+// syscalls of Table 1 with realistic success and failure behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace provmark::os {
+
+enum class FileType { Regular, Directory, Symlink, Fifo, CharDevice };
+
+/// POSIX-style errno subset used by the simulated kernel. Enumerators are
+/// k-prefixed because <errno.h> defines the plain names as macros.
+enum class Errno {
+  None = 0,
+  kNOENT = 2,
+  kBADF = 9,
+  kACCES = 13,
+  kEXIST = 17,
+  kNOTDIR = 20,
+  kISDIR = 21,
+  kINVAL = 22,
+  kMFILE = 24,
+  kSPIPE = 29,
+  kPERM = 1,
+  kSRCH = 3,
+};
+
+const char* errno_name(Errno e);
+
+struct Inode {
+  std::uint64_t ino = 0;
+  FileType type = FileType::Regular;
+  int mode = 0644;          ///< permission bits
+  int owner_uid = 1000;
+  int owner_gid = 1000;
+  int nlink = 1;
+  std::uint64_t size = 0;   ///< regular files and FIFOs: byte count
+  std::string symlink_target;  ///< when type == Symlink
+};
+
+/// Result of a VFS operation: either an inode number or an errno.
+struct VfsResult {
+  std::uint64_t ino = 0;
+  Errno error = Errno::None;
+
+  bool ok() const { return error == Errno::None; }
+  static VfsResult success(std::uint64_t ino) { return {ino, Errno::None}; }
+  static VfsResult fail(Errno e) { return {0, e}; }
+};
+
+/// The filesystem: a path -> inode mapping plus an inode table.
+///
+/// Paths are absolute, '/'-separated, already normalized by the caller
+/// (the kernel resolves cwd-relative paths before calling in).
+class Vfs {
+ public:
+  Vfs();
+
+  /// Look up a path; follows symlinks (up to a depth limit) unless
+  /// `follow_symlinks` is false (lstat semantics).
+  VfsResult lookup(const std::string& path, bool follow_symlinks = true) const;
+
+  /// Create a regular file (or other type) at `path`. Fails with EEXIST if
+  /// the path exists, ENOENT if the parent directory is missing.
+  VfsResult create(const std::string& path, FileType type, int mode,
+                   int uid, int gid);
+
+  /// Create a hard link `new_path` -> inode of `old_path`.
+  VfsResult link(const std::string& old_path, const std::string& new_path);
+
+  /// Create a symlink at `link_path` pointing to `target`.
+  VfsResult symlink(const std::string& target, const std::string& link_path,
+                    int uid, int gid);
+
+  /// Remove a directory entry; drops the inode when nlink reaches zero.
+  VfsResult unlink(const std::string& path);
+
+  /// Rename `old_path` to `new_path` (replacing an existing target,
+  /// subject to a permission check done by the kernel).
+  VfsResult rename(const std::string& old_path, const std::string& new_path);
+
+  /// Truncate a regular file to `length` bytes.
+  VfsResult truncate(const std::string& path, std::uint64_t length);
+
+  const Inode* inode(std::uint64_t ino) const;
+  Inode* inode(std::uint64_t ino);
+
+  /// All path entries (for tests and staging assertions).
+  const std::map<std::string, std::uint64_t>& entries() const {
+    return entries_;
+  }
+
+  /// Does `uid` have write permission on the inode (owner/mode model;
+  /// uid 0 bypasses)?
+  static bool may_write(const Inode& inode, int uid, int gid);
+  static bool may_read(const Inode& inode, int uid, int gid);
+
+  /// Allocate an anonymous inode (pipes, sockets) with no path entry.
+  std::uint64_t allocate_anonymous(FileType type);
+
+  /// Parent directory of a normalized absolute path ("/a/b" -> "/a").
+  static std::string parent_of(const std::string& path);
+
+ private:
+  VfsResult resolve(const std::string& path, bool follow_symlinks,
+                    int depth) const;
+
+  std::map<std::string, std::uint64_t> entries_;
+  std::map<std::uint64_t, Inode> inodes_;
+  std::uint64_t next_ino_;
+};
+
+}  // namespace provmark::os

@@ -1,0 +1,271 @@
+#include "systems/camflow.h"
+
+#include "formats/prov_json.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::systems {
+
+namespace {
+
+using graph::PropertyGraph;
+using os::LsmEvent;
+
+class CamflowBuilder {
+ public:
+  CamflowBuilder(const CamflowConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {
+    // cf:id values are per-boot counters: transient across trials.
+    next_cf_id_ = 1 + rng_.next_below(1u << 20);
+    boot_id_ = std::to_string(rng_.next_below(1u << 16));
+  }
+
+  PropertyGraph take(const os::EventTrace& trace, bool interference = false) {
+    for (const LsmEvent& event : trace.lsm) {
+      handle(event);
+    }
+    if (interference) add_interference();
+    return std::move(graph_);
+  }
+
+ private:
+  void add_interference() {
+    // Whole-system capture: a daemon writing its log lands in the window.
+    std::string task = fresh_id("task");
+    graph_.add_node(task, "activity",
+                    {{"prov:type", "task"},
+                     {"cf:pid", std::to_string(300 + rng_.next_below(400))},
+                     {"cf:boot_id", boot_id_}});
+    std::string log = fresh_id("inode");
+    graph_.add_node(log, "entity",
+                    {{"prov:type", "inode_file"},
+                     {"cf:inode", std::to_string(rng_.next_below(9000))}});
+    graph_.add_edge(fresh_id("rel"), log, task, "wasGeneratedBy",
+                    {{"prov:label", "write"}});
+  }
+
+  std::string fresh_id(const char* kind) {
+    return std::string("cf:") + kind + ":" + std::to_string(next_cf_id_++);
+  }
+
+  std::string task_node(const LsmEvent& event) {
+    auto it = task_node_.find(event.pid);
+    if (it != task_node_.end()) return it->second;
+    std::string id = fresh_id("task");
+    graph::Properties props;
+    props["prov:type"] = "task";
+    props["cf:pid"] = std::to_string(event.pid);   // transient
+    props["cf:boot_id"] = boot_id_;                // transient
+    props["cf:uid"] = std::to_string(event.creds.uid);
+    props["cf:gid"] = std::to_string(event.creds.gid);
+    if (event.fields.count("time")) {
+      props["cf:date"] = event.fields.at("time");  // transient
+    }
+    graph_.add_node(id, "activity", std::move(props));
+    task_node_[event.pid] = id;
+    return id;
+  }
+
+  std::string inode_node(const os::LsmObject& object) {
+    auto it = inode_node_.find(object.id);
+    if (it != inode_node_.end()) return it->second;
+    std::string id = fresh_id("inode");
+    graph::Properties props;
+    props["prov:type"] = "inode_" + object.kind;
+    props["cf:inode"] = std::to_string(object.id);
+    graph_.add_node(id, "entity", std::move(props));
+    inode_node_[object.id] = id;
+    return id;
+  }
+
+  /// Path entities hang off their inode via a `named` relation.
+  std::string path_node(const std::string& path, const std::string& inode) {
+    auto it = path_node_.find(path);
+    if (it != path_node_.end()) return it->second;
+    std::string id = fresh_id("path");
+    graph_.add_node(id, "entity",
+                    {{"prov:type", "path"}, {"cf:pathname", path}});
+    graph_.add_edge(fresh_id("rel"), inode, id, "named", {});
+    path_node_[path] = id;
+    return id;
+  }
+
+  void relate(const std::string& src, const std::string& tgt,
+              const std::string& relation, const std::string& label) {
+    graph::Properties props;
+    if (!label.empty()) props["prov:label"] = label;
+    props["cf:id"] = std::to_string(next_cf_id_++);  // transient
+    graph_.add_edge(fresh_id("rel"), src, tgt, relation, std::move(props));
+  }
+
+  void handle(const LsmEvent& event) {
+    if (event.permission_denied && !config_.record_denied) {
+      // CamFlow can in principle monitor failed permission checks but the
+      // baseline configuration does not serialize them (§3.1, Alice).
+      return;
+    }
+    const std::string& hook = event.hook;
+    // Hooks that CamFlow 0.4.5 does not serialize.
+    if (hook == "inode_symlink" || hook == "inode_mknod" ||
+        hook == "task_kill") {
+      return;
+    }
+    if (hook == "task_free") {
+      // Task teardown updates internal refcounts; no graph structure for
+      // a normal exit (exit benchmark: empty, note LP).
+      return;
+    }
+    if (hook == "task_alloc") {
+      std::string parent = task_node(event);
+      std::string child = fresh_id("task");
+      graph_.add_node(child, "activity",
+                      {{"prov:type", "task"},
+                       {"cf:pid", std::to_string(event.object->id)},
+                       {"cf:boot_id", boot_id_}});
+      task_node_[static_cast<os::Pid>(event.object->id)] = child;
+      relate(child, parent, "wasInformedBy",
+             event.fields.count("call") ? event.fields.at("call") : "fork");
+      return;
+    }
+    std::string task = task_node(event);
+    if (hook == "bprm_check") {
+      std::string inode = inode_node(*event.object);
+      if (event.object->path.has_value()) {
+        path_node(*event.object->path, inode);
+      }
+      relate(task, inode, "used", "exec");
+      return;
+    }
+    if (hook == "file_open") {
+      std::string inode = inode_node(*event.object);
+      if (event.object->path.has_value()) {
+        path_node(*event.object->path, inode);
+      }
+      relate(task, inode, "used", "open");
+      return;
+    }
+    if (hook == "file_permission") {
+      std::string inode = inode_node(*event.object);
+      bool write = event.fields.count("mask") > 0 &&
+                   event.fields.at("mask") == "MAY_WRITE";
+      if (write) {
+        relate(inode, task, "wasGeneratedBy", "write");
+      } else {
+        relate(task, inode, "used", "read");
+      }
+      return;
+    }
+    if (hook == "mmap_file") {
+      std::string inode = inode_node(*event.object);
+      std::string memory = memory_node(event);
+      relate(memory, inode, "wasDerivedFrom", "mmap");
+      return;
+    }
+    if (hook == "inode_create") {
+      std::string inode = inode_node(*event.object);
+      if (event.object->path.has_value()) {
+        path_node(*event.object->path, inode);
+      }
+      relate(inode, task, "wasGeneratedBy", "create");
+      return;
+    }
+    if (hook == "inode_link") {
+      // A new name for an existing inode.
+      std::string inode = inode_node(*event.object);
+      std::string new_path =
+          path_node(event.object2->path.value_or("?"), inode);
+      relate(new_path, task, "wasGeneratedBy", "link");
+      return;
+    }
+    if (hook == "inode_rename") {
+      // A new path associated with the file object; the old path does not
+      // reappear (§4.1).
+      std::string inode = inode_node(*event.object);
+      std::string new_path =
+          path_node(event.object2->path.value_or("?"), inode);
+      relate(new_path, task, "wasGeneratedBy", "rename");
+      return;
+    }
+    if (hook == "inode_unlink") {
+      std::string inode = inode_node(*event.object);
+      relate(task, inode, "wasInvalidatedBy", "unlink");
+      return;
+    }
+    if (hook == "inode_setattr") {
+      // Attribute change: new entity version derived from the old one.
+      std::string inode = inode_node(*event.object);
+      std::string next = fresh_id("inode");
+      graph_.add_node(next, "entity",
+                      {{"prov:type", "inode_" + event.object->kind},
+                       {"cf:inode", std::to_string(event.object->id)}});
+      relate(next, inode, "wasDerivedFrom",
+             event.fields.count("attr") ? event.fields.at("attr")
+                                        : "setattr");
+      relate(next, task, "wasGeneratedBy", "setattr");
+      inode_node_[event.object->id] = next;
+      return;
+    }
+    if (hook == "cred_prepare") {
+      // Credential change: new task version informed by the old one.
+      std::string next = fresh_id("task");
+      graph_.add_node(next, "activity",
+                      {{"prov:type", "task"},
+                       {"cf:pid", std::to_string(event.pid)},
+                       {"cf:boot_id", boot_id_},
+                       {"cf:uid", std::to_string(event.creds.uid)},
+                       {"cf:gid", std::to_string(event.creds.gid)}});
+      relate(next, task, "wasInformedBy",
+             event.fields.count("call") ? event.fields.at("call")
+                                        : "setid");
+      task_node_[event.pid] = next;
+      return;
+    }
+    if (hook == "inode_free") {
+      std::string inode = inode_node(*event.object);
+      relate(task, inode, "wasInvalidatedBy", "free");
+      return;
+    }
+  }
+
+  std::string memory_node(const LsmEvent& event) {
+    auto it = memory_node_.find(event.pid);
+    if (it != memory_node_.end()) return it->second;
+    std::string id = fresh_id("mem");
+    graph_.add_node(id, "entity",
+                    {{"prov:type", "process_memory"},
+                     {"cf:pid", std::to_string(event.pid)}});
+    memory_node_[event.pid] = id;
+    return id;
+  }
+
+  const CamflowConfig& config_;
+  util::Rng rng_;
+  PropertyGraph graph_;
+  std::uint64_t next_cf_id_ = 1;
+  std::string boot_id_;
+  std::map<os::Pid, std::string> task_node_;
+  std::map<std::uint64_t, std::string> inode_node_;
+  std::map<std::string, std::string> path_node_;
+  std::map<os::Pid, std::string> memory_node_;
+};
+
+}  // namespace
+
+graph::PropertyGraph build_camflow_graph(const os::EventTrace& trace,
+                                         const CamflowConfig& config,
+                                         std::uint64_t seed) {
+  return CamflowBuilder(config, seed).take(trace);
+}
+
+std::string CamflowRecorder::record(const os::EventTrace& trace,
+                                    const TrialContext& trial) {
+  util::Rng rng(trial.seed ^ util::stable_hash("camflow"));
+  // Whole-system capture occasionally catches unrelated contemporaneous
+  // activity in the filtered window; ProvMark's similarity classes discard
+  // such runs (§3.4).
+  bool interfere = rng.chance(config_.interference_probability);
+  CamflowBuilder builder(config_, rng.next_u64());
+  return formats::to_prov_json(builder.take(trace, interfere));
+}
+
+}  // namespace provmark::systems

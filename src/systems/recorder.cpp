@@ -1,0 +1,35 @@
+#include "systems/recorder.h"
+
+#include <stdexcept>
+
+#include "systems/camflow.h"
+#include "systems/opus.h"
+#include "systems/spade.h"
+#include "systems/spade_camflow.h"
+
+namespace provmark::systems {
+
+std::unique_ptr<Recorder> make_recorder(const std::string& system) {
+  // Long names plus the paper appendix's tool abbreviations:
+  // spg = SPADE+Graphviz, spn = SPADE+Neo4j, opu = OPUS, cam = CamFlow.
+  if (system == "spade" || system == "spg") {
+    return std::make_unique<SpadeRecorder>();
+  }
+  if (system == "spn") {
+    SpadeConfig config;
+    config.storage = SpadeStorage::Neo4j;
+    return std::make_unique<SpadeRecorder>(config);
+  }
+  if (system == "opus" || system == "opu") {
+    return std::make_unique<OpusRecorder>();
+  }
+  if (system == "camflow" || system == "cam") {
+    return std::make_unique<CamflowRecorder>();
+  }
+  if (system == "spade-camflow") {
+    return std::make_unique<SpadeCamflowRecorder>();
+  }
+  throw std::invalid_argument("unknown provenance system: " + system);
+}
+
+}  // namespace provmark::systems

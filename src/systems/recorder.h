@@ -1,0 +1,51 @@
+// The recorder interface: a provenance capture system as a black box.
+//
+// ProvMark treats each capture system as: start it, run the monitored
+// program, collect its native-format output (§3.2). Here a Recorder
+// consumes the per-layer event trace of one trial and produces the
+// native-format document its real counterpart would have written —
+// SPADE: Graphviz DOT; OPUS: a Neo4j export; CamFlow: PROV-JSON.
+//
+// Each trial gets a fresh TrialContext whose seed drives recorder-side
+// transient values (minted node identifiers, serialization timestamps)
+// and the structural instabilities the paper reports (SPADE output
+// truncation when stopped too early, CamFlow whole-system interference).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "os/events.h"
+
+namespace provmark::systems {
+
+struct TrialContext {
+  std::uint64_t seed = 1;
+};
+
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+
+  /// Short system name: "spade", "opus", "camflow".
+  virtual std::string name() const = 0;
+
+  /// Native output format (matches formats::format_name()).
+  virtual std::string output_format() const = 0;
+
+  /// Audit rules this recorder installs beyond the kernel defaults (SPADE
+  /// with simplify disabled adds setresuid/setresgid).
+  virtual std::set<std::string> extra_audit_rules() const { return {}; }
+
+  /// Consume one trial's event trace; return the native-format document.
+  virtual std::string record(const os::EventTrace& trace,
+                             const TrialContext& trial) = 0;
+};
+
+/// Factory by system name ("spade" | "opus" | "camflow"), baseline
+/// configuration. Throws std::invalid_argument for unknown names.
+std::unique_ptr<Recorder> make_recorder(const std::string& system);
+
+}  // namespace provmark::systems

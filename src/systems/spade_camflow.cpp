@@ -1,0 +1,201 @@
+#include "systems/spade_camflow.h"
+
+#include <map>
+
+#include "formats/dot.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::systems {
+
+namespace {
+
+using graph::PropertyGraph;
+using os::LsmEvent;
+
+/// Translates the LSM hook stream into SPADE's OPM vocabulary.
+class SpadeCamflowBuilder {
+ public:
+  SpadeCamflowBuilder(const SpadeCamflowConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {
+    next_vertex_ = 1 + rng_.next_below(100000);
+  }
+
+  PropertyGraph take(const os::EventTrace& trace, bool interference) {
+    for (const LsmEvent& event : trace.lsm) {
+      handle(event);
+    }
+    if (interference) {
+      // Whole-system capture: a daemon process writing its log.
+      std::string daemon = fresh_id();
+      graph_.add_node(daemon, "Process",
+                      {{"type", "Process"},
+                       {"pid", std::to_string(300 + rng_.next_below(400))}});
+      std::string log = fresh_id();
+      graph_.add_node(log, "Artifact",
+                      {{"type", "Artifact"},
+                       {"inode", std::to_string(rng_.next_below(9000))}});
+      graph_.add_edge(fresh_id(), log, daemon, "WasGeneratedBy",
+                      {{"operation", "write"}});
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  std::string fresh_id() { return "cv" + std::to_string(next_vertex_++); }
+
+  std::string process_vertex(const LsmEvent& event) {
+    auto it = process_vertex_.find(event.pid);
+    if (it != process_vertex_.end()) return it->second;
+    std::string id = fresh_id();
+    graph_.add_node(id, "Process",
+                    {{"type", "Process"},
+                     {"pid", std::to_string(event.pid)},
+                     {"uid", std::to_string(event.creds.uid)},
+                     {"gid", std::to_string(event.creds.gid)},
+                     {"source", "camflow"}});
+    process_vertex_[event.pid] = id;
+    return id;
+  }
+
+  std::string artifact_vertex(const os::LsmObject& object) {
+    auto it = artifact_vertex_.find(object.id);
+    if (it != artifact_vertex_.end()) return it->second;
+    std::string id = fresh_id();
+    graph::Properties props;
+    props["type"] = "Artifact";
+    props["subtype"] = object.kind;
+    props["inode"] = std::to_string(object.id);
+    if (object.path.has_value()) props["path"] = *object.path;
+    graph_.add_node(id, "Artifact", std::move(props));
+    artifact_vertex_[object.id] = id;
+    return id;
+  }
+
+  void edge(const std::string& src, const std::string& tgt,
+            const std::string& label, const std::string& operation,
+            const LsmEvent& event) {
+    graph::Properties props{{"operation", operation}};
+    if (event.fields.count("time")) {
+      props["time"] = event.fields.at("time");  // transient
+    }
+    graph_.add_edge(fresh_id(), src, tgt, label, std::move(props));
+  }
+
+  void handle(const LsmEvent& event) {
+    if (event.permission_denied && !config_.record_denied) return;
+    const std::string& hook = event.hook;
+    // The reporter inherits CamFlow 0.4.5's serialization gaps.
+    if (hook == "inode_symlink" || hook == "inode_mknod" ||
+        hook == "task_kill" || hook == "task_free") {
+      return;
+    }
+    if (hook == "task_alloc") {
+      std::string parent = process_vertex(event);
+      std::string child = fresh_id();
+      graph_.add_node(child, "Process",
+                      {{"type", "Process"},
+                       {"pid", std::to_string(event.object->id)},
+                       {"source", "camflow"}});
+      process_vertex_[static_cast<os::Pid>(event.object->id)] = child;
+      edge(child, parent, "WasTriggeredBy",
+           event.fields.count("call") ? event.fields.at("call") : "fork",
+           event);
+      return;
+    }
+    std::string proc = process_vertex(event);
+    if (hook == "file_open" || hook == "bprm_check" ||
+        hook == "mmap_file") {
+      edge(proc, artifact_vertex(*event.object), "Used",
+           hook == "bprm_check" ? "exec" : "open", event);
+      return;
+    }
+    if (hook == "file_permission") {
+      bool write = event.fields.count("mask") > 0 &&
+                   event.fields.at("mask") == "MAY_WRITE";
+      if (write) {
+        edge(artifact_vertex(*event.object), proc, "WasGeneratedBy",
+             "write", event);
+      } else {
+        edge(proc, artifact_vertex(*event.object), "Used", "read", event);
+      }
+      return;
+    }
+    if (hook == "inode_create") {
+      edge(artifact_vertex(*event.object), proc, "WasGeneratedBy", "create",
+           event);
+      return;
+    }
+    if (hook == "inode_link" || hook == "inode_rename") {
+      // OPM shape: new-name artifact derived from the object.
+      std::string object = artifact_vertex(*event.object);
+      std::string renamed = fresh_id();
+      graph::Properties props;
+      props["type"] = "Artifact";
+      props["inode"] = std::to_string(event.object->id);
+      if (event.object2.has_value() && event.object2->path.has_value()) {
+        props["path"] = *event.object2->path;
+      }
+      graph_.add_node(renamed, "Artifact", std::move(props));
+      edge(renamed, object, "WasDerivedFrom",
+           hook == "inode_link" ? "link" : "rename", event);
+      edge(renamed, proc, "WasGeneratedBy",
+           hook == "inode_link" ? "link" : "rename", event);
+      return;
+    }
+    if (hook == "inode_unlink") {
+      edge(proc, artifact_vertex(*event.object), "Used", "unlink", event);
+      return;
+    }
+    if (hook == "inode_setattr") {
+      edge(artifact_vertex(*event.object), proc, "WasGeneratedBy",
+           event.fields.count("attr") ? event.fields.at("attr") : "setattr",
+           event);
+      return;
+    }
+    if (hook == "cred_prepare") {
+      std::string updated = fresh_id();
+      graph_.add_node(updated, "Process",
+                      {{"type", "Process"},
+                       {"pid", std::to_string(event.pid)},
+                       {"uid", std::to_string(event.creds.uid)},
+                       {"gid", std::to_string(event.creds.gid)},
+                       {"source", "camflow"}});
+      edge(updated, proc, "WasTriggeredBy",
+           event.fields.count("call") ? event.fields.at("call") : "setid",
+           event);
+      process_vertex_[event.pid] = updated;
+      return;
+    }
+    if (hook == "inode_free") {
+      edge(proc, artifact_vertex(*event.object), "Used", "free", event);
+      return;
+    }
+  }
+
+  const SpadeCamflowConfig& config_;
+  util::Rng rng_;
+  PropertyGraph graph_;
+  std::uint64_t next_vertex_ = 1;
+  std::map<os::Pid, std::string> process_vertex_;
+  std::map<std::uint64_t, std::string> artifact_vertex_;
+};
+
+}  // namespace
+
+graph::PropertyGraph build_spade_camflow_graph(
+    const os::EventTrace& trace, const SpadeCamflowConfig& config,
+    std::uint64_t seed) {
+  return SpadeCamflowBuilder(config, seed).take(trace, false);
+}
+
+std::string SpadeCamflowRecorder::record(const os::EventTrace& trace,
+                                         const TrialContext& trial) {
+  util::Rng rng(trial.seed ^ util::stable_hash("spade-camflow"));
+  bool interfere = rng.chance(config_.interference_probability);
+  SpadeCamflowBuilder builder(config_, rng.next_u64());
+  return formats::to_dot(builder.take(trace, interfere),
+                         "spade_camflow_provenance");
+}
+
+}  // namespace provmark::systems

@@ -1,0 +1,125 @@
+// Minimal JSON value type, parser and printer.
+//
+// ProvMark's transformation stage consumes recorder output in PROV-JSON
+// (CamFlow) and Neo4j-export JSON (OPUS).  Nothing beyond RFC 8259 scalars,
+// arrays and objects is needed, so this is a small self-contained
+// implementation rather than an external dependency.
+//
+// Object member order is preserved (insertion order) so that serialized
+// recorder output is stable across runs given stable input; ProvMark's
+// generalization stage depends on run-to-run differences coming only from
+// genuinely transient values, not from container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace provmark::util {
+
+class Json;
+
+/// Error thrown by the JSON parser on malformed input, with byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A JSON value. Numbers are stored as double plus the original text so
+/// integer identifiers survive round-trips exactly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered object: vector of (key, value); lookup is linear,
+  /// which is fine for the small objects recorders emit per node/edge.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(Number{d, {}}) {}
+  Json(int i) : value_(Number{static_cast<double>(i), std::to_string(i)}) {}
+  Json(std::int64_t i)
+      : value_(Number{static_cast<double>(i), std::to_string(i)}) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+  /// Number carrying its original source literal (exact round-trips).
+  static Json number_with_text(double value, std::string text) {
+    Json j;
+    j.value_ = Number{value, std::move(text)};
+    return j;
+  }
+
+  Type type() const;
+  bool is_null() const { return type() == Type::Null; }
+  bool is_bool() const { return type() == Type::Bool; }
+  bool is_number() const { return type() == Type::Number; }
+  bool is_string() const { return type() == Type::String; }
+  bool is_array() const { return type() == Type::Array; }
+  bool is_object() const { return type() == Type::Object; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Object member access; throws std::out_of_range when absent.
+  const Json& at(std::string_view key) const;
+  /// Insert or overwrite an object member (preserving position on overwrite).
+  void set(std::string_view key, Json value);
+  /// Append to an array.
+  void push_back(Json value);
+
+  /// Serialize. `indent` <= 0 produces compact single-line output.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; trailing non-space input is an error.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  struct Number {
+    double value;
+    std::string text;  // original literal when available
+    bool operator==(const Number& o) const { return value == o.value; }
+  };
+  using Value =
+      std::variant<std::nullptr_t, bool, Number, std::string, Array, Object>;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Value value_;
+};
+
+/// Escape a string for embedding in JSON output (without the quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace provmark::util

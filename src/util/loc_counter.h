@@ -1,0 +1,27 @@
+// Source line counting, used by the Table 4 (module size) reproduction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace provmark::util {
+
+struct LocCount {
+  int total = 0;    ///< all lines
+  int code = 0;     ///< non-blank, non-comment lines
+  int comment = 0;  ///< lines that are entirely comment
+  int blank = 0;
+};
+
+/// Count lines of a single C/C++ source text (handles // and /* */).
+LocCount count_source_lines(const std::string& text);
+
+/// Count lines across all regular files under `dir` whose name ends with one
+/// of `extensions` (e.g. {".cpp", ".h"}). Missing directories count as zero.
+LocCount count_directory(const std::string& dir,
+                         const std::vector<std::string>& extensions);
+
+/// Count lines of one file on disk; missing files count as zero.
+LocCount count_file(const std::string& path);
+
+}  // namespace provmark::util

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of run-to-run volatility in the simulated recorders
+// (timestamps, kernel object identifiers, pids, structural noise) is driven
+// by a seeded SplitMix64 stream so that experiments and tests are exactly
+// reproducible while still exhibiting the cross-trial variation ProvMark's
+// generalization stage exists to remove.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace provmark::util {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(next_u64() >> 11) *
+               (1.0 / 9007199254740992.0) <
+           p;
+  }
+
+  /// Derive an independent stream, e.g. one per trial.
+  Rng fork(std::uint64_t salt) {
+    return Rng(next_u64() ^ (salt * 0x9E3779B97F4A7C15ULL));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit FNV-1a hash, used to derive seeds from names.
+inline std::uint64_t stable_hash(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace provmark::util

@@ -1,0 +1,17 @@
+// The 44 Table 1 benchmark names, shared by suite tests.
+#pragma once
+
+namespace provmark::bench_suite {
+
+inline constexpr const char* kTable1Names[] = {
+    "close",     "creat",     "dup",       "dup2",      "dup3",
+    "link",      "linkat",    "symlink",   "symlinkat", "mknod",
+    "mknodat",   "open",      "openat",    "read",      "pread",
+    "rename",    "renameat",  "truncate",  "ftruncate", "unlink",
+    "unlinkat",  "write",     "pwrite",    "clone",     "execve",
+    "exit",      "fork",      "kill",      "vfork",     "chmod",
+    "fchmod",    "fchmodat",  "chown",     "fchown",    "fchownat",
+    "setgid",    "setregid",  "setresgid", "setuid",    "setreuid",
+    "setresuid", "pipe",      "pipe2",     "tee"};
+
+}  // namespace provmark::bench_suite

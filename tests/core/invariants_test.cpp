@@ -1,0 +1,111 @@
+// Metamorphic / invariant tests over the whole pipeline: properties that
+// must hold for ANY (benchmark, system) combination, checked across a
+// representative sweep. These complement the Table 2 cell assertions —
+// a pipeline bug that happens to produce the right status would still
+// violate one of these.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+#include "graph/algorithms.h"
+#include "matcher/matcher.h"
+
+namespace provmark::core {
+namespace {
+
+class PipelineInvariantTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(PipelineInvariantTest, HoldsForBenchmark) {
+  const auto& [syscall, system] = GetParam();
+  PipelineOptions options;
+  options.system = system;
+  options.seed = 13;
+  BenchmarkResult r =
+      run_benchmark(bench_suite::benchmark_by_name(syscall), options);
+  ASSERT_NE(r.status, BenchmarkStatus::Failed) << r.failure_reason;
+
+  const graph::PropertyGraph& fg = r.generalized_foreground;
+  const graph::PropertyGraph& bg = r.generalized_background;
+
+  // (1) The result is a subgraph of the generalized foreground, element
+  // by element (result elements keep their foreground ids).
+  for (const graph::Node& n : r.result.nodes()) {
+    const graph::Node* fg_node = fg.find_node(n.id);
+    ASSERT_NE(fg_node, nullptr) << n.id;
+    EXPECT_EQ(fg_node->label, n.label);
+  }
+  for (const graph::Edge& e : r.result.edges()) {
+    const graph::Edge* fg_edge = fg.find_edge(e.id);
+    ASSERT_NE(fg_edge, nullptr) << e.id;
+    EXPECT_EQ(fg_edge->label, e.label);
+    EXPECT_EQ(fg_edge->src, e.src);
+    EXPECT_EQ(fg_edge->tgt, e.tgt);
+  }
+
+  // (2) Dummy nodes are exactly the matched endpoints: each is incident
+  // to at least one result edge, and carries the dummy marker.
+  std::set<graph::Id> endpoint_ids;
+  for (const graph::Edge& e : r.result.edges()) {
+    endpoint_ids.insert(e.src);
+    endpoint_ids.insert(e.tgt);
+  }
+  for (const graph::Id& id : r.dummy_nodes) {
+    EXPECT_TRUE(endpoint_ids.count(id) > 0) << id;
+    EXPECT_EQ(r.result.find_node(id)->props.at("dummy"), "true");
+  }
+
+  // (3) Monotonicity: the background embeds into the foreground.
+  matcher::SearchOptions embed;
+  embed.cost_model = matcher::CostModel::OneSided;
+  EXPECT_TRUE(matcher::best_subgraph_embedding(bg, fg, embed).has_value());
+
+  // (4) Status is exactly emptiness of the non-dummy result.
+  bool empty = r.result.node_count() == r.dummy_nodes.size() &&
+               r.result.edge_count() == 0;
+  EXPECT_EQ(r.status == BenchmarkStatus::Empty, empty);
+
+  // (5) Empty status coincides with fg ~ bg similarity (§3.4's
+  // definition of an undetected target).
+  EXPECT_EQ(r.status == BenchmarkStatus::Empty, matcher::similar(bg, fg));
+
+  // (6) Generalization removed every volatile property: re-running the
+  // whole pipeline with a different seed yields an isomorphic result
+  // with identical surviving properties.
+  PipelineOptions options2 = options;
+  options2.seed = 14;
+  BenchmarkResult r2 =
+      run_benchmark(bench_suite::benchmark_by_name(syscall), options2);
+  ASSERT_NE(r2.status, BenchmarkStatus::Failed) << r2.failure_reason;
+  matcher::SearchOptions iso;
+  iso.cost_model = matcher::CostModel::Symmetric;
+  auto matching = matcher::best_isomorphism(r.result, r2.result, iso);
+  ASSERT_TRUE(matching.has_value())
+      << "results of independent runs are not similar";
+  EXPECT_EQ(matching->cost, 0)
+      << "volatile properties leaked through generalization";
+}
+
+// A cross-section: every group, every architecture-relevant corner
+// (files, processes incl. vfork, permissions incl. change detection,
+// pipes), on all three systems.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineInvariantTest,
+    ::testing::Combine(::testing::Values("open", "creat", "read", "rename",
+                                         "unlink", "dup", "execve", "fork",
+                                         "vfork", "chmod", "chown",
+                                         "setuid", "setresuid", "pipe",
+                                         "tee"),
+                       ::testing::Values("spade", "opus", "camflow")),
+    [](const ::testing::TestParamInfo<PipelineInvariantTest::ParamType>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace provmark::core

@@ -1,0 +1,101 @@
+#include "core/nondet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+
+namespace provmark::core {
+namespace {
+
+TEST(NondetProgram, SchedulesVaryPerSeed) {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::nondeterministic_benchmark(3);
+  // Over several seeds the link ops run in different orders, so the
+  // number of successful links varies.
+  std::set<int> successful_links;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    bench_suite::ExecutionResult run =
+        bench_suite::execute_program(program, true, seed);
+    EXPECT_TRUE(run.behaviour_ok) << run.failure_reason;
+    int links_ok = 0;
+    for (const os::LibcEvent& e : run.trace.libc) {
+      if (e.function == "link" && e.ret == 0) ++links_ok;
+    }
+    successful_links.insert(links_ok);
+  }
+  EXPECT_GT(successful_links.size(), 1u);
+}
+
+TEST(NondetProgram, BackgroundIsDeterministic) {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::nondeterministic_benchmark(3);
+  // Background runs exclude the targets entirely; shuffling must not
+  // apply to them.
+  auto a = bench_suite::execute_program(program, false, 1);
+  auto b = bench_suite::execute_program(program, false, 2);
+  EXPECT_EQ(a.trace.libc.size(), b.trace.libc.size());
+}
+
+TEST(Nondet, GroupsSchedulesAndBenchmarksEach) {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::nondeterministic_benchmark(3);
+  PipelineOptions options;
+  options.system = "spade";
+  options.seed = 5;
+  options.trials = 40;  // spread across schedules
+  NondetBenchmarkResult result =
+      run_nondeterministic_benchmark(program, options);
+  // Several schedule classes observed, each with its own benchmark.
+  ASSERT_GE(result.schedules.size(), 2u);
+  std::set<std::uint64_t> fingerprints;
+  for (const ScheduleResult& schedule : result.schedules) {
+    EXPECT_GE(schedule.support, 2);
+    EXPECT_EQ(schedule.result.status, BenchmarkStatus::Ok);
+    EXPECT_FALSE(schedule.result.result.empty());
+    fingerprints.insert(schedule.fingerprint);
+  }
+  // Fingerprints identify schedules uniquely.
+  EXPECT_EQ(fingerprints.size(), result.schedules.size());
+  // Schedules are ordered by support.
+  for (std::size_t i = 1; i < result.schedules.size(); ++i) {
+    EXPECT_GE(result.schedules[i - 1].support,
+              result.schedules[i].support);
+  }
+}
+
+TEST(Nondet, ScheduleResultsDifferStructurally) {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::nondeterministic_benchmark(3);
+  PipelineOptions options;
+  options.system = "spade";
+  options.seed = 6;
+  options.trials = 40;
+  NondetBenchmarkResult result =
+      run_nondeterministic_benchmark(program, options);
+  ASSERT_GE(result.schedules.size(), 2u);
+  // Different schedules capture different numbers of successful links:
+  // the benchmark result sizes differ.
+  std::set<std::size_t> sizes;
+  for (const ScheduleResult& schedule : result.schedules) {
+    sizes.insert(schedule.result.result.size());
+  }
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(Nondet, DeterministicProgramYieldsOneSchedule) {
+  PipelineOptions options;
+  options.system = "opus";
+  options.seed = 7;
+  options.trials = 6;
+  NondetBenchmarkResult result = run_nondeterministic_benchmark(
+      bench_suite::benchmark_by_name("open"), options);
+  ASSERT_EQ(result.schedules.size(), 1u);
+  EXPECT_EQ(result.schedules[0].support, 6);
+  EXPECT_EQ(result.schedules[0].result.status, BenchmarkStatus::Ok);
+}
+
+}  // namespace
+}  // namespace provmark::core

@@ -1,0 +1,105 @@
+#include "core/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+#include "systems/spade.h"
+
+namespace provmark::core {
+namespace {
+
+BenchmarkResult run_spade(const std::string& name,
+                          const systems::SpadeConfig& config,
+                          std::uint64_t seed = 1) {
+  PipelineOptions options;
+  options.recorder = std::make_shared<systems::SpadeRecorder>(config);
+  options.seed = seed;
+  return run_benchmark(bench_suite::benchmark_by_name(name), options);
+}
+
+TEST(Regression, NoBaselineInitially) {
+  RegressionStore store;
+  BenchmarkResult result = run_spade("open", {});
+  EXPECT_EQ(store.check(result).kind,
+            RegressionStore::Verdict::Kind::NoBaseline);
+  EXPECT_FALSE(store.get("spade", "open").has_value());
+}
+
+TEST(Regression, UnchangedAcrossIdenticalRuns) {
+  RegressionStore store;
+  store.put(run_spade("open", {}));
+  // A different seed changes transient inputs but the benchmark result is
+  // generalized, so it must still be unchanged.
+  auto verdict = store.check(run_spade("open", {}, 99));
+  EXPECT_EQ(verdict.kind, RegressionStore::Verdict::Kind::Unchanged);
+  EXPECT_EQ(verdict.property_mismatches, 0);
+}
+
+TEST(Regression, StructureChangeDetected) {
+  RegressionStore store;
+  store.put(run_spade("write", {}));
+  systems::SpadeConfig versioned;
+  versioned.versioning = true;
+  auto verdict = store.check(run_spade("write", versioned));
+  EXPECT_EQ(verdict.kind,
+            RegressionStore::Verdict::Kind::StructureChanged);
+}
+
+TEST(Regression, PutReplacesBaseline) {
+  RegressionStore store;
+  store.put(run_spade("write", {}));
+  systems::SpadeConfig versioned;
+  versioned.versioning = true;
+  BenchmarkResult updated = run_spade("write", versioned);
+  store.put(updated);  // accept the change
+  EXPECT_EQ(store.check(updated).kind,
+            RegressionStore::Verdict::Kind::Unchanged);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Regression, SaveLoadRoundTrip) {
+  RegressionStore store;
+  store.put(run_spade("open", {}));
+  store.put(run_spade("rename", {}));
+  std::string saved = store.save();
+  RegressionStore loaded = RegressionStore::load(saved);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.check(run_spade("open", {}, 123)).kind,
+            RegressionStore::Verdict::Kind::Unchanged);
+  ASSERT_TRUE(loaded.get("spade", "rename").has_value());
+  EXPECT_EQ(*loaded.get("spade", "rename"),
+            *store.get("spade", "rename"));
+}
+
+TEST(Regression, DistinctKeysPerSystemAndBenchmark) {
+  RegressionStore store;
+  BenchmarkResult open_result = run_spade("open", {});
+  store.put(open_result);
+  EXPECT_FALSE(store.get("spade", "rename").has_value());
+  EXPECT_FALSE(store.get("opus", "open").has_value());
+  EXPECT_TRUE(store.get("spade", "open").has_value());
+}
+
+TEST(Regression, PropertyDriftDetected) {
+  RegressionStore store;
+  BenchmarkResult baseline = run_spade("open", {});
+  store.put(baseline);
+  BenchmarkResult drifted = baseline;
+  // Simulate a recorder change that renames a stable property value.
+  for (const graph::Node& n : baseline.result.nodes()) {
+    if (!n.props.empty()) {
+      drifted.result.set_property(n.id, n.props.begin()->first,
+                                  "changed-value");
+      break;
+    }
+  }
+  auto verdict = store.check(drifted);
+  EXPECT_EQ(verdict.kind, RegressionStore::Verdict::Kind::PropertyDrift);
+  EXPECT_GT(verdict.property_mismatches, 0);
+}
+
+}  // namespace
+}  // namespace provmark::core

@@ -1,0 +1,66 @@
+// Integration test: the pipeline reproduces every cell of the paper's
+// Table 2 (44 syscalls x 3 systems). This is the repository's headline
+// claim, so it is enforced by the test suite, not only by the benchmark
+// binary.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+#include "expected_table2.h"
+
+namespace provmark::core {
+namespace {
+
+using provmark_bench::expected_table2;
+
+struct Case {
+  std::string syscall;
+  std::string system;
+};
+
+class Table2Test
+    : public ::testing::TestWithParam<std::tuple<std::string, const char*>> {
+};
+
+TEST_P(Table2Test, CellMatchesPaper) {
+  const auto& [syscall, system] = GetParam();
+  const auto& row = expected_table2().at(syscall);
+  const provmark_bench::ExpectedCell& expected =
+      std::string(system) == "spade"  ? row.spade
+      : std::string(system) == "opus" ? row.opus
+                                      : row.camflow;
+  PipelineOptions options;
+  options.system = system;
+  options.seed = 7;
+  BenchmarkResult result =
+      run_benchmark(bench_suite::benchmark_by_name(syscall), options);
+  EXPECT_STREQ(status_name(result.status), expected.status)
+      << syscall << " on " << system << ": " << result.failure_reason;
+  if (std::string(expected.note) == "DV") {
+    EXPECT_FALSE(result.disconnected_nodes().empty())
+        << "expected the disconnected vfork child";
+  }
+}
+
+std::vector<std::string> all_syscalls() {
+  std::vector<std::string> names;
+  for (const auto& p : bench_suite::table_benchmarks()) {
+    names.push_back(p.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, Table2Test,
+    ::testing::Combine(::testing::ValuesIn(all_syscalls()),
+                       ::testing::Values("spade", "opus", "camflow")),
+    [](const ::testing::TestParamInfo<Table2Test::ParamType>& info) {
+      return std::get<0>(info.param) + "_" +
+             std::string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace provmark::core

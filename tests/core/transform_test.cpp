@@ -1,0 +1,65 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/fact_io.h"
+#include "formats/dot.h"
+#include "formats/neo4j.h"
+#include "formats/prov_json.h"
+
+namespace provmark::core {
+namespace {
+
+graph::PropertyGraph sample() {
+  graph::PropertyGraph g;
+  g.add_node("a", "activity", {{"prov:type", "task"}});
+  g.add_node("b", "entity", {{"prov:type", "inode_file"}});
+  g.add_edge("e", "a", "b", "used");
+  return g;
+}
+
+TEST(Transform, DotInput) {
+  graph::PropertyGraph g;
+  g.add_node("v1", "Process");
+  graph::PropertyGraph out = transform_native(formats::to_dot(g));
+  EXPECT_EQ(out.node_count(), 1u);
+}
+
+TEST(Transform, ProvJsonInput) {
+  graph::PropertyGraph out =
+      transform_native(formats::to_prov_json(sample()));
+  EXPECT_EQ(out.node_count(), 2u);
+  EXPECT_EQ(out.edge_count(), 1u);
+}
+
+TEST(Transform, Neo4jInputGoesThroughStore) {
+  TransformOptions options;
+  options.neo4j_startup_rounds = 2;
+  graph::PropertyGraph out =
+      transform_native(formats::to_neo4j_json(sample()), options);
+  EXPECT_EQ(out.node_count(), 2u);
+  EXPECT_EQ(out.edge_count(), 1u);
+}
+
+TEST(Transform, ToDatalogUsesGid) {
+  std::string text =
+      transform_to_datalog(formats::to_prov_json(sample()), "fg1");
+  EXPECT_NE(text.find("nfg1("), std::string::npos);
+  EXPECT_NE(text.find("efg1("), std::string::npos);
+  graph::PropertyGraph round =
+      datalog::single_graph_from_datalog(text, "fg1");
+  EXPECT_EQ(round.node_count(), 2u);
+}
+
+TEST(Transform, RejectsGarbage) {
+  EXPECT_THROW(transform_native("not a known format"), std::runtime_error);
+}
+
+TEST(Transform, PreservesPropertiesEndToEnd) {
+  graph::PropertyGraph out =
+      transform_native(formats::to_prov_json(sample()));
+  EXPECT_EQ(out.find_node("b")->props.at("prov:type"), "inode_file");
+}
+
+}  // namespace
+}  // namespace provmark::core

@@ -1,0 +1,203 @@
+#include "datalog/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/fact_io.h"
+
+namespace provmark::datalog {
+namespace {
+
+TEST(Engine, GroundFactsAndQuery) {
+  Engine e;
+  e.add_fact("edge", {"a", "b"});
+  e.add_fact("edge", {"b", "c"});
+  auto rows = e.query("edge(a, X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("X"), "b");
+}
+
+TEST(Engine, TransitiveClosure) {
+  Engine e;
+  e.load_program(
+      "edge(a,b). edge(b,c). edge(c,d).\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y), edge(Y,Z).\n");
+  EXPECT_EQ(e.relation("path").size(), 6u);
+  EXPECT_EQ(e.query("path(a,d)").size(), 1u);
+  EXPECT_TRUE(e.query("path(d,a)").empty());
+}
+
+TEST(Engine, CycleTerminates) {
+  Engine e;
+  e.load_program(
+      "edge(a,b). edge(b,a).\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y), edge(Y,Z).\n");
+  // Reaches fixpoint despite the cycle: {a,b} x {a,b}.
+  EXPECT_EQ(e.relation("path").size(), 4u);
+}
+
+TEST(Engine, Disequality) {
+  Engine e;
+  e.load_program(
+      "n(a). n(b). n(c).\n"
+      "pair(X,Y) :- n(X), n(Y), X != Y.\n");
+  EXPECT_EQ(e.relation("pair").size(), 6u);  // 3x3 minus diagonal
+}
+
+TEST(Engine, QuotedConstants) {
+  Engine e;
+  e.load_program("label(n1, \"a b c\").\n");
+  auto rows = e.query("label(n1, L)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("L"), "a b c");
+}
+
+TEST(Engine, AnonymousVariable) {
+  Engine e;
+  e.load_program("edge(a,b). edge(a,c).\n");
+  EXPECT_EQ(e.query("edge(a, _)").size(), 2u);
+}
+
+TEST(Engine, JoinAcrossRelations) {
+  Engine e;
+  e.load_program(
+      "parent(tom, bob). parent(bob, ann).\n"
+      "grandparent(X,Z) :- parent(X,Y), parent(Y,Z).\n");
+  auto rows = e.query("grandparent(tom, Z)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("Z"), "ann");
+}
+
+TEST(Engine, RangeRestrictionEnforced) {
+  Engine e;
+  Rule rule;
+  rule.head = parse_atom("out(X, Y)");
+  rule.body.push_back(parse_atom("in(X)"));
+  EXPECT_THROW(e.add_rule(rule), std::invalid_argument);
+}
+
+TEST(Engine, ArityMismatchRejected) {
+  Engine e;
+  e.add_fact("r", {"a"});
+  EXPECT_THROW(e.add_fact("r", {"a", "b"}), std::invalid_argument);
+}
+
+TEST(Engine, FactWithVariableRejected) {
+  Engine e;
+  EXPECT_THROW(e.load_program("bad(X).\n"), std::invalid_argument);
+}
+
+TEST(Engine, RepeatedVariableInPattern) {
+  Engine e;
+  e.load_program("edge(a,a). edge(a,b).\n");
+  EXPECT_EQ(e.query("edge(X, X)").size(), 1u);
+}
+
+TEST(Engine, FactCount) {
+  Engine e;
+  e.load_program("a(x). a(y). b(z).\n");
+  e.run();
+  EXPECT_EQ(e.fact_count(), 3u);
+}
+
+TEST(Engine, CommentsInProgram) {
+  Engine e;
+  e.load_program("% leading comment\na(x). % trailing\n");
+  EXPECT_EQ(e.relation("a").size(), 1u);
+}
+
+TEST(Engine, LoadsGraphFacts) {
+  // End-to-end with the Listing 1 representation: reachability over a
+  // provenance graph, as the regression/query use cases do.
+  graph::PropertyGraph g;
+  g.add_node("p1", "Process");
+  g.add_node("f1", "Artifact");
+  g.add_node("f2", "Artifact");
+  g.add_edge("x1", "p1", "f1", "Used");
+  g.add_edge("x2", "f2", "p1", "WasGeneratedBy");
+  Engine e;
+  e.load_program(to_datalog(g, "r"));
+  e.load_program(
+      "flow(A,B) :- er(E, A, B, _).\n"
+      "reach(A,B) :- flow(A,B).\n"
+      "reach(A,C) :- reach(A,B), flow(B,C).\n");
+  EXPECT_EQ(e.query("reach(f2, f1)").size(), 1u);
+  EXPECT_TRUE(e.query("reach(f1, f2)").empty());
+}
+
+TEST(EngineNegation, NegationAsFailure) {
+  Engine e;
+  e.load_program(
+      "node(a). node(b). node(c).\n"
+      "edge(a,b).\n"
+      "isolated(X) :- node(X), not edge(X, _), not edge(_, X).\n");
+  auto rows = e.query("isolated(X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("X"), "c");
+}
+
+TEST(EngineNegation, StratifiedLayering) {
+  // reachable is computed fully before unreachable negates it.
+  Engine e;
+  e.load_program(
+      "edge(a,b). edge(b,c). node(a). node(b). node(c). node(d).\n"
+      "reach(X) :- edge(a, X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), not reach(X), X != a.\n");
+  auto rows = e.query("unreach(X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("X"), "d");
+}
+
+TEST(EngineNegation, RejectsUnstratifiedProgram) {
+  Engine e;
+  e.load_program(
+      "p(a).\n"
+      "q(X) :- p(X), not r(X).\n"
+      "r(X) :- p(X), not q(X).\n");
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(EngineNegation, RejectsUnboundNegatedVariable) {
+  Engine e;
+  EXPECT_THROW(e.load_program("q(X) :- p(X), not r(Y).\n"),
+               std::invalid_argument);
+}
+
+TEST(EngineNegation, DetectorAbsenceQuery) {
+  // The Dora-style "blind spot" query: flag file entities that were
+  // written but never read in the benchmark result.
+  graph::PropertyGraph g;
+  g.add_node("t", "activity");
+  g.add_node("f1", "entity");
+  g.add_node("f2", "entity");
+  g.add_edge("w1", "f1", "t", "wasGeneratedBy");
+  g.add_edge("w2", "f2", "t", "wasGeneratedBy");
+  g.add_edge("r1", "t", "f1", "used");
+  Engine e;
+  e.load_program(to_datalog(g, "r"));
+  e.load_program(
+      "written(F) :- er(_, F, _, \"wasGeneratedBy\").\n"
+      "readback(F) :- er(_, _, F, \"used\").\n"
+      "writeonly(F) :- written(F), not readback(F).\n");
+  auto rows = e.query("writeonly(F)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("F"), "f2");
+}
+
+TEST(ParseAtom, Basics) {
+  Atom a = parse_atom("rel(x, Y, \"lit\")");
+  EXPECT_EQ(a.relation, "rel");
+  ASSERT_EQ(a.terms.size(), 3u);
+  EXPECT_FALSE(a.terms[0].is_variable());
+  EXPECT_TRUE(a.terms[1].is_variable());
+  EXPECT_EQ(a.terms[2].text, "lit");
+}
+
+TEST(ParseAtom, RejectsTrailing) {
+  EXPECT_THROW(parse_atom("rel(x) extra"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace provmark::datalog

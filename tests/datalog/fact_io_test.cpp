@@ -1,0 +1,93 @@
+#include "datalog/fact_io.h"
+
+#include <gtest/gtest.h>
+
+namespace provmark::datalog {
+namespace {
+
+graph::PropertyGraph sample() {
+  // The Figure 4 / Listing 2 example graph g2.
+  graph::PropertyGraph g;
+  g.add_node("n1", "File", {{"Userid", "1"}, {"Name", "text"}});
+  g.add_node("n2", "Process");
+  g.add_edge("e1", "n1", "n2", "Used");
+  return g;
+}
+
+TEST(FactIo, WritesListing1Format) {
+  std::string text = to_datalog(sample(), "g2");
+  EXPECT_NE(text.find("ng2(n1,\"File\")."), std::string::npos);
+  EXPECT_NE(text.find("ng2(n2,\"Process\")."), std::string::npos);
+  EXPECT_NE(text.find("eg2(e1,n1,n2,\"Used\")."), std::string::npos);
+  EXPECT_NE(text.find("pg2(n1,\"Userid\",\"1\")."), std::string::npos);
+  EXPECT_NE(text.find("pg2(n1,\"Name\",\"text\")."), std::string::npos);
+}
+
+TEST(FactIo, RoundTrip) {
+  graph::PropertyGraph g = sample();
+  graph::PropertyGraph back =
+      single_graph_from_datalog(to_datalog(g, "g1"), "g1");
+  EXPECT_EQ(g, back);
+}
+
+TEST(FactIo, RoundTripWithSpecialCharacters) {
+  graph::PropertyGraph g;
+  g.add_node("n1", "File \"quoted\"", {{"path", "/tmp/a\\b"}});
+  graph::PropertyGraph back =
+      single_graph_from_datalog(to_datalog(g, "x"), "x");
+  EXPECT_EQ(g, back);
+}
+
+TEST(FactIo, MultipleGraphsInOneDocument) {
+  std::string text = to_datalog(sample(), "bg") + to_datalog(sample(), "fg");
+  auto graphs = from_datalog(text);
+  EXPECT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs.at("bg"), graphs.at("fg"));
+}
+
+TEST(FactIo, OutputIsDeterministic) {
+  EXPECT_EQ(to_datalog(sample(), "g"), to_datalog(sample(), "g"));
+}
+
+TEST(FactIo, ParsesCommentsAndBlankLines) {
+  std::string text =
+      "% a clingo-style comment\n\n// another comment\nng(a,\"X\").\n";
+  auto graphs = from_datalog(text);
+  EXPECT_EQ(graphs.at("g").node_count(), 1u);
+}
+
+TEST(FactIo, EdgesMayPrecedeNodes) {
+  std::string text =
+      "eg(e1,a,b,\"L\").\n"
+      "ng(a,\"X\").\n"
+      "ng(b,\"Y\").\n";
+  auto graphs = from_datalog(text);
+  EXPECT_EQ(graphs.at("g").edge_count(), 1u);
+}
+
+TEST(FactIo, RejectsDanglingEdge) {
+  EXPECT_THROW(from_datalog("eg(e1,a,b,\"L\").\nng(a,\"X\").\n"),
+               std::exception);
+}
+
+TEST(FactIo, RejectsPropertyOnUnknownElement) {
+  EXPECT_THROW(from_datalog("pg(nope,\"k\",\"v\").\n"), std::runtime_error);
+}
+
+TEST(FactIo, RejectsMalformedFacts) {
+  EXPECT_THROW(from_datalog("ng(a\n"), std::runtime_error);
+  EXPECT_THROW(from_datalog("xg(a,\"L\").\n"), std::runtime_error);
+  EXPECT_THROW(from_datalog("ng(a,\"unterminated).\n"), std::runtime_error);
+}
+
+TEST(FactIo, SingleGraphMissingGidThrows) {
+  EXPECT_THROW(single_graph_from_datalog("ng(a,\"X\").", "other"),
+               std::runtime_error);
+}
+
+TEST(FactIo, EmptyGraphProducesEmptyDocument) {
+  EXPECT_EQ(to_datalog(graph::PropertyGraph{}, "g"), "");
+}
+
+}  // namespace
+}  // namespace provmark::datalog

@@ -1,0 +1,57 @@
+#include "formats/detect.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/fact_io.h"
+#include "formats/dot.h"
+#include "formats/neo4j.h"
+#include "formats/prov_json.h"
+
+namespace provmark::formats {
+namespace {
+
+graph::PropertyGraph tiny() {
+  graph::PropertyGraph g;
+  g.add_node("a", "entity");
+  return g;
+}
+
+TEST(Detect, Dot) {
+  EXPECT_EQ(detect_format("digraph g { }"), Format::Dot);
+  EXPECT_EQ(detect_format("  \n digraph provenance {}"), Format::Dot);
+}
+
+TEST(Detect, ProvJsonVsNeo4j) {
+  EXPECT_EQ(detect_format(to_prov_json(tiny())), Format::ProvJson);
+  EXPECT_EQ(detect_format(to_neo4j_json(tiny())), Format::Neo4jJson);
+}
+
+TEST(Detect, Datalog) {
+  EXPECT_EQ(detect_format("ng(a,\"X\").\n"), Format::Datalog);
+  EXPECT_EQ(detect_format("% comment\nng(a,\"X\").\n"), Format::Datalog);
+}
+
+TEST(Detect, Unknown) {
+  EXPECT_EQ(detect_format("<xml/>"), Format::Unknown);
+  EXPECT_STREQ(format_name(Format::Unknown), "unknown");
+}
+
+TEST(ParseAny, AllFormats) {
+  EXPECT_EQ(parse_any(to_dot(tiny())).node_count(), 1u);
+  EXPECT_EQ(parse_any(to_prov_json(tiny())).node_count(), 1u);
+  EXPECT_EQ(parse_any(to_neo4j_json(tiny())).node_count(), 1u);
+  EXPECT_EQ(parse_any(datalog::to_datalog(tiny(), "g")).node_count(), 1u);
+}
+
+TEST(ParseAny, RejectsUnknown) {
+  EXPECT_THROW(parse_any("garbage"), std::runtime_error);
+}
+
+TEST(ParseAny, RejectsMultiGraphDatalog) {
+  std::string two = datalog::to_datalog(tiny(), "a") +
+                    datalog::to_datalog(tiny(), "b");
+  EXPECT_THROW(parse_any(two), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace provmark::formats

@@ -1,0 +1,80 @@
+#include "formats/neo4j.h"
+
+#include <gtest/gtest.h>
+
+namespace provmark::formats {
+namespace {
+
+graph::PropertyGraph sample() {
+  graph::PropertyGraph g;
+  g.add_node("o1", "Process", {{"pid", "9"}});
+  g.add_node("o2", "Global", {{"name", "/tmp/x"}});
+  g.add_node("o3", "Local");
+  g.add_edge("r1", "o3", "o2", "NAMED");
+  g.add_edge("r2", "o3", "o1", "PROC_OBJ", {{"k", "v"}});
+  return g;
+}
+
+TEST(Neo4j, RoundTrip) {
+  graph::PropertyGraph g = sample();
+  graph::PropertyGraph back = from_neo4j_json(to_neo4j_json(g));
+  EXPECT_EQ(back.node_count(), 3u);
+  EXPECT_EQ(back.edge_count(), 2u);
+  EXPECT_EQ(back.find_node("o1")->props.at("pid"), "9");
+  EXPECT_EQ(back.find_edge("r2")->props.at("k"), "v");
+  EXPECT_EQ(back.find_edge("r1")->label, "NAMED");
+}
+
+TEST(Neo4j, RejectsMissingNodesArray) {
+  EXPECT_THROW(from_neo4j_json("{}"), std::runtime_error);
+  EXPECT_THROW(from_neo4j_json(R"({"nodes": 5})"), std::runtime_error);
+}
+
+TEST(Neo4j, RejectsDanglingRelationship) {
+  const char* text = R"({
+    "nodes": [{"id": "a", "labels": ["X"], "properties": {}}],
+    "relationships": [{"id": "r", "start": "a", "end": "nope",
+                       "type": "T", "properties": {}}]
+  })";
+  EXPECT_THROW(from_neo4j_json(text), std::invalid_argument);
+}
+
+TEST(Neo4jStore, OpenAndExportReproducesGraph) {
+  Neo4jStore::Options options;
+  options.startup_rounds = 3;
+  Neo4jStore store(options);
+  store.open(to_neo4j_json(sample()));
+  EXPECT_EQ(store.node_count(), 3u);
+  EXPECT_EQ(store.relationship_count(), 2u);
+  graph::PropertyGraph exported = store.export_graph();
+  EXPECT_EQ(exported.node_count(), 3u);
+  EXPECT_EQ(exported.edge_count(), 2u);
+  EXPECT_EQ(exported.find_node("o2")->props.at("name"), "/tmp/x");
+}
+
+TEST(Neo4jStore, LabelIndexQuery) {
+  Neo4jStore::Options options;
+  options.startup_rounds = 1;
+  Neo4jStore store(options);
+  store.open(to_neo4j_json(sample()));
+  EXPECT_EQ(store.match_nodes_by_label("Process").size(), 1u);
+  EXPECT_EQ(store.match_nodes_by_label("Global").size(), 1u);
+  EXPECT_TRUE(store.match_nodes_by_label("Nope").empty());
+  EXPECT_EQ(store.match_all_nodes().size(), 3u);
+  EXPECT_EQ(store.match_all_relationships().size(), 2u);
+}
+
+TEST(Neo4jStore, StartupRoundsScaleWork) {
+  // More rounds must not change the result, only the cost.
+  Neo4jStore::Options cheap;
+  cheap.startup_rounds = 1;
+  Neo4jStore::Options expensive;
+  expensive.startup_rounds = 50;
+  Neo4jStore a(cheap), b(expensive);
+  a.open(to_neo4j_json(sample()));
+  b.open(to_neo4j_json(sample()));
+  EXPECT_EQ(a.export_graph(), b.export_graph());
+}
+
+}  // namespace
+}  // namespace provmark::formats

@@ -1,0 +1,98 @@
+#include "formats/prov_json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace provmark::formats {
+namespace {
+
+graph::PropertyGraph sample() {
+  graph::PropertyGraph g;
+  g.add_node("cf:task:1", "activity", {{"prov:type", "task"}});
+  g.add_node("cf:inode:2", "entity", {{"prov:type", "inode_file"}});
+  g.add_node("cf:agent:3", "agent", {{"prov:type", "machine"}});
+  g.add_edge("cf:rel:4", "cf:task:1", "cf:inode:2", "used",
+             {{"prov:label", "read"}});
+  g.add_edge("cf:rel:5", "cf:inode:2", "cf:task:1", "wasGeneratedBy");
+  return g;
+}
+
+TEST(ProvJson, WriterGroupsByKind) {
+  util::Json doc = util::Json::parse(to_prov_json(sample()));
+  EXPECT_NE(doc.find("activity"), nullptr);
+  EXPECT_NE(doc.find("entity"), nullptr);
+  EXPECT_NE(doc.find("agent"), nullptr);
+  EXPECT_NE(doc.find("used"), nullptr);
+  EXPECT_NE(doc.find("wasGeneratedBy"), nullptr);
+}
+
+TEST(ProvJson, UsedCarriesEndpointKeys) {
+  util::Json doc = util::Json::parse(to_prov_json(sample()));
+  const util::Json& rel = doc.at("used").at("cf:rel:4");
+  EXPECT_EQ(rel.at("prov:activity").as_string(), "cf:task:1");
+  EXPECT_EQ(rel.at("prov:entity").as_string(), "cf:inode:2");
+}
+
+TEST(ProvJson, RoundTrip) {
+  graph::PropertyGraph g = sample();
+  graph::PropertyGraph back = from_prov_json(to_prov_json(g));
+  EXPECT_EQ(back.node_count(), 3u);
+  EXPECT_EQ(back.edge_count(), 2u);
+  EXPECT_EQ(back.find_node("cf:task:1")->label, "activity");
+  EXPECT_EQ(back.find_edge("cf:rel:4")->label, "used");
+  EXPECT_EQ(back.find_edge("cf:rel:4")->props.at("prov:label"), "read");
+  EXPECT_EQ(back.find_edge("cf:rel:5")->src, "cf:inode:2");
+}
+
+TEST(ProvJson, CustomRelationRoundTrips) {
+  graph::PropertyGraph g;
+  g.add_node("a", "entity");
+  g.add_node("b", "entity");
+  g.add_edge("r", "a", "b", "named");
+  graph::PropertyGraph back = from_prov_json(to_prov_json(g));
+  EXPECT_EQ(back.find_edge("r")->label, "named");
+  EXPECT_EQ(back.find_edge("r")->src, "a");
+}
+
+TEST(ProvJson, AllSevenStandardRelationsRoundTrip) {
+  const char* relations[] = {
+      "used", "wasGeneratedBy", "wasInformedBy", "wasDerivedFrom",
+      "wasAssociatedWith", "wasAttributedTo", "actedOnBehalfOf"};
+  for (const char* relation : relations) {
+    graph::PropertyGraph g;
+    g.add_node("a", "entity");
+    g.add_node("b", "activity");
+    g.add_edge("r", "a", "b", relation);
+    graph::PropertyGraph back = from_prov_json(to_prov_json(g));
+    EXPECT_EQ(back.find_edge("r")->label, relation) << relation;
+    EXPECT_EQ(back.find_edge("r")->src, "a") << relation;
+    EXPECT_EQ(back.find_edge("r")->tgt, "b") << relation;
+  }
+}
+
+TEST(ProvJson, RejectsNonObjectDocument) {
+  EXPECT_THROW(from_prov_json("[1,2]"), std::runtime_error);
+}
+
+TEST(ProvJson, RejectsRelationWithMissingEndpoint) {
+  const char* text = R"({
+    "activity": {"t": {}},
+    "used": {"r": {"prov:activity": "t", "prov:entity": "missing"}}
+  })";
+  EXPECT_THROW(from_prov_json(text), std::runtime_error);
+}
+
+TEST(ProvJson, RejectsRelationWithoutEndpointKeys) {
+  const char* text = R"({"used": {"r": {"prov:label": "x"}}})";
+  EXPECT_THROW(from_prov_json(text), std::runtime_error);
+}
+
+TEST(ProvJson, EmptyGraph) {
+  graph::PropertyGraph back =
+      from_prov_json(to_prov_json(graph::PropertyGraph{}));
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace provmark::formats

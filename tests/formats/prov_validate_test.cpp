@@ -1,0 +1,92 @@
+#include "formats/prov_validate.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+#include "systems/camflow.h"
+
+namespace provmark::formats {
+namespace {
+
+graph::PropertyGraph valid_prov() {
+  graph::PropertyGraph g;
+  g.add_node("t", "activity");
+  g.add_node("f", "entity");
+  g.add_node("u", "agent");
+  g.add_edge("e1", "t", "f", "used");
+  g.add_edge("e2", "f", "t", "wasGeneratedBy");
+  g.add_edge("e3", "t", "u", "wasAssociatedWith");
+  g.add_edge("e4", "f", "u", "wasAttributedTo");
+  return g;
+}
+
+TEST(ProvValidate, AcceptsWellFormedGraph) {
+  ProvValidationResult result = validate_prov(valid_prov());
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.extension_relations.empty());
+}
+
+TEST(ProvValidate, FlagsBadNodeKind) {
+  graph::PropertyGraph g = valid_prov();
+  g.add_node("x", "Process");  // OPM label, not PROV
+  ProvValidationResult result = validate_prov(g);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].element, "x");
+}
+
+TEST(ProvValidate, FlagsWrongEndpointKinds) {
+  graph::PropertyGraph g;
+  g.add_node("t", "activity");
+  g.add_node("f", "entity");
+  g.add_edge("e", "f", "t", "used");  // reversed
+  ProvValidationResult result = validate_prov(g);
+  EXPECT_EQ(result.violations.size(), 2u);  // both endpoints wrong
+}
+
+TEST(ProvValidate, WasInvalidatedByAcceptsBothDirections) {
+  graph::PropertyGraph g;
+  g.add_node("t", "activity");
+  g.add_node("f", "entity");
+  g.add_edge("e1", "t", "f", "wasInvalidatedBy");
+  g.add_edge("e2", "f", "t", "wasInvalidatedBy");
+  EXPECT_TRUE(validate_prov(g).ok());
+  graph::PropertyGraph bad;
+  bad.add_node("a", "activity");
+  bad.add_node("b", "activity");
+  bad.add_edge("e", "a", "b", "wasInvalidatedBy");
+  EXPECT_FALSE(validate_prov(bad).ok());
+}
+
+TEST(ProvValidate, ReportsExtensionsWithoutViolation) {
+  graph::PropertyGraph g;
+  g.add_node("f", "entity");
+  g.add_node("p", "entity");
+  g.add_edge("e", "f", "p", "named");  // CamFlow extension
+  ProvValidationResult result = validate_prov(g);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.extension_relations.size(), 1u);
+  EXPECT_EQ(result.extension_relations[0], "named");
+}
+
+TEST(ProvValidate, CamflowOutputIsValidProv) {
+  // Every CamFlow recording produced in this repository must satisfy the
+  // PROV-DM endpoint constraints (with only the "named" extension).
+  for (const char* call : {"open", "rename", "setuid", "fork", "chmod",
+                           "unlink", "tee", "execve"}) {
+    os::EventTrace trace =
+        bench_suite::execute_program(
+            bench_suite::benchmark_by_name(call), true, 3)
+            .trace;
+    graph::PropertyGraph g =
+        systems::build_camflow_graph(trace, {}, 1);
+    ProvValidationResult result = validate_prov(g);
+    EXPECT_TRUE(result.ok()) << call << ": "
+                             << (result.violations.empty()
+                                     ? ""
+                                     : result.violations[0].message);
+  }
+}
+
+}  // namespace
+}  // namespace provmark::formats

@@ -1,0 +1,137 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/property_graph.h"
+
+namespace provmark::graph {
+namespace {
+
+PropertyGraph chain(int n, const std::string& label) {
+  PropertyGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.add_node("n" + std::to_string(i), label);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge("e" + std::to_string(i), "n" + std::to_string(i),
+               "n" + std::to_string(i + 1), "next");
+  }
+  return g;
+}
+
+TEST(StructuralDigest, InvariantUnderRelabeling) {
+  PropertyGraph g1 = chain(5, "X");
+  PropertyGraph g2 = with_id_prefix(g1, "zz_");
+  EXPECT_EQ(structural_digest(g1), structural_digest(g2));
+}
+
+TEST(StructuralDigest, IgnoresProperties) {
+  PropertyGraph g1 = chain(4, "X");
+  PropertyGraph g2 = chain(4, "X");
+  g2.set_property("n0", "time", "123");
+  EXPECT_EQ(structural_digest(g1), structural_digest(g2));
+}
+
+TEST(StructuralDigest, DetectsLabelDifference) {
+  EXPECT_NE(structural_digest(chain(4, "X")),
+            structural_digest(chain(4, "Y")));
+}
+
+TEST(StructuralDigest, DetectsSizeDifference) {
+  EXPECT_NE(structural_digest(chain(4, "X")),
+            structural_digest(chain(5, "X")));
+}
+
+TEST(StructuralDigest, DetectsEdgeDirection) {
+  PropertyGraph g1;
+  g1.add_node("a", "X");
+  g1.add_node("b", "Y");
+  g1.add_edge("e", "a", "b", "L");
+  PropertyGraph g2;
+  g2.add_node("a", "X");
+  g2.add_node("b", "Y");
+  g2.add_edge("e", "b", "a", "L");
+  EXPECT_NE(structural_digest(g1), structural_digest(g2));
+}
+
+TEST(FullDigest, SensitiveToProperties) {
+  PropertyGraph g1 = chain(3, "X");
+  PropertyGraph g2 = chain(3, "X");
+  g2.set_property("n1", "k", "v");
+  EXPECT_NE(full_digest(g1), full_digest(g2));
+  EXPECT_EQ(full_digest(g1), full_digest(chain(3, "X")));
+}
+
+TEST(FullDigest, InvariantUnderRelabeling) {
+  PropertyGraph g1 = chain(3, "X");
+  g1.set_property("n1", "k", "v");
+  PropertyGraph g2 = with_id_prefix(g1, "q_");
+  EXPECT_EQ(full_digest(g1), full_digest(g2));
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  EXPECT_EQ(connected_components(chain(4, "X")).size(), 1u);
+}
+
+TEST(ConnectedComponents, CountsIslands) {
+  PropertyGraph g = chain(3, "X");
+  g.add_node("island1", "X");
+  g.add_node("island2", "X");
+  auto components = connected_components(g);
+  EXPECT_EQ(components.size(), 3u);
+}
+
+TEST(ConnectedComponents, IgnoresDirection) {
+  PropertyGraph g;
+  g.add_node("a", "X");
+  g.add_node("b", "X");
+  g.add_node("c", "X");
+  g.add_edge("e1", "b", "a", "L");
+  g.add_edge("e2", "b", "c", "L");
+  EXPECT_EQ(connected_components(g).size(), 1u);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  EXPECT_TRUE(connected_components(PropertyGraph{}).empty());
+}
+
+TEST(DegreeSignatures, Basics) {
+  PropertyGraph g = chain(3, "X");
+  auto sigs = degree_signatures(g);
+  EXPECT_EQ(sigs.at("n0").out, 1u);
+  EXPECT_EQ(sigs.at("n0").in, 0u);
+  EXPECT_EQ(sigs.at("n1").in, 1u);
+  EXPECT_EQ(sigs.at("n1").out, 1u);
+  EXPECT_EQ(sigs.at("n2").label, "X");
+}
+
+TEST(LabelHistograms, Counts) {
+  PropertyGraph g;
+  g.add_node("a", "P");
+  g.add_node("b", "A");
+  g.add_node("c", "A");
+  g.add_edge("e1", "a", "b", "Used");
+  g.add_edge("e2", "a", "c", "Used");
+  auto nodes = node_label_histogram(g);
+  EXPECT_EQ(nodes.at("A"), 2u);
+  EXPECT_EQ(nodes.at("P"), 1u);
+  auto edges = edge_label_histogram(g);
+  EXPECT_EQ(edges.at("Used"), 2u);
+}
+
+TEST(WlColours, RefinementSeparatesRoles) {
+  // In a chain, endpoints differ from the middle after one round.
+  auto colours = wl_colours(chain(3, "X"), 1);
+  EXPECT_NE(colours.at("n0"), colours.at("n1"));
+  EXPECT_NE(colours.at("n0"), colours.at("n2"));  // source vs sink
+}
+
+TEST(StructureSummary, Format) {
+  std::string s = structure_summary(chain(3, "X"));
+  EXPECT_NE(s.find("3 nodes"), std::string::npos);
+  EXPECT_NE(s.find("2 edges"), std::string::npos);
+  EXPECT_NE(s.find("1 components"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace provmark::graph

@@ -1,0 +1,197 @@
+// Property-based tests of the matching engine: randomized cross-checks
+// against the brute-force reference, and invariants that must hold for
+// any graph (permutation invariance, subgraph containment, cost bounds).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "matcher/brute_force.h"
+#include "matcher/matcher.h"
+#include "util/rng.h"
+
+namespace provmark::matcher {
+namespace {
+
+using graph::PropertyGraph;
+
+/// Random provenance-flavoured graph: n nodes with one of three labels,
+/// random edges with one of three labels, random small property sets.
+PropertyGraph random_graph(int nodes, int edges, util::Rng& rng) {
+  static const char* kNodeLabels[] = {"Process", "Artifact", "Agent"};
+  static const char* kEdgeLabels[] = {"Used", "WasGeneratedBy", "Was"};
+  static const char* kKeys[] = {"pid", "path", "time"};
+  PropertyGraph g;
+  for (int i = 0; i < nodes; ++i) {
+    graph::Properties props;
+    int prop_count = static_cast<int>(rng.next_below(3));
+    for (int p = 0; p < prop_count; ++p) {
+      props[kKeys[rng.next_below(3)]] =
+          std::to_string(rng.next_below(4));
+    }
+    g.add_node("n" + std::to_string(i), kNodeLabels[rng.next_below(3)],
+               std::move(props));
+  }
+  for (int i = 0; i < edges; ++i) {
+    graph::Properties props;
+    if (rng.chance(0.5)) {
+      props["op"] = std::to_string(rng.next_below(3));
+    }
+    g.add_edge("e" + std::to_string(i),
+               "n" + std::to_string(rng.next_below(
+                         static_cast<std::uint64_t>(nodes))),
+               "n" + std::to_string(rng.next_below(
+                         static_cast<std::uint64_t>(nodes))),
+               kEdgeLabels[rng.next_below(3)], std::move(props));
+  }
+  return g;
+}
+
+/// Shuffle ids and perturb some property values: the "second trial" view
+/// of the same recording.
+PropertyGraph shuffled_copy(const PropertyGraph& g, util::Rng& rng) {
+  std::vector<const graph::Node*> nodes;
+  for (const graph::Node& n : g.nodes()) nodes.push_back(&n);
+  // Fisher-Yates.
+  for (std::size_t i = nodes.size(); i > 1; --i) {
+    std::swap(nodes[i - 1], nodes[rng.next_below(i)]);
+  }
+  PropertyGraph out;
+  for (const graph::Node* n : nodes) {
+    out.add_node("s_" + n->id, n->label, n->props);
+  }
+  for (const graph::Edge& e : g.edges()) {
+    out.add_edge("s_" + e.id, "s_" + e.src, "s_" + e.tgt, e.label, e.props);
+  }
+  return out;
+}
+
+class MatcherRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherRandomTest, ShuffledCopyIsSimilar) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PropertyGraph g = random_graph(2 + GetParam() % 5, GetParam() % 7, rng);
+  PropertyGraph h = shuffled_copy(g, rng);
+  EXPECT_TRUE(similar(g, h));
+  EXPECT_TRUE(similar(h, g));  // symmetry
+}
+
+TEST_P(MatcherRandomTest, ShuffledCopyHasZeroCostIsomorphism) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  PropertyGraph g = random_graph(2 + GetParam() % 5, GetParam() % 6, rng);
+  PropertyGraph h = shuffled_copy(g, rng);
+  SearchOptions options;
+  options.cost_model = CostModel::Symmetric;
+  auto matching = best_isomorphism(g, h, options);
+  ASSERT_TRUE(matching.has_value());
+  EXPECT_EQ(matching->cost, 0);
+}
+
+TEST_P(MatcherRandomTest, AgreesWithBruteForceIsomorphism) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  PropertyGraph g1 = random_graph(2 + GetParam() % 4, GetParam() % 5, rng);
+  // Sometimes compare against a shuffled copy (isomorphic), sometimes an
+  // independent graph (usually not isomorphic).
+  PropertyGraph g2 = rng.chance(0.5)
+                         ? shuffled_copy(g1, rng)
+                         : random_graph(2 + GetParam() % 4,
+                                        GetParam() % 5, rng);
+  SearchOptions options;
+  options.cost_model = CostModel::Symmetric;
+  auto fast = best_isomorphism(g1, g2, options);
+  auto slow = brute_force_isomorphism(g1, g2, CostModel::Symmetric);
+  ASSERT_EQ(fast.has_value(), slow.has_value());
+  if (fast.has_value()) {
+    EXPECT_EQ(fast->cost, slow->cost);
+  }
+}
+
+TEST_P(MatcherRandomTest, AgreesWithBruteForceEmbedding) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  PropertyGraph fg = random_graph(3 + GetParam() % 4, GetParam() % 6, rng);
+  PropertyGraph bg = random_graph(1 + GetParam() % 3, GetParam() % 3, rng);
+  SearchOptions options;
+  options.cost_model = CostModel::OneSided;
+  auto fast = best_subgraph_embedding(bg, fg, options);
+  auto slow = brute_force_embedding(bg, fg, CostModel::OneSided);
+  ASSERT_EQ(fast.has_value(), slow.has_value());
+  if (fast.has_value()) {
+    EXPECT_EQ(fast->cost, slow->cost);
+  }
+}
+
+TEST_P(MatcherRandomTest, SubgraphAlwaysEmbedsIntoSupergraph) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 11);
+  PropertyGraph fg = random_graph(4 + GetParam() % 4, 3 + GetParam() % 5,
+                                  rng);
+  // Build bg by deleting some elements of fg — guaranteed embeddable.
+  PropertyGraph bg = fg;
+  std::vector<graph::Id> edge_ids;
+  for (const graph::Edge& e : bg.edges()) edge_ids.push_back(e.id);
+  for (const graph::Id& id : edge_ids) {
+    if (rng.chance(0.4)) bg.remove_edge(id);
+  }
+  std::vector<graph::Id> node_ids;
+  for (const graph::Node& n : bg.nodes()) node_ids.push_back(n.id);
+  for (const graph::Id& id : node_ids) {
+    if (rng.chance(0.3)) bg.remove_node(id);
+  }
+  auto matching = best_subgraph_embedding(bg, fg);
+  ASSERT_TRUE(matching.has_value());
+  EXPECT_EQ(matching->cost, 0);  // bg elements carry identical properties
+  EXPECT_EQ(matching->node_map.size(), bg.node_count());
+  EXPECT_EQ(matching->edge_map.size(), bg.edge_count());
+}
+
+TEST_P(MatcherRandomTest, MatchingIsStructurePreserving) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 13);
+  PropertyGraph fg = random_graph(4 + GetParam() % 3, 4, rng);
+  PropertyGraph bg = fg;
+  std::vector<graph::Id> node_ids;
+  for (const graph::Node& n : bg.nodes()) node_ids.push_back(n.id);
+  if (!node_ids.empty()) bg.remove_node(node_ids.front());
+  auto matching = best_subgraph_embedding(bg, fg);
+  ASSERT_TRUE(matching.has_value());
+  // Verify the returned maps really form a homomorphism on labels and
+  // endpoints (independently of the engine's own bookkeeping).
+  for (const auto& [bg_id, fg_id] : matching->node_map) {
+    EXPECT_EQ(bg.find_node(bg_id)->label, fg.find_node(fg_id)->label);
+  }
+  for (const auto& [bg_id, fg_id] : matching->edge_map) {
+    const graph::Edge* be = bg.find_edge(bg_id);
+    const graph::Edge* fe = fg.find_edge(fg_id);
+    ASSERT_NE(be, nullptr);
+    ASSERT_NE(fe, nullptr);
+    EXPECT_EQ(be->label, fe->label);
+    EXPECT_EQ(matching->node_map.at(be->src), fe->src);
+    EXPECT_EQ(matching->node_map.at(be->tgt), fe->tgt);
+  }
+}
+
+TEST_P(MatcherRandomTest, PruningDoesNotChangeOptimalCost) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 389 + 17);
+  PropertyGraph g = random_graph(2 + GetParam() % 4, GetParam() % 5, rng);
+  PropertyGraph h = shuffled_copy(g, rng);
+  // Perturb one property value so cost > 0 is possible.
+  if (!h.nodes().empty()) {
+    h.set_property(h.nodes().front().id, "time", "99999");
+  }
+  SearchOptions pruned;
+  pruned.cost_model = CostModel::Symmetric;
+  SearchOptions naive;
+  naive.cost_model = CostModel::Symmetric;
+  naive.candidate_pruning = false;
+  naive.cost_bounding = false;
+  auto a = best_isomorphism(g, h, pruned);
+  auto b = best_isomorphism(g, h, naive);
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (a.has_value()) {
+    EXPECT_EQ(a->cost, b->cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherRandomTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace provmark::matcher

@@ -1,0 +1,98 @@
+#include "os/events.h"
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+
+namespace provmark::os {
+namespace {
+
+TEST(Credentials, Equality) {
+  Credentials a{0, 0, 0, 0, 0, 0};
+  Credentials b = a;
+  EXPECT_EQ(a, b);
+  b.euid = 1000;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Events, SequenceNumbersAreGloballyOrdered) {
+  Kernel::Options options;
+  options.seed = 1;
+  options.free_record_probability = 0;
+  Kernel kernel(options);
+  kernel.start_recording();
+  Pid pid = kernel.launch_program("/usr/bin/bench", "bench");
+  kernel.sys_creat(pid, "f.txt");
+  kernel.finish_process(pid);
+  const EventTrace& trace = kernel.trace();
+  for (std::size_t i = 1; i < trace.libc.size(); ++i) {
+    EXPECT_LT(trace.libc[i - 1].seq, trace.libc[i].seq);
+  }
+  for (std::size_t i = 1; i < trace.lsm.size(); ++i) {
+    EXPECT_LT(trace.lsm[i - 1].seq, trace.lsm[i].seq);
+  }
+}
+
+TEST(Events, AuditRecordsCarrySubjectIdentity) {
+  Kernel::Options options;
+  options.seed = 5;
+  Kernel kernel(options);
+  kernel.start_recording();
+  Pid pid = kernel.launch_program("/usr/bin/bench", "bench");
+  kernel.sys_creat(pid, "f.txt");
+  bool found = false;
+  for (const AuditEvent& e : kernel.trace().audit) {
+    if (e.syscall == "creat") {
+      found = true;
+      EXPECT_EQ(e.pid, pid);
+      EXPECT_EQ(e.comm, "bench");
+      EXPECT_EQ(e.cwd, "/home/user");
+      ASSERT_EQ(e.paths.size(), 1u);
+      EXPECT_EQ(e.paths[0].name, "/home/user/f.txt");
+      EXPECT_EQ(e.paths[0].nametype, "CREATE");
+      EXPECT_GT(e.paths[0].inode, 0u);
+      EXPECT_NE(e.fields.find("time"), e.fields.end());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Events, LsmObjectsDescribeKernelObjects) {
+  Kernel::Options options;
+  options.seed = 6;
+  Kernel kernel(options);
+  Pid pid = kernel.launch_program("/usr/bin/bench", "bench");
+  kernel.start_recording();
+  kernel.sys_creat(pid, "f.txt");
+  bool create_seen = false;
+  for (const LsmEvent& e : kernel.trace().lsm) {
+    if (e.hook == "inode_create") {
+      create_seen = true;
+      ASSERT_TRUE(e.object.has_value());
+      EXPECT_EQ(e.object->kind, "file");
+      EXPECT_EQ(e.object->path, "/home/user/f.txt");
+      EXPECT_GT(e.object->id, 0u);
+      EXPECT_EQ(e.creds.uid, 0);
+    }
+  }
+  EXPECT_TRUE(create_seen);
+}
+
+TEST(Events, LibcEventsRecordFailuresWithErrno) {
+  Kernel::Options options;
+  options.seed = 7;
+  Kernel kernel(options);
+  Pid pid = kernel.launch_program("/usr/bin/bench", "bench");
+  kernel.start_recording();
+  kernel.sys_open(pid, "/no/such/file", kO_RDONLY);
+  ASSERT_EQ(kernel.trace().libc.size(), 1u);
+  const LibcEvent& e = kernel.trace().libc[0];
+  EXPECT_EQ(e.function, "open");
+  EXPECT_EQ(e.ret, -1);
+  EXPECT_EQ(e.err, static_cast<int>(Errno::kNOENT));
+  ASSERT_GE(e.args.size(), 1u);
+  EXPECT_EQ(e.args[0], "/no/such/file");
+}
+
+}  // namespace
+}  // namespace provmark::os

@@ -1,0 +1,171 @@
+#include "os/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace provmark::os {
+namespace {
+
+TEST(Vfs, SeedHierarchyExists) {
+  Vfs vfs;
+  EXPECT_TRUE(vfs.lookup("/").ok());
+  EXPECT_TRUE(vfs.lookup("/etc/passwd").ok());
+  EXPECT_TRUE(vfs.lookup("/lib/libc.so.6").ok());
+  EXPECT_TRUE(vfs.lookup("/home/user").ok());
+  EXPECT_FALSE(vfs.lookup("/no/such").ok());
+  EXPECT_EQ(vfs.lookup("/no/such").error, Errno::kNOENT);
+}
+
+TEST(Vfs, CreateAndLookup) {
+  Vfs vfs;
+  VfsResult r = vfs.create("/home/user/a.txt", FileType::Regular, 0644,
+                           1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(vfs.lookup("/home/user/a.txt").ino, r.ino);
+  const Inode* inode = vfs.inode(r.ino);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(inode->owner_uid, 1000);
+  EXPECT_EQ(inode->nlink, 1);
+}
+
+TEST(Vfs, CreateFailsOnExisting) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.create("/etc/passwd", FileType::Regular, 0644, 0, 0).error,
+            Errno::kEXIST);
+}
+
+TEST(Vfs, CreateFailsWithoutParent) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.create("/nope/x", FileType::Regular, 0644, 0, 0).error,
+            Errno::kNOENT);
+}
+
+TEST(Vfs, CreateChecksParentWritePermission) {
+  Vfs vfs;
+  // /etc is root-owned 0755: uid 1000 cannot create there.
+  EXPECT_EQ(vfs.create("/etc/evil", FileType::Regular, 0644, 1000, 1000)
+                .error,
+            Errno::kACCES);
+  // root can.
+  EXPECT_TRUE(vfs.create("/etc/ok", FileType::Regular, 0644, 0, 0).ok());
+}
+
+TEST(Vfs, HardLinkSharesInode) {
+  Vfs vfs;
+  vfs.create("/tmp/a", FileType::Regular, 0644, 0, 0);
+  VfsResult r = vfs.link("/tmp/a", "/tmp/b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(vfs.lookup("/tmp/a").ino, vfs.lookup("/tmp/b").ino);
+  EXPECT_EQ(vfs.inode(r.ino)->nlink, 2);
+  // Unlinking one name keeps the inode alive.
+  EXPECT_TRUE(vfs.unlink("/tmp/a").ok());
+  EXPECT_TRUE(vfs.lookup("/tmp/b").ok());
+  EXPECT_EQ(vfs.inode(r.ino)->nlink, 1);
+  // Unlinking the last name frees it.
+  EXPECT_TRUE(vfs.unlink("/tmp/b").ok());
+  EXPECT_EQ(vfs.inode(r.ino), nullptr);
+}
+
+TEST(Vfs, LinkFailsOnExistingTarget) {
+  Vfs vfs;
+  vfs.create("/tmp/a", FileType::Regular, 0644, 0, 0);
+  vfs.create("/tmp/b", FileType::Regular, 0644, 0, 0);
+  EXPECT_EQ(vfs.link("/tmp/a", "/tmp/b").error, Errno::kEXIST);
+}
+
+TEST(Vfs, SymlinkResolution) {
+  Vfs vfs;
+  vfs.create("/tmp/real", FileType::Regular, 0644, 0, 0);
+  ASSERT_TRUE(vfs.symlink("/tmp/real", "/tmp/sym", 0, 0).ok());
+  // Follow: resolves to the target inode.
+  EXPECT_EQ(vfs.lookup("/tmp/sym").ino, vfs.lookup("/tmp/real").ino);
+  // lstat semantics: the link inode itself.
+  VfsResult nofollow = vfs.lookup("/tmp/sym", false);
+  ASSERT_TRUE(nofollow.ok());
+  EXPECT_EQ(vfs.inode(nofollow.ino)->type, FileType::Symlink);
+  EXPECT_EQ(vfs.inode(nofollow.ino)->symlink_target, "/tmp/real");
+}
+
+TEST(Vfs, SymlinkLoopDetected) {
+  Vfs vfs;
+  vfs.symlink("/tmp/b", "/tmp/a", 0, 0);
+  vfs.symlink("/tmp/a", "/tmp/b", 0, 0);
+  EXPECT_EQ(vfs.lookup("/tmp/a").error, Errno::kINVAL);
+}
+
+TEST(Vfs, DanglingSymlink) {
+  Vfs vfs;
+  vfs.symlink("/tmp/missing", "/tmp/dangling", 0, 0);
+  EXPECT_EQ(vfs.lookup("/tmp/dangling").error, Errno::kNOENT);
+  EXPECT_TRUE(vfs.lookup("/tmp/dangling", false).ok());
+}
+
+TEST(Vfs, RenameMovesEntry) {
+  Vfs vfs;
+  VfsResult created = vfs.create("/tmp/old", FileType::Regular, 0644, 0, 0);
+  ASSERT_TRUE(vfs.rename("/tmp/old", "/tmp/new").ok());
+  EXPECT_FALSE(vfs.lookup("/tmp/old").ok());
+  EXPECT_EQ(vfs.lookup("/tmp/new").ino, created.ino);
+}
+
+TEST(Vfs, RenameReplacesTargetAndFreesIt) {
+  Vfs vfs;
+  VfsResult a = vfs.create("/tmp/a", FileType::Regular, 0644, 0, 0);
+  VfsResult b = vfs.create("/tmp/b", FileType::Regular, 0644, 0, 0);
+  ASSERT_TRUE(vfs.rename("/tmp/a", "/tmp/b").ok());
+  EXPECT_EQ(vfs.lookup("/tmp/b").ino, a.ino);
+  EXPECT_EQ(vfs.inode(b.ino), nullptr);  // old target inode freed
+}
+
+TEST(Vfs, RenameMissingSource) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.rename("/tmp/ghost", "/tmp/x").error, Errno::kNOENT);
+}
+
+TEST(Vfs, UnlinkDirectoryRefused) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.unlink("/etc").error, Errno::kISDIR);
+}
+
+TEST(Vfs, TruncateSetsSize) {
+  Vfs vfs;
+  VfsResult r = vfs.create("/tmp/t", FileType::Regular, 0644, 0, 0);
+  ASSERT_TRUE(vfs.truncate("/tmp/t", 123).ok());
+  EXPECT_EQ(vfs.inode(r.ino)->size, 123u);
+  EXPECT_EQ(vfs.truncate("/etc", 0).error, Errno::kISDIR);
+}
+
+TEST(Vfs, PermissionModel) {
+  Inode inode;
+  inode.mode = 0640;
+  inode.owner_uid = 1000;
+  inode.owner_gid = 1000;
+  EXPECT_TRUE(Vfs::may_read(inode, 1000, 1000));   // owner
+  EXPECT_TRUE(Vfs::may_write(inode, 1000, 1000));
+  EXPECT_TRUE(Vfs::may_read(inode, 2000, 1000));   // group
+  EXPECT_FALSE(Vfs::may_write(inode, 2000, 1000));
+  EXPECT_FALSE(Vfs::may_read(inode, 2000, 2000));  // other
+  EXPECT_TRUE(Vfs::may_read(inode, 0, 0));         // root bypass
+  EXPECT_TRUE(Vfs::may_write(inode, 0, 0));
+}
+
+TEST(Vfs, AnonymousInodes) {
+  Vfs vfs;
+  std::uint64_t ino = vfs.allocate_anonymous(FileType::Fifo);
+  ASSERT_NE(vfs.inode(ino), nullptr);
+  EXPECT_EQ(vfs.inode(ino)->type, FileType::Fifo);
+}
+
+TEST(Vfs, ParentOf) {
+  EXPECT_EQ(Vfs::parent_of("/a/b/c"), "/a/b");
+  EXPECT_EQ(Vfs::parent_of("/a"), "/");
+  EXPECT_EQ(Vfs::parent_of("/"), "/");
+}
+
+TEST(Vfs, ErrnoNames) {
+  EXPECT_STREQ(errno_name(Errno::kNOENT), "ENOENT");
+  EXPECT_STREQ(errno_name(Errno::kACCES), "EACCES");
+  EXPECT_STREQ(errno_name(Errno::None), "OK");
+}
+
+}  // namespace
+}  // namespace provmark::os

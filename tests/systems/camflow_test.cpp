@@ -1,0 +1,197 @@
+#include "systems/camflow.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+#include "formats/detect.h"
+#include "formats/prov_json.h"
+#include "graph/algorithms.h"
+
+namespace provmark::systems {
+namespace {
+
+os::EventTrace trace_for(const std::string& benchmark, bool foreground,
+                         std::uint64_t seed = 1) {
+  return bench_suite::execute_program(
+             bench_suite::benchmark_by_name(benchmark), foreground, seed)
+      .trace;
+}
+
+os::EventTrace trace_for_program(const bench_suite::BenchmarkProgram& p,
+                                 bool foreground, std::uint64_t seed = 1) {
+  return bench_suite::execute_program(p, foreground, seed).trace;
+}
+
+TEST(Camflow, OutputIsProvJson) {
+  CamflowConfig config;
+  config.interference_probability = 0;
+  CamflowRecorder recorder(config);
+  std::string out = recorder.record(trace_for("open", true), {1});
+  EXPECT_EQ(formats::detect_format(out), formats::Format::ProvJson);
+  EXPECT_GT(formats::from_prov_json(out).node_count(), 0u);
+}
+
+TEST(Camflow, NodesArePROVTyped) {
+  graph::PropertyGraph g =
+      build_camflow_graph(trace_for("open", true), {}, 1);
+  for (const graph::Node& n : g.nodes()) {
+    EXPECT_TRUE(n.label == "activity" || n.label == "entity" ||
+                n.label == "agent")
+        << n.label;
+    EXPECT_TRUE(n.props.count("prov:type")) << n.id;
+  }
+}
+
+TEST(Camflow, OpenAddsInodePathAndEdges) {
+  graph::PropertyGraph bg =
+      build_camflow_graph(trace_for("open", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_camflow_graph(trace_for("open", true), {}, 1);
+  // A node for the file object, a node for its path, edges linking them
+  // to each other and to the opening process (§4.1).
+  EXPECT_EQ(fg.node_count() - bg.node_count(), 2u);
+  EXPECT_EQ(fg.edge_count() - bg.edge_count(), 2u);
+}
+
+TEST(Camflow, RenameAddsNewPathOldPathAbsent) {
+  graph::PropertyGraph fg =
+      build_camflow_graph(trace_for("rename", true), {}, 1);
+  bool new_path = false, old_path = false;
+  for (const graph::Node& n : fg.nodes()) {
+    if (n.props.count("cf:pathname")) {
+      if (n.props.at("cf:pathname") == "/home/user/new.txt") new_path = true;
+      if (n.props.at("cf:pathname") == "/home/user/old.txt") old_path = true;
+    }
+  }
+  EXPECT_TRUE(new_path);
+  EXPECT_FALSE(old_path);  // the old path does not appear (§4.1)
+}
+
+TEST(Camflow, DupInvisible) {
+  graph::PropertyGraph bg =
+      build_camflow_graph(trace_for("dup", false), {}, 1);
+  graph::PropertyGraph fg = build_camflow_graph(trace_for("dup", true), {}, 1);
+  EXPECT_EQ(fg.size(), bg.size());
+}
+
+TEST(Camflow, SymlinkAndMknodNotSerializedIn045) {
+  for (const char* call : {"symlink", "symlinkat", "mknod", "mknodat"}) {
+    graph::PropertyGraph bg =
+        build_camflow_graph(trace_for(call, false), {}, 1);
+    graph::PropertyGraph fg =
+        build_camflow_graph(trace_for(call, true), {}, 1);
+    EXPECT_EQ(fg.size(), bg.size()) << call;
+  }
+}
+
+TEST(Camflow, CredentialCallsAllRecorded) {
+  for (const char* call : {"setuid", "setresuid", "setresgid", "setgid"}) {
+    graph::PropertyGraph bg =
+        build_camflow_graph(trace_for(call, false), {}, 1);
+    graph::PropertyGraph fg =
+        build_camflow_graph(trace_for(call, true), {}, 1);
+    EXPECT_GT(fg.size(), bg.size()) << call;
+  }
+}
+
+TEST(Camflow, ChownRecordedUnlikeOtherSystems) {
+  for (const char* call : {"chown", "fchown", "fchownat"}) {
+    graph::PropertyGraph bg =
+        build_camflow_graph(trace_for(call, false), {}, 1);
+    graph::PropertyGraph fg =
+        build_camflow_graph(trace_for(call, true), {}, 1);
+    EXPECT_GT(fg.size(), bg.size()) << call;
+  }
+}
+
+TEST(Camflow, SetattrCreatesEntityVersion) {
+  graph::PropertyGraph fg =
+      build_camflow_graph(trace_for("chmod", true), {}, 1);
+  bool derived = false;
+  for (const graph::Edge& e : fg.edges()) {
+    if (e.label == "wasDerivedFrom" && e.props.count("prov:label") &&
+        e.props.at("prov:label") == "mode") {
+      derived = true;
+    }
+  }
+  EXPECT_TRUE(derived);
+}
+
+TEST(Camflow, TeeRecordedThroughPermissionHooks) {
+  graph::PropertyGraph bg = build_camflow_graph(trace_for("tee", false), {}, 1);
+  graph::PropertyGraph fg = build_camflow_graph(trace_for("tee", true), {}, 1);
+  EXPECT_GT(fg.size(), bg.size());
+  bool fifo_entity = false;
+  for (const graph::Node& n : fg.nodes()) {
+    if (n.props.count("prov:type") &&
+        n.props.at("prov:type") == "inode_fifo") {
+      fifo_entity = true;
+    }
+  }
+  EXPECT_TRUE(fifo_entity);
+}
+
+TEST(Camflow, PipeAllocationInvisible) {
+  graph::PropertyGraph bg =
+      build_camflow_graph(trace_for("pipe", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_camflow_graph(trace_for("pipe", true), {}, 1);
+  EXPECT_EQ(fg.size(), bg.size());
+}
+
+TEST(Camflow, DeniedEventsSkippedInBaseline) {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::failed_rename_benchmark();
+  os::EventTrace fg_trace = trace_for_program(program, true);
+  os::EventTrace bg_trace = trace_for_program(program, false);
+  CamflowConfig baseline;
+  EXPECT_EQ(build_camflow_graph(fg_trace, baseline, 1).size(),
+            build_camflow_graph(bg_trace, baseline, 1).size());
+  CamflowConfig denied;
+  denied.record_denied = true;
+  EXPECT_GT(build_camflow_graph(fg_trace, denied, 1).size(),
+            build_camflow_graph(bg_trace, denied, 1).size());
+}
+
+TEST(Camflow, InterferenceAddsStructure) {
+  CamflowConfig always;
+  always.interference_probability = 1.0;
+  CamflowConfig never;
+  never.interference_probability = 0.0;
+  CamflowRecorder noisy(always), clean(never);
+  os::EventTrace trace = trace_for("open", true);
+  graph::PropertyGraph g_noisy =
+      formats::from_prov_json(noisy.record(trace, {3}));
+  graph::PropertyGraph g_clean =
+      formats::from_prov_json(clean.record(trace, {3}));
+  EXPECT_GT(g_noisy.size(), g_clean.size());
+}
+
+TEST(Camflow, TransientIdsVaryAcrossTrials) {
+  // Same kernel trace, different serialization sessions: the structure is
+  // identical, but boot_id / cf:id properties are transient. (Different
+  // kernel seeds can also differ *structurally* via deferred inode_free
+  // flushes, which is exercised by the pipeline tests.)
+  os::EventTrace trace = trace_for("open", true, 1);
+  graph::PropertyGraph g1 = build_camflow_graph(trace, {}, 1);
+  graph::PropertyGraph g2 = build_camflow_graph(trace, {}, 2);
+  EXPECT_EQ(graph::structural_digest(g1), graph::structural_digest(g2));
+  EXPECT_NE(graph::full_digest(g1), graph::full_digest(g2));
+}
+
+TEST(Camflow, TaskVersioningOnCredChange) {
+  graph::PropertyGraph fg =
+      build_camflow_graph(trace_for("setuid", true), {}, 1);
+  int informed = 0;
+  for (const graph::Edge& e : fg.edges()) {
+    if (e.label == "wasInformedBy" && e.props.count("prov:label") &&
+        e.props.at("prov:label") == "setuid") {
+      ++informed;
+    }
+  }
+  EXPECT_EQ(informed, 1);
+}
+
+}  // namespace
+}  // namespace provmark::systems

@@ -1,0 +1,189 @@
+#include "systems/opus.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+#include "formats/detect.h"
+#include "formats/neo4j.h"
+#include "graph/algorithms.h"
+
+namespace provmark::systems {
+namespace {
+
+os::EventTrace trace_for(const std::string& benchmark, bool foreground,
+                         std::uint64_t seed = 1) {
+  return bench_suite::execute_program(
+             bench_suite::benchmark_by_name(benchmark), foreground, seed)
+      .trace;
+}
+
+os::EventTrace trace_for_program(const bench_suite::BenchmarkProgram& p,
+                                 bool foreground, std::uint64_t seed = 1) {
+  return bench_suite::execute_program(p, foreground, seed).trace;
+}
+
+TEST(Opus, OutputIsNeo4jExport) {
+  OpusRecorder recorder;
+  std::string out = recorder.record(trace_for("open", true), {1});
+  EXPECT_EQ(formats::detect_format(out), formats::Format::Neo4jJson);
+  EXPECT_GT(formats::from_neo4j_json(out).node_count(), 0u);
+}
+
+TEST(Opus, ProcessNodeCarriesEnvironment) {
+  graph::PropertyGraph g = build_opus_graph(trace_for("open", true), {}, 1);
+  bool found = false;
+  for (const graph::Node& n : g.nodes()) {
+    if (n.label == "Process") {
+      found = true;
+      int env_props = 0;
+      for (const auto& [k, v] : n.props) {
+        if (k.rfind("env:", 0) == 0) ++env_props;
+      }
+      EXPECT_GE(env_props, 20);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Opus, OpenAddsFourNodes) {
+  graph::PropertyGraph bg = build_opus_graph(trace_for("open", false), {}, 1);
+  graph::PropertyGraph fg = build_opus_graph(trace_for("open", true), {}, 1);
+  // "OPUS creates four new nodes including two corresponding to the
+  // file" (§4.1): event + local + global-v2 (+ version edge to v1... the
+  // second file node is the previous version when one exists; on a fresh
+  // file the chain starts with one version, so >= 3 new nodes).
+  EXPECT_GE(fg.node_count() - bg.node_count(), 3u);
+}
+
+TEST(Opus, DupAddsTwoDisconnectedNodesOnProcess) {
+  graph::PropertyGraph bg = build_opus_graph(trace_for("dup", false), {}, 1);
+  graph::PropertyGraph fg = build_opus_graph(trace_for("dup", true), {}, 1);
+  EXPECT_EQ(fg.node_count() - bg.node_count(), 2u);
+  EXPECT_EQ(fg.edge_count() - bg.edge_count(), 2u);
+}
+
+TEST(Opus, RenameAddsAboutADozenNodes) {
+  graph::PropertyGraph bg =
+      build_opus_graph(trace_for("rename", false), {}, 1);
+  graph::PropertyGraph fg = build_opus_graph(trace_for("rename", true), {}, 1);
+  std::size_t added = (fg.node_count() + fg.edge_count()) -
+                      (bg.node_count() + bg.edge_count());
+  EXPECT_GE(added, 10u);
+}
+
+TEST(Opus, ReadWriteNotRecordedByDefault) {
+  for (const char* call : {"read", "write", "pread", "pwrite"}) {
+    graph::PropertyGraph bg = build_opus_graph(trace_for(call, false), {}, 1);
+    graph::PropertyGraph fg = build_opus_graph(trace_for(call, true), {}, 1);
+    EXPECT_EQ(fg.size(), bg.size()) << call;
+  }
+}
+
+TEST(Opus, RecordIoConfigEnablesReadWrite) {
+  OpusConfig config;
+  config.record_io = true;
+  graph::PropertyGraph bg =
+      build_opus_graph(trace_for("read", false), config, 1);
+  graph::PropertyGraph fg =
+      build_opus_graph(trace_for("read", true), config, 1);
+  EXPECT_GT(fg.size(), bg.size());
+}
+
+TEST(Opus, UnwrappedCallsInvisible) {
+  for (const char* call : {"clone", "mknodat", "tee", "setresuid"}) {
+    graph::PropertyGraph bg = build_opus_graph(trace_for(call, false), {}, 1);
+    graph::PropertyGraph fg = build_opus_graph(trace_for(call, true), {}, 1);
+    EXPECT_EQ(fg.size(), bg.size()) << call;
+  }
+}
+
+TEST(Opus, FailedRenameRecordedWithNegativeReturn) {
+  bench_suite::BenchmarkProgram program =
+      bench_suite::failed_rename_benchmark();
+  graph::PropertyGraph fg =
+      build_opus_graph(trace_for_program(program, true), {}, 1);
+  graph::PropertyGraph bg =
+      build_opus_graph(trace_for_program(program, false), {}, 1);
+  EXPECT_GT(fg.size(), bg.size());
+  bool failed_event = false;
+  for (const graph::Node& n : fg.nodes()) {
+    if (n.label == "Event" && n.props.count("fn") &&
+        n.props.at("fn") == "rename") {
+      EXPECT_EQ(n.props.at("ret"), "-1");
+      EXPECT_TRUE(n.props.count("errno"));
+      failed_event = true;
+    }
+  }
+  EXPECT_TRUE(failed_event);
+}
+
+TEST(Opus, ForkReplicatesProcessState) {
+  graph::PropertyGraph bg = build_opus_graph(trace_for("fork", false), {}, 1);
+  graph::PropertyGraph fg = build_opus_graph(trace_for("fork", true), {}, 1);
+  std::size_t added = fg.size() - bg.size();
+  EXPECT_GE(added, 8u);  // "large" per §4.2
+  // Exactly one additional Process node (the child).
+  int bg_procs = 0, fg_procs = 0;
+  for (const graph::Node& n : bg.nodes()) {
+    if (n.label == "Process") ++bg_procs;
+  }
+  for (const graph::Node& n : fg.nodes()) {
+    if (n.label == "Process") ++fg_procs;
+  }
+  EXPECT_EQ(fg_procs, bg_procs + 1);
+}
+
+TEST(Opus, ExecveAddsFewNodes) {
+  graph::PropertyGraph bg =
+      build_opus_graph(trace_for("execve", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_opus_graph(trace_for("execve", true), {}, 1);
+  std::size_t added_nodes = fg.node_count() - bg.node_count();
+  EXPECT_GE(added_nodes, 1u);
+  EXPECT_LE(added_nodes, 12u);  // small relative to fork's replication
+}
+
+TEST(Opus, VersionChainsLinkGlobalNodes) {
+  // Two opens of the same file: second bumps the Global version with a
+  // VERSION_OF edge.
+  bench_suite::BenchmarkProgram p;
+  p.name = "two-opens";
+  bench_suite::StageAction stage;
+  stage.kind = bench_suite::StageAction::Kind::File;
+  stage.path = "test.txt";
+  p.staging = {stage};
+  for (int i = 0; i < 2; ++i) {
+    bench_suite::Op open;
+    open.code = bench_suite::OpCode::Open;
+    open.path = "test.txt";
+    open.flags = 2;
+    open.out = "fd" + std::to_string(i);
+    p.ops.push_back(open);
+  }
+  graph::PropertyGraph g =
+      build_opus_graph(trace_for_program(p, true), {}, 1);
+  int version_edges = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.label == "VERSION_OF") ++version_edges;
+  }
+  EXPECT_GE(version_edges, 1);
+}
+
+TEST(Opus, StableAcrossTrialsUpToTransients) {
+  graph::PropertyGraph g1 = build_opus_graph(trace_for("open", true, 1), {}, 1);
+  graph::PropertyGraph g2 = build_opus_graph(trace_for("open", true, 2), {}, 2);
+  EXPECT_EQ(graph::structural_digest(g1), graph::structural_digest(g2));
+  // Transients exist (sys_time, XDG_SESSION_ID, pid).
+  EXPECT_NE(graph::full_digest(g1), graph::full_digest(g2));
+}
+
+TEST(Opus, RecorderOutputDeterministicPerTrialSeed) {
+  OpusRecorder a, b;
+  os::EventTrace trace = trace_for("open", true);
+  EXPECT_EQ(a.record(trace, {5}), b.record(trace, {5}));
+  EXPECT_NE(a.record(trace, {5}), b.record(trace, {6}));
+}
+
+}  // namespace
+}  // namespace provmark::systems

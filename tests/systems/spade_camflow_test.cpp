@@ -1,0 +1,134 @@
+#include "systems/spade_camflow.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+#include "core/pipeline.h"
+#include "formats/detect.h"
+#include "formats/dot.h"
+#include "systems/recorder.h"
+#include "systems/spade.h"
+
+namespace provmark::systems {
+namespace {
+
+os::EventTrace trace_for(const std::string& benchmark, bool foreground,
+                         std::uint64_t seed = 1) {
+  return bench_suite::execute_program(
+             bench_suite::benchmark_by_name(benchmark), foreground, seed)
+      .trace;
+}
+
+TEST(SpadeCamflow, OutputIsSpadeStyleDot) {
+  SpadeCamflowConfig config;
+  config.interference_probability = 0;
+  SpadeCamflowRecorder recorder(config);
+  std::string out = recorder.record(trace_for("open", true), {1});
+  EXPECT_EQ(formats::detect_format(out), formats::Format::Dot);
+  graph::PropertyGraph g = formats::from_dot(out);
+  // OPM vocabulary, not PROV: Process/Artifact vertices.
+  for (const graph::Node& n : g.nodes()) {
+    EXPECT_TRUE(n.label == "Process" || n.label == "Artifact") << n.label;
+  }
+}
+
+TEST(SpadeCamflow, CoverageFollowsLsmLayerNotAuditRules) {
+  // chown: invisible to audit-SPADE, visible through the LSM reporter.
+  graph::PropertyGraph bg =
+      build_spade_camflow_graph(trace_for("chown", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_spade_camflow_graph(trace_for("chown", true), {}, 1);
+  EXPECT_GT(fg.size(), bg.size());
+  // dup: visible to audit (bookkeeping) but no LSM hook at all.
+  graph::PropertyGraph dup_bg =
+      build_spade_camflow_graph(trace_for("dup", false), {}, 1);
+  graph::PropertyGraph dup_fg =
+      build_spade_camflow_graph(trace_for("dup", true), {}, 1);
+  EXPECT_EQ(dup_fg.size(), dup_bg.size());
+}
+
+TEST(SpadeCamflow, InheritsCamflowVersionGaps) {
+  for (const char* call : {"symlink", "mknod", "pipe"}) {
+    graph::PropertyGraph bg =
+        build_spade_camflow_graph(trace_for(call, false), {}, 1);
+    graph::PropertyGraph fg =
+        build_spade_camflow_graph(trace_for(call, true), {}, 1);
+    EXPECT_EQ(fg.size(), bg.size()) << call;
+  }
+}
+
+TEST(SpadeCamflow, SetidCreatesProcessVersionEdge) {
+  graph::PropertyGraph fg =
+      build_spade_camflow_graph(trace_for("setuid", true), {}, 1);
+  bool found = false;
+  for (const graph::Edge& e : fg.edges()) {
+    if (e.label == "WasTriggeredBy" && e.props.count("operation") &&
+        e.props.at("operation") == "setuid") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpadeCamflow, FullPipelineRenameOk) {
+  core::PipelineOptions options;
+  options.recorder = std::make_shared<SpadeCamflowRecorder>();
+  options.seed = 2;
+  core::BenchmarkResult result = core::run_benchmark(
+      bench_suite::benchmark_by_name("rename"), options);
+  EXPECT_EQ(result.status, core::BenchmarkStatus::Ok);
+  EXPECT_EQ(result.system, "spade-camflow");
+}
+
+TEST(SpadeCamflow, FactoryKnowsIt) {
+  EXPECT_EQ(make_recorder("spade-camflow")->name(), "spade-camflow");
+}
+
+TEST(SpadeStorage, SpnEmitsNeo4jExport) {
+  SpadeConfig config;
+  config.storage = SpadeStorage::Neo4j;
+  config.truncation_probability = 0;
+  SpadeRecorder recorder(config);
+  EXPECT_EQ(recorder.output_format(), "neo4j-json");
+  std::string out = recorder.record(trace_for("open", true), {1});
+  EXPECT_EQ(formats::detect_format(out), formats::Format::Neo4jJson);
+}
+
+TEST(SpadeStorage, SpnAndSpgProduceSameGraph) {
+  // Storage backend must not change the recorded structure.
+  os::EventTrace trace = trace_for("rename", true);
+  SpadeConfig dot_config;
+  dot_config.truncation_probability = 0;
+  SpadeConfig neo_config = dot_config;
+  neo_config.storage = SpadeStorage::Neo4j;
+  SpadeRecorder spg(dot_config), spn(neo_config);
+  graph::PropertyGraph via_dot =
+      formats::parse_any(spg.record(trace, {4}));
+  graph::PropertyGraph via_neo4j =
+      formats::parse_any(spn.record(trace, {4}));
+  EXPECT_EQ(via_dot.node_count(), via_neo4j.node_count());
+  EXPECT_EQ(via_dot.edge_count(), via_neo4j.edge_count());
+}
+
+TEST(SpadeStorage, FactoryAbbreviations) {
+  EXPECT_EQ(make_recorder("spg")->output_format(), "graphviz-dot");
+  EXPECT_EQ(make_recorder("spn")->output_format(), "neo4j-json");
+  EXPECT_EQ(make_recorder("opu")->name(), "opus");
+  EXPECT_EQ(make_recorder("cam")->name(), "camflow");
+  EXPECT_THROW(make_recorder("nope"), std::invalid_argument);
+}
+
+TEST(SpadeCamflow, PipelineSpnRenameOk) {
+  core::PipelineOptions options;
+  options.system = "spn";
+  options.seed = 3;
+  core::BenchmarkResult result = core::run_benchmark(
+      bench_suite::benchmark_by_name("rename"), options);
+  EXPECT_EQ(result.status, core::BenchmarkStatus::Ok);
+}
+
+}  // namespace
+}  // namespace provmark::systems

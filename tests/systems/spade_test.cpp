@@ -1,0 +1,262 @@
+#include "systems/spade.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+#include "formats/detect.h"
+#include "formats/dot.h"
+#include "graph/algorithms.h"
+
+namespace provmark::systems {
+namespace {
+
+os::EventTrace trace_for(const std::string& benchmark, bool foreground,
+                         std::uint64_t seed = 1,
+                         const std::set<std::string>& extra_rules = {}) {
+  return bench_suite::execute_program(
+             bench_suite::benchmark_by_name(benchmark), foreground, seed,
+             extra_rules)
+      .trace;
+}
+
+int count_edges_with(const graph::PropertyGraph& g, const std::string& key,
+                     const std::string& value) {
+  int n = 0;
+  for (const graph::Edge& e : g.edges()) {
+    auto it = e.props.find(key);
+    if (it != e.props.end() && it->second == value) ++n;
+  }
+  return n;
+}
+
+TEST(Spade, OutputIsParseableDot) {
+  SpadeConfig config;
+  config.truncation_probability = 0;
+  SpadeRecorder recorder(config);
+  std::string out = recorder.record(trace_for("open", true), {42});
+  EXPECT_EQ(formats::detect_format(out), formats::Format::Dot);
+  graph::PropertyGraph g = formats::from_dot(out);
+  EXPECT_GT(g.node_count(), 0u);
+}
+
+TEST(Spade, OpenAddsArtifactAndUsedEdge) {
+  graph::PropertyGraph bg =
+      build_spade_graph(trace_for("open", false), {}, 1);
+  graph::PropertyGraph fg = build_spade_graph(trace_for("open", true), {}, 1);
+  EXPECT_EQ(fg.node_count(), bg.node_count() + 1);
+  EXPECT_EQ(fg.edge_count(), bg.edge_count() + 1);
+  EXPECT_GE(count_edges_with(fg, "operation", "open"), 1);
+}
+
+TEST(Spade, WriteIsWasGeneratedBy) {
+  graph::PropertyGraph fg =
+      build_spade_graph(trace_for("write", true), {}, 1);
+  bool found = false;
+  for (const graph::Edge& e : fg.edges()) {
+    if (e.props.count("operation") && e.props.at("operation") == "write") {
+      EXPECT_EQ(e.label, "WasGeneratedBy");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Spade, RenameBuildsTwoArtifactsLinked) {
+  graph::PropertyGraph bg =
+      build_spade_graph(trace_for("rename", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_spade_graph(trace_for("rename", true), {}, 1);
+  // Two nodes for the new and old filenames, edges linking them to each
+  // other and to the process (Figure 1a / §4.1).
+  EXPECT_EQ(fg.node_count(), bg.node_count() + 2);
+  EXPECT_EQ(fg.edge_count(), bg.edge_count() + 3);
+  EXPECT_EQ(count_edges_with(fg, "operation", "rename"), 3);
+}
+
+TEST(Spade, DupCreatesNoStructure) {
+  graph::PropertyGraph bg = build_spade_graph(trace_for("dup", false), {}, 1);
+  graph::PropertyGraph fg = build_spade_graph(trace_for("dup", true), {}, 1);
+  EXPECT_EQ(fg.node_count(), bg.node_count());
+  EXPECT_EQ(fg.edge_count(), bg.edge_count());
+}
+
+TEST(Spade, SetresuidDetectedViaCredentialChange) {
+  graph::PropertyGraph bg =
+      build_spade_graph(trace_for("setresuid", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_spade_graph(trace_for("setresuid", true), {}, 1);
+  // Not audited directly, but the uid change surfaces through the later
+  // exit_group record: one new Process vertex + update edge.
+  EXPECT_EQ(fg.node_count(), bg.node_count() + 1);
+  EXPECT_GE(count_edges_with(fg, "operation", "update"), 1);
+}
+
+TEST(Spade, SetresgidNoopInvisible) {
+  graph::PropertyGraph bg =
+      build_spade_graph(trace_for("setresgid", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_spade_graph(trace_for("setresgid", true), {}, 1);
+  EXPECT_EQ(fg.node_count(), bg.node_count());
+  EXPECT_EQ(fg.edge_count(), bg.edge_count());
+}
+
+TEST(Spade, VforkChildIsDisconnected) {
+  graph::PropertyGraph fg =
+      build_spade_graph(trace_for("vfork", true), {}, 1);
+  // The child process vertex exists but no WasTriggeredBy(vfork) edge.
+  EXPECT_EQ(count_edges_with(fg, "operation", "vfork"), 0);
+  // There is a degree-0 Process vertex (the disconnected child).
+  auto sigs = graph::degree_signatures(fg);
+  bool disconnected_process = false;
+  for (const auto& [id, sig] : sigs) {
+    if (sig.label == "Process" && sig.in == 0 && sig.out == 0) {
+      disconnected_process = true;
+    }
+  }
+  EXPECT_TRUE(disconnected_process);
+}
+
+TEST(Spade, ForkChildIsConnected) {
+  graph::PropertyGraph fg = build_spade_graph(trace_for("fork", true), {}, 1);
+  EXPECT_GE(count_edges_with(fg, "operation", "fork"), 1);
+}
+
+TEST(Spade, ExecveGraphIsLarge) {
+  graph::PropertyGraph bg =
+      build_spade_graph(trace_for("execve", false), {}, 1);
+  graph::PropertyGraph fg =
+      build_spade_graph(trace_for("execve", true), {}, 1);
+  // New process vertex + binary + repeated loader artifacts/edges (§4.2).
+  EXPECT_GE(fg.size() - bg.size(), 6u);
+}
+
+TEST(Spade, SimplifyOffEmitsSpuriousVertex) {
+  SpadeConfig config;
+  config.simplify = false;
+  SpadeRecorder recorder(config);
+  os::EventTrace trace = trace_for("setresuid", true, 1,
+                                   recorder.extra_audit_rules());
+  graph::PropertyGraph g = build_spade_graph(trace, config, 7);
+  auto sigs = graph::degree_signatures(g);
+  int disconnected = 0;
+  for (const auto& [id, sig] : sigs) {
+    if (sig.in == 0 && sig.out == 0) ++disconnected;
+  }
+  EXPECT_GE(disconnected, 1);
+
+  SpadeConfig fixed = config;
+  fixed.fixed_setres_vertex_bug = true;
+  graph::PropertyGraph g2 = build_spade_graph(trace, fixed, 7);
+  auto sigs2 = graph::degree_signatures(g2);
+  int disconnected2 = 0;
+  for (const auto& [id, sig] : sigs2) {
+    if (sig.in == 0 && sig.out == 0) ++disconnected2;
+  }
+  EXPECT_EQ(disconnected2, 0);
+}
+
+TEST(Spade, SpuriousVertexPropertyIsRandomAcrossRuns) {
+  SpadeConfig config;
+  config.simplify = false;
+  os::EventTrace trace =
+      trace_for("setresuid", true, 1, {"setresuid", "setresgid"});
+  graph::PropertyGraph a = build_spade_graph(trace, config, 1);
+  graph::PropertyGraph b = build_spade_graph(trace, config, 2);
+  // Same structure, different random "version" value: the Bob bug.
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_NE(graph::full_digest(a), graph::full_digest(b));
+}
+
+TEST(Spade, IorunsFilterBugAndFix) {
+  // Trace with a run of 3 reads on the same file.
+  bench_suite::BenchmarkProgram p;
+  p.name = "reads";
+  bench_suite::StageAction stage;
+  stage.kind = bench_suite::StageAction::Kind::File;
+  stage.path = "test.txt";
+  p.staging = {stage};
+  bench_suite::Op open;
+  open.code = bench_suite::OpCode::Open;
+  open.path = "test.txt";
+  open.flags = 2;
+  open.out = "fd";
+  p.ops.push_back(open);
+  for (int i = 0; i < 3; ++i) {
+    bench_suite::Op read;
+    read.code = bench_suite::OpCode::Read;
+    read.var = "fd";
+    read.a = 64;
+    p.ops.push_back(read);
+  }
+  os::EventTrace trace = bench_suite::execute_program(p, true, 1).trace;
+
+  SpadeConfig off;
+  graph::PropertyGraph no_filter = build_spade_graph(trace, off, 1);
+
+  SpadeConfig buggy = off;
+  buggy.io_runs_filter = true;
+  graph::PropertyGraph with_bug = build_spade_graph(trace, buggy, 1);
+  EXPECT_EQ(with_bug.edge_count(), no_filter.edge_count());  // no effect
+
+  SpadeConfig fixed = buggy;
+  fixed.fixed_ioruns_property = true;
+  graph::PropertyGraph with_fix = build_spade_graph(trace, fixed, 1);
+  EXPECT_EQ(with_fix.edge_count(), no_filter.edge_count() - 2);
+  bool coalesced = false;
+  for (const graph::Edge& e : with_fix.edges()) {
+    if (e.props.count("count") && e.props.at("count") == "3") {
+      coalesced = true;
+    }
+  }
+  EXPECT_TRUE(coalesced);
+}
+
+TEST(Spade, VersioningCreatesArtifactChain) {
+  SpadeConfig versioned;
+  versioned.versioning = true;
+  os::EventTrace trace = trace_for("write", true);
+  graph::PropertyGraph plain = build_spade_graph(trace, {}, 1);
+  graph::PropertyGraph chain = build_spade_graph(trace, versioned, 1);
+  EXPECT_GT(chain.node_count(), plain.node_count());
+  bool version_edge = false;
+  for (const graph::Edge& e : chain.edges()) {
+    if (e.label == "WasDerivedFrom" &&
+        e.props.count("operation") &&
+        e.props.at("operation") == "version") {
+      version_edge = true;
+    }
+  }
+  EXPECT_TRUE(version_edge);
+}
+
+TEST(Spade, TruncationProducesUnparseableOutput) {
+  SpadeConfig config;
+  config.truncation_probability = 1.0;  // force truncation
+  SpadeRecorder recorder(config);
+  std::string full;
+  {
+    SpadeConfig clean = config;
+    clean.truncation_probability = 0;
+    SpadeRecorder ok(clean);
+    full = ok.record(trace_for("open", true), {9});
+  }
+  std::string clipped = recorder.record(trace_for("open", true), {9});
+  EXPECT_LT(clipped.size(), full.size());
+  // Cut mid-write: the document must fail to parse, so the pipeline
+  // excludes the trial as a failed run.
+  EXPECT_THROW(formats::from_dot(clipped), std::runtime_error);
+}
+
+TEST(Spade, TransientPropertiesDifferAcrossTrials) {
+  os::EventTrace t1 = trace_for("open", true, 1);
+  os::EventTrace t2 = trace_for("open", true, 2);
+  graph::PropertyGraph g1 = build_spade_graph(t1, {}, 1);
+  graph::PropertyGraph g2 = build_spade_graph(t2, {}, 2);
+  // Same shape, different transient property values.
+  EXPECT_EQ(graph::structural_digest(g1), graph::structural_digest(g2));
+  EXPECT_NE(graph::full_digest(g1), graph::full_digest(g2));
+}
+
+}  // namespace
+}  // namespace provmark::systems

@@ -1,0 +1,51 @@
+#include "util/loc_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace provmark::util {
+namespace {
+
+TEST(LocCounter, CountsCodeCommentBlank) {
+  LocCount c = count_source_lines(
+      "int x;\n"
+      "// comment only\n"
+      "\n"
+      "int y;  // trailing comment still code\n");
+  EXPECT_EQ(c.total, 4);
+  EXPECT_EQ(c.code, 2);
+  EXPECT_EQ(c.comment, 1);
+  EXPECT_EQ(c.blank, 1);
+}
+
+TEST(LocCounter, BlockComments) {
+  LocCount c = count_source_lines(
+      "/* one\n"
+      "   two\n"
+      "   three */\n"
+      "int x; /* inline */\n");
+  EXPECT_EQ(c.comment, 3);
+  EXPECT_EQ(c.code, 1);
+}
+
+TEST(LocCounter, BlockCommentWithTrailingCode) {
+  LocCount c = count_source_lines("/* c */ int x;\n");
+  EXPECT_EQ(c.code, 1);
+}
+
+TEST(LocCounter, EmptyText) {
+  LocCount c = count_source_lines("");
+  EXPECT_EQ(c.total, 0);
+}
+
+TEST(LocCounter, MissingDirectoryIsZero) {
+  LocCount c = count_directory("/no/such/dir", {".cpp"});
+  EXPECT_EQ(c.total, 0);
+}
+
+TEST(LocCounter, MissingFileIsZero) {
+  LocCount c = count_file("/no/such/file.cpp");
+  EXPECT_EQ(c.total, 0);
+}
+
+}  // namespace
+}  // namespace provmark::util

@@ -1,0 +1,54 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace provmark::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("nodelim", ','), (std::vector<std::string>{"nodelim"}));
+}
+
+TEST(SplitNonempty, TrimsAndDrops) {
+  EXPECT_EQ(split_nonempty(" a , ,b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_nonempty("  ,  ", ',').empty());
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("digraph g", "digraph"));
+  EXPECT_FALSE(starts_with("di", "digraph"));
+  EXPECT_TRUE(ends_with("file.json", ".json"));
+  EXPECT_FALSE(ends_with("json", ".json"));
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ReplaceAll, Basics) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");   // empty needle is no-op
+}
+
+TEST(Format, Printf) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace provmark::util

@@ -1,0 +1,153 @@
+// The ProvMark command-line driver, mirroring the paper's tooling
+// (appendix A.5):
+//
+//   Single execution (fullAutomation.py):
+//     provmark run <system> <benchmark> [trials]
+//   Batch execution (runTests.sh):
+//     provmark batch <system> <result-type> [output-dir]
+//
+// Systems accept both long names (spade/opus/camflow/spade-camflow) and
+// the paper's abbreviations (spg/spn/opu/cam). Result types follow the
+// paper: rb = benchmark only, rg = benchmark + generalized graphs,
+// rh = HTML page (written to <output-dir>/index.html).
+//
+// Batch mode also appends one CSV line per benchmark to
+// <output-dir>/time.log — the appendix A.6.4 timing-log format:
+//   system,syscall,recording,transformation,generalization,comparison
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_suite/program.h"
+#include "bench_suite/program_text.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "datalog/fact_io.h"
+#include "util/strings.h"
+
+using namespace provmark;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  provmark run <system> <benchmark> [trials]\n"
+               "  provmark batch <system> <rb|rg|rh> [output-dir]\n"
+               "systems: spade|spg, spn, opus|opu, camflow|cam, "
+               "spade-camflow\n"
+               "benchmarks: Table 1 syscall names (e.g. rename), "
+               "scaleN, rename-fail\n");
+  return 2;
+}
+
+bench_suite::BenchmarkProgram find_program(const std::string& name) {
+  if (!name.empty() && name.front() == '@') {
+    // @path/to/file.prog: a user-supplied textual benchmark program.
+    std::ifstream in(name.substr(1));
+    if (!in.good()) {
+      throw std::runtime_error("cannot read program file " +
+                               name.substr(1));
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return bench_suite::parse_program(text);
+  }
+  if (name.rfind("scale", 0) == 0 && name.size() > 5) {
+    return bench_suite::scale_benchmark(std::stoi(name.substr(5)));
+  }
+  if (name == "rename-fail") return bench_suite::failed_rename_benchmark();
+  for (const bench_suite::BenchmarkProgram& p :
+       bench_suite::failure_benchmarks()) {
+    if (p.name == name) return p;
+  }
+  return bench_suite::benchmark_by_name(name);
+}
+
+int run_single(const std::string& system, const std::string& benchmark,
+               int trials) {
+  core::PipelineOptions options;
+  options.system = system;
+  options.trials = trials;
+  core::BenchmarkResult result =
+      core::run_benchmark(find_program(benchmark), options);
+  std::printf("%s\n\n", core::summarize(result).c_str());
+  std::printf("%s\n", core::result_dot(result).c_str());
+  std::printf("%s", datalog::to_datalog(result.result, "result").c_str());
+  if (result.status == core::BenchmarkStatus::Failed) {
+    std::fprintf(stderr, "failure: %s\n", result.failure_reason.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int run_batch(const std::string& system, const std::string& result_type,
+              const std::string& output_dir) {
+  std::filesystem::create_directories(output_dir);
+  std::ofstream time_log(output_dir + "/time.log", std::ios::app);
+  std::vector<core::BenchmarkResult> results;
+  for (const bench_suite::BenchmarkProgram& program :
+       bench_suite::table_benchmarks()) {
+    core::PipelineOptions options;
+    options.system = system;
+    core::BenchmarkResult result = core::run_benchmark(program, options);
+    std::printf("%s\n", core::summarize(result).c_str());
+    time_log << util::format("%s,%s,%.6f,%.6f,%.6f,%.6f\n",
+                             result.system.c_str(),
+                             result.benchmark.c_str(),
+                             result.timings.recording,
+                             result.timings.transformation,
+                             result.timings.generalization,
+                             result.timings.comparison);
+    results.push_back(std::move(result));
+  }
+
+  std::printf("\n%s\n", core::validation_table(results).c_str());
+
+  if (result_type == "rg" || result_type == "rh") {
+    for (const core::BenchmarkResult& result : results) {
+      std::string base = output_dir + "/" + result.system + "_" +
+                         result.benchmark;
+      std::ofstream(base + ".dot") << core::result_dot(result);
+      std::ofstream(base + ".datalog")
+          << "% generalized background\n"
+          << datalog::to_datalog(result.generalized_background, "bg")
+          << "% generalized foreground\n"
+          << datalog::to_datalog(result.generalized_foreground, "fg")
+          << "% benchmark result\n"
+          << datalog::to_datalog(result.result, "result");
+    }
+  }
+  if (result_type == "rh") {
+    std::ofstream(output_dir + "/index.html")
+        << core::html_report(results);
+    std::printf("wrote %s/index.html\n", output_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    if (args[0] == "run" && (args.size() == 3 || args.size() == 4)) {
+      return run_single(args[1], args[2],
+                        args.size() == 4 ? std::stoi(args[3]) : 0);
+    }
+    if (args[0] == "batch" && (args.size() == 3 || args.size() == 4)) {
+      if (args[2] != "rb" && args[2] != "rg" && args[2] != "rh") {
+        return usage();
+      }
+      return run_batch(args[1], args[2],
+                       args.size() == 4 ? args[3] : "finalResult");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
