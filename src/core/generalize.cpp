@@ -9,11 +9,22 @@ namespace provmark::core {
 
 std::vector<std::vector<std::size_t>> similarity_classes(
     const std::vector<graph::PropertyGraph>& trials) {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(trials.size());
+  for (const graph::PropertyGraph& trial : trials) {
+    digests.push_back(graph::structural_digest(trial));
+  }
+  return similarity_classes(trials, digests);
+}
+
+std::vector<std::vector<std::size_t>> similarity_classes(
+    const std::vector<graph::PropertyGraph>& trials,
+    const std::vector<std::uint64_t>& digests) {
   // Bucket by structural digest first (equal digests are necessary for
   // similarity), then confirm with the exact matcher inside each bucket.
   std::map<std::uint64_t, std::vector<std::size_t>> buckets;
   for (std::size_t i = 0; i < trials.size(); ++i) {
-    buckets[graph::structural_digest(trials[i])].push_back(i);
+    buckets[digests[i]].push_back(i);
   }
   std::vector<std::vector<std::size_t>> classes;
   for (auto& [digest, members] : buckets) {
@@ -76,7 +87,20 @@ std::optional<graph::PropertyGraph> generalize_pair(
 std::optional<GeneralizeResult> generalize_trials(
     const std::vector<graph::PropertyGraph>& trials,
     const GeneralizeOptions& options) {
-  std::vector<std::vector<std::size_t>> classes = similarity_classes(trials);
+  std::vector<std::uint64_t> digests;
+  digests.reserve(trials.size());
+  for (const graph::PropertyGraph& trial : trials) {
+    digests.push_back(graph::structural_digest(trial));
+  }
+  return generalize_trials(trials, digests, options);
+}
+
+std::optional<GeneralizeResult> generalize_trials(
+    const std::vector<graph::PropertyGraph>& trials,
+    const std::vector<std::uint64_t>& digests,
+    const GeneralizeOptions& options) {
+  std::vector<std::vector<std::size_t>> classes =
+      similarity_classes(trials, digests);
   GeneralizeResult result;
   result.classes = classes.size();
   // Discard singleton classes: failed runs (§3.4).

@@ -15,6 +15,7 @@
 //     representatives and keep only properties equal under it.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,14 @@ struct GeneralizeResult {
 std::vector<std::vector<std::size_t>> similarity_classes(
     const std::vector<graph::PropertyGraph>& trials);
 
+/// Same, with the trials' WL structural digests precomputed by the caller
+/// (graph::structural_digest per trial). The pipeline computes each
+/// digest once when a trial is transformed, so retry rounds never re-hash
+/// old trials; the exact matcher only runs inside equal-digest buckets.
+std::vector<std::vector<std::size_t>> similarity_classes(
+    const std::vector<graph::PropertyGraph>& trials,
+    const std::vector<std::uint64_t>& digests);
+
 /// Generalize two similar graphs: keep exactly the properties preserved
 /// by the optimal (cost-minimizing) isomorphism. Returns std::nullopt if
 /// the graphs are not similar.
@@ -57,6 +66,12 @@ std::optional<graph::PropertyGraph> generalize_pair(
 /// (the paper's recording stage would run more trials in that case).
 std::optional<GeneralizeResult> generalize_trials(
     const std::vector<graph::PropertyGraph>& trials,
+    const GeneralizeOptions& options = {});
+
+/// Same, with precomputed digests (see similarity_classes overload).
+std::optional<GeneralizeResult> generalize_trials(
+    const std::vector<graph::PropertyGraph>& trials,
+    const std::vector<std::uint64_t>& digests,
     const GeneralizeOptions& options = {});
 
 }  // namespace provmark::core

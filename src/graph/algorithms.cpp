@@ -5,74 +5,45 @@
 #include <numeric>
 #include <set>
 
+#include "graph/compact.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
 namespace provmark::graph {
 
-namespace {
-
-std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2);
-  return a;
-}
-
-/// Order-independent combination (sum) so digests ignore element order.
-std::uint64_t combine_unordered(const std::vector<std::uint64_t>& hashes) {
-  std::uint64_t sum = 0x12345678ULL;
-  for (std::uint64_t h : hashes) sum += h * 0x100000001B3ULL + 1;
-  return sum;
-}
-
-}  // namespace
-
 std::map<Id, std::uint64_t> wl_colours(const PropertyGraph& g, int rounds) {
-  std::map<Id, std::uint64_t> colour;
-  for (const Node& n : g.nodes()) {
-    colour[n.id] = util::stable_hash(n.label);
+  // Refinement runs on the CSR snapshot (O(V+E) per round instead of the
+  // naive O(V*E) edge rescans); the colour values are unchanged.
+  SymbolTable symbols;
+  CompactGraph cg =
+      CompactGraph::build(g, symbols, /*topology_only=*/true);
+  std::vector<std::uint64_t> colour = compact_wl_colours(cg, rounds);
+  std::map<Id, std::uint64_t> out;
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    out[g.nodes()[i].id] = colour[i];
   }
-  for (int round = 0; round < rounds; ++round) {
-    std::map<Id, std::uint64_t> next;
-    for (const Node& n : g.nodes()) {
-      std::vector<std::uint64_t> in_sig, out_sig;
-      for (const Edge& e : g.edges()) {
-        if (e.tgt == n.id) {
-          in_sig.push_back(
-              mix(util::stable_hash(e.label), colour.at(e.src)));
-        }
-        if (e.src == n.id) {
-          out_sig.push_back(
-              mix(util::stable_hash(e.label), colour.at(e.tgt)));
-        }
-      }
-      std::uint64_t h = colour.at(n.id);
-      h = mix(h, combine_unordered(in_sig));
-      h = mix(mix(h, 0xABCDULL), combine_unordered(out_sig));
-      next[n.id] = h;
-    }
-    colour = std::move(next);
-  }
-  return colour;
+  return out;
 }
 
 std::uint64_t structural_digest(const PropertyGraph& g) {
   // Three WL rounds suffice to distinguish the small provenance graphs we
   // see in practice; collisions only cost matcher time, never correctness.
-  std::map<Id, std::uint64_t> colour = wl_colours(g, 3);
-  std::vector<std::uint64_t> node_hashes;
-  node_hashes.reserve(g.node_count());
-  for (const auto& [id, c] : colour) node_hashes.push_back(c);
-  std::vector<std::uint64_t> edge_hashes;
-  edge_hashes.reserve(g.edge_count());
-  for (const Edge& e : g.edges()) {
-    std::uint64_t h = util::stable_hash(e.label);
-    h = mix(h, colour.at(e.src));
-    h = mix(mix(h, 0x77ULL), colour.at(e.tgt));
-    edge_hashes.push_back(h);
+  SymbolTable symbols;
+  CompactGraph cg =
+      CompactGraph::build(g, symbols, /*topology_only=*/true);
+  std::vector<std::uint64_t> colour = compact_wl_colours(cg, 3);
+  UnorderedHashSum node_hashes;
+  for (std::uint64_t c : colour) node_hashes.add(c);
+  UnorderedHashSum edge_hashes;
+  for (std::uint32_t e = 0; e < cg.edge_count(); ++e) {
+    std::uint64_t h = symbols.hash(cg.edge_label[e]);
+    h = hash_mix(h, colour[cg.edge_src[e]]);
+    h = hash_mix(hash_mix(h, 0x77ULL), colour[cg.edge_tgt[e]]);
+    edge_hashes.add(h);
   }
-  return mix(combine_unordered(node_hashes),
-             mix(combine_unordered(edge_hashes),
-                 mix(g.node_count(), g.edge_count())));
+  return hash_mix(node_hashes.value(),
+                  hash_mix(edge_hashes.value(),
+                           hash_mix(g.node_count(), g.edge_count())));
 }
 
 std::uint64_t full_digest(const PropertyGraph& g) {
@@ -81,14 +52,14 @@ std::uint64_t full_digest(const PropertyGraph& g) {
   for (const Node& n : g.nodes()) {
     std::uint64_t ph = 0;
     for (const auto& [k, v] : n.props) {
-      ph = mix(ph, mix(util::stable_hash(k), util::stable_hash(v)));
+      ph = hash_mix(ph, hash_mix(util::stable_hash(k), util::stable_hash(v)));
     }
     annotated.add_node(n.id, n.label + "#" + std::to_string(ph));
   }
   for (const Edge& e : g.edges()) {
     std::uint64_t ph = 0;
     for (const auto& [k, v] : e.props) {
-      ph = mix(ph, mix(util::stable_hash(k), util::stable_hash(v)));
+      ph = hash_mix(ph, hash_mix(util::stable_hash(k), util::stable_hash(v)));
     }
     annotated.add_edge(e.id, e.src, e.tgt,
                        e.label + "#" + std::to_string(ph));

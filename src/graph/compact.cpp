@@ -1,0 +1,172 @@
+#include "graph/compact.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace provmark::graph {
+
+Symbol SymbolTable::intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(strings_.size());
+  strings_.emplace_back(s);
+  hashes_.push_back(util::stable_hash(s));
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+Symbol SymbolTable::lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+int one_sided_mismatch(const CompactProps& a, const CompactProps& b) {
+  int cost = 0;
+  std::size_t j = 0;
+  for (const auto& [key, value] : a) {
+    while (j < b.size() && b[j].first < key) ++j;
+    if (j >= b.size() || b[j].first != key || b[j].second != value) ++cost;
+  }
+  return cost;
+}
+
+int symmetric_mismatch(const CompactProps& a, const CompactProps& b) {
+  int cost = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++cost;  // key only in a
+      ++i;
+    } else if (b[j].first < a[i].first) {
+      ++cost;  // key only in b
+      ++j;
+    } else {
+      if (a[i].second != b[j].second) cost += 2;  // both sides mismatch
+      ++i;
+      ++j;
+    }
+  }
+  cost += static_cast<int>((a.size() - i) + (b.size() - j));
+  return cost;
+}
+
+Symbol find_prop(const CompactProps& props, Symbol key) {
+  auto it = std::lower_bound(
+      props.begin(), props.end(), key,
+      [](const std::pair<Symbol, Symbol>& p, Symbol k) { return p.first < k; });
+  if (it == props.end() || it->first != key) return kNoSymbol;
+  return it->second;
+}
+
+namespace {
+
+CompactProps intern_props(const Properties& props, SymbolTable& symbols) {
+  CompactProps out;
+  out.reserve(props.size());
+  for (const auto& [k, v] : props) {
+    out.emplace_back(symbols.intern(k), symbols.intern(v));
+  }
+  // graph::Properties is key-ordered lexicographically; compact props are
+  // ordered by key symbol (intern order), so re-sort.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+CompactGraph CompactGraph::build(const PropertyGraph& g,
+                                 SymbolTable& symbols, bool topology_only) {
+  CompactGraph out;
+  out.source = &g;
+  out.symbols = &symbols;
+
+  const std::uint32_t n = static_cast<std::uint32_t>(g.node_count());
+  const std::uint32_t m = static_cast<std::uint32_t>(g.edge_count());
+
+  out.node_label.reserve(n);
+  if (!topology_only) out.node_props.reserve(n);
+  std::unordered_map<std::string_view, std::uint32_t> node_index;
+  node_index.reserve(n);
+  for (const Node& node : g.nodes()) {
+    Symbol label = symbols.intern(node.label);
+    node_index.emplace(std::string_view(node.id),
+                       static_cast<std::uint32_t>(out.node_label.size()));
+    if (!topology_only) {
+      out.label_buckets[label].push_back(
+          static_cast<std::uint32_t>(out.node_label.size()));
+      out.node_props.push_back(intern_props(node.props, symbols));
+    }
+    out.node_label.push_back(label);
+  }
+
+  out.edge_src.reserve(m);
+  out.edge_tgt.reserve(m);
+  out.edge_label.reserve(m);
+  if (!topology_only) out.edge_props.reserve(m);
+  for (const Edge& edge : g.edges()) {
+    out.edge_src.push_back(node_index.at(edge.src));
+    out.edge_tgt.push_back(node_index.at(edge.tgt));
+    out.edge_label.push_back(symbols.intern(edge.label));
+    if (!topology_only) {
+      out.edge_props.push_back(intern_props(edge.props, symbols));
+    }
+  }
+
+  // CSR: count, prefix-sum, fill (edge order preserved within each node).
+  out.out_offsets.assign(n + 1, 0);
+  out.in_offsets.assign(n + 1, 0);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    ++out.out_offsets[out.edge_src[e] + 1];
+    ++out.in_offsets[out.edge_tgt[e] + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    out.out_offsets[v + 1] += out.out_offsets[v];
+    out.in_offsets[v + 1] += out.in_offsets[v];
+  }
+  out.out_edges.resize(m);
+  out.in_edges.resize(m);
+  std::vector<std::uint32_t> out_fill(out.out_offsets.begin(),
+                                      out.out_offsets.end() - 1);
+  std::vector<std::uint32_t> in_fill(out.in_offsets.begin(),
+                                     out.in_offsets.end() - 1);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    out.out_edges[out_fill[out.edge_src[e]]++] = e;
+    out.in_edges[in_fill[out.edge_tgt[e]]++] = e;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> compact_wl_colours(const CompactGraph& g,
+                                              int rounds) {
+  const std::uint32_t n = g.node_count();
+  std::vector<std::uint64_t> colour(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    colour[v] = g.symbols->hash(g.node_label[v]);
+  }
+  std::vector<std::uint64_t> next(n);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      UnorderedHashSum in_sig, out_sig;
+      for (std::uint32_t k = g.in_offsets[v]; k < g.in_offsets[v + 1]; ++k) {
+        std::uint32_t e = g.in_edges[k];
+        in_sig.add(hash_mix(g.symbols->hash(g.edge_label[e]),
+                            colour[g.edge_src[e]]));
+      }
+      for (std::uint32_t k = g.out_offsets[v]; k < g.out_offsets[v + 1];
+           ++k) {
+        std::uint32_t e = g.out_edges[k];
+        out_sig.add(hash_mix(g.symbols->hash(g.edge_label[e]),
+                             colour[g.edge_tgt[e]]));
+      }
+      std::uint64_t h = colour[v];
+      h = hash_mix(h, in_sig.value());
+      h = hash_mix(hash_mix(h, 0xABCDULL), out_sig.value());
+      next[v] = h;
+    }
+    colour.swap(next);
+  }
+  return colour;
+}
+
+}  // namespace provmark::graph

@@ -1,0 +1,152 @@
+// Interned, cache-friendly snapshot of a PropertyGraph.
+//
+// The matcher's inner loop compares labels, degrees and property sets
+// millions of times; doing that through string-keyed std::maps dominates
+// the generalization and comparison stages (Figures 5-10). This layer
+// interns every label, property key and property value into a dense
+// uint32 Symbol via a SymbolTable shared between the graphs being
+// matched, and freezes a PropertyGraph into a CompactGraph:
+//
+//   * node/edge labels as Symbols,
+//   * per-element properties as (key,value) Symbol pairs sorted by key,
+//     so a property-mismatch count is a linear merge with no allocation,
+//   * CSR in/out adjacency with O(1) degree lookup,
+//   * label-bucketed node lists for candidate generation.
+//
+// A CompactGraph is a read-only snapshot: it keeps a pointer to its
+// source PropertyGraph (for reconstructing string ids in final results)
+// and is invalidated by any mutation of the source.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace provmark::graph {
+
+/// Dense id of an interned string. Symbols are only comparable when they
+/// come from the same SymbolTable.
+using Symbol = std::uint32_t;
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+// -- hashing ------------------------------------------------------------------
+// The digest/WL hash combiners, shared by graph::wl_colours and the
+// compact WL refinement so both produce bit-identical colours.
+
+inline std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+/// Order-independent (summing) combiner; add() the element hashes in any
+/// order and read value().
+class UnorderedHashSum {
+ public:
+  void add(std::uint64_t h) { sum_ += h * 0x100000001B3ULL + 1; }
+  std::uint64_t value() const { return sum_; }
+
+ private:
+  std::uint64_t sum_ = 0x12345678ULL;
+};
+
+// -- symbol table -------------------------------------------------------------
+
+/// Interns strings to dense Symbols. Each symbol also caches the FNV-1a
+/// hash of its string so WL refinement never touches the characters.
+class SymbolTable {
+ public:
+  /// Get-or-create the symbol for `s`.
+  Symbol intern(std::string_view s);
+
+  /// Lookup without creating; kNoSymbol when `s` was never interned.
+  Symbol lookup(std::string_view s) const;
+
+  const std::string& resolve(Symbol id) const { return strings_[id]; }
+
+  /// util::stable_hash of the interned string.
+  std::uint64_t hash(Symbol id) const { return hashes_[id]; }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  // deque keeps references stable so index_ can key on views into it.
+  std::deque<std::string> strings_;
+  std::vector<std::uint64_t> hashes_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+/// An element's properties: (key,value) symbols sorted by key (keys are
+/// unique per element, mirroring graph::Properties).
+using CompactProps = std::vector<std::pair<Symbol, Symbol>>;
+
+/// Count of (key,value) pairs in `a` with no equal pair in `b` — the
+/// matcher's one-sided property-mismatch cost, as a linear merge.
+int one_sided_mismatch(const CompactProps& a, const CompactProps& b);
+
+/// one_sided_mismatch(a,b) + one_sided_mismatch(b,a) in a single merge.
+int symmetric_mismatch(const CompactProps& a, const CompactProps& b);
+
+/// Value symbol for `key` in sorted props, or kNoSymbol.
+Symbol find_prop(const CompactProps& props, Symbol key);
+
+// -- compact graph ------------------------------------------------------------
+
+/// Frozen integer view of a PropertyGraph. Node/edge indices follow the
+/// source graph's insertion order (`source->nodes()[i]` etc.).
+struct CompactGraph {
+  const PropertyGraph* source = nullptr;
+  const SymbolTable* symbols = nullptr;
+
+  // Nodes, indexed 0..node_count-1 in source order.
+  std::vector<Symbol> node_label;
+  std::vector<CompactProps> node_props;
+
+  // Edges, indexed 0..edge_count-1 in source order.
+  std::vector<std::uint32_t> edge_src;
+  std::vector<std::uint32_t> edge_tgt;
+  std::vector<Symbol> edge_label;
+  std::vector<CompactProps> edge_props;
+
+  // CSR adjacency: edge indices incident to each node, by direction.
+  std::vector<std::uint32_t> out_offsets;  ///< size node_count+1
+  std::vector<std::uint32_t> out_edges;    ///< edge ids, grouped by source
+  std::vector<std::uint32_t> in_offsets;   ///< size node_count+1
+  std::vector<std::uint32_t> in_edges;     ///< edge ids, grouped by target
+
+  /// Node indices per label symbol, each list ascending.
+  std::unordered_map<Symbol, std::vector<std::uint32_t>> label_buckets;
+
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(node_label.size());
+  }
+  std::uint32_t edge_count() const {
+    return static_cast<std::uint32_t>(edge_label.size());
+  }
+  std::uint32_t out_degree(std::uint32_t v) const {
+    return out_offsets[v + 1] - out_offsets[v];
+  }
+  std::uint32_t in_degree(std::uint32_t v) const {
+    return in_offsets[v + 1] - in_offsets[v];
+  }
+
+  /// Snapshot `g`, interning into `symbols` (shared across the graphs of
+  /// one matching problem so their Symbols are comparable). With
+  /// `topology_only`, properties and label buckets are skipped — all WL
+  /// refinement and the structural digest need are labels and CSR
+  /// adjacency, so they avoid interning every property string.
+  static CompactGraph build(const PropertyGraph& g, SymbolTable& symbols,
+                            bool topology_only = false);
+};
+
+/// Weisfeiler-Leman refinement colours after `rounds` iterations, indexed
+/// by node. Bit-identical to graph::wl_colours on the source graph.
+std::vector<std::uint64_t> compact_wl_colours(const CompactGraph& g,
+                                              int rounds);
+
+}  // namespace provmark::graph

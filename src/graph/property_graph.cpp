@@ -10,6 +10,7 @@ Node& PropertyGraph::add_node(Id id, Label label, Properties props) {
     throw std::invalid_argument("duplicate element id: " + id);
   }
   node_index_[id] = nodes_.size();
+  adjacency_[id];
   nodes_.push_back(Node{std::move(id), std::move(label), std::move(props)});
   return nodes_.back();
 }
@@ -26,6 +27,10 @@ Edge& PropertyGraph::add_edge(Id id, Id src, Id tgt, Label label,
     throw std::invalid_argument("edge " + id + ": missing target node " + tgt);
   }
   edge_index_[id] = edges_.size();
+  adjacency_.at(src).incident.push_back(id);
+  if (tgt != src) adjacency_.at(tgt).incident.push_back(id);
+  ++adjacency_.at(src).out;
+  ++adjacency_.at(tgt).in;
   edges_.push_back(Edge{std::move(id), std::move(src), std::move(tgt),
                         std::move(label), std::move(props)});
   return edges_.back();
@@ -42,13 +47,17 @@ void PropertyGraph::set_property(const Id& element_id, const std::string& key,
 
 bool PropertyGraph::remove_node(const Id& id) {
   if (node_index_.find(id) == node_index_.end()) return false;
-  // Remove incident edges first (does not disturb node positions).
-  for (const Id& edge_id : incident_edges(id)) {
+  // Remove incident edges first (does not disturb node positions). The
+  // adjacency list makes this O(degree) instead of an O(E) edge scan per
+  // removal; copy it because remove_edge mutates it.
+  std::vector<Id> incident = adjacency_.at(id).incident;
+  for (const Id& edge_id : incident) {
     remove_edge(edge_id);
   }
   std::size_t pos = node_index_.at(id);
   nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(pos));
   node_index_.erase(id);
+  adjacency_.erase(id);
   for (auto& [nid, npos] : node_index_) {
     if (npos > pos) --npos;
   }
@@ -59,6 +68,15 @@ bool PropertyGraph::remove_edge(const Id& id) {
   auto it = edge_index_.find(id);
   if (it == edge_index_.end()) return false;
   std::size_t pos = it->second;
+  const Edge& edge = edges_[pos];
+  auto unlink = [&](const Id& node_id) {
+    std::vector<Id>& incident = adjacency_.at(node_id).incident;
+    incident.erase(std::find(incident.begin(), incident.end(), id));
+  };
+  unlink(edge.src);
+  if (edge.tgt != edge.src) unlink(edge.tgt);
+  --adjacency_.at(edge.src).out;
+  --adjacency_.at(edge.tgt).in;
   edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(pos));
   edge_index_.erase(it);
   for (auto& [eid, epos] : edge_index_) {
@@ -97,23 +115,19 @@ std::optional<std::string> PropertyGraph::property(
 }
 
 std::vector<Id> PropertyGraph::incident_edges(const Id& node_id) const {
-  std::vector<Id> out;
-  for (const Edge& e : edges_) {
-    if (e.src == node_id || e.tgt == node_id) out.push_back(e.id);
-  }
-  return out;
+  auto it = adjacency_.find(node_id);
+  if (it == adjacency_.end()) return {};
+  return it->second.incident;
 }
 
 std::size_t PropertyGraph::out_degree(const Id& node_id) const {
-  return static_cast<std::size_t>(
-      std::count_if(edges_.begin(), edges_.end(),
-                    [&](const Edge& e) { return e.src == node_id; }));
+  auto it = adjacency_.find(node_id);
+  return it == adjacency_.end() ? 0 : it->second.out;
 }
 
 std::size_t PropertyGraph::in_degree(const Id& node_id) const {
-  return static_cast<std::size_t>(
-      std::count_if(edges_.begin(), edges_.end(),
-                    [&](const Edge& e) { return e.tgt == node_id; }));
+  auto it = adjacency_.find(node_id);
+  return it == adjacency_.end() ? 0 : it->second.in;
 }
 
 bool PropertyGraph::operator==(const PropertyGraph& other) const {

@@ -96,10 +96,12 @@ class PropertyGraph {
   std::size_t size() const { return nodes_.size() + edges_.size(); }
   bool empty() const { return nodes_.empty() && edges_.empty(); }
 
-  /// Ids of edges whose source or target is `node_id`.
+  /// Ids of edges whose source or target is `node_id`, in edge insertion
+  /// order (self-loops appear once). O(degree): served from the
+  /// incrementally maintained adjacency, not an edge scan.
   std::vector<Id> incident_edges(const Id& node_id) const;
 
-  /// In/out degree of a node.
+  /// In/out degree of a node. O(1).
   std::size_t out_degree(const Id& node_id) const;
   std::size_t in_degree(const Id& node_id) const;
 
@@ -115,6 +117,15 @@ class PropertyGraph {
   // Index from id to position in nodes_/edges_ (value < node size => node).
   std::map<Id, std::size_t> node_index_;
   std::map<Id, std::size_t> edge_index_;
+  // Incremental adjacency, maintained by add_edge/remove_edge: per node,
+  // incident edge ids in insertion order (self-loops once) plus degree
+  // counters. Keyed by id so node removals never invalidate entries.
+  struct NodeAdjacency {
+    std::vector<Id> incident;
+    std::size_t in = 0;
+    std::size_t out = 0;
+  };
+  std::map<Id, NodeAdjacency> adjacency_;
 };
 
 /// A renaming applied to every node/edge id (used to namespace trials).

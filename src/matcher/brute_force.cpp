@@ -38,20 +38,13 @@ int prop_cost(const graph::Properties& a, const graph::Properties& b,
 /// cannot be matched.
 int edge_assignment_cost(const PropertyGraph& g1, const PropertyGraph& g2,
                          const std::vector<std::size_t>& node_assignment,
+                         const std::map<graph::Id, std::size_t>& idx1,
+                         const std::map<graph::Id, std::size_t>& idx2,
                          CostModel model, bool bijective,
                          std::map<graph::Id, graph::Id>* edge_map_out) {
   const auto& e1 = g1.edges();
   const auto& e2 = g2.edges();
   if (bijective && e1.size() != e2.size()) return kInfinity;
-
-  // Node id -> index maps.
-  std::map<graph::Id, std::size_t> idx1, idx2;
-  for (std::size_t i = 0; i < g1.nodes().size(); ++i) {
-    idx1[g1.nodes()[i].id] = i;
-  }
-  for (std::size_t j = 0; j < g2.nodes().size(); ++j) {
-    idx2[g2.nodes()[j].id] = j;
-  }
 
   std::vector<int> assignment(e1.size(), -1);
   std::vector<bool> used(e2.size(), false);
@@ -105,6 +98,13 @@ std::optional<Matching> brute_force(const PropertyGraph& g1,
   std::vector<std::size_t> indices(n2.size());
   std::iota(indices.begin(), indices.end(), 0);
 
+  // Node id -> index maps, built once per search rather than per edge
+  // assignment (edge_assignment_cost runs for every complete node
+  // assignment).
+  std::map<graph::Id, std::size_t> idx1, idx2;
+  for (std::size_t i = 0; i < n1.size(); ++i) idx1[n1[i].id] = i;
+  for (std::size_t j = 0; j < n2.size(); ++j) idx2[n2[j].id] = j;
+
   int best = kInfinity;
   Matching best_matching;
 
@@ -117,8 +117,8 @@ std::optional<Matching> brute_force(const PropertyGraph& g1,
         cost += prop_cost(n1[k].props, n2[chosen[k]].props, model);
       }
       std::map<graph::Id, graph::Id> edge_map;
-      int ecost =
-          edge_assignment_cost(g1, g2, chosen, model, bijective, &edge_map);
+      int ecost = edge_assignment_cost(g1, g2, chosen, idx1, idx2, model,
+                                       bijective, &edge_map);
       if (ecost >= kInfinity) return;
       cost += ecost;
       if (cost < best) {

@@ -1,0 +1,35 @@
+// The pre-interning (string-keyed) matching engine, kept verbatim as a
+// reference baseline.
+//
+// The production engine in matcher.h was rewritten to run on the interned
+// CompactGraph representation; this is the implementation it replaced.
+// It exists for two reasons:
+//
+//  * the equivalence test asserts the rewrite is bit-identical — same
+//    node_map/edge_map/cost and the same Stats.steps trace — across the
+//    ablation configurations;
+//  * bench/perf_matcher_scaling.cpp measures old-vs-new wall-clock to
+//    track the speedup over time.
+//
+// Like brute_force.h, nothing in the pipeline should call this.
+#pragma once
+
+#include <optional>
+
+#include "matcher/matcher.h"
+
+namespace provmark::matcher::legacy {
+
+/// Listing 3 semantics; identical results to matcher::best_isomorphism.
+std::optional<Matching> best_isomorphism(const graph::PropertyGraph& g1,
+                                         const graph::PropertyGraph& g2,
+                                         const SearchOptions& options = {},
+                                         Stats* stats = nullptr);
+
+/// Listing 4 semantics; identical results to
+/// matcher::best_subgraph_embedding.
+std::optional<Matching> best_subgraph_embedding(
+    const graph::PropertyGraph& g1, const graph::PropertyGraph& g2,
+    const SearchOptions& options = {}, Stats* stats = nullptr);
+
+}  // namespace provmark::matcher::legacy

@@ -1,80 +1,164 @@
+// The production matching engine, running entirely on the interned
+// CompactGraph representation (src/graph/compact.h): labels and property
+// keys/values are dense uint32 symbols shared between the two graphs,
+// adjacency is pre-grouped by (src,tgt,label), and property-mismatch
+// costs are linear merges of sorted symbol pairs. String ids are only
+// touched again when materializing the final Matching.
+//
+// Semantics are bit-identical to the string-keyed baseline preserved in
+// legacy_matcher.cpp — same results, same Stats.steps trace — which the
+// equivalence test enforces.
 #include "matcher/matcher.h"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
-#include "graph/algorithms.h"
-#include "util/rng.h"
+#include "graph/compact.h"
 
 namespace provmark::matcher {
 
 namespace {
 
-using graph::Edge;
-using graph::Id;
-using graph::Node;
+using graph::CompactGraph;
+using graph::CompactProps;
 using graph::PropertyGraph;
+using graph::Symbol;
+using graph::SymbolTable;
 
 constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+constexpr std::uint32_t kUnmapped = std::numeric_limits<std::uint32_t>::max();
 
-/// Property-mismatch cost of mapping element with props `a` onto element
-/// with props `b` under the given model.
-int property_cost(const graph::Properties& a, const graph::Properties& b,
-                  CostModel model) {
-  if (model == CostModel::None) return 0;
-  int cost = 0;
-  for (const auto& [k, v] : a) {
-    auto it = b.find(k);
-    if (it == b.end() || it->second != v) ++cost;
+/// Property-mismatch cost under the given model; allocation-free merge of
+/// the sorted (key,value) symbol vectors.
+int prop_cost(const CompactProps& a, const CompactProps& b, CostModel model) {
+  switch (model) {
+    case CostModel::None:
+      return 0;
+    case CostModel::OneSided:
+      return graph::one_sided_mismatch(a, b);
+    case CostModel::Symmetric:
+      return graph::symmetric_mismatch(a, b);
   }
-  if (model == CostModel::Symmetric) {
-    for (const auto& [k, v] : b) {
-      auto it = a.find(k);
-      if (it == a.end() || it->second != v) ++cost;
-    }
-  }
-  return cost;
+  return 0;
 }
 
 /// An edge group: all edges sharing (src, tgt, label) are structurally
 /// interchangeable; only their property costs differ.
-struct GroupKey {
-  std::size_t src;  // pattern-side node index
-  std::size_t tgt;
-  std::string label;
-  auto operator<=>(const GroupKey&) const = default;
+struct EdgeGroup {
+  std::uint32_t src;  ///< node index
+  std::uint32_t tgt;
+  Symbol label;
+  /// True for exactly one group per (src,tgt) pair, so pair-level checks
+  /// run once even when the pair has several labels.
+  bool pair_representative;
+  std::vector<std::uint32_t> edges;  ///< edge indices, insertion order
+};
+
+/// CompactGraph plus the group-level adjacency the search operates on.
+struct GraphIndex {
+  CompactGraph g;
+  std::vector<EdgeGroup> groups;
+  /// (src<<32|tgt) -> group indices for that node pair (one per label).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+      groups_by_pair;
+  /// Per node: groups whose src or tgt is that node.
+  std::vector<std::vector<std::uint32_t>> groups_of_node;
+
+  static std::uint64_t pair_key(std::uint32_t s, std::uint32_t t) {
+    return (static_cast<std::uint64_t>(s) << 32) | t;
+  }
+
+  GraphIndex(const PropertyGraph& graph, SymbolTable& symbols)
+      : g(CompactGraph::build(graph, symbols)) {
+    groups_of_node.resize(g.node_count());
+    for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+      std::uint32_t s = g.edge_src[e];
+      std::uint32_t t = g.edge_tgt[e];
+      std::vector<std::uint32_t>& bucket = groups_by_pair[pair_key(s, t)];
+      std::uint32_t group = kUnmapped;
+      for (std::uint32_t gi : bucket) {
+        if (groups[gi].label == g.edge_label[e]) {
+          group = gi;
+          break;
+        }
+      }
+      if (group == kUnmapped) {
+        group = static_cast<std::uint32_t>(groups.size());
+        groups.push_back(EdgeGroup{s, t, g.edge_label[e], bucket.empty(), {}});
+        bucket.push_back(group);
+        groups_of_node[s].push_back(group);
+        if (t != s) groups_of_node[t].push_back(group);
+      }
+      groups[group].edges.push_back(e);
+    }
+  }
+
+  const std::vector<std::uint32_t>* pair_groups(std::uint32_t s,
+                                                std::uint32_t t) const {
+    auto it = groups_by_pair.find(pair_key(s, t));
+    return it == groups_by_pair.end() ? nullptr : &it->second;
+  }
+
+  /// Edge list of the (s,t,label) group, or nullptr when absent.
+  const std::vector<std::uint32_t>* group_edges(std::uint32_t s,
+                                                std::uint32_t t,
+                                                Symbol label) const {
+    const std::vector<std::uint32_t>* bucket = pair_groups(s, t);
+    if (bucket == nullptr) return nullptr;
+    for (std::uint32_t gi : *bucket) {
+      if (groups[gi].label == label) return &groups[gi].edges;
+    }
+    return nullptr;
+  }
 };
 
 /// Minimum-cost injective assignment of pattern edges to target edges
-/// within one group, by exhaustive DFS (groups are tiny in practice:
-/// parallel same-label edges between one node pair are rare in provenance
-/// graphs). Returns kInfinity when |pattern| > |target|.
-int min_group_assignment(const std::vector<const Edge*>& pattern_edges,
-                         const std::vector<const Edge*>& target_edges,
-                         CostModel model, bool bijective,
-                         std::vector<std::pair<const Edge*, const Edge*>>*
-                             best_pairs_out) {
+/// within one group. Groups are tiny in practice — almost always a single
+/// edge, which is handled allocation-free; parallel same-label edges
+/// between one node pair fall back to exhaustive DFS.
+int min_group_assignment(
+    const GraphIndex& pattern, const std::vector<std::uint32_t>& pattern_edges,
+    const GraphIndex& target, const std::vector<std::uint32_t>* target_edges,
+    CostModel model, bool bijective,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>* best_pairs_out) {
+  static const std::vector<std::uint32_t> kEmpty;
+  const std::vector<std::uint32_t>& tgt =
+      target_edges != nullptr ? *target_edges : kEmpty;
   const std::size_t np = pattern_edges.size();
-  const std::size_t nt = target_edges.size();
+  const std::size_t nt = tgt.size();
   if (np > nt) return kInfinity;
   if (bijective && np != nt) return kInfinity;
 
-  // Precompute the cost matrix.
+  if (np == 1) {
+    // The common case: no parallel same-label edges between this pair.
+    const CompactProps& pp = pattern.g.edge_props[pattern_edges[0]];
+    int best = kInfinity;
+    std::uint32_t best_te = kUnmapped;
+    for (std::uint32_t te : tgt) {
+      int c = prop_cost(pp, target.g.edge_props[te], model);
+      if (c < best) {
+        best = c;
+        best_te = te;
+      }
+    }
+    if (best_pairs_out != nullptr) {
+      best_pairs_out->clear();
+      best_pairs_out->emplace_back(pattern_edges[0], best_te);
+    }
+    return best;
+  }
+
   std::vector<std::vector<int>> cost(np, std::vector<int>(nt, 0));
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t j = 0; j < nt; ++j) {
-      cost[i][j] =
-          property_cost(pattern_edges[i]->props, target_edges[j]->props,
-                        model);
+      cost[i][j] = prop_cost(pattern.g.edge_props[pattern_edges[i]],
+                             target.g.edge_props[tgt[j]], model);
     }
   }
-  // In the symmetric (bijective generalization) model, unmatched target
-  // edges cannot exist (np == nt), so the matrix covers everything.
-
   int best = kInfinity;
   std::vector<int> assignment(np, -1);
   std::vector<int> best_assignment;
@@ -100,49 +184,19 @@ int min_group_assignment(const std::vector<const Edge*>& pattern_edges,
     best_pairs_out->clear();
     for (std::size_t i = 0; i < np; ++i) {
       best_pairs_out->emplace_back(
-          pattern_edges[i], target_edges[static_cast<std::size_t>(
-                                best_assignment[i])]);
+          pattern_edges[i],
+          tgt[static_cast<std::size_t>(best_assignment[i])]);
     }
   }
   return best;
 }
 
-/// Dense indexed view of a property graph for the search.
-struct IndexedGraph {
-  const PropertyGraph* g;
-  std::vector<const Node*> nodes;
-  std::map<Id, std::size_t> index_of;
-  // adjacency[(i,j)] -> edges from node i to node j, grouped by label.
-  std::map<std::pair<std::size_t, std::size_t>,
-           std::map<std::string, std::vector<const Edge*>>>
-      adjacency;
-  std::vector<std::size_t> in_degree;
-  std::vector<std::size_t> out_degree;
-
-  explicit IndexedGraph(const PropertyGraph& graph) : g(&graph) {
-    nodes.reserve(graph.node_count());
-    for (const Node& n : graph.nodes()) {
-      index_of[n.id] = nodes.size();
-      nodes.push_back(&n);
-    }
-    in_degree.assign(nodes.size(), 0);
-    out_degree.assign(nodes.size(), 0);
-    for (const Edge& e : graph.edges()) {
-      std::size_t s = index_of.at(e.src);
-      std::size_t t = index_of.at(e.tgt);
-      adjacency[{s, t}][e.label].push_back(&e);
-      ++out_degree[s];
-      ++in_degree[t];
-    }
-  }
-};
-
 class SearchEngine {
  public:
   SearchEngine(const PropertyGraph& g1, const PropertyGraph& g2,
                bool bijective, const SearchOptions& options, Stats* stats)
-      : pattern_(g1),
-        target_(g2),
+      : pattern_(g1, symbols_),
+        target_(g2, symbols_),
         bijective_(bijective),
         options_(options),
         stats_(stats) {}
@@ -150,27 +204,23 @@ class SearchEngine {
   std::optional<Matching> run() {
     if (bijective_) {
       // Cheap necessary conditions first.
-      if (pattern_.g->node_count() != target_.g->node_count() ||
-          pattern_.g->edge_count() != target_.g->edge_count()) {
+      if (pattern_.g.node_count() != target_.g.node_count() ||
+          pattern_.g.edge_count() != target_.g.edge_count()) {
         return std::nullopt;
       }
-      if (options_.candidate_pruning &&
-          (graph::node_label_histogram(*pattern_.g) !=
-               graph::node_label_histogram(*target_.g) ||
-           graph::edge_label_histogram(*pattern_.g) !=
-               graph::edge_label_histogram(*target_.g))) {
+      if (options_.candidate_pruning && !label_histograms_match()) {
         return std::nullopt;
       }
-    } else if (pattern_.g->node_count() > target_.g->node_count() ||
-               pattern_.g->edge_count() > target_.g->edge_count()) {
+    } else if (pattern_.g.node_count() > target_.g.node_count() ||
+               pattern_.g.edge_count() > target_.g.edge_count()) {
       return std::nullopt;
     }
 
     if (!compute_candidates()) return std::nullopt;
     order_pattern_nodes();
 
-    mapping_.assign(pattern_.nodes.size(), kUnmapped);
-    reverse_used_.assign(target_.nodes.size(), false);
+    mapping_.assign(pattern_.g.node_count(), kUnmapped);
+    reverse_used_.assign(target_.g.node_count(), false);
     best_cost_ = kInfinity;
     have_best_ = false;
     search(0, 0);
@@ -181,39 +231,66 @@ class SearchEngine {
   }
 
  private:
-  static constexpr std::size_t kUnmapped =
-      std::numeric_limits<std::size_t>::max();
+  /// A candidate target node with its precomputed node-property cost
+  /// (computed once here instead of on every assignment attempt).
+  struct Candidate {
+    std::uint32_t node;
+    int cost;
+  };
+
+  /// Multisets of node labels and edge labels must agree for the graphs
+  /// to be similar. Symbols are shared, so this is integer counting.
+  bool label_histograms_match() const {
+    if (pattern_.g.label_buckets.size() != target_.g.label_buckets.size()) {
+      return false;
+    }
+    for (const auto& [label, bucket] : pattern_.g.label_buckets) {
+      auto it = target_.g.label_buckets.find(label);
+      if (it == target_.g.label_buckets.end() ||
+          it->second.size() != bucket.size()) {
+        return false;
+      }
+    }
+    std::unordered_map<Symbol, std::size_t> pattern_edges, target_edges;
+    for (Symbol label : pattern_.g.edge_label) ++pattern_edges[label];
+    for (Symbol label : target_.g.edge_label) ++target_edges[label];
+    return pattern_edges == target_edges;
+  }
 
   /// Candidate target nodes per pattern node. Returns false when some
   /// pattern node has no candidate at all.
   bool compute_candidates() {
-    const std::size_t n = pattern_.nodes.size();
+    const std::uint32_t n = pattern_.g.node_count();
     candidates_.assign(n, {});
-    std::map<Id, std::uint64_t> wl1, wl2;
+    std::vector<std::uint64_t> wl1, wl2;
     if (bijective_ && options_.candidate_pruning) {
-      wl1 = graph::wl_colours(*pattern_.g, 2);
-      wl2 = graph::wl_colours(*target_.g, 2);
+      wl1 = graph::compact_wl_colours(pattern_.g, 2);
+      wl2 = graph::compact_wl_colours(target_.g, 2);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      const Node* pn = pattern_.nodes[i];
-      for (std::size_t j = 0; j < target_.nodes.size(); ++j) {
-        const Node* tn = target_.nodes[j];
-        if (pn->label != tn->label) continue;
-        if (options_.candidate_pruning) {
-          if (bijective_) {
-            if (pattern_.in_degree[i] != target_.in_degree[j] ||
-                pattern_.out_degree[i] != target_.out_degree[j]) {
-              continue;
-            }
-            if (wl1.at(pn->id) != wl2.at(tn->id)) continue;
-          } else {
-            if (pattern_.in_degree[i] > target_.in_degree[j] ||
-                pattern_.out_degree[i] > target_.out_degree[j]) {
-              continue;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Only same-label target nodes can match; the bucket is ascending,
+      // preserving the baseline's candidate order.
+      auto bucket = target_.g.label_buckets.find(pattern_.g.node_label[i]);
+      if (bucket != target_.g.label_buckets.end()) {
+        for (std::uint32_t j : bucket->second) {
+          if (options_.candidate_pruning) {
+            if (bijective_) {
+              if (pattern_.g.in_degree(i) != target_.g.in_degree(j) ||
+                  pattern_.g.out_degree(i) != target_.g.out_degree(j)) {
+                continue;
+              }
+              if (wl1[i] != wl2[j]) continue;
+            } else {
+              if (pattern_.g.in_degree(i) > target_.g.in_degree(j) ||
+                  pattern_.g.out_degree(i) > target_.g.out_degree(j)) {
+                continue;
+              }
             }
           }
+          candidates_[i].push_back(Candidate{
+              j, prop_cost(pattern_.g.node_props[i], target_.g.node_props[j],
+                           options_.cost_model)});
         }
-        candidates_[i].push_back(j);
       }
       if (candidates_[i].empty()) return false;
     }
@@ -222,13 +299,15 @@ class SearchEngine {
   }
 
   /// Numeric-when-possible comparison value of the timestamp property.
-  static double timestamp_value(const Node* n, const std::string& key) {
-    auto it = n->props.find(key);
-    if (it == n->props.end()) return 0;
+  double timestamp_value(const GraphIndex& side, std::uint32_t v,
+                         Symbol key) const {
+    if (key == graph::kNoSymbol) return 0;
+    Symbol value = graph::find_prop(side.g.node_props[v], key);
+    if (value == graph::kNoSymbol) return 0;
     try {
-      return std::stod(it->second);
+      return std::stod(symbols_.resolve(value));
     } catch (const std::exception&) {
-      return static_cast<double>(util::stable_hash(it->second) % 100000);
+      return static_cast<double>(symbols_.hash(value) % 100000);
     }
   }
 
@@ -238,36 +317,28 @@ class SearchEngine {
   void order_candidates() {
     if (options_.candidate_order == CandidateOrder::None) return;
     if (options_.candidate_order == CandidateOrder::PropertyCost) {
-      for (std::size_t i = 0; i < candidates_.size(); ++i) {
-        const Node* pn = pattern_.nodes[i];
-        std::stable_sort(
-            candidates_[i].begin(), candidates_[i].end(),
-            [&](std::size_t a, std::size_t b) {
-              return property_cost(pn->props, target_.nodes[a]->props,
-                                   options_.cost_model) <
-                     property_cost(pn->props, target_.nodes[b]->props,
-                                   options_.cost_model);
-            });
+      for (std::vector<Candidate>& list : candidates_) {
+        std::stable_sort(list.begin(), list.end(),
+                         [](const Candidate& a, const Candidate& b) {
+                           return a.cost < b.cost;
+                         });
       }
       return;
     }
     // TimestampRank: align by per-label rank of the timestamp property.
-    std::vector<double> pattern_time(pattern_.nodes.size());
-    std::vector<double> target_time(target_.nodes.size());
-    for (std::size_t i = 0; i < pattern_.nodes.size(); ++i) {
-      pattern_time[i] =
-          timestamp_value(pattern_.nodes[i], options_.timestamp_key);
+    // The key is looked up, not interned: if no element carries it, every
+    // value is 0 and the order is unchanged.
+    Symbol key = symbols_.lookup(options_.timestamp_key);
+    std::vector<double> target_time(target_.g.node_count());
+    for (std::uint32_t j = 0; j < target_.g.node_count(); ++j) {
+      target_time[j] = timestamp_value(target_, j, key);
     }
-    for (std::size_t j = 0; j < target_.nodes.size(); ++j) {
-      target_time[j] =
-          timestamp_value(target_.nodes[j], options_.timestamp_key);
-    }
-    for (std::size_t i = 0; i < candidates_.size(); ++i) {
-      double t = pattern_time[i];
+    for (std::uint32_t i = 0; i < pattern_.g.node_count(); ++i) {
+      double t = timestamp_value(pattern_, i, key);
       std::stable_sort(candidates_[i].begin(), candidates_[i].end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return std::abs(target_time[a] - t) <
-                                std::abs(target_time[b] - t);
+                       [&](const Candidate& a, const Candidate& b) {
+                         return std::abs(target_time[a.node] - t) <
+                                std::abs(target_time[b.node] - t);
                        });
     }
   }
@@ -276,25 +347,16 @@ class SearchEngine {
   /// ordered ones (keeps the partial mapping connected, enabling early
   /// adjacency checks).
   void order_pattern_nodes() {
-    const std::size_t n = pattern_.nodes.size();
+    const std::uint32_t n = pattern_.g.node_count();
     order_.clear();
     order_.reserve(n);
     std::vector<bool> placed(n, false);
-    std::set<std::size_t> frontier;
+    std::set<std::uint32_t> frontier;
 
-    auto adjacency_links = [&](std::size_t i) {
-      std::vector<std::size_t> out;
-      for (const auto& [key, groups] : pattern_.adjacency) {
-        if (key.first == i) out.push_back(key.second);
-        if (key.second == i) out.push_back(key.first);
-      }
-      return out;
-    };
-
-    for (std::size_t step = 0; step < n; ++step) {
-      std::size_t chosen = kUnmapped;
+    for (std::uint32_t step = 0; step < n; ++step) {
+      std::uint32_t chosen = kUnmapped;
       // Prefer frontier nodes; among them, fewest candidates.
-      for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t i = 0; i < n; ++i) {
         if (placed[i]) continue;
         bool in_frontier = frontier.count(i) > 0;
         if (chosen == kUnmapped) {
@@ -310,7 +372,9 @@ class SearchEngine {
       }
       placed[chosen] = true;
       order_.push_back(chosen);
-      for (std::size_t nb : adjacency_links(chosen)) {
+      for (std::uint32_t gi : pattern_.groups_of_node[chosen]) {
+        const EdgeGroup& group = pattern_.groups[gi];
+        std::uint32_t nb = group.src == chosen ? group.tgt : group.src;
         if (!placed[nb]) frontier.insert(nb);
       }
       frontier.erase(chosen);
@@ -318,40 +382,41 @@ class SearchEngine {
   }
 
   /// Cost contribution of all edge groups that become fully mapped when
-  /// pattern node `i` (order position `pos`) is assigned. For the
-  /// bijective problem also *checks* group cardinalities. Returns
-  /// kInfinity when structurally inconsistent.
-  int edge_groups_cost(std::size_t i) {
+  /// pattern node `i` is assigned. For the bijective problem also *checks*
+  /// group cardinalities. Returns kInfinity when structurally
+  /// inconsistent.
+  int edge_groups_cost(std::uint32_t i) {
     int total = 0;
-    for (const auto& [key, label_groups] : pattern_.adjacency) {
-      if (key.first != i && key.second != i) continue;
-      std::size_t other = key.first == i ? key.second : key.first;
+    for (std::uint32_t gi : pattern_.groups_of_node[i]) {
+      const EdgeGroup& group = pattern_.groups[gi];
+      std::uint32_t other = group.src == i ? group.tgt : group.src;
       if (mapping_[other] == kUnmapped) continue;  // not yet decidable
-      std::size_t tsrc = mapping_[key.first];
-      std::size_t ttgt = mapping_[key.second];
-      auto target_it = target_.adjacency.find({tsrc, ttgt});
-      for (const auto& [label, pattern_edges] : label_groups) {
-        const std::vector<const Edge*>* target_edges = nullptr;
-        if (target_it != target_.adjacency.end()) {
-          auto lit = target_it->second.find(label);
-          if (lit != target_it->second.end()) target_edges = &lit->second;
-        }
-        static const std::vector<const Edge*> kEmpty;
-        int cost = min_group_assignment(
-            pattern_edges, target_edges ? *target_edges : kEmpty,
-            options_.cost_model, bijective_, nullptr);
-        if (cost >= kInfinity) return kInfinity;
-        total += cost;
-      }
+      std::uint32_t tsrc = mapping_[group.src];
+      std::uint32_t ttgt = mapping_[group.tgt];
+      const std::vector<std::uint32_t>* target_edges =
+          target_.group_edges(tsrc, ttgt, group.label);
+      int cost = min_group_assignment(pattern_, group.edges, target_,
+                                      target_edges, options_.cost_model,
+                                      bijective_, nullptr);
+      if (cost >= kInfinity) return kInfinity;
+      total += cost;
       // Bijective: the target may not have extra edges between the mapped
-      // pair with labels absent from the pattern group (checked globally
-      // by edge-count equality plus per-group equality here).
-      if (bijective_ && target_it != target_.adjacency.end()) {
-        for (const auto& [label, target_edges] : target_it->second) {
-          auto lit = label_groups.find(label);
-          std::size_t pattern_count =
-              lit == label_groups.end() ? 0 : lit->second.size();
-          if (pattern_count != target_edges.size()) return kInfinity;
+      // pair with labels absent from the pattern's groups (checked
+      // globally by edge-count equality plus per-pair equality here).
+      // All groups of a pair become decidable at the same step, so the
+      // pair representative runs the check exactly once.
+      if (bijective_ && group.pair_representative) {
+        const std::vector<std::uint32_t>* target_pair =
+            target_.pair_groups(tsrc, ttgt);
+        if (target_pair != nullptr) {
+          for (std::uint32_t tgi : *target_pair) {
+            const EdgeGroup& tgroup = target_.groups[tgi];
+            const std::vector<std::uint32_t>* pattern_edges =
+                pattern_.group_edges(group.src, group.tgt, tgroup.label);
+            std::size_t pattern_count =
+                pattern_edges == nullptr ? 0 : pattern_edges->size();
+            if (pattern_count != tgroup.edges.size()) return kInfinity;
+          }
         }
       }
     }
@@ -376,18 +441,16 @@ class SearchEngine {
       found_any_ = true;
       return;
     }
-    std::size_t i = order_[pos];
-    const Node* pn = pattern_.nodes[i];
-    for (std::size_t j : candidates_[i]) {
+    std::uint32_t i = order_[pos];
+    for (const Candidate& candidate : candidates_[i]) {
+      std::uint32_t j = candidate.node;
       if (reverse_used_[j]) continue;
       if (stop_early()) return;
       mapping_[i] = j;
       reverse_used_[j] = true;
-      int node_cost = property_cost(pn->props, target_.nodes[j]->props,
-                                    options_.cost_model);
       int group_cost = edge_groups_cost(i);
       if (group_cost < kInfinity) {
-        int next = acc_cost + node_cost + group_cost;
+        int next = acc_cost + candidate.cost + group_cost;
         if (!options_.cost_bounding || next < best_cost_) {
           search(pos + 1, next);
         }
@@ -405,52 +468,51 @@ class SearchEngine {
   }
 
   /// Reconstruct the full matching (including the optimal edge pairing)
-  /// from the best node mapping.
+  /// from the best node mapping. The only place string ids reappear.
   Matching build_matching() {
     Matching m;
     m.cost = 0;
-    for (std::size_t i = 0; i < best_node_mapping_.size(); ++i) {
-      m.node_map[pattern_.nodes[i]->id] =
-          target_.nodes[best_node_mapping_[i]]->id;
-      m.cost += property_cost(pattern_.nodes[i]->props,
-                              target_.nodes[best_node_mapping_[i]]->props,
-                              options_.cost_model);
+    const std::vector<graph::Node>& pattern_nodes =
+        pattern_.g.source->nodes();
+    const std::vector<graph::Node>& target_nodes = target_.g.source->nodes();
+    for (std::uint32_t i = 0; i < best_node_mapping_.size(); ++i) {
+      m.node_map[pattern_nodes[i].id] =
+          target_nodes[best_node_mapping_[i]].id;
+      m.cost += prop_cost(pattern_.g.node_props[i],
+                          target_.g.node_props[best_node_mapping_[i]],
+                          options_.cost_model);
     }
-    for (const auto& [key, label_groups] : pattern_.adjacency) {
-      std::size_t tsrc = best_node_mapping_[key.first];
-      std::size_t ttgt = best_node_mapping_[key.second];
-      auto target_it = target_.adjacency.find({tsrc, ttgt});
-      for (const auto& [label, pattern_edges] : label_groups) {
-        static const std::vector<const Edge*> kEmpty;
-        const std::vector<const Edge*>* target_edges = &kEmpty;
-        if (target_it != target_.adjacency.end()) {
-          auto lit = target_it->second.find(label);
-          if (lit != target_it->second.end()) target_edges = &lit->second;
-        }
-        std::vector<std::pair<const Edge*, const Edge*>> pairs;
-        int cost = min_group_assignment(pattern_edges, *target_edges,
-                                        options_.cost_model, bijective_,
-                                        &pairs);
-        m.cost += cost;
-        for (const auto& [pe, te] : pairs) {
-          m.edge_map[pe->id] = te->id;
-        }
+    const std::vector<graph::Edge>& pattern_edges =
+        pattern_.g.source->edges();
+    const std::vector<graph::Edge>& target_edges = target_.g.source->edges();
+    for (const EdgeGroup& group : pattern_.groups) {
+      std::uint32_t tsrc = best_node_mapping_[group.src];
+      std::uint32_t ttgt = best_node_mapping_[group.tgt];
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+      int cost = min_group_assignment(
+          pattern_, group.edges, target_,
+          target_.group_edges(tsrc, ttgt, group.label), options_.cost_model,
+          bijective_, &pairs);
+      m.cost += cost;
+      for (const auto& [pe, te] : pairs) {
+        m.edge_map[pattern_edges[pe].id] = target_edges[te].id;
       }
     }
     return m;
   }
 
-  IndexedGraph pattern_;
-  IndexedGraph target_;
+  SymbolTable symbols_;  // shared by both graphs; must precede them
+  GraphIndex pattern_;
+  GraphIndex target_;
   bool bijective_;
   SearchOptions options_;
   Stats* stats_;
 
-  std::vector<std::vector<std::size_t>> candidates_;
-  std::vector<std::size_t> order_;
-  std::vector<std::size_t> mapping_;
+  std::vector<std::vector<Candidate>> candidates_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> mapping_;
   std::vector<bool> reverse_used_;
-  std::vector<std::size_t> best_node_mapping_;
+  std::vector<std::uint32_t> best_node_mapping_;
   int best_cost_ = kInfinity;
   bool have_best_ = false;
   bool found_any_ = false;
