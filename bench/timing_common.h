@@ -9,6 +9,7 @@
 
 #include "bench_suite/program.h"
 #include "core/pipeline.h"
+#include "runtime/thread_pool.h"
 
 namespace provmark_bench {
 
@@ -33,18 +34,32 @@ inline int run_timing_figure(
     const char* figure_title, const char* system,
     const std::vector<provmark::bench_suite::BenchmarkProgram>& programs) {
   using namespace provmark;
-  std::printf("%s (system: %s)\n\n", figure_title, system);
-  std::vector<TimingRow> rows;
+  // The benchmarks of one figure are independent pipelines: sweep them
+  // across the runtime pool (results land in program-order slots, so
+  // the printed figure is identical at any thread count — only the
+  // per-stage timings reflect the shared machine). For contention-free
+  // per-stage timings, pin the run serial via PROVMARK_THREADS=1.
+  runtime::ThreadPool& pool = runtime::default_pool();
+  std::printf("%s (system: %s)\n", figure_title, system);
+  std::printf("[swept over %d threads; per-stage seconds reflect "
+              "concurrent execution — set PROVMARK_THREADS=1 for "
+              "unloaded timings]\n\n",
+              pool.thread_count());
+  std::vector<TimingRow> rows = pool.parallel_map<TimingRow>(
+      programs,
+      [&](const bench_suite::BenchmarkProgram& program, std::size_t) {
+        core::PipelineOptions options;
+        options.system = system;
+        options.seed = 11;
+        options.pool = &pool;
+        core::BenchmarkResult result = core::run_benchmark(program, options);
+        return TimingRow{program.name, result.timings,
+                         core::status_name(result.status)};
+      });
   double max_total = 0;
-  for (const bench_suite::BenchmarkProgram& program : programs) {
-    core::PipelineOptions options;
-    options.system = system;
-    options.seed = 11;
-    core::BenchmarkResult result = core::run_benchmark(program, options);
-    rows.push_back({program.name, result.timings,
-                    core::status_name(result.status)});
-    if (result.timings.processing_total() > max_total) {
-      max_total = result.timings.processing_total();
+  for (const TimingRow& row : rows) {
+    if (row.timings.processing_total() > max_total) {
+      max_total = row.timings.processing_total();
     }
   }
   std::printf("%-12s %14s %14s %14s %14s %10s\n", "benchmark",

@@ -41,4 +41,11 @@ CompareResult compare_graphs(const graph::PropertyGraph& background,
                              const graph::PropertyGraph& foreground,
                              const CompareOptions& options = {});
 
+/// Same over pre-interned snapshots (both against one SymbolTable); the
+/// pipeline interns each generalized graph once and reuses the snapshot
+/// here rather than re-interning inside the matcher call.
+CompareResult compare_graphs(const matcher::InternedGraph& background,
+                             const matcher::InternedGraph& foreground,
+                             const CompareOptions& options = {});
+
 }  // namespace provmark::core

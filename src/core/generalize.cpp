@@ -1,11 +1,35 @@
 #include "core/generalize.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 
 #include "graph/algorithms.h"
+#include "matcher/interned.h"
+#include "matcher/memo.h"
+#include "runtime/thread_pool.h"
 
 namespace provmark::core {
+
+namespace {
+
+/// A local interning of string-keyed trials, for the convenience
+/// overloads. The pipeline never takes this path: it interns each trial
+/// once, at transformation time, and calls the interned entry points.
+struct LocalInterning {
+  graph::SymbolTable symbols;
+  std::deque<matcher::InternedGraph> storage;
+  std::vector<const matcher::InternedGraph*> trials;
+
+  explicit LocalInterning(const std::vector<graph::PropertyGraph>& graphs) {
+    for (const graph::PropertyGraph& g : graphs) {
+      storage.emplace_back(g, symbols);
+      trials.push_back(&storage.back());
+    }
+  }
+};
+
+}  // namespace
 
 std::vector<std::vector<std::size_t>> similarity_classes(
     const std::vector<graph::PropertyGraph>& trials) {
@@ -20,21 +44,47 @@ std::vector<std::vector<std::size_t>> similarity_classes(
 std::vector<std::vector<std::size_t>> similarity_classes(
     const std::vector<graph::PropertyGraph>& trials,
     const std::vector<std::uint64_t>& digests) {
+  LocalInterning interning(trials);
+  return similarity_classes(interning.trials, digests);
+}
+
+std::vector<std::vector<std::size_t>> similarity_classes(
+    const std::vector<const matcher::InternedGraph*>& trials,
+    const std::vector<std::uint64_t>& digests,
+    matcher::SimilarityMemo* memo, runtime::ThreadPool* pool) {
   // Bucket by structural digest first (equal digests are necessary for
   // similarity), then confirm with the exact matcher inside each bucket.
+  // std::map iterates buckets in digest order — one fixed order however
+  // they are later scheduled.
   std::map<std::uint64_t, std::vector<std::size_t>> buckets;
   for (std::size_t i = 0; i < trials.size(); ++i) {
     buckets[digests[i]].push_back(i);
   }
-  std::vector<std::vector<std::size_t>> classes;
-  for (auto& [digest, members] : buckets) {
-    // Within a bucket, split by exact similarity (digest collisions are
-    // possible in principle).
-    std::vector<std::vector<std::size_t>> sub;
-    for (std::size_t index : members) {
+  std::vector<const std::vector<std::size_t>*> bucket_list;
+  bucket_list.reserve(buckets.size());
+  for (const auto& [digest, members] : buckets) {
+    bucket_list.push_back(&members);
+  }
+
+  // Buckets are independent: no similar() call ever crosses a digest
+  // boundary, so they fan out over the pool. Within a bucket the greedy
+  // first-fit classification is order-dependent and stays sequential;
+  // per-bucket results land in index-addressed slots, so the final class
+  // list is identical at any thread count.
+  std::vector<std::vector<std::vector<std::size_t>>> per_bucket(
+      bucket_list.size());
+  auto classify_bucket = [&](std::size_t b) {
+    std::vector<std::vector<std::size_t>>& sub = per_bucket[b];
+    for (std::size_t index : *bucket_list[b]) {
       bool placed = false;
       for (std::vector<std::size_t>& cls : sub) {
-        if (matcher::similar(trials[cls.front()], trials[index])) {
+        std::size_t rep = cls.front();
+        bool is_similar =
+            memo != nullptr
+                ? memo->similar(digests[rep], digests[index], *trials[rep],
+                                *trials[index])
+                : matcher::similar(*trials[rep], *trials[index]);
+        if (is_similar) {
           cls.push_back(index);
           placed = true;
           break;
@@ -42,6 +92,15 @@ std::vector<std::vector<std::size_t>> similarity_classes(
       }
       if (!placed) sub.push_back({index});
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(bucket_list.size(), classify_bucket);
+  } else {
+    for (std::size_t b = 0; b < bucket_list.size(); ++b) classify_bucket(b);
+  }
+
+  std::vector<std::vector<std::size_t>> classes;
+  for (std::vector<std::vector<std::size_t>>& sub : per_bucket) {
     for (std::vector<std::size_t>& cls : sub) classes.push_back(std::move(cls));
   }
   std::sort(classes.begin(), classes.end(),
@@ -52,6 +111,15 @@ std::vector<std::vector<std::size_t>> similarity_classes(
 std::optional<graph::PropertyGraph> generalize_pair(
     const graph::PropertyGraph& a, const graph::PropertyGraph& b,
     const GeneralizeOptions& options) {
+  graph::SymbolTable symbols;
+  matcher::InternedGraph ia(a, symbols);
+  matcher::InternedGraph ib(b, symbols);
+  return generalize_pair(ia, ib, options);
+}
+
+std::optional<graph::PropertyGraph> generalize_pair(
+    const matcher::InternedGraph& a, const matcher::InternedGraph& b,
+    const GeneralizeOptions& options) {
   matcher::SearchOptions search;
   search.cost_model = matcher::CostModel::Symmetric;
   search.candidate_pruning = options.candidate_pruning;
@@ -60,11 +128,14 @@ std::optional<graph::PropertyGraph> generalize_pair(
       matcher::best_isomorphism(a, b, search);
   if (!matching.has_value()) return std::nullopt;
 
+  const graph::PropertyGraph& ga = *a.g.source;
+  const graph::PropertyGraph& gb = *b.g.source;
+
   // Keep exactly the properties equal under the optimal matching; values
   // that differ (timestamps, serials, pids) are transient and dropped.
   graph::PropertyGraph out;
-  for (const graph::Node& n : a.nodes()) {
-    const graph::Node* other = b.find_node(matching->node_map.at(n.id));
+  for (const graph::Node& n : ga.nodes()) {
+    const graph::Node* other = gb.find_node(matching->node_map.at(n.id));
     graph::Properties kept;
     for (const auto& [k, v] : n.props) {
       auto it = other->props.find(k);
@@ -72,8 +143,8 @@ std::optional<graph::PropertyGraph> generalize_pair(
     }
     out.add_node(n.id, n.label, std::move(kept));
   }
-  for (const graph::Edge& e : a.edges()) {
-    const graph::Edge* other = b.find_edge(matching->edge_map.at(e.id));
+  for (const graph::Edge& e : ga.edges()) {
+    const graph::Edge* other = gb.find_edge(matching->edge_map.at(e.id));
     graph::Properties kept;
     for (const auto& [k, v] : e.props) {
       auto it = other->props.find(k);
@@ -99,8 +170,17 @@ std::optional<GeneralizeResult> generalize_trials(
     const std::vector<graph::PropertyGraph>& trials,
     const std::vector<std::uint64_t>& digests,
     const GeneralizeOptions& options) {
+  LocalInterning interning(trials);
+  return generalize_trials(interning.trials, digests, options);
+}
+
+std::optional<GeneralizeResult> generalize_trials(
+    const std::vector<const matcher::InternedGraph*>& trials,
+    const std::vector<std::uint64_t>& digests,
+    const GeneralizeOptions& options, matcher::SimilarityMemo* memo,
+    runtime::ThreadPool* pool) {
   std::vector<std::vector<std::size_t>> classes =
-      similarity_classes(trials, digests);
+      similarity_classes(trials, digests, memo, pool);
   GeneralizeResult result;
   result.classes = classes.size();
   // Discard singleton classes: failed runs (§3.4).
@@ -116,7 +196,7 @@ std::optional<GeneralizeResult> generalize_trials(
 
   // Among the surviving classes, choose by representative graph size.
   auto size_of = [&](const std::vector<std::size_t>& cls) {
-    return trials[cls.front()].size();
+    return trials[cls.front()]->g.source->size();
   };
   const std::vector<std::size_t>* chosen = &viable.front();
   for (const std::vector<std::size_t>& cls : viable) {
@@ -126,17 +206,17 @@ std::optional<GeneralizeResult> generalize_trials(
     if (better) chosen = &cls;
   }
 
-  const graph::PropertyGraph& a = trials[(*chosen)[0]];
-  const graph::PropertyGraph& b = trials[(*chosen)[1]];
+  const matcher::InternedGraph& a = *trials[(*chosen)[0]];
+  const matcher::InternedGraph& b = *trials[(*chosen)[1]];
   std::optional<graph::PropertyGraph> generalized =
       generalize_pair(a, b, options);
   if (!generalized.has_value()) return std::nullopt;  // unreachable in theory
 
   int before = 0, after = 0;
-  for (const graph::Node& n : a.nodes()) {
+  for (const graph::Node& n : a.g.source->nodes()) {
     before += static_cast<int>(n.props.size());
   }
-  for (const graph::Edge& e : a.edges()) {
+  for (const graph::Edge& e : a.g.source->edges()) {
     before += static_cast<int>(e.props.size());
   }
   for (const graph::Node& n : generalized->nodes()) {

@@ -23,6 +23,13 @@
 #include "graph/property_graph.h"
 #include "matcher/matcher.h"
 
+namespace provmark::matcher {
+class SimilarityMemo;
+}
+namespace provmark::runtime {
+class ThreadPool;
+}
+
 namespace provmark::core {
 
 enum class PickStrategy { SmallestClass, LargestClass };
@@ -73,5 +80,34 @@ std::optional<GeneralizeResult> generalize_trials(
     const std::vector<graph::PropertyGraph>& trials,
     const std::vector<std::uint64_t>& digests,
     const GeneralizeOptions& options = {});
+
+// -- interned entry points ----------------------------------------------------
+// The pipeline's zero-re-interning path: trials arrive as InternedGraph
+// snapshots (each trial interned exactly once, all against one shared
+// SymbolTable), digests precomputed. The optional `memo` caches
+// similar() verdicts across calls (and across the pipeline's retry
+// rounds); the optional `pool` fans independent digest buckets out over
+// worker threads — each bucket's greedy classification stays sequential,
+// so the classes (and everything downstream) are bit-identical to the
+// serial run at any thread count.
+
+std::vector<std::vector<std::size_t>> similarity_classes(
+    const std::vector<const matcher::InternedGraph*>& trials,
+    const std::vector<std::uint64_t>& digests,
+    matcher::SimilarityMemo* memo = nullptr,
+    runtime::ThreadPool* pool = nullptr);
+
+/// Generalize two similar interned trials (see generalize_pair above);
+/// reads properties back through the snapshots' source graphs.
+std::optional<graph::PropertyGraph> generalize_pair(
+    const matcher::InternedGraph& a, const matcher::InternedGraph& b,
+    const GeneralizeOptions& options = {});
+
+std::optional<GeneralizeResult> generalize_trials(
+    const std::vector<const matcher::InternedGraph*>& trials,
+    const std::vector<std::uint64_t>& digests,
+    const GeneralizeOptions& options = {},
+    matcher::SimilarityMemo* memo = nullptr,
+    runtime::ThreadPool* pool = nullptr);
 
 }  // namespace provmark::core

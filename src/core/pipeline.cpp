@@ -1,9 +1,16 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+#include <deque>
+#include <optional>
 #include <set>
+#include <thread>
 
 #include "bench_suite/executor.h"
 #include "graph/algorithms.h"
+#include "matcher/interned.h"
+#include "matcher/memo.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -48,31 +55,40 @@ std::vector<graph::Id> BenchmarkResult::disconnected_nodes() const {
 
 namespace {
 
-/// Record `count` trials of one program variant; returns native outputs.
-std::vector<std::string> record_trials(
-    const bench_suite::BenchmarkProgram& program, bool foreground,
-    int count, int first_trial_index, systems::Recorder& recorder,
-    std::uint64_t seed, std::string* behaviour_error) {
-  std::vector<std::string> outputs;
-  outputs.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    int trial_index = first_trial_index + i;
-    std::uint64_t trial_seed =
-        util::Rng(seed ^ util::stable_hash(program.name))
-            .fork(static_cast<std::uint64_t>(trial_index) * 2 +
-                  (foreground ? 1 : 0))
-            .next_u64();
-    bench_suite::ExecutionResult run = bench_suite::execute_program(
-        program, foreground, trial_seed, recorder.extra_audit_rules());
-    if (foreground && !run.behaviour_ok && behaviour_error != nullptr &&
-        behaviour_error->empty()) {
-      *behaviour_error = run.failure_reason;
-    }
-    systems::TrialContext trial{trial_seed ^ 0xC0FFEEULL};
-    outputs.push_back(recorder.record(run.trace, trial));
-  }
-  return outputs;
+/// The seed of one recording trial, a pure function of (run seed,
+/// program, variant, trial index) — execution order and thread identity
+/// never enter, which is what makes the parallel fan-out bit-identical
+/// to the serial loop it replaced.
+std::uint64_t trial_seed(std::uint64_t seed, const std::string& program_name,
+                         bool foreground, int trial_index) {
+  return util::Rng(seed ^ util::stable_hash(program_name))
+      .fork(static_cast<std::uint64_t>(trial_index) * 2 +
+            (foreground ? 1 : 0))
+      .next_u64();
 }
+
+/// One variant's trials, carried across retry rounds: the raw graphs
+/// (std::deque — interned snapshots hold pointers into it), each trial's
+/// interned snapshot (built exactly once, against the run-wide symbol
+/// table), and its WL structural digest.
+struct TrialSet {
+  std::deque<graph::PropertyGraph> graphs;
+  std::deque<matcher::InternedGraph> interned;
+  std::vector<std::uint64_t> digests;
+
+  std::vector<const matcher::InternedGraph*> pointers() const {
+    std::vector<const matcher::InternedGraph*> out;
+    out.reserve(interned.size());
+    for (const matcher::InternedGraph& g : interned) out.push_back(&g);
+    return out;
+  }
+};
+
+/// A freshly recorded-and-parsed trial, before it joins a TrialSet.
+struct ParsedTrial {
+  std::optional<graph::PropertyGraph> graph;  ///< nullopt: garbled output
+  std::uint64_t digest = 0;
+};
 
 }  // namespace
 
@@ -80,6 +96,10 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
                               const PipelineOptions& options) {
   BenchmarkResult result;
   result.benchmark = program.name;
+
+  runtime::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : runtime::default_pool();
+  result.threads_used = pool.thread_count();
 
   std::shared_ptr<systems::Recorder> recorder = options.recorder;
   if (!recorder) {
@@ -90,13 +110,14 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
   int trials = options.trials > 0 ? options.trials
                                   : default_trials(recorder->name());
 
-  std::vector<std::string> bg_native, fg_native;
-  // Transformed trials and their WL structural digests persist across
-  // retry rounds: each trial is parsed and hashed exactly once, and the
-  // digests pre-partition the similarity classes so the exact matcher
-  // only ever runs within an equal-digest bucket.
-  std::vector<graph::PropertyGraph> bg_graphs, fg_graphs;
-  std::vector<std::uint64_t> bg_digests, fg_digests;
+  // Run-wide state persisting across retry rounds: each trial is
+  // recorded, parsed, hashed and interned exactly once; the memo carries
+  // similar() verdicts from round to round, so a retry only pays for the
+  // matcher calls its new trials introduce.
+  graph::SymbolTable symbols;
+  TrialSet bg_trials, fg_trials;
+  matcher::SimilarityMemo memo;
+  int trials_recorded = 0;  // per variant
   int unparseable = 0;
   std::optional<GeneralizeResult> bg_general, fg_general;
   std::optional<CompareResult> compared;
@@ -107,61 +128,114 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
   // chosen representative classes — the §3.4 failure mode), run more
   // trials, as the paper's recording subsystem does.
   for (int round = 0; round <= options.max_retry_rounds; ++round) {
-    int already = static_cast<int>(bg_native.size());
+    int already = trials_recorded;
     int want = round == 0 ? trials : already;  // double on each retry
+    const std::size_t tasks = static_cast<std::size_t>(want) * 2;
 
     // -- (1) recording ------------------------------------------------------
+    // All new trials of both variants fan out together: background tasks
+    // [0, want), foreground tasks [want, 2*want). Each task is
+    // self-contained (own seed, own recorder trial context), writing its
+    // native document into an index-addressed slot.
     util::Stopwatch watch;
-    std::vector<std::string> new_bg = record_trials(
-        program, /*foreground=*/false, want, already, *recorder,
-        options.seed, nullptr);
-    std::vector<std::string> new_fg = record_trials(
-        program, /*foreground=*/true, want, already, *recorder,
-        options.seed, &behaviour_error);
-    bg_native.insert(bg_native.end(), new_bg.begin(), new_bg.end());
-    fg_native.insert(fg_native.end(), new_fg.begin(), new_fg.end());
+    std::vector<std::string> new_bg(want), new_fg(want);
+    std::vector<std::string> fg_failures(want);
+    pool.parallel_for(tasks, [&](std::size_t t) {
+      bool foreground = t >= static_cast<std::size_t>(want);
+      int i = static_cast<int>(foreground ? t - want : t);
+      std::uint64_t seed =
+          trial_seed(options.seed, program.name, foreground, already + i);
+      if (options.simulated_recording_latency > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options.simulated_recording_latency));
+      }
+      bench_suite::ExecutionResult run = bench_suite::execute_program(
+          program, foreground, seed, recorder->extra_audit_rules());
+      if (foreground && !run.behaviour_ok) {
+        fg_failures[i] = run.failure_reason;
+      }
+      systems::TrialContext trial{seed ^ 0xC0FFEEULL};
+      (foreground ? new_fg : new_bg)[i] = recorder->record(run.trace, trial);
+    });
+    if (behaviour_error.empty()) {
+      for (const std::string& failure : fg_failures) {
+        if (!failure.empty()) {
+          behaviour_error = failure;
+          break;
+        }
+      }
+    }
+    trials_recorded += want;
     result.timings.recording += watch.elapsed_seconds();
 
     // -- (2) transformation (new trials only) -------------------------------
+    // Parsing and digesting are per-trial pure work and run on the pool;
+    // interning is a short serial tail (the symbol table is shared by
+    // the whole run so every later matcher call can compare any pair).
     watch.reset();
-    auto ingest = [&](const std::vector<std::string>& natives,
-                      std::vector<graph::PropertyGraph>& graphs,
-                      std::vector<std::uint64_t>& digests) {
-      for (const std::string& native : natives) {
-        try {
-          graph::PropertyGraph parsed =
-              transform_native(native, options.transform);
-          std::uint64_t digest = graph::structural_digest(parsed);
-          graphs.push_back(std::move(parsed));
-          digests.push_back(digest);
-        } catch (const std::exception&) {
-          // Garbled (truncated) output: the trial is a failed run and is
-          // excluded before similarity classification.
-          ++unparseable;
-        }
+    std::vector<ParsedTrial> parsed(tasks);
+    pool.parallel_for(tasks, [&](std::size_t t) {
+      bool foreground = t >= static_cast<std::size_t>(want);
+      const std::string& native =
+          foreground ? new_fg[t - want] : new_bg[t];
+      try {
+        graph::PropertyGraph g = transform_native(native, options.transform);
+        parsed[t].digest = graph::structural_digest(g);
+        parsed[t].graph = std::move(g);
+      } catch (const std::exception&) {
+        // Garbled (truncated) output: the trial is a failed run and is
+        // excluded before similarity classification.
       }
-    };
-    ingest(new_bg, bg_graphs, bg_digests);
-    ingest(new_fg, fg_graphs, fg_digests);
+    });
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (!parsed[t].graph.has_value()) {
+        ++unparseable;
+        continue;
+      }
+      TrialSet& set =
+          t < static_cast<std::size_t>(want) ? bg_trials : fg_trials;
+      set.graphs.push_back(std::move(*parsed[t].graph));
+      set.interned.emplace_back(set.graphs.back(), symbols);
+      set.digests.push_back(parsed[t].digest);
+    }
     result.timings.transformation += watch.elapsed_seconds();
 
     // -- (3) generalization -------------------------------------------------
+    // The two variants are independent generalization problems; they run
+    // concurrently, and each fans its similarity buckets out over the
+    // pool (nested parallel_for runs inline on whichever worker got the
+    // variant). Sharing one memo is safe and deterministic: entries are
+    // per concrete snapshot pair, so equal-digest buckets on the two
+    // sides never read each other's verdicts.
     watch.reset();
-    bg_general = generalize_trials(bg_graphs, bg_digests, options.generalize);
-    fg_general = generalize_trials(fg_graphs, fg_digests, options.generalize);
+    std::vector<const matcher::InternedGraph*> bg_ptrs = bg_trials.pointers();
+    std::vector<const matcher::InternedGraph*> fg_ptrs = fg_trials.pointers();
+    pool.parallel_for(2, [&](std::size_t side) {
+      if (side == 0) {
+        bg_general = generalize_trials(bg_ptrs, bg_trials.digests,
+                                       options.generalize, &memo, &pool);
+      } else {
+        fg_general = generalize_trials(fg_ptrs, fg_trials.digests,
+                                       options.generalize, &memo, &pool);
+      }
+    });
     result.timings.generalization += watch.elapsed_seconds();
     result.trials_unparseable = unparseable;
 
-    result.trials_run = static_cast<int>(bg_native.size());
+    result.trials_run = trials_recorded;
     if (!bg_general.has_value() || !fg_general.has_value()) continue;
 
     // -- (4) comparison -----------------------------------------------------
     watch.reset();
-    compared = compare_graphs(bg_general->graph, fg_general->graph,
-                              options.compare);
+    matcher::InternedGraph bg_interned(bg_general->graph, symbols);
+    matcher::InternedGraph fg_interned(fg_general->graph, symbols);
+    compared = compare_graphs(bg_interned, fg_interned, options.compare);
     result.timings.comparison += watch.elapsed_seconds();
     if (!compared->embedding_failed) break;
   }
+
+  result.similarity_cache_hits = memo.hits();
+  result.similarity_cache_lookups = memo.lookups();
 
   if (!behaviour_error.empty()) {
     result.status = BenchmarkStatus::Failed;

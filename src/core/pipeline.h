@@ -15,6 +15,10 @@
 #include "graph/property_graph.h"
 #include "systems/recorder.h"
 
+namespace provmark::runtime {
+class ThreadPool;
+}
+
 namespace provmark::core {
 
 struct PipelineOptions {
@@ -31,6 +35,21 @@ struct PipelineOptions {
   /// the trials, up to this many rounds (the paper "runs a larger number
   /// of trials" in that case).
   int max_retry_rounds = 3;
+  /// Thread pool for the parallel phases (trial recording/transformation
+  /// and similarity classification). nullptr = the process-wide
+  /// runtime::default_pool(). Results are bit-identical at any thread
+  /// count: every trial derives its randomness from (seed, trial index),
+  /// never from scheduling.
+  runtime::ThreadPool* pool = nullptr;
+  /// Simulated wall-clock wait per recording trial, in seconds. The real
+  /// recorders spend most of each trial *waiting* — daemon start/stop,
+  /// audit flush, Neo4j commit — which dominates Figures 5-7; the
+  /// simulated recorders run instantaneously. Setting this restores the
+  /// paper's recording-bound cost profile (trials overlap on the pool,
+  /// so it also exercises the parallel runtime the way production
+  /// recording does). 0 (the default) keeps tests instantaneous. Affects
+  /// timings only, never results.
+  double simulated_recording_latency = 0;
   TransformOptions transform;
   GeneralizeOptions generalize;
   CompareOptions compare;
@@ -77,6 +96,14 @@ struct BenchmarkResult {
   int trials_discarded = 0;  ///< singleton similarity classes (both variants)
   int trials_unparseable = 0;  ///< garbled recorder output (excluded early)
   int transient_properties = 0;  ///< stripped during generalization
+  int threads_used = 1;  ///< pool width the run executed on
+
+  /// similar() memo-cache traffic during similarity classification
+  /// (matcher::SimilarityMemo; hits are instances never re-solved —
+  /// retry rounds re-partition all trials, so every round after the
+  /// first runs almost entirely from cache).
+  std::uint64_t similarity_cache_hits = 0;
+  std::uint64_t similarity_cache_lookups = 0;
 
   /// Nodes in `result` that are neither dummies nor edge endpoints —
   /// disconnected structure such as SPADE's vfork child (note DV).

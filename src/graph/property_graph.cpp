@@ -11,6 +11,7 @@ Node& PropertyGraph::add_node(Id id, Label label, Properties props) {
   }
   node_index_[id] = nodes_.size();
   adjacency_[id];
+  node_dead_.push_back(0);
   nodes_.push_back(Node{std::move(id), std::move(label), std::move(props)});
   return nodes_.back();
 }
@@ -31,6 +32,7 @@ Edge& PropertyGraph::add_edge(Id id, Id src, Id tgt, Label label,
   if (tgt != src) adjacency_.at(tgt).incident.push_back(id);
   ++adjacency_.at(src).out;
   ++adjacency_.at(tgt).in;
+  edge_dead_.push_back(0);
   edges_.push_back(Edge{std::move(id), std::move(src), std::move(tgt),
                         std::move(label), std::move(props)});
   return edges_.back();
@@ -46,21 +48,21 @@ void PropertyGraph::set_property(const Id& element_id, const std::string& key,
 }
 
 bool PropertyGraph::remove_node(const Id& id) {
-  if (node_index_.find(id) == node_index_.end()) return false;
-  // Remove incident edges first (does not disturb node positions). The
-  // adjacency list makes this O(degree) instead of an O(E) edge scan per
-  // removal; copy it because remove_edge mutates it.
+  auto it = node_index_.find(id);
+  if (it == node_index_.end()) return false;
+  // Remove incident edges first; the adjacency list makes this O(degree)
+  // instead of an O(E) edge scan. Copy it because remove_edge mutates it.
   std::vector<Id> incident = adjacency_.at(id).incident;
   for (const Id& edge_id : incident) {
     remove_edge(edge_id);
   }
-  std::size_t pos = node_index_.at(id);
-  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(pos));
-  node_index_.erase(id);
+  // Tombstone instead of erasing: no element moves, so every index
+  // position stays valid and no per-removal position-shift pass runs.
+  // The next accessor call compacts the whole batch in one pass.
+  node_dead_[it->second] = 1;
+  ++dead_nodes_;
+  node_index_.erase(it);
   adjacency_.erase(id);
-  for (auto& [nid, npos] : node_index_) {
-    if (npos > pos) --npos;
-  }
   return true;
 }
 
@@ -77,12 +79,44 @@ bool PropertyGraph::remove_edge(const Id& id) {
   if (edge.tgt != edge.src) unlink(edge.tgt);
   --adjacency_.at(edge.src).out;
   --adjacency_.at(edge.tgt).in;
-  edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(pos));
+  edge_dead_[pos] = 1;
+  ++dead_edges_;
   edge_index_.erase(it);
-  for (auto& [eid, epos] : edge_index_) {
-    if (epos > pos) --epos;
-  }
   return true;
+}
+
+void PropertyGraph::compact() const {
+  if (dead_nodes_ == 0 && dead_edges_ == 0) return;
+  // One stable sweep per vector: surviving elements slide down in
+  // insertion order and their index entries are rewritten as they move.
+  if (dead_edges_ > 0) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < edges_.size(); ++r) {
+      if (edge_dead_[r]) continue;
+      if (w != r) {
+        edges_[w] = std::move(edges_[r]);
+        edge_index_.find(edges_[w].id)->second = w;
+      }
+      ++w;
+    }
+    edges_.resize(w);
+    edge_dead_.assign(w, 0);
+    dead_edges_ = 0;
+  }
+  if (dead_nodes_ > 0) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < nodes_.size(); ++r) {
+      if (node_dead_[r]) continue;
+      if (w != r) {
+        nodes_[w] = std::move(nodes_[r]);
+        node_index_.find(nodes_[w].id)->second = w;
+      }
+      ++w;
+    }
+    nodes_.resize(w);
+    node_dead_.assign(w, 0);
+    dead_nodes_ = 0;
+  }
 }
 
 const Node* PropertyGraph::find_node(const Id& id) const {
@@ -131,6 +165,8 @@ std::size_t PropertyGraph::in_degree(const Id& node_id) const {
 }
 
 bool PropertyGraph::operator==(const PropertyGraph& other) const {
+  compact();
+  other.compact();
   return nodes_ == other.nodes_ && edges_ == other.edges_;
 }
 

@@ -74,8 +74,26 @@ class PropertyGraph {
 
   // -- access ---------------------------------------------------------------
 
-  const std::vector<Node>& nodes() const { return nodes_; }
-  const std::vector<Edge>& edges() const { return edges_; }
+  /// Live nodes/edges in insertion order. Removal tombstones elements and
+  /// these accessors compact lazily, so a burst of k removals costs one
+  /// O(V+E) compaction instead of k position-shift passes; with no
+  /// pending removals they are plain O(1) reads (and therefore safe for
+  /// concurrent readers — see compact_now()).
+  ///
+  /// Pointer invalidation: element pointers/references survive a
+  /// remove_* of *other* elements (tombstones move nothing), but the
+  /// deferred compaction — triggered by the *next* accessor call, even
+  /// a const one like nodes() — slides survivors down and invalidates
+  /// them then. Treat any call after a removal as invalidating, exactly
+  /// as under the old erase-at-remove behaviour.
+  const std::vector<Node>& nodes() const {
+    compact();
+    return nodes_;
+  }
+  const std::vector<Edge>& edges() const {
+    compact();
+    return edges_;
+  }
 
   const Node* find_node(const Id& id) const;
   const Edge* find_edge(const Id& id) const;
@@ -90,11 +108,17 @@ class PropertyGraph {
   std::optional<std::string> property(const Id& element_id,
                                       const std::string& key) const;
 
-  std::size_t node_count() const { return nodes_.size(); }
-  std::size_t edge_count() const { return edges_.size(); }
+  std::size_t node_count() const { return nodes_.size() - dead_nodes_; }
+  std::size_t edge_count() const { return edges_.size() - dead_edges_; }
   /// Total elements, the size measure used when ranking similarity classes.
-  std::size_t size() const { return nodes_.size() + edges_.size(); }
-  bool empty() const { return nodes_.empty() && edges_.empty(); }
+  std::size_t size() const { return node_count() + edge_count(); }
+  bool empty() const { return node_count() == 0 && edge_count() == 0; }
+
+  /// Flush pending removals now. Mutators and the accessors above do
+  /// this automatically; call it explicitly before sharing the graph
+  /// with concurrent readers, because lazy compaction inside a const
+  /// accessor is not thread-safe while removals are pending.
+  void compact_now() const { compact(); }
 
   /// Ids of edges whose source or target is `node_id`, in edge insertion
   /// order (self-loops appear once). O(degree): served from the
@@ -111,12 +135,26 @@ class PropertyGraph {
  private:
   const Properties* element_props(const Id& id) const;
   Properties* element_props(const Id& id);
+  /// Erase tombstoned elements, restoring the dense insertion-order
+  /// vectors and their position indices in one pass. No-op (a pure read)
+  /// when nothing is pending.
+  void compact() const;
 
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
+  // Storage is logically const-stable: removal tombstones an element and
+  // the next access compacts, which rearranges representation but never
+  // observable state — hence mutable members behind const accessors.
+  mutable std::vector<Node> nodes_;
+  mutable std::vector<Edge> edges_;
   // Index from id to position in nodes_/edges_ (value < node size => node).
-  std::map<Id, std::size_t> node_index_;
-  std::map<Id, std::size_t> edge_index_;
+  // Positions stay valid while tombstones are pending: nothing moves
+  // until compact().
+  mutable std::map<Id, std::size_t> node_index_;
+  mutable std::map<Id, std::size_t> edge_index_;
+  // Tombstone flags parallel to nodes_/edges_, plus pending counts.
+  mutable std::vector<char> node_dead_;
+  mutable std::vector<char> edge_dead_;
+  mutable std::size_t dead_nodes_ = 0;
+  mutable std::size_t dead_edges_ = 0;
   // Incremental adjacency, maintained by add_edge/remove_edge: per node,
   // incident edge ids in insertion order (self-loops once) plus degree
   // counters. Keyed by id so node removals never invalidate entries.

@@ -1,0 +1,47 @@
+#include "matcher/interned.h"
+
+#include <limits>
+
+namespace provmark::matcher {
+
+namespace {
+constexpr std::uint32_t kUnmapped = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+InternedGraph::InternedGraph(const graph::PropertyGraph& graph,
+                             graph::SymbolTable& symbols)
+    : g(graph::CompactGraph::build(graph, symbols)) {
+  groups_of_node.resize(g.node_count());
+  for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+    std::uint32_t s = g.edge_src[e];
+    std::uint32_t t = g.edge_tgt[e];
+    std::vector<std::uint32_t>& bucket = groups_by_pair[pair_key(s, t)];
+    std::uint32_t group = kUnmapped;
+    for (std::uint32_t gi : bucket) {
+      if (groups[gi].label == g.edge_label[e]) {
+        group = gi;
+        break;
+      }
+    }
+    if (group == kUnmapped) {
+      group = static_cast<std::uint32_t>(groups.size());
+      groups.push_back(EdgeGroup{s, t, g.edge_label[e], bucket.empty(), {}});
+      bucket.push_back(group);
+      groups_of_node[s].push_back(group);
+      if (t != s) groups_of_node[t].push_back(group);
+    }
+    groups[group].edges.push_back(e);
+  }
+}
+
+const std::vector<std::uint32_t>* InternedGraph::group_edges(
+    std::uint32_t s, std::uint32_t t, graph::Symbol label) const {
+  const std::vector<std::uint32_t>* bucket = pair_groups(s, t);
+  if (bucket == nullptr) return nullptr;
+  for (std::uint32_t gi : *bucket) {
+    if (groups[gi].label == label) return &groups[gi].edges;
+  }
+  return nullptr;
+}
+
+}  // namespace provmark::matcher

@@ -31,6 +31,8 @@
 
 namespace provmark::matcher {
 
+struct InternedGraph;  // matcher/interned.h: a reusable interned operand
+
 /// A solution: node and edge correspondences from G1 into G2 plus its cost.
 struct Matching {
   std::map<graph::Id, graph::Id> node_map;
@@ -116,5 +118,24 @@ std::optional<Matching> best_subgraph_embedding(
 /// Pure similarity test (paper §3.4): do the graphs have the same shape,
 /// ignoring properties?
 bool similar(const graph::PropertyGraph& g1, const graph::PropertyGraph& g2);
+
+// -- interned entry points ----------------------------------------------------
+// Zero-interning variants over pre-built snapshots (matcher/interned.h).
+// Both operands must have been interned against the *same* SymbolTable
+// (std::invalid_argument otherwise). The pipeline interns each trial
+// graph exactly once and reuses the snapshot for every similarity check,
+// generalization, and comparison it participates in; the PropertyGraph
+// overloads above are one-shot conveniences that intern on the fly.
+
+std::optional<Matching> best_isomorphism(const InternedGraph& g1,
+                                         const InternedGraph& g2,
+                                         const SearchOptions& options = {},
+                                         Stats* stats = nullptr);
+
+std::optional<Matching> best_subgraph_embedding(
+    const InternedGraph& g1, const InternedGraph& g2,
+    const SearchOptions& options = {}, Stats* stats = nullptr);
+
+bool similar(const InternedGraph& g1, const InternedGraph& g2);
 
 }  // namespace provmark::matcher

@@ -1,0 +1,37 @@
+#include "matcher/memo.h"
+
+#include "matcher/matcher.h"
+
+namespace provmark::matcher {
+
+bool SimilarityMemo::similar(std::uint64_t digest_a, std::uint64_t digest_b,
+                             const InternedGraph& a, const InternedGraph& b) {
+  lookups_.fetch_add(1);
+  if (digest_a != digest_b) {
+    // Unequal digests prove dissimilarity; nothing to remember.
+    hits_.fetch_add(1);
+    return false;
+  }
+  const std::pair<std::uint64_t, std::uint64_t> key{digest_a, digest_b};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = verdicts_.find(key);
+    if (it != verdicts_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.a == &a && entry.b == &b) {
+          hits_.fetch_add(1);
+          return entry.verdict;
+        }
+      }
+    }
+  }
+  bool verdict = matcher::similar(a, b);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // No duplicate-insert check needed: a given ordered pair is only ever
+  // posed sequentially (within one bucket's classification loop), so it
+  // cannot race with itself.
+  verdicts_[key].push_back(Entry{&a, &b, verdict});
+  return verdict;
+}
+
+}  // namespace provmark::matcher

@@ -40,6 +40,12 @@ class Recorder {
   virtual std::set<std::string> extra_audit_rules() const { return {}; }
 
   /// Consume one trial's event trace; return the native-format document.
+  ///
+  /// Concurrency: the pipeline records independent trials in parallel on
+  /// one Recorder instance, so implementations must be safe for
+  /// concurrent record() calls — derive all transient values from
+  /// `trial.seed` and keep per-trial state local to the call (the
+  /// shipped recorders hold only immutable config between calls).
   virtual std::string record(const os::EventTrace& trace,
                              const TrialContext& trial) = 0;
 };

@@ -1,0 +1,197 @@
+// Regression coverage for removal-heavy workloads: remove_node /
+// remove_edge tombstone elements and the accessors compact lazily, so
+// these tests hammer interleavings of removal, lookup, re-insertion and
+// iteration, checking the observable state against a naive reference
+// model after every operation batch.
+#include "graph/property_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace provmark::graph {
+namespace {
+
+/// Chain graph with per-node fan-out edges: n0 -> n1 -> ... plus
+/// self-descriptive ids so failures read well.
+PropertyGraph make_chain(int nodes) {
+  PropertyGraph g;
+  for (int i = 0; i < nodes; ++i) {
+    g.add_node("n" + std::to_string(i), "Process",
+               {{"pid", std::to_string(i)}});
+    if (i > 0) {
+      g.add_edge("e" + std::to_string(i), "n" + std::to_string(i - 1),
+                 "n" + std::to_string(i), "Next", {});
+    }
+  }
+  return g;
+}
+
+TEST(PropertyGraphRemoval, BulkEdgeRemovalKeepsOrderAndCounts) {
+  const int n = 200;
+  PropertyGraph g = make_chain(n);
+  // Remove every third edge with no reads in between: the whole batch
+  // must be absorbed without a position-shift pass per removal, and the
+  // next read sees the dense survivor sequence in insertion order.
+  std::vector<std::string> removed;
+  for (int i = 1; i < n; i += 3) {
+    ASSERT_TRUE(g.remove_edge("e" + std::to_string(i)));
+    removed.push_back("e" + std::to_string(i));
+  }
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n - 1) - removed.size());
+  std::vector<std::string> seen;
+  for (const Edge& e : g.edges()) seen.push_back(e.id);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end(),
+                             [](const std::string& a, const std::string& b) {
+                               return std::stoi(a.substr(1)) <
+                                      std::stoi(b.substr(1));
+                             }));
+  for (const std::string& id : removed) {
+    EXPECT_FALSE(g.has_element(id)) << id;
+    EXPECT_FALSE(g.remove_edge(id)) << "double remove must report absent";
+  }
+}
+
+TEST(PropertyGraphRemoval, NodeRemovalCascadesAndCompactsLazily) {
+  PropertyGraph g = make_chain(100);
+  // Removing interior nodes drops their incident chain edges.
+  for (int i = 10; i < 90; i += 2) {
+    ASSERT_TRUE(g.remove_node("n" + std::to_string(i)));
+  }
+  EXPECT_EQ(g.node_count(), 100u - 40u);
+  for (const Node& node : g.nodes()) {
+    EXPECT_TRUE(g.has_element(node.id));
+  }
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(g.find_node(e.src), nullptr) << e.id;
+    EXPECT_NE(g.find_node(e.tgt), nullptr) << e.id;
+  }
+}
+
+TEST(PropertyGraphRemoval, LookupsStayCorrectBetweenRemovals) {
+  PropertyGraph g = make_chain(50);
+  // Interleave removals with finds: index positions must stay valid
+  // while tombstones are pending (no compaction has run yet).
+  for (int i = 0; i < 50; i += 5) {
+    std::string id = "n" + std::to_string(i);
+    ASSERT_TRUE(g.remove_node(id));
+    EXPECT_EQ(g.find_node(id), nullptr);
+    std::string alive = "n" + std::to_string(i + 1);
+    const Node* n = g.find_node(alive);
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->id, alive);
+    EXPECT_EQ(*g.property(alive, "pid"), std::to_string(i + 1));
+  }
+}
+
+TEST(PropertyGraphRemoval, ReAddAfterRemoveIsAFreshElement) {
+  PropertyGraph g = make_chain(5);
+  ASSERT_TRUE(g.remove_node("n2"));
+  // Re-adding a removed id must succeed and start clean, even while the
+  // tombstone is still pending.
+  Node& fresh = g.add_node("n2", "Artifact", {{"path", "/tmp/x"}});
+  EXPECT_EQ(fresh.label, "Artifact");
+  const Node* found = g.find_node("n2");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->label, "Artifact");
+  EXPECT_EQ(g.in_degree("n2"), 0u);
+  EXPECT_EQ(g.out_degree("n2"), 0u);
+  g.add_edge("fresh-edge", "n1", "n2", "Used", {});
+  EXPECT_EQ(g.in_degree("n2"), 1u);
+}
+
+TEST(PropertyGraphRemoval, RandomisedChurnMatchesReferenceModel) {
+  // Reference model: rebuild the expected graph from scratch after every
+  // batch and require exact equality (operator== compacts both sides).
+  util::Rng rng(2024);
+  PropertyGraph g;
+  std::vector<std::string> live_nodes;
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+      live_edges;
+  int next_node = 0, next_edge = 0;
+
+  for (int batch = 0; batch < 20; ++batch) {
+    for (int op = 0; op < 30; ++op) {
+      double roll = static_cast<double>(rng.next_below(100)) / 100.0;
+      if (roll < 0.4 || live_nodes.size() < 2) {
+        std::string id = "n" + std::to_string(next_node++);
+        g.add_node(id, "Process", {{"seq", id}});
+        live_nodes.push_back(id);
+      } else if (roll < 0.65) {
+        std::string src = live_nodes[rng.next_below(live_nodes.size())];
+        std::string tgt = live_nodes[rng.next_below(live_nodes.size())];
+        std::string id = "e" + std::to_string(next_edge++);
+        g.add_edge(id, src, tgt, "Link", {});
+        live_edges.push_back({id, {src, tgt}});
+      } else if (roll < 0.85 && !live_edges.empty()) {
+        std::size_t pick = rng.next_below(live_edges.size());
+        ASSERT_TRUE(g.remove_edge(live_edges[pick].first));
+        live_edges.erase(live_edges.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+      } else {
+        std::size_t pick = rng.next_below(live_nodes.size());
+        std::string victim = live_nodes[pick];
+        ASSERT_TRUE(g.remove_node(victim));
+        live_nodes.erase(live_nodes.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        live_edges.erase(
+            std::remove_if(live_edges.begin(), live_edges.end(),
+                           [&](const auto& e) {
+                             return e.second.first == victim ||
+                                    e.second.second == victim;
+                           }),
+            live_edges.end());
+      }
+    }
+    // Rebuild the expectation and compare the full observable state.
+    PropertyGraph expected;
+    for (const std::string& id : live_nodes) {
+      expected.add_node(id, "Process", {{"seq", id}});
+    }
+    for (const auto& [id, ends] : live_edges) {
+      expected.add_edge(id, ends.first, ends.second, "Link", {});
+    }
+    // Note: expected was built in live-list order, which tracks the real
+    // graph's insertion order for survivors, so equality is exact.
+    ASSERT_EQ(g.node_count(), expected.node_count()) << "batch " << batch;
+    ASSERT_EQ(g.edge_count(), expected.edge_count()) << "batch " << batch;
+    ASSERT_TRUE(g == expected) << "batch " << batch;
+    for (const std::string& id : live_nodes) {
+      EXPECT_EQ(g.in_degree(id), expected.in_degree(id)) << id;
+      EXPECT_EQ(g.out_degree(id), expected.out_degree(id)) << id;
+      EXPECT_EQ(g.incident_edges(id), expected.incident_edges(id)) << id;
+    }
+  }
+}
+
+TEST(PropertyGraphRemoval, RemovalHeavyThroughput) {
+  // The old implementation rebuilt both index maps per removal (O(E)
+  // each); removing all edges of a 3000-edge graph was quadratic. The
+  // tombstone scheme absorbs the whole batch in linear total work —
+  // generous wall-clock bound, but far below the quadratic regime.
+  const int n = 3000;
+  PropertyGraph g;
+  g.add_node("hub", "Process", {});
+  for (int i = 0; i < n; ++i) {
+    std::string id = "a" + std::to_string(i);
+    g.add_node(id, "Artifact", {});
+    g.add_edge("e" + std::to_string(i), "hub", id, "Used", {});
+  }
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(g.remove_edge("e" + std::to_string(i)));
+  }
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(g.remove_node("a" + std::to_string(i)));
+  }
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.nodes().front().id, "hub");
+}
+
+}  // namespace
+}  // namespace provmark::graph

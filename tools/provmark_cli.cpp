@@ -2,21 +2,31 @@
 // (appendix A.5):
 //
 //   Single execution (fullAutomation.py):
-//     provmark run <system> <benchmark> [trials]
+//     provmark [options] run <system> <benchmark> [trials]
 //   Batch execution (runTests.sh):
-//     provmark batch <system> <result-type> [output-dir]
+//     provmark [options] batch <systems> <result-type> [output-dir]
 //
 // Systems accept both long names (spade/opus/camflow/spade-camflow) and
 // the paper's abbreviations (spg/spn/opu/cam). Result types follow the
 // paper: rb = benchmark only, rg = benchmark + generalized graphs,
 // rh = HTML page (written to <output-dir>/index.html).
 //
+// Batch mode takes a comma-separated system list and sweeps every
+// (benchmark, system) pair across the runtime thread pool; each
+// pipeline's own trial fan-out shares the same pool. Output order is
+// deterministic (pair order), whatever the scheduling.
+//
 // Batch mode also appends one CSV line per benchmark to
 // <output-dir>/time.log — the appendix A.6.4 timing-log format:
 //   system,syscall,recording,transformation,generalization,comparison
+//
+// The full grammar lives in usage() below; docs/cli.md documents every
+// subcommand with worked examples and must be kept in sync with it.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,21 +35,44 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "datalog/fact_io.h"
+#include "runtime/thread_pool.h"
+#include "systems/recorder.h"
 #include "util/strings.h"
 
 using namespace provmark;
 
 namespace {
 
+constexpr const char* kUsage =
+    "usage:\n"
+    "  provmark [options] run <system> <benchmark> [trials]\n"
+    "  provmark [options] batch <systems> <rb|rg|rh> [output-dir]\n"
+    "  provmark --help\n"
+    "\n"
+    "subcommands:\n"
+    "  run    full pipeline for one benchmark on one system; prints a\n"
+    "         summary, the result graph as DOT, and its datalog facts\n"
+    "         (exit 1 if the pipeline fails)\n"
+    "  batch  all Table 1 benchmarks on every listed system (comma-\n"
+    "         separated, e.g. spade,camflow), swept in parallel across\n"
+    "         the thread pool; appends timing CSV to\n"
+    "         <output-dir>/time.log (default output-dir: finalResult)\n"
+    "\n"
+    "options:\n"
+    "  --threads N  worker threads for the parallel runtime (default:\n"
+    "               PROVMARK_THREADS env var, then hardware concurrency)\n"
+    "  --seed S     pipeline seed (default 42); results are\n"
+    "               deterministic per seed at any thread count\n"
+    "  --help       this text\n"
+    "\n"
+    "systems: spade|spg, spn, opus|opu, camflow|cam, spade-camflow\n"
+    "result types: rb = benchmark only, rg = + generalized graphs,\n"
+    "              rh = + HTML report (<output-dir>/index.html)\n"
+    "benchmarks: Table 1 syscall names (e.g. rename), scaleN,\n"
+    "            rename-fail, failure-case names, @file.prog\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  provmark run <system> <benchmark> [trials]\n"
-               "  provmark batch <system> <rb|rg|rh> [output-dir]\n"
-               "systems: spade|spg, spn, opus|opu, camflow|cam, "
-               "spade-camflow\n"
-               "benchmarks: Table 1 syscall names (e.g. rename), "
-               "scaleN, rename-fail\n");
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
 
@@ -66,11 +99,18 @@ bench_suite::BenchmarkProgram find_program(const std::string& name) {
   return bench_suite::benchmark_by_name(name);
 }
 
-int run_single(const std::string& system, const std::string& benchmark,
-               int trials) {
+struct CliOptions {
+  runtime::ThreadPool* pool = nullptr;
+  std::uint64_t seed = 42;
+};
+
+int run_single(const CliOptions& cli, const std::string& system,
+               const std::string& benchmark, int trials) {
   core::PipelineOptions options;
   options.system = system;
   options.trials = trials;
+  options.seed = cli.seed;
+  options.pool = cli.pool;
   core::BenchmarkResult result =
       core::run_benchmark(find_program(benchmark), options);
   std::printf("%s\n\n", core::summarize(result).c_str());
@@ -83,16 +123,47 @@ int run_single(const std::string& system, const std::string& benchmark,
   return 0;
 }
 
-int run_batch(const std::string& system, const std::string& result_type,
+int run_batch(const CliOptions& cli, const std::string& system_list,
+              const std::string& result_type,
               const std::string& output_dir) {
+  std::vector<std::string> systems = util::split_nonempty(system_list, ',');
+  if (systems.empty()) return usage();
+  // Fail fast on any bad system name before the sweep runs: a typo in
+  // one list entry must not burn (and then discard) the full suite for
+  // the valid ones. Throws std::invalid_argument -> "error: ...", exit 1.
+  for (const std::string& system : systems) {
+    systems::make_recorder(system);
+  }
+
+  // The (benchmark, system) sweep: all pairs fan out over the pool and
+  // land in pair-order slots, so stdout and time.log read identically
+  // at any thread count.
+  struct Pair {
+    bench_suite::BenchmarkProgram program;
+    std::string system;
+  };
+  std::vector<Pair> pairs;
+  for (const std::string& system : systems) {
+    for (const bench_suite::BenchmarkProgram& program :
+         bench_suite::table_benchmarks()) {
+      pairs.push_back({program, system});
+    }
+  }
+  runtime::ThreadPool& pool =
+      cli.pool != nullptr ? *cli.pool : runtime::default_pool();
+  std::vector<core::BenchmarkResult> results =
+      pool.parallel_map<core::BenchmarkResult>(
+          pairs, [&](const Pair& pair, std::size_t) {
+            core::PipelineOptions options;
+            options.system = pair.system;
+            options.seed = cli.seed;
+            options.pool = &pool;
+            return core::run_benchmark(pair.program, options);
+          });
+
   std::filesystem::create_directories(output_dir);
   std::ofstream time_log(output_dir + "/time.log", std::ios::app);
-  std::vector<core::BenchmarkResult> results;
-  for (const bench_suite::BenchmarkProgram& program :
-       bench_suite::table_benchmarks()) {
-    core::PipelineOptions options;
-    options.system = system;
-    core::BenchmarkResult result = core::run_benchmark(program, options);
+  for (const core::BenchmarkResult& result : results) {
     std::printf("%s\n", core::summarize(result).c_str());
     time_log << util::format("%s,%s,%.6f,%.6f,%.6f,%.6f\n",
                              result.system.c_str(),
@@ -101,7 +172,6 @@ int run_batch(const std::string& system, const std::string& result_type,
                              result.timings.transformation,
                              result.timings.generalization,
                              result.timings.comparison);
-    results.push_back(std::move(result));
   }
 
   std::printf("\n%s\n", core::validation_table(results).c_str());
@@ -132,17 +202,40 @@ int run_batch(const std::string& system, const std::string& result_type,
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return usage();
+
+  CliOptions cli;
+  std::unique_ptr<runtime::ThreadPool> owned_pool;
+  // Peel leading options off before the subcommand.
   try {
+    while (!args.empty() && args[0].rfind("--", 0) == 0) {
+      if (args[0] == "--help") {
+        std::printf("%s", kUsage);
+        return 0;
+      }
+      if (args[0] == "--threads" && args.size() >= 2) {
+        owned_pool = std::make_unique<runtime::ThreadPool>(
+            std::stoi(args[1]));
+        cli.pool = owned_pool.get();
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--seed" && args.size() >= 2) {
+        cli.seed = std::stoull(args[1]);
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      return usage();
+    }
+    if (args.empty()) return usage();
     if (args[0] == "run" && (args.size() == 3 || args.size() == 4)) {
-      return run_single(args[1], args[2],
+      return run_single(cli, args[1], args[2],
                         args.size() == 4 ? std::stoi(args[3]) : 0);
     }
     if (args[0] == "batch" && (args.size() == 3 || args.size() == 4)) {
       if (args[2] != "rb" && args[2] != "rg" && args[2] != "rh") {
         return usage();
       }
-      return run_batch(args[1], args[2],
+      return run_batch(cli, args[1], args[2],
                        args.size() == 4 ? args[3] : "finalResult");
     }
   } catch (const std::exception& e) {
