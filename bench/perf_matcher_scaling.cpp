@@ -1,30 +1,52 @@
-// Old-vs-new matcher scaling benchmark: the perf trajectory of the
-// interned-engine rewrite.
+// Matcher scaling benchmark: the perf trajectory of the search-engine
+// rewrites, with per-strategy ablation columns.
 //
-// Runs both the legacy string-keyed engine (legacy_matcher.h, the exact
-// pre-rewrite implementation) and the production CompactGraph engine on
-// growing synthetic provenance graphs — the two matcher problems the
-// pipeline actually poses (Listing 3 generalization isomorphisms and
-// Listing 4 comparison embeddings) — verifies they return identical
-// results, and emits BENCH_matcher_perf.json with per-size wall-clock
-// numbers and speedups.
+// Runs the two matcher problems the pipeline actually poses (Listing 3
+// generalization isomorphisms and Listing 4 comparison embeddings) plus
+// a multi-component decomposition workload on growing synthetic
+// provenance graphs, across the stacked search strategies:
+//
+//   legacy          — the string-keyed pre-rewrite engine (baseline for
+//                     the PR 1 data-layout speedup; measured on the
+//                     sizes it can finish)
+//   property        — compact engine, PropertyCost ordering (the PR 1
+//                     search, bit-identical to legacy)
+//   property+decomp — PropertyCost with component decomposition
+//   wl              — WlScarcity ordering (colour-class pruning +
+//                     admissible suffix bound)
+//   wl+decomp       — the full stack; also run on the parallel search
+//                     at 8 threads, with serial-vs-parallel cost
+//                     identity enforced
+//
+// The benchmark *asserts* (exit 1) that every strategy that completes
+// reports the same optimal cost, that legacy and property agree on cost
+// and step trace, that the parallel search reproduces the serial cost,
+// and that the informed strategies never take more steps than the
+// property baseline on the bijective problems — so an ordering
+// regression fails CI instead of silently inflating BENCH numbers.
 //
 // Usage: bench_perf_matcher_scaling [--smoke] [output.json]
 //   --smoke  small sizes + fewer repetitions (CI-friendly)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/property_graph.h"
 #include "matcher/legacy_matcher.h"
 #include "matcher/matcher.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 
 using namespace provmark;
 
 namespace {
+
+constexpr std::size_t kStepBudget = 50'000'000;
+constexpr int kParallelThreads = 8;
 
 /// A provenance-shaped random graph: one process spine with artifact
 /// fan-out, labelled like recorder output (same shape as the ablation
@@ -61,6 +83,44 @@ graph::PropertyGraph make_provenance_graph(int processes,
   return g;
 }
 
+/// A disconnected workload: `fragments` structurally identical 4-process
+/// spines (distinct property values per fragment), the shape component
+/// decomposition turns from multiplicative into additive.
+graph::PropertyGraph make_fragment_graph(int fragments, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::PropertyGraph g;
+  int edge = 0;
+  for (int f = 0; f < fragments; ++f) {
+    std::string prev;
+    for (int p = 0; p < 4; ++p) {
+      std::string pid = "f" + std::to_string(f) + "p" + std::to_string(p);
+      g.add_node(pid, "Process",
+                 {{"pid", std::to_string(1000 + f * 10 + p)},
+                  {"name", "proc" + std::to_string(p % 3)}});
+      if (!prev.empty()) {
+        g.add_edge("e" + std::to_string(edge++), pid, prev,
+                   "WasTriggeredBy", {{"operation", "fork"}});
+      }
+      for (int a = 0; a < 4; ++a) {
+        std::string aid = pid + "a" + std::to_string(a);
+        g.add_node(aid, "Artifact",
+                   {{"path", "/tmp/frag" + std::to_string(f) + "f" +
+                                 std::to_string(a)},
+                    {"time", std::to_string(rng.next_below(100000))}});
+        // Fixed read/write alternation keeps every fragment structurally
+        // identical, so the decomposition's signature grouping and
+        // assignment search are actually exercised.
+        bool used = a % 2 == 0;
+        g.add_edge("e" + std::to_string(edge++), used ? pid : aid,
+                   used ? aid : pid, used ? "Used" : "WasGeneratedBy",
+                   {{"operation", used ? "read" : "write"}});
+      }
+      prev = pid;
+    }
+  }
+  return g;
+}
+
 /// Relabel ids and refresh transient property values: an isomorphic copy
 /// as a second recording trial would produce.
 graph::PropertyGraph transient_copy(const graph::PropertyGraph& g,
@@ -88,10 +148,11 @@ using MatcherFn = std::optional<matcher::Matching> (*)(
     const matcher::SearchOptions&, matcher::Stats*);
 
 struct Measurement {
-  double seconds = 0;       ///< best-of-reps wall clock
+  double seconds = 0;  ///< best-of-reps wall clock
   int cost = 0;
   std::size_t steps = 0;
   bool ok = false;
+  bool exhausted = false;
 };
 
 Measurement measure(MatcherFn fn, const graph::PropertyGraph& g1,
@@ -110,21 +171,55 @@ Measurement measure(MatcherFn fn, const graph::PropertyGraph& g1,
     m.ok = result.has_value();
     m.cost = result.has_value() ? result->cost : -1;
     m.steps = stats.steps;
+    m.exhausted = stats.budget_exhausted;
+    if (m.exhausted) break;  // a budget hit will only repeat itself
   }
   return m;
 }
 
+struct StrategyRow {
+  std::string name;
+  Measurement serial;
+  bool measured = false;
+};
+
 struct Case {
-  std::string problem;
+  std::string problem;  ///< isomorphism | embedding | components
   int processes;
   std::size_t elements;
   Measurement legacy;
-  Measurement compact;
+  bool legacy_measured = false;
+  std::vector<StrategyRow> strategies;
+  Measurement parallel_wl;        ///< wl+decomp at kParallelThreads
+  Measurement parallel_property;  ///< property at kParallelThreads
+  bool parallel_property_measured = false;
 
-  double speedup() const {
-    return compact.seconds > 0 ? legacy.seconds / compact.seconds : 0;
+  const Measurement* strategy(const std::string& name) const {
+    for (const StrategyRow& row : strategies) {
+      if (row.name == name && row.measured) return &row.serial;
+    }
+    return nullptr;
   }
 };
+
+matcher::SearchOptions make_options(matcher::CostModel model,
+                                    matcher::CandidateOrder order,
+                                    bool decompose) {
+  matcher::SearchOptions options;
+  options.cost_model = model;
+  options.step_budget = kStepBudget;
+  options.candidate_order = order;
+  options.component_decomposition = decompose;
+  return options;
+}
+
+bool check(bool condition, const char* what, const Case& c) {
+  if (!condition) {
+    std::fprintf(stderr, "ASSERTION FAILED [%s p=%d]: %s\n",
+                 c.problem.c_str(), c.processes, what);
+  }
+  return condition;
+}
 
 }  // namespace
 
@@ -139,108 +234,303 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The isomorphism problem is worst-case exponential (§5.4): p=12 is the
-  // largest spine that stays comfortably inside the step budget with
-  // pruning on; p=16 already blows past 50 million steps. The per-size
-  // gap between the engines still widens with size because the legacy
-  // per-step cost grows with the graph while the compact one does not.
+  // The isomorphism problem is worst-case exponential (§5.4). Under the
+  // PR 1 engine p=12 was the tractability frontier (p=16 blows past the
+  // 50M step budget); WlScarcity ordering + the suffix bound collapse
+  // the proof-of-optimality phase, carrying the p=16 spine in double-
+  // digit step counts.
   std::vector<int> sizes = smoke ? std::vector<int>{4, 8}
-                                 : std::vector<int>{4, 8, 12};
+                                 : std::vector<int>{4, 8, 12, 16};
   const int reps = smoke ? 2 : 3;
+  runtime::ThreadPool pool(kParallelThreads);
 
-  matcher::SearchOptions iso_options;
-  iso_options.cost_model = matcher::CostModel::Symmetric;
-  iso_options.step_budget = 50'000'000;  // terminate pathological cases
-  matcher::SearchOptions embed_options;
-  embed_options.cost_model = matcher::CostModel::OneSided;
-  embed_options.step_budget = 50'000'000;
+  using matcher::CandidateOrder;
+  using matcher::CostModel;
 
   std::vector<Case> cases;
-  bool mismatch = false;
+  bool failed = false;
   for (int processes : sizes) {
-    // Listing 3 shape: two trials of the same recording.
-    graph::PropertyGraph g1 = make_provenance_graph(processes, 4, 1);
-    graph::PropertyGraph g2 = transient_copy(g1, 2);
-    Case iso{"isomorphism", processes, g1.size(), {}, {}};
-    iso.legacy = measure(&matcher::legacy::best_isomorphism, g1, g2,
-                         iso_options, reps);
-    iso.compact = measure(&matcher::best_isomorphism, g1, g2, iso_options,
-                          reps);
-    cases.push_back(iso);
-
-    // Listing 4 shape: generalized background into foreground.
-    graph::PropertyGraph fg = make_provenance_graph(processes, 4, 3);
-    graph::PropertyGraph bg = make_provenance_graph(processes / 2, 4, 3);
-    Case embed{"embedding", processes, fg.size(), {}, {}};
-    embed.legacy = measure(&matcher::legacy::best_subgraph_embedding, bg,
-                           fg, embed_options, reps);
-    embed.compact = measure(&matcher::best_subgraph_embedding, bg, fg,
-                            embed_options, reps);
-    cases.push_back(embed);
-  }
-
-  std::printf("%-12s %10s %10s %14s %14s %9s\n", "problem", "processes",
-              "elements", "legacy(ms)", "compact(ms)", "speedup");
-  for (const Case& c : cases) {
-    if (!c.legacy.ok || !c.compact.ok || c.legacy.cost != c.compact.cost ||
-        c.legacy.steps != c.compact.steps) {
-      std::fprintf(stderr,
-                   "MISMATCH: %s processes=%d legacy(ok=%d cost=%d "
-                   "steps=%zu) compact(ok=%d cost=%d steps=%zu)\n",
-                   c.problem.c_str(), c.processes, c.legacy.ok,
-                   c.legacy.cost, c.legacy.steps, c.compact.ok,
-                   c.compact.cost, c.compact.steps);
-      mismatch = true;
+    struct Workload {
+      std::string problem;
+      graph::PropertyGraph pattern, target;
+      CostModel model;
+      bool bijective;
+    };
+    std::vector<Workload> workloads;
+    {
+      // Listing 3 shape: two trials of the same recording.
+      graph::PropertyGraph g1 = make_provenance_graph(processes, 4, 1);
+      graph::PropertyGraph g2 = transient_copy(g1, 2);
+      workloads.push_back(
+          {"isomorphism", g1, g2, CostModel::Symmetric, true});
+      // Listing 4 shape: generalized background into foreground.
+      graph::PropertyGraph fg = make_provenance_graph(processes, 4, 3);
+      graph::PropertyGraph bg = make_provenance_graph(processes / 2, 4, 3);
+      workloads.push_back({"embedding", bg, fg, CostModel::OneSided, false});
+      // Decomposition shape: processes/4 disjoint identical fragments.
+      int fragments = processes / 4 > 0 ? processes / 4 : 1;
+      graph::PropertyGraph c1 = make_fragment_graph(fragments, 5);
+      graph::PropertyGraph c2 = transient_copy(c1, 6);
+      workloads.push_back(
+          {"components", c1, c2, CostModel::Symmetric, true});
     }
-    std::printf("%-12s %10d %10zu %14.3f %14.3f %8.2fx\n",
-                c.problem.c_str(), c.processes, c.elements,
-                c.legacy.seconds * 1e3, c.compact.seconds * 1e3,
-                c.speedup());
+
+    for (Workload& w : workloads) {
+      Case c;
+      c.problem = w.problem;
+      c.processes = processes;
+      c.elements = w.pattern.size();
+
+      MatcherFn compact_fn =
+          w.bijective ? static_cast<MatcherFn>(&matcher::best_isomorphism)
+                      : static_cast<MatcherFn>(
+                            &matcher::best_subgraph_embedding);
+      MatcherFn legacy_fn = w.bijective
+                                ? &matcher::legacy::best_isomorphism
+                                : &matcher::legacy::best_subgraph_embedding;
+
+      // The legacy engine is only run where it is known to finish: the
+      // connected problems up to p=12 (the PR 1 frontier).
+      if (w.problem != "components" && processes <= 12) {
+        c.legacy = measure(
+            legacy_fn, w.pattern, w.target,
+            make_options(w.model, CandidateOrder::PropertyCost, false), reps);
+        c.legacy_measured = true;
+      }
+
+      struct StrategySpec {
+        const char* name;
+        CandidateOrder order;
+        bool decompose;
+      };
+      std::vector<StrategySpec> specs = {
+          {"property", CandidateOrder::PropertyCost, false},
+          {"wl", CandidateOrder::WlScarcity, false},
+      };
+      if (w.bijective) {
+        // Decomposition applies to the bijective problem only.
+        specs.push_back({"property_decomp", CandidateOrder::PropertyCost,
+                         true});
+        specs.push_back({"wl_decomp", CandidateOrder::WlScarcity, true});
+      }
+      for (const StrategySpec& spec : specs) {
+        StrategyRow row;
+        row.name = spec.name;
+        row.serial = measure(compact_fn, w.pattern, w.target,
+                             make_options(w.model, spec.order, spec.decompose),
+                             reps);
+        row.measured = true;
+        c.strategies.push_back(std::move(row));
+      }
+
+      // Parallel search: the full stack at 8 threads, plus the property
+      // baseline where it completes (the wide-tree case parallelism is
+      // for). Costs must be identical to the serial runs.
+      {
+        matcher::SearchOptions options = make_options(
+            w.model, CandidateOrder::WlScarcity, w.bijective);
+        options.threads = kParallelThreads;
+        options.pool = &pool;
+        c.parallel_wl = measure(compact_fn, w.pattern, w.target, options,
+                                reps);
+      }
+      const Measurement* property = c.strategy("property");
+      if (property != nullptr && !property->exhausted) {
+        matcher::SearchOptions options = make_options(
+            w.model, CandidateOrder::PropertyCost, false);
+        options.threads = kParallelThreads;
+        options.pool = &pool;
+        c.parallel_property = measure(compact_fn, w.pattern, w.target,
+                                      options, reps);
+        c.parallel_property_measured = true;
+      }
+
+      // -- identity + regression gates ------------------------------------
+      const Measurement* wl = c.strategy("wl");
+      if (c.legacy_measured && !c.legacy.exhausted && property != nullptr &&
+          !property->exhausted) {
+        failed |= !check(c.legacy.ok == property->ok &&
+                             c.legacy.cost == property->cost &&
+                             c.legacy.steps == property->steps,
+                         "legacy and property engines diverged", c);
+      }
+      // Every completing strategy must agree on feasibility and cost.
+      int reference_cost = 0;
+      bool reference_ok = false, have_reference = false;
+      for (const StrategyRow& row : c.strategies) {
+        if (row.serial.exhausted) continue;
+        if (!have_reference) {
+          reference_cost = row.serial.cost;
+          reference_ok = row.serial.ok;
+          have_reference = true;
+          continue;
+        }
+        failed |= !check(row.serial.ok == reference_ok &&
+                             row.serial.cost == reference_cost,
+                         ("strategy " + row.name +
+                          " changed the optimal cost").c_str(),
+                         c);
+      }
+      if (!c.parallel_wl.exhausted && have_reference) {
+        failed |= !check(c.parallel_wl.ok == reference_ok &&
+                             c.parallel_wl.cost == reference_cost,
+                         "parallel wl+decomp diverged from serial", c);
+      }
+      if (c.parallel_property_measured && !c.parallel_property.exhausted &&
+          property != nullptr && !property->exhausted) {
+        failed |= !check(c.parallel_property.ok == property->ok &&
+                             c.parallel_property.cost == property->cost,
+                         "parallel property diverged from serial", c);
+      }
+      // Ordering regression gate: on the bijective problems the informed
+      // strategies may never take more steps than the property baseline.
+      if (w.bijective && property != nullptr && !property->exhausted &&
+          wl != nullptr && !wl->exhausted) {
+        failed |= !check(wl->steps <= property->steps,
+                         "wl ordering regressed above property steps", c);
+        const Measurement* wl_decomp = c.strategy("wl_decomp");
+        if (wl_decomp != nullptr && !wl_decomp->exhausted) {
+          failed |= !check(wl_decomp->steps <= property->steps,
+                           "wl+decomp regressed above property steps", c);
+        }
+      }
+
+      cases.push_back(std::move(c));
+    }
   }
 
-  // The headline number: combined speedup at the largest graph size
-  // (summing both matcher problems the pipeline poses at that size).
-  int largest_size = sizes.back();
-  std::size_t largest_elements = 0;
-  double largest_legacy = 0, largest_compact = 0;
+  std::printf("%-12s %5s %8s | %12s | %12s %15s %12s %15s | %14s %14s\n",
+              "problem", "p", "elems", "legacy(ms)", "property", "prop+decomp",
+              "wl", "wl+decomp", "wl+dec 8t(ms)", "speedup");
+  auto cell = [](const Measurement* m) {
+    if (m == nullptr) return std::string("-");
+    char buf[64];
+    if (m->exhausted) {
+      std::snprintf(buf, sizeof(buf), ">%zuM!", m->steps / 1'000'000);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%zu", m->steps);
+    }
+    return std::string(buf);
+  };
   for (const Case& c : cases) {
-    if (c.processes != largest_size) continue;
-    if (c.elements > largest_elements) largest_elements = c.elements;
-    largest_legacy += c.legacy.seconds;
-    largest_compact += c.compact.seconds;
+    const Measurement* wl_decomp = c.strategy("wl_decomp");
+    const Measurement* serial_ref =
+        wl_decomp != nullptr ? wl_decomp : c.strategy("wl");
+    double speedup = serial_ref != nullptr && c.parallel_wl.seconds > 0
+                         ? serial_ref->seconds / c.parallel_wl.seconds
+                         : 0;
+    std::printf(
+        "%-12s %5d %8zu | %12s | %12s %15s %12s %15s | %14.3f %13.2fx\n",
+        c.problem.c_str(), c.processes, c.elements,
+        c.legacy_measured
+            ? std::to_string(c.legacy.seconds * 1e3).substr(0, 8).c_str()
+            : "-",
+        cell(c.strategy("property")).c_str(),
+        cell(c.strategy("property_decomp")).c_str(),
+        cell(c.strategy("wl")).c_str(), cell(wl_decomp).c_str(),
+        c.parallel_wl.seconds * 1e3, speedup);
   }
-  double largest_speedup =
-      largest_compact > 0 ? largest_legacy / largest_compact : 0;
-  std::printf("\nlargest graph size (%d processes, %zu elements): %.2fx "
-              "combined speedup\n",
-              largest_size, largest_elements, largest_speedup);
+
+  // Headline: the isomorphism spine at the largest size — the instance
+  // that exhausted the 50M budget before this PR.
+  const Case* headline = nullptr;
+  for (const Case& c : cases) {
+    if (c.problem == "isomorphism" &&
+        (headline == nullptr || c.processes > headline->processes)) {
+      headline = &c;
+    }
+  }
+  if (headline != nullptr) {
+    const Measurement* property = headline->strategy("property");
+    const Measurement* wl_decomp = headline->strategy("wl_decomp");
+    if (property != nullptr && wl_decomp != nullptr) {
+      std::printf("\np=%d isomorphism spine: property %s steps%s -> "
+                  "wl+decomp %zu steps (budget %zuM)\n",
+                  headline->processes, cell(property).c_str(),
+                  property->exhausted ? " (budget exhausted)" : "",
+                  wl_decomp->steps, kStepBudget / 1'000'000);
+    }
+  }
 
   std::FILE* f = std::fopen(output.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", output.c_str());
     return 1;
   }
+  unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(f, "{\n  \"benchmark\": \"matcher_scaling\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-  std::fprintf(f, "  \"reps\": %d,\n  \"cases\": [\n", reps);
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"step_budget\": %zu,\n", kStepBudget);
+  std::fprintf(f, "  \"parallel_threads\": %d,\n", kParallelThreads);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"cases\": [\n");
+  auto emit_measurement = [&](const char* name, const Measurement& m,
+                              bool trailing_comma) {
+    std::fprintf(f,
+                 "        \"%s\": {\"seconds\": %.6f, \"steps\": %zu, "
+                 "\"cost\": %d, \"ok\": %s, \"budget_exhausted\": %s}%s\n",
+                 name, m.seconds, m.steps, m.cost, m.ok ? "true" : "false",
+                 m.exhausted ? "true" : "false", trailing_comma ? "," : "");
+  };
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case& c = cases[i];
-    std::fprintf(
-        f,
-        "    {\"problem\": \"%s\", \"processes\": %d, \"elements\": %zu, "
-        "\"legacy_seconds\": %.6f, \"compact_seconds\": %.6f, "
-        "\"speedup\": %.3f, \"steps\": %zu, \"cost\": %d}%s\n",
-        c.problem.c_str(), c.processes, c.elements, c.legacy.seconds,
-        c.compact.seconds, c.speedup(), c.compact.steps, c.compact.cost,
-        i + 1 < cases.size() ? "," : "");
+    std::fprintf(f,
+                 "    {\"problem\": \"%s\", \"processes\": %d, "
+                 "\"elements\": %zu,\n",
+                 c.problem.c_str(), c.processes, c.elements);
+    if (c.legacy_measured) {
+      std::fprintf(f, "      \"legacy\": {\"seconds\": %.6f, \"steps\": "
+                      "%zu, \"cost\": %d},\n",
+                   c.legacy.seconds, c.legacy.steps, c.legacy.cost);
+    }
+    std::fprintf(f, "      \"strategies\": {\n");
+    for (std::size_t s = 0; s < c.strategies.size(); ++s) {
+      emit_measurement(c.strategies[s].name.c_str(), c.strategies[s].serial,
+                       s + 1 < c.strategies.size());
+    }
+    std::fprintf(f, "      },\n      \"parallel\": {\n");
+    const Measurement* wl_decomp = c.strategy("wl_decomp");
+    const Measurement* serial_ref =
+        wl_decomp != nullptr ? wl_decomp : c.strategy("wl");
+    double speedup = serial_ref != nullptr && c.parallel_wl.seconds > 0
+                         ? serial_ref->seconds / c.parallel_wl.seconds
+                         : 0;
+    std::fprintf(f,
+                 "        \"wl_%dt\": {\"seconds\": %.6f, \"cost\": %d, "
+                 "\"identical_cost\": %s, \"speedup_vs_serial\": %.3f}%s\n",
+                 kParallelThreads, c.parallel_wl.seconds, c.parallel_wl.cost,
+                 serial_ref != nullptr &&
+                         c.parallel_wl.cost == serial_ref->cost
+                     ? "true"
+                     : "false",
+                 speedup, c.parallel_property_measured ? "," : "");
+    if (c.parallel_property_measured) {
+      const Measurement* property = c.strategy("property");
+      double pspeed = property != nullptr && c.parallel_property.seconds > 0
+                          ? property->seconds / c.parallel_property.seconds
+                          : 0;
+      std::fprintf(f,
+                   "        \"property_%dt\": {\"seconds\": %.6f, \"cost\": "
+                   "%d, \"identical_cost\": %s, \"speedup_vs_serial\": "
+                   "%.3f}\n",
+                   kParallelThreads, c.parallel_property.seconds,
+                   c.parallel_property.cost,
+                   property != nullptr &&
+                           c.parallel_property.cost == property->cost
+                       ? "true"
+                       : "false",
+                   pspeed);
+    }
+    std::fprintf(f, "      }\n    }%s\n",
+                 i + 1 < cases.size() ? "," : "");
   }
-  std::fprintf(f,
-               "  ],\n  \"largest\": {\"processes\": %d, \"elements\": "
-               "%zu, \"legacy_seconds\": %.6f, \"compact_seconds\": %.6f, "
-               "\"speedup\": %.3f}\n}\n",
-               largest_size, largest_elements, largest_legacy,
-               largest_compact, largest_speedup);
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", output.c_str());
-  return mismatch ? 1 : 0;
+  if (failed) {
+    std::fprintf(stderr, "\nFAILED: identity or regression gates tripped\n");
+    return 1;
+  }
+  return 0;
 }

@@ -25,8 +25,9 @@ CompareResult compare_graphs(const matcher::InternedGraph& background,
   search.candidate_pruning = options.candidate_pruning;
   search.cost_bounding = options.cost_bounding;
   search.step_budget = options.step_budget;
-  std::optional<matcher::Matching> matching =
-      matcher::best_subgraph_embedding(background, foreground, search);
+  options.search.apply(search);
+  std::optional<matcher::Matching> matching = matcher::best_subgraph_embedding(
+      background, foreground, search, &result.search_stats);
   if (!matching.has_value()) {
     result.embedding_failed = true;
     return result;

@@ -16,6 +16,11 @@ struct CompareOptions {
   bool cost_bounding = true;
   /// Search-step budget for the embedding problem (0 = unlimited).
   std::size_t step_budget = 0;
+  /// Search-strategy knobs (ordering, decomposition, parallel workers)
+  /// forwarded into the matcher call; a non-zero config budget
+  /// overrides `step_budget`. The pipeline overlays its own
+  /// PipelineOptions::matcher config here.
+  matcher::SearchConfig search;
 };
 
 struct CompareResult {
@@ -33,6 +38,9 @@ struct CompareResult {
   /// the foreground exists (monotonicity violated — a garbled recording
   /// or a recorder bug; the paper's §3.4 "leads to failure" case).
   bool embedding_failed = false;
+  /// Search statistics of the embedding (parallel workers pre-merged by
+  /// the matcher, so callers may sum these across stages verbatim).
+  matcher::Stats search_stats;
 };
 
 /// Subtract `background` from `foreground` via optimal approximate

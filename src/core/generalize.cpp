@@ -119,13 +119,14 @@ std::optional<graph::PropertyGraph> generalize_pair(
 
 std::optional<graph::PropertyGraph> generalize_pair(
     const matcher::InternedGraph& a, const matcher::InternedGraph& b,
-    const GeneralizeOptions& options) {
+    const GeneralizeOptions& options, matcher::Stats* stats) {
   matcher::SearchOptions search;
   search.cost_model = matcher::CostModel::Symmetric;
   search.candidate_pruning = options.candidate_pruning;
   search.cost_bounding = options.cost_bounding;
+  options.search.apply(search);
   std::optional<matcher::Matching> matching =
-      matcher::best_isomorphism(a, b, search);
+      matcher::best_isomorphism(a, b, search, stats);
   if (!matching.has_value()) return std::nullopt;
 
   const graph::PropertyGraph& ga = *a.g.source;
@@ -209,7 +210,7 @@ std::optional<GeneralizeResult> generalize_trials(
   const matcher::InternedGraph& a = *trials[(*chosen)[0]];
   const matcher::InternedGraph& b = *trials[(*chosen)[1]];
   std::optional<graph::PropertyGraph> generalized =
-      generalize_pair(a, b, options);
+      generalize_pair(a, b, options, &result.search_stats);
   if (!generalized.has_value()) return std::nullopt;  // unreachable in theory
 
   int before = 0, after = 0;

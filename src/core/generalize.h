@@ -39,6 +39,10 @@ struct GeneralizeOptions {
   /// Passed through to the matcher (ablation knobs).
   bool candidate_pruning = true;
   bool cost_bounding = true;
+  /// Search-strategy knobs (ordering, decomposition, parallel workers,
+  /// budget) forwarded into the generalization isomorphism. The
+  /// pipeline overlays its own PipelineOptions::matcher config here.
+  matcher::SearchConfig search;
 };
 
 struct GeneralizeResult {
@@ -46,6 +50,9 @@ struct GeneralizeResult {
   std::size_t classes = 0;     ///< similarity classes found
   std::size_t discarded = 0;   ///< trials discarded as inconsistent
   int transient_properties = 0;  ///< properties removed as volatile
+  /// Statistics of the generalizing isomorphism search (parallel
+  /// workers pre-merged by the matcher; summable across stages).
+  matcher::Stats search_stats;
 };
 
 /// Partition trial graphs into similarity classes; returns indices into
@@ -98,10 +105,11 @@ std::vector<std::vector<std::size_t>> similarity_classes(
     runtime::ThreadPool* pool = nullptr);
 
 /// Generalize two similar interned trials (see generalize_pair above);
-/// reads properties back through the snapshots' source graphs.
+/// reads properties back through the snapshots' source graphs. `stats`,
+/// when supplied, receives the isomorphism search statistics.
 std::optional<graph::PropertyGraph> generalize_pair(
     const matcher::InternedGraph& a, const matcher::InternedGraph& b,
-    const GeneralizeOptions& options = {});
+    const GeneralizeOptions& options = {}, matcher::Stats* stats = nullptr);
 
 std::optional<GeneralizeResult> generalize_trials(
     const std::vector<const matcher::InternedGraph*>& trials,

@@ -110,6 +110,13 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
   int trials = options.trials > 0 ? options.trials
                                   : default_trials(recorder->name());
 
+  // The run-wide matcher strategy: the pipeline-level config is the
+  // single source of truth for both matcher-bound stages.
+  GeneralizeOptions generalize_options = options.generalize;
+  generalize_options.search = options.matcher;
+  CompareOptions compare_options = options.compare;
+  compare_options.search = options.matcher;
+
   // Run-wide state persisting across retry rounds: each trial is
   // recorded, parsed, hashed and interned exactly once; the memo carries
   // similar() verdicts from round to round, so a retry only pays for the
@@ -213,13 +220,19 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
     pool.parallel_for(2, [&](std::size_t side) {
       if (side == 0) {
         bg_general = generalize_trials(bg_ptrs, bg_trials.digests,
-                                       options.generalize, &memo, &pool);
+                                       generalize_options, &memo, &pool);
       } else {
         fg_general = generalize_trials(fg_ptrs, fg_trials.digests,
-                                       options.generalize, &memo, &pool);
+                                       generalize_options, &memo, &pool);
       }
     });
     result.timings.generalization += watch.elapsed_seconds();
+    if (bg_general.has_value()) {
+      result.matcher_steps += bg_general->search_stats.steps;
+    }
+    if (fg_general.has_value()) {
+      result.matcher_steps += fg_general->search_stats.steps;
+    }
     result.trials_unparseable = unparseable;
 
     result.trials_run = trials_recorded;
@@ -229,8 +242,9 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
     watch.reset();
     matcher::InternedGraph bg_interned(bg_general->graph, symbols);
     matcher::InternedGraph fg_interned(fg_general->graph, symbols);
-    compared = compare_graphs(bg_interned, fg_interned, options.compare);
+    compared = compare_graphs(bg_interned, fg_interned, compare_options);
     result.timings.comparison += watch.elapsed_seconds();
+    result.matcher_steps += compared->search_stats.steps;
     if (!compared->embedding_failed) break;
   }
 

@@ -53,6 +53,18 @@ struct PipelineOptions {
   TransformOptions transform;
   GeneralizeOptions generalize;
   CompareOptions compare;
+  /// Matcher search strategy for the generalization and comparison
+  /// stages (candidate ordering, component decomposition, parallel
+  /// search workers, step budget). Overlaid onto `generalize.search`
+  /// and `compare.search` by run_benchmark — set it here, not on the
+  /// per-stage structs. The default reproduces the serial PropertyCost
+  /// engine bit-for-bit. For searches that *complete* (no step-budget
+  /// exhaustion — always the case with the default unlimited budget),
+  /// every setting preserves optimal costs and a fixed config yields
+  /// identical results at any `matcher.threads`; a search cut off by
+  /// `matcher.step_budget` returns a thread-count- and
+  /// scheduling-dependent partial best.
+  matcher::SearchConfig matcher;
 };
 
 /// Seconds spent in each subsystem (the bar segments of Figures 5-10).
@@ -101,9 +113,18 @@ struct BenchmarkResult {
   /// similar() memo-cache traffic during similarity classification
   /// (matcher::SimilarityMemo; hits are instances never re-solved —
   /// retry rounds re-partition all trials, so every round after the
-  /// first runs almost entirely from cache).
+  /// first runs almost entirely from cache). Counters are read from the
+  /// memo exactly once, after the retry loop: worker-thread increments
+  /// land on the memo's atomics, never on this struct, so a parallel
+  /// run can neither double-count nor tear them.
   std::uint64_t similarity_cache_hits = 0;
   std::uint64_t similarity_cache_lookups = 0;
+
+  /// Branch-and-bound assignment attempts across the generalization
+  /// isomorphisms and comparison embeddings of all retry rounds. A
+  /// parallel matcher pre-merges its per-worker Stats exactly once
+  /// before returning, so this is a plain sum over stage results.
+  std::uint64_t matcher_steps = 0;
 
   /// Nodes in `result` that are neither dummies nor edge endpoints —
   /// disconnected structure such as SPADE's vfork child (note DV).

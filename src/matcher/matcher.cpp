@@ -11,13 +11,35 @@
 // graphs — the similarity-classification pattern — pay the interning
 // cost once.
 //
-// Semantics are bit-identical to the string-keyed baseline preserved in
-// legacy_matcher.cpp — same results, same Stats.steps trace — which the
-// equivalence test enforces.
+// Three search layers stack on the branch-and-bound core:
+//
+//  * Ordering (CandidateOrder): which pattern node is assigned next and
+//    in which order its candidates are tried. WlScarcity additionally
+//    prunes bijective candidate lists per WL colour class and tightens
+//    the cost bound with an admissible suffix lower bound.
+//  * Component decomposition (SearchOptions::component_decomposition):
+//    the bijective problem splits into independent weakly-connected
+//    components, matched up by WL-signature and solved separately; the
+//    optimal cost is identical but the cross-component candidate space
+//    becomes additive instead of multiplicative.
+//  * Deterministic parallel search (SearchOptions::threads > 1): the
+//    root candidate space is partitioned into fixed prefix subtrees
+//    dispatched onto the runtime pool. Workers prune against their own
+//    strict local bound plus a shared monotonically tightening global
+//    bound with *allow-equal* semantics, so no interleaving can prune
+//    the first minimum-cost solution of any subtree; merging per-subtree
+//    winners in subtree order therefore reproduces the serial search's
+//    matching bit-for-bit (see docs/matcher.md "Search strategy").
+//
+// With the layers at their defaults the engine is bit-identical to the
+// string-keyed baseline preserved in legacy_matcher.cpp — same results,
+// same Stats.steps trace — which the equivalence test enforces.
 #include "matcher/matcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <set>
 #include <stdexcept>
@@ -26,6 +48,7 @@
 
 #include "graph/compact.h"
 #include "matcher/interned.h"
+#include "runtime/thread_pool.h"
 
 namespace provmark::matcher {
 
@@ -38,6 +61,19 @@ using graph::SymbolTable;
 
 constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
 constexpr std::uint32_t kUnmapped = std::numeric_limits<std::uint32_t>::max();
+/// Parallel workers flush their step counts into the shared budget
+/// counter in batches of this size, so budget enforcement costs one
+/// relaxed load per step and one shared write per batch. Cooperative
+/// cancellation is therefore accurate to one batch per worker.
+constexpr std::size_t kStepFlushBatch = 512;
+
+/// Monotonically tighten `target` towards `value` (atomic fetch-min).
+void atomic_min(std::atomic<int>& target, int value) {
+  int current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
 
 /// Property-mismatch cost under the given model; allocation-free merge of
 /// the sorted (key,value) symbol vectors.
@@ -129,6 +165,41 @@ int min_group_assignment(
   return best;
 }
 
+/// Coordination block shared by the workers of one parallel search.
+/// The bound is read on every prune check by every worker while the
+/// step counter is written on every flush, so they live on separate
+/// cache lines — sharing one would put a hot read on a line invalidated
+/// by every worker's batch flush.
+struct SharedSearch {
+  /// Global best-cost bound, tightened monotonically by every recorded
+  /// solution. Pruned against with allow-equal semantics (see
+  /// SearchState) so determinism survives any interleaving.
+  alignas(64) std::atomic<int> bound{kInfinity};
+  /// Cooperative cancellation: set by the worker that trips the step
+  /// budget; every sibling unwinds within one flush batch.
+  std::atomic<bool> cancelled{false};
+  /// Steps across all workers (plus the serial prefix enumeration),
+  /// flushed in batches; the budget is enforced against this total.
+  alignas(64) std::atomic<std::size_t> steps{0};
+};
+
+/// Mutable state of one search participant. The serial search uses a
+/// single state with no `shared` block, writing directly to the caller's
+/// Stats — byte-for-byte the pre-parallel behaviour. Each parallel
+/// worker owns a private state (local Stats, local best) merged exactly
+/// once after the pool joins, so no counter is ever double-counted.
+struct SearchState {
+  std::vector<std::uint32_t> mapping;      // pattern index -> target index
+  std::vector<bool> reverse_used;          // target index taken?
+  std::vector<std::uint32_t> best_mapping;
+  int best_cost = kInfinity;
+  bool have_best = false;
+  bool found_any = false;
+  Stats* stats = nullptr;
+  SharedSearch* shared = nullptr;  // null in the serial search
+  std::size_t unflushed = 0;       // steps not yet flushed to shared
+};
+
 class SearchEngine {
  public:
   SearchEngine(const InternedGraph& pattern, const InternedGraph& target,
@@ -162,12 +233,29 @@ class SearchEngine {
 
     if (!compute_candidates()) return std::nullopt;
     order_pattern_nodes();
+    lb_pruning_ = options_.candidate_order == CandidateOrder::WlScarcity &&
+                  options_.cost_bounding;
+    if (lb_pruning_) compute_suffix_min();
 
-    mapping_.assign(pattern_.g.node_count(), kUnmapped);
-    reverse_used_.assign(target_.g.node_count(), false);
     best_cost_ = kInfinity;
     have_best_ = false;
-    search(0, 0);
+    // The parallel search needs at least one undecided level below the
+    // partition point and a well-defined "first solution" is only
+    // meaningful in DFS order, so first_solution_only stays serial.
+    if (options_.threads > 1 && !options_.first_solution_only &&
+        order_.size() > 1) {
+      run_parallel();
+    } else {
+      SearchState state;
+      init_state(state);
+      state.stats = stats_;
+      search(state, 0, 0);
+      if (state.have_best) {
+        best_cost_ = state.best_cost;
+        best_node_mapping_ = std::move(state.best_mapping);
+        have_best_ = true;
+      }
+    }
     if (have_best_) {
       return build_matching();
     }
@@ -206,10 +294,23 @@ class SearchEngine {
   bool compute_candidates() {
     const std::uint32_t n = pattern_.g.node_count();
     candidates_.assign(n, {});
+    scarcity_.assign(n, 0);
+    const bool scarcity =
+        options_.candidate_order == CandidateOrder::WlScarcity;
+    // WlScarcity prunes bijective candidate lists per colour class even
+    // with the generic pruning knob off: the colour filter is part of
+    // the ordering strategy (matched nodes of any label-preserving
+    // bijection have equal WL colours, so no valid matching is lost).
+    const bool wl_filter =
+        bijective_ && (options_.candidate_pruning || scarcity);
     std::vector<std::uint64_t> wl1, wl2;
-    if (bijective_ && options_.candidate_pruning) {
+    std::unordered_map<std::uint64_t, std::uint32_t> colour_freq;
+    if (wl_filter) {
       wl1 = graph::compact_wl_colours(pattern_.g, 2);
       wl2 = graph::compact_wl_colours(target_.g, 2);
+      if (scarcity) {
+        for (std::uint64_t colour : wl2) ++colour_freq[colour];
+      }
     }
     for (std::uint32_t i = 0; i < n; ++i) {
       // Only same-label target nodes can match; the bucket is ascending,
@@ -223,7 +324,6 @@ class SearchEngine {
                   pattern_.g.out_degree(i) != target_.g.out_degree(j)) {
                 continue;
               }
-              if (wl1[i] != wl2[j]) continue;
             } else {
               if (pattern_.g.in_degree(i) > target_.g.in_degree(j) ||
                   pattern_.g.out_degree(i) > target_.g.out_degree(j)) {
@@ -231,12 +331,20 @@ class SearchEngine {
               }
             }
           }
+          if (wl_filter && wl1[i] != wl2[j]) continue;
           candidates_[i].push_back(Candidate{
               j, prop_cost(pattern_.g.node_props[i], target_.g.node_props[j],
                            options_.cost_model)});
         }
       }
       if (candidates_[i].empty()) return false;
+      if (scarcity) {
+        // Rarity of this node's colour class in the target; embedding
+        // problems (no comparable colours) fall back to candidate count.
+        scarcity_[i] = wl_filter
+                           ? colour_freq[wl1[i]]
+                           : static_cast<std::uint32_t>(candidates_[i].size());
+      }
     }
     order_candidates();
     return true;
@@ -260,7 +368,11 @@ class SearchEngine {
   /// bound prune the rest (§5.4 incremental-matching suggestion).
   void order_candidates() {
     if (options_.candidate_order == CandidateOrder::None) return;
-    if (options_.candidate_order == CandidateOrder::PropertyCost) {
+    if (options_.candidate_order == CandidateOrder::PropertyCost ||
+        options_.candidate_order == CandidateOrder::WlScarcity) {
+      // Cheapest candidate first; for WlScarcity this also makes the
+      // list head equal the per-node minimum used by the suffix bound,
+      // so the greedy first descent realizes the bound when it can.
       for (std::vector<Candidate>& list : candidates_) {
         std::stable_sort(list.begin(), list.end(),
                          [](const Candidate& a, const Candidate& b) {
@@ -289,9 +401,17 @@ class SearchEngine {
 
   /// Most-constrained-first ordering, preferring nodes adjacent to already
   /// ordered ones (keeps the partial mapping connected, enabling early
-  /// adjacency checks).
+  /// adjacency checks). Under WlScarcity, ties on candidate count break
+  /// towards the rarer target colour class: after the colour filter the
+  /// candidate count is the *available* slice of a colour class, so
+  /// rarity is the scarcity signal that survives when counts tie — the
+  /// greedy descent stays on the most-constrained path (empirically the
+  /// optimum on provenance-shaped graphs) and the suffix bound then
+  /// prunes the proof-of-optimality phase.
   void order_pattern_nodes() {
     const std::uint32_t n = pattern_.g.node_count();
+    const bool scarcity =
+        options_.candidate_order == CandidateOrder::WlScarcity;
     order_.clear();
     order_.reserve(n);
     std::vector<bool> placed(n, false);
@@ -299,7 +419,9 @@ class SearchEngine {
 
     for (std::uint32_t step = 0; step < n; ++step) {
       std::uint32_t chosen = kUnmapped;
-      // Prefer frontier nodes; among them, fewest candidates.
+      // Prefer frontier nodes; among them, fewest candidates, with
+      // count ties broken towards the rarer colour class (WlScarcity
+      // only); remaining ties keep the lowest index.
       for (std::uint32_t i = 0; i < n; ++i) {
         if (placed[i]) continue;
         bool in_frontier = frontier.count(i) > 0;
@@ -312,7 +434,11 @@ class SearchEngine {
           if (in_frontier) chosen = i;
           continue;
         }
-        if (candidates_[i].size() < candidates_[chosen].size()) chosen = i;
+        if (candidates_[i].size() != candidates_[chosen].size()) {
+          if (candidates_[i].size() < candidates_[chosen].size()) chosen = i;
+          continue;
+        }
+        if (scarcity && scarcity_[i] < scarcity_[chosen]) chosen = i;
       }
       placed[chosen] = true;
       order_.push_back(chosen);
@@ -325,18 +451,40 @@ class SearchEngine {
     }
   }
 
+  /// Admissible remaining-cost estimate for WlScarcity: suffix_min_[pos]
+  /// = sum over order positions >= pos of the node's minimum candidate
+  /// cost. Never overestimates (edge-group costs are ignored and the
+  /// minimum is taken over the full list, a superset of the available
+  /// candidates), so pruning on acc + suffix preserves the optimum — and
+  /// the first minimum-cost solution in DFS order, hence the matching.
+  void compute_suffix_min() {
+    suffix_min_.assign(order_.size() + 1, 0);
+    for (std::size_t pos = order_.size(); pos-- > 0;) {
+      int node_min = kInfinity;
+      for (const Candidate& candidate : candidates_[order_[pos]]) {
+        node_min = std::min(node_min, candidate.cost);
+      }
+      suffix_min_[pos] = suffix_min_[pos + 1] + node_min;
+    }
+  }
+
+  int suffix_lb(std::size_t pos) const {
+    return lb_pruning_ ? suffix_min_[pos] : 0;
+  }
+
   /// Cost contribution of all edge groups that become fully mapped when
   /// pattern node `i` is assigned. For the bijective problem also *checks*
   /// group cardinalities. Returns kInfinity when structurally
   /// inconsistent.
-  int edge_groups_cost(std::uint32_t i) {
+  int edge_groups_cost(const std::vector<std::uint32_t>& mapping,
+                       std::uint32_t i) const {
     int total = 0;
     for (std::uint32_t gi : pattern_.groups_of_node[i]) {
       const EdgeGroup& group = pattern_.groups[gi];
       std::uint32_t other = group.src == i ? group.tgt : group.src;
-      if (mapping_[other] == kUnmapped) continue;  // not yet decidable
-      std::uint32_t tsrc = mapping_[group.src];
-      std::uint32_t ttgt = mapping_[group.tgt];
+      if (mapping[other] == kUnmapped) continue;  // not yet decidable
+      std::uint32_t tsrc = mapping[group.src];
+      std::uint32_t ttgt = mapping[group.tgt];
       const std::vector<std::uint32_t>* target_edges =
           target_.group_edges(tsrc, ttgt, group.label);
       int cost = min_group_assignment(pattern_, group.edges, target_,
@@ -367,48 +515,224 @@ class SearchEngine {
     return total;
   }
 
-  void search(std::size_t pos, int acc_cost) {
-    if (stats_ != nullptr) ++stats_->steps;
-    if (options_.step_budget > 0 && stats_ != nullptr &&
-        stats_->steps > options_.step_budget) {
-      stats_->budget_exhausted = true;
+  void init_state(SearchState& state) const {
+    state.mapping.assign(pattern_.g.node_count(), kUnmapped);
+    state.reverse_used.assign(target_.g.node_count(), false);
+  }
+
+  /// Publish a parallel participant's unflushed steps into the shared
+  /// counter and enforce the budget against the new total. Called every
+  /// kStepFlushBatch steps *and* when a task ends (tasks are small by
+  /// design — ~16 per thread — so most never fill a batch; without the
+  /// end-of-task check a fleet of sub-batch tasks could overrun the
+  /// budget unnoticed). The un-checked window is therefore at most one
+  /// batch per in-flight participant.
+  void flush_steps(SearchState& s) const {
+    if (s.unflushed == 0) return;
+    std::size_t total =
+        s.shared->steps.fetch_add(s.unflushed, std::memory_order_relaxed) +
+        s.unflushed;
+    s.unflushed = 0;
+    if (options_.step_budget > 0 && total > options_.step_budget) {
+      s.stats->budget_exhausted = true;
+      s.shared->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// One step of accounting. Serial: the caller's Stats carry the count
+  /// and the budget check, exactly as before. Parallel: the worker's
+  /// local Stats accumulate (merged once at the end) and batches are
+  /// flushed through flush_steps — the hot step path touches no shared
+  /// cache line in between.
+  void count_step(SearchState& s) const {
+    ++s.stats->steps;
+    if (s.shared == nullptr) {
+      if (options_.step_budget > 0 && s.stats->steps > options_.step_budget) {
+        s.stats->budget_exhausted = true;
+      }
       return;
     }
-    if (options_.cost_bounding && acc_cost >= best_cost_) return;
+    if (++s.unflushed >= kStepFlushBatch) flush_steps(s);
+  }
+
+  /// Would a branch whose completed cost is at least `value` be cut?
+  /// The local bound is strict (serial semantics); the shared bound
+  /// allows equality, so a concurrently tightened bound can never prune
+  /// a subtree's first minimum-cost solution — the determinism linchpin.
+  bool bound_exceeded(const SearchState& s, int value) const {
+    if (value >= s.best_cost) return true;
+    if (s.shared != nullptr &&
+        value > s.shared->bound.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return false;
+  }
+
+  bool stop_early(const SearchState& s) const {
+    if (options_.first_solution_only && s.found_any) return true;
+    if (s.stats->budget_exhausted) return true;
+    if (s.shared != nullptr &&
+        s.shared->cancelled.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return false;
+  }
+
+  void search(SearchState& s, std::size_t pos, int acc_cost) const {
+    count_step(s);
+    if (s.stats->budget_exhausted) return;
+    if (s.shared != nullptr &&
+        s.shared->cancelled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (options_.cost_bounding &&
+        bound_exceeded(s, acc_cost + suffix_lb(pos))) {
+      return;
+    }
     if (pos == order_.size()) {
-      if (acc_cost < best_cost_ || !have_best_) {
-        best_cost_ = acc_cost;
-        best_node_mapping_ = mapping_;
-        have_best_ = true;
+      if (acc_cost < s.best_cost || !s.have_best) {
+        s.best_cost = acc_cost;
+        s.best_mapping = s.mapping;
+        s.have_best = true;
+        if (s.shared != nullptr) atomic_min(s.shared->bound, acc_cost);
       }
-      if (stats_ != nullptr) ++stats_->solutions_found;
-      found_any_ = true;
+      ++s.stats->solutions_found;
+      s.found_any = true;
       return;
     }
     std::uint32_t i = order_[pos];
     for (const Candidate& candidate : candidates_[i]) {
       std::uint32_t j = candidate.node;
-      if (reverse_used_[j]) continue;
-      if (stop_early()) return;
-      mapping_[i] = j;
-      reverse_used_[j] = true;
-      int group_cost = edge_groups_cost(i);
+      if (s.reverse_used[j]) continue;
+      if (stop_early(s)) return;
+      s.mapping[i] = j;
+      s.reverse_used[j] = true;
+      int group_cost = edge_groups_cost(s.mapping, i);
       if (group_cost < kInfinity) {
         int next = acc_cost + candidate.cost + group_cost;
-        if (!options_.cost_bounding || next < best_cost_) {
-          search(pos + 1, next);
+        if (!options_.cost_bounding ||
+            !bound_exceeded(s, next + suffix_lb(pos + 1))) {
+          search(s, pos + 1, next);
         }
       }
-      mapping_[i] = kUnmapped;
-      reverse_used_[j] = false;
-      if (stop_early()) return;
+      s.mapping[i] = kUnmapped;
+      s.reverse_used[j] = false;
+      if (stop_early(s)) return;
     }
   }
 
-  bool stop_early() const {
-    if (options_.first_solution_only && found_any_) return true;
-    if (stats_ != nullptr && stats_->budget_exhausted) return true;
-    return false;
+  /// The deterministic parallel search: enumerate every structurally
+  /// consistent assignment prefix down to a depth with enough subtrees
+  /// to feed the pool, run each subtree as an independent task, and
+  /// merge per-task winners in subtree (= serial DFS) order. The merge
+  /// picks the first strictly better cost, which — together with the
+  /// allow-equal shared bound — reproduces exactly the matching the
+  /// serial search would return.
+  void run_parallel() {
+    const std::size_t n = order_.size();
+    struct Prefix {
+      std::vector<std::uint32_t> nodes;  // target per order position
+      int acc = 0;
+    };
+    std::vector<Prefix> tasks(1);
+    std::size_t depth = 0;
+    // Oversubscribe the partition: subtree sizes are wildly uneven (the
+    // whole point of pruning), so many small tasks drained in order from
+    // the pool's shared counter keep every worker busy without work
+    // stealing. Enumeration stays a negligible serial prefix.
+    const std::size_t want = static_cast<std::size_t>(options_.threads) * 16;
+
+    SearchState scratch;
+    init_state(scratch);
+    scratch.stats = stats_;
+    while (depth + 1 < n && tasks.size() < want) {
+      std::vector<Prefix> next;
+      const std::uint32_t i = order_[depth];
+      for (const Prefix& prefix : tasks) {
+        for (std::size_t q = 0; q < depth; ++q) {
+          scratch.mapping[order_[q]] = prefix.nodes[q];
+          scratch.reverse_used[prefix.nodes[q]] = true;
+        }
+        for (const Candidate& candidate : candidates_[i]) {
+          const std::uint32_t j = candidate.node;
+          if (scratch.reverse_used[j]) continue;
+          count_step(scratch);  // enumeration steps are search steps
+          if (scratch.stats->budget_exhausted) return;
+          scratch.mapping[i] = j;
+          scratch.reverse_used[j] = true;
+          int group_cost = edge_groups_cost(scratch.mapping, i);
+          if (group_cost < kInfinity) {
+            Prefix extended = prefix;
+            extended.nodes.push_back(j);
+            extended.acc = prefix.acc + candidate.cost + group_cost;
+            next.push_back(std::move(extended));
+          }
+          scratch.mapping[i] = kUnmapped;
+          scratch.reverse_used[j] = false;
+        }
+        for (std::size_t q = 0; q < depth; ++q) {
+          scratch.mapping[order_[q]] = kUnmapped;
+          scratch.reverse_used[prefix.nodes[q]] = false;
+        }
+      }
+      tasks = std::move(next);
+      ++depth;
+      if (tasks.empty()) return;  // no structurally consistent prefix
+    }
+
+    SharedSearch shared;
+    shared.steps.store(stats_->steps, std::memory_order_relaxed);
+    runtime::ThreadPool& pool =
+        options_.pool != nullptr ? *options_.pool : runtime::default_pool();
+
+    struct TaskResult {
+      Stats stats;
+      std::vector<std::uint32_t> best_mapping;
+      int best_cost = kInfinity;
+      bool have_best = false;
+    };
+    std::vector<TaskResult> results(tasks.size());
+    const std::size_t prefix_depth = depth;
+    pool.parallel_for(tasks.size(), [&](std::size_t t) {
+      // All hot state lives on the worker's own stack/heap; the shared
+      // `results` slot is written exactly once at the end. Pointing
+      // s.stats into results[t] directly would false-share the step
+      // counter across adjacent slots on every single step.
+      Stats local;
+      SearchState s;
+      init_state(s);
+      s.stats = &local;
+      s.shared = &shared;
+      for (std::size_t q = 0; q < prefix_depth; ++q) {
+        s.mapping[order_[q]] = tasks[t].nodes[q];
+        s.reverse_used[tasks[t].nodes[q]] = true;
+      }
+      if (!shared.cancelled.load(std::memory_order_relaxed)) {
+        search(s, prefix_depth, tasks[t].acc);
+      }
+      flush_steps(s);
+      results[t].stats = local;
+      if (s.have_best) {
+        results[t].best_cost = s.best_cost;
+        results[t].best_mapping = std::move(s.best_mapping);
+        results[t].have_best = true;
+      }
+    });
+
+    // Deterministic merge: totals are sums, the winner is the first
+    // subtree (in DFS order) with a strictly better cost.
+    stats_->steps = shared.steps.load(std::memory_order_relaxed);
+    bool exhausted = shared.cancelled.load(std::memory_order_relaxed);
+    for (const TaskResult& result : results) {
+      stats_->solutions_found += result.stats.solutions_found;
+      exhausted = exhausted || result.stats.budget_exhausted;
+      if (result.have_best && (!have_best_ || result.best_cost < best_cost_)) {
+        best_cost_ = result.best_cost;
+        best_node_mapping_ = result.best_mapping;
+        have_best_ = true;
+      }
+    }
+    if (exhausted) stats_->budget_exhausted = true;
   }
 
   /// Reconstruct the full matching (including the optimal edge pairing)
@@ -453,14 +777,206 @@ class SearchEngine {
   Stats* stats_;
 
   std::vector<std::vector<Candidate>> candidates_;
+  std::vector<std::uint32_t> scarcity_;  // target colour-class size
   std::vector<std::uint32_t> order_;
-  std::vector<std::uint32_t> mapping_;
-  std::vector<bool> reverse_used_;
+  std::vector<int> suffix_min_;
+  bool lb_pruning_ = false;
   std::vector<std::uint32_t> best_node_mapping_;
   int best_cost_ = kInfinity;
   bool have_best_ = false;
-  bool found_any_ = false;
 };
+
+// -- component decomposition --------------------------------------------------
+
+/// Weakly-connected component id per node, numbered in first-appearance
+/// (= source insertion) order; `count_out` receives the component count.
+std::vector<std::uint32_t> component_ids(const graph::CompactGraph& g,
+                                         std::uint32_t* count_out) {
+  const std::uint32_t n = g.node_count();
+  std::vector<std::uint32_t> parent(n);
+  for (std::uint32_t v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](std::uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+    std::uint32_t a = find(g.edge_src[e]);
+    std::uint32_t b = find(g.edge_tgt[e]);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<std::uint32_t> ids(n, kUnmapped);
+  std::uint32_t count = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t root = find(v);
+    if (ids[root] == kUnmapped) ids[root] = count++;
+    ids[v] = ids[root];
+  }
+  *count_out = count;
+  return ids;
+}
+
+/// Order-independent structural signature of one component: the
+/// unordered hash of its nodes' whole-graph WL colours mixed with its
+/// edge count. Components do not interact under WL refinement, so
+/// whole-graph colours equal per-subgraph colours, and isomorphic
+/// components always share a signature (collisions merely merge
+/// assignment groups, which the exact search then disambiguates).
+std::vector<std::uint64_t> component_signatures(
+    const graph::CompactGraph& g, const std::vector<std::uint32_t>& comp,
+    std::uint32_t count) {
+  std::vector<std::uint64_t> colours = graph::compact_wl_colours(g, 2);
+  std::vector<graph::UnorderedHashSum> sums(count);
+  std::vector<std::uint64_t> edge_counts(count, 0);
+  for (std::uint32_t v = 0; v < g.node_count(); ++v) {
+    sums[comp[v]].add(colours[v]);
+  }
+  for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+    ++edge_counts[comp[g.edge_src[e]]];
+  }
+  std::vector<std::uint64_t> out(count);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    out[c] = graph::hash_mix(sums[c].value(), edge_counts[c]);
+  }
+  return out;
+}
+
+/// Extract each component as its own PropertyGraph (ids and insertion
+/// order preserved), so per-component matchings speak source ids and
+/// merge trivially.
+std::vector<PropertyGraph> component_subgraphs(
+    const graph::CompactGraph& g, const std::vector<std::uint32_t>& comp,
+    std::uint32_t count) {
+  std::vector<PropertyGraph> subs(count);
+  const std::vector<graph::Node>& nodes = g.source->nodes();
+  const std::vector<graph::Edge>& edges = g.source->edges();
+  for (std::uint32_t v = 0; v < g.node_count(); ++v) {
+    subs[comp[v]].add_node(nodes[v].id, nodes[v].label, nodes[v].props);
+  }
+  for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& edge = edges[e];
+    subs[comp[g.edge_src[e]]].add_edge(edge.id, edge.src, edge.tgt,
+                                       edge.label, edge.props);
+  }
+  return subs;
+}
+
+void merge_matching(Matching& total, const Matching& part) {
+  total.cost += part.cost;
+  total.node_map.insert(part.node_map.begin(), part.node_map.end());
+  total.edge_map.insert(part.edge_map.begin(), part.edge_map.end());
+}
+
+/// The decomposed bijective search: solve components independently and
+/// sum. Any isomorphism maps components onto components, and the cost is
+/// a sum of per-element costs, so the optimal total equals the best
+/// assignment of pattern components to signature-compatible target
+/// components, each pair solved at its own optimum. Returns std::nullopt
+/// when the components cannot be matched up (or the shared step budget
+/// runs out — a decomposed search does not report partial bests).
+std::optional<Matching> decomposed_isomorphism(const InternedGraph& g1,
+                                               const InternedGraph& g2,
+                                               const SearchOptions& options,
+                                               Stats* stats) {
+  if (g1.g.symbols != g2.g.symbols) {
+    throw std::invalid_argument(
+        "matcher: operands interned against different symbol tables");
+  }
+  SearchOptions sub = options;
+  sub.component_decomposition = false;
+
+  std::uint32_t count1 = 0, count2 = 0;
+  std::vector<std::uint32_t> comp1 = component_ids(g1.g, &count1);
+  std::vector<std::uint32_t> comp2 = component_ids(g2.g, &count2);
+  if (count1 <= 1 && count2 <= 1) {
+    return best_isomorphism(g1, g2, sub, stats);
+  }
+  if (count1 != count2) return std::nullopt;
+
+  std::vector<std::uint64_t> sig1 = component_signatures(g1.g, comp1, count1);
+  std::vector<std::uint64_t> sig2 = component_signatures(g2.g, comp2, count2);
+  // std::map: one fixed signature-ordered iteration, so the merged
+  // matching is deterministic.
+  std::map<std::uint64_t, std::pair<std::vector<std::uint32_t>,
+                                    std::vector<std::uint32_t>>>
+      groups;
+  for (std::uint32_t c = 0; c < count1; ++c) groups[sig1[c]].first.push_back(c);
+  for (std::uint32_t c = 0; c < count2; ++c) {
+    groups[sig2[c]].second.push_back(c);
+  }
+  for (const auto& [sig, group] : groups) {
+    if (group.first.size() != group.second.size()) return std::nullopt;
+  }
+
+  std::vector<PropertyGraph> subs1 = component_subgraphs(g1.g, comp1, count1);
+  std::vector<PropertyGraph> subs2 = component_subgraphs(g2.g, comp2, count2);
+  // One local table shared by every sub-snapshot, so each component is
+  // interned exactly once even when it appears in k*k pair searches.
+  SymbolTable local_symbols;
+  std::deque<InternedGraph> interned1, interned2;
+  std::vector<const InternedGraph*> by_comp1(count1), by_comp2(count2);
+  for (std::uint32_t c = 0; c < count1; ++c) {
+    interned1.emplace_back(subs1[c], local_symbols);
+    by_comp1[c] = &interned1.back();
+  }
+  for (std::uint32_t c = 0; c < count2; ++c) {
+    interned2.emplace_back(subs2[c], local_symbols);
+    by_comp2[c] = &interned2.back();
+  }
+
+  Matching total;
+  total.cost = 0;
+  for (const auto& [sig, group] : groups) {
+    const std::vector<std::uint32_t>& pat = group.first;
+    const std::vector<std::uint32_t>& tgt = group.second;
+    const std::size_t k = pat.size();
+    if (k == 1) {
+      std::optional<Matching> m =
+          best_isomorphism(*by_comp1[pat[0]], *by_comp2[tgt[0]], sub, stats);
+      if (stats->budget_exhausted) return std::nullopt;
+      if (!m.has_value()) return std::nullopt;
+      merge_matching(total, *m);
+      continue;
+    }
+    // Ambiguous signature group: solve every pairing once, then pick the
+    // cost-minimal assignment (lexicographically first on ties).
+    std::vector<std::vector<std::optional<Matching>>> cell(
+        k, std::vector<std::optional<Matching>>(k));
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t t = 0; t < k; ++t) {
+        cell[p][t] =
+            best_isomorphism(*by_comp1[pat[p]], *by_comp2[tgt[t]], sub, stats);
+        if (stats->budget_exhausted) return std::nullopt;
+      }
+    }
+    int best = kInfinity;
+    std::vector<int> pick(k, -1), best_pick;
+    std::vector<bool> used(k, false);
+    auto dfs = [&](auto&& self, std::size_t row, int acc) -> void {
+      if (acc >= best) return;
+      if (row == k) {
+        best = acc;
+        best_pick = pick;
+        return;
+      }
+      for (std::size_t col = 0; col < k; ++col) {
+        if (used[col] || !cell[row][col].has_value()) continue;
+        used[col] = true;
+        pick[row] = static_cast<int>(col);
+        self(self, row + 1, acc + cell[row][col]->cost);
+        used[col] = false;
+      }
+    };
+    dfs(dfs, 0, 0);
+    if (best_pick.empty()) return std::nullopt;
+    for (std::size_t p = 0; p < k; ++p) {
+      merge_matching(total, *cell[p][static_cast<std::size_t>(best_pick[p])]);
+    }
+  }
+  return total;
+}
 
 }  // namespace
 
@@ -469,8 +985,11 @@ std::optional<Matching> best_isomorphism(const InternedGraph& g1,
                                          const SearchOptions& options,
                                          Stats* stats) {
   Stats local;
-  SearchEngine engine(g1, g2, /*bijective=*/true, options,
-                      stats != nullptr ? stats : &local);
+  Stats* effective = stats != nullptr ? stats : &local;
+  if (options.component_decomposition) {
+    return decomposed_isomorphism(g1, g2, options, effective);
+  }
+  SearchEngine engine(g1, g2, /*bijective=*/true, options, effective);
   return engine.run();
 }
 

@@ -29,6 +29,10 @@
 
 #include "graph/property_graph.h"
 
+namespace provmark::runtime {
+class ThreadPool;
+}
+
 namespace provmark::matcher {
 
 struct InternedGraph;  // matcher/interned.h: a reusable interned operand
@@ -70,6 +74,18 @@ enum class CandidateOrder {
   /// roughly monotonically, so temporally aligned candidates almost
   /// always belong to the optimal matching.
   TimestampRank,
+  /// WL-colour-scarcity strategy. Candidate lists are pruned to the
+  /// matching WL colour class (bijective problem) and sorted
+  /// cheapest-cost first; the most-constrained-first node order breaks
+  /// candidate-count ties towards the rarer target colour class; and
+  /// the cost bound is tightened with an admissible remaining-cost
+  /// estimate (the sum of per-node minimum candidate costs over the
+  /// unassigned suffix). Scarce colour classes have the fewest
+  /// candidates, so wrong turns are taken — and proven wrong — as
+  /// early as possible; the suffix bound then prunes any deviation
+  /// from a discovered optimum immediately. Exhaustive and
+  /// optimum-preserving like every other order.
+  WlScarcity,
 };
 
 struct SearchOptions {
@@ -89,7 +105,54 @@ struct SearchOptions {
   /// Abort after this many search steps; 0 = unlimited. A hit produces
   /// std::nullopt with `budget_exhausted` set in Stats. Guards against the
   /// worst-case exponential behaviour the paper accepts as a risk (§5.4).
+  /// In a parallel search the budget is shared by all workers and
+  /// enforced cooperatively (a worker that trips it cancels its
+  /// siblings), accurate to one flush batch per worker.
   std::size_t step_budget = 0;
+  /// Solve independent weakly-connected components of the two graphs
+  /// separately and sum their costs (bijective problem only; the
+  /// embedding problem ignores it, since disjoint pattern components
+  /// may compete for overlapping target nodes). Components are matched
+  /// up by WL-colour-multiset signature; ambiguous groups solve every
+  /// pairing and pick the cost-minimal assignment, so the optimal cost
+  /// is identical to the joint search — but the multiplicative
+  /// cross-component candidate space becomes additive.
+  bool component_decomposition = false;
+  /// Worker count for the deterministic parallel branch-and-bound;
+  /// <= 1 searches serially on the calling thread. The root-level
+  /// candidate space is partitioned into fixed prefix subtrees,
+  /// dispatched onto `pool`, and pruned against a shared monotonically
+  /// tightening best-cost bound; results (matching, cost,
+  /// budget-exhaustion on completion) are bit-identical to the serial
+  /// search under any interleaving. `Stats.steps` totals all workers
+  /// and may differ from the serial trace. first_solution_only searches
+  /// stay serial.
+  int threads = 1;
+  /// Pool for the parallel search; nullptr = runtime::default_pool().
+  /// A call made from a worker of this same pool runs inline (serial)
+  /// per the runtime's nesting rule — pass a dedicated pool to nest.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// The user-facing search knobs threaded from the CLI / pipeline down
+/// into every matcher call of a run (the ablation booleans stay on the
+/// per-stage option structs). apply() overlays these onto a fully
+/// populated SearchOptions.
+struct SearchConfig {
+  CandidateOrder order = CandidateOrder::PropertyCost;
+  bool decompose = false;
+  int threads = 1;
+  /// 0 keeps the call site's own budget.
+  std::size_t step_budget = 0;
+  runtime::ThreadPool* pool = nullptr;
+
+  void apply(SearchOptions& options) const {
+    options.candidate_order = order;
+    options.component_decomposition = decompose;
+    options.threads = threads;
+    options.pool = pool;
+    if (step_budget > 0) options.step_budget = step_budget;
+  }
 };
 
 /// Search statistics, used by tests and the ablation benchmark.

@@ -27,10 +27,17 @@ bool SimilarityMemo::similar(std::uint64_t digest_a, std::uint64_t digest_b,
   }
   bool verdict = matcher::similar(a, b);
   std::lock_guard<std::mutex> lock(mutex_);
-  // No duplicate-insert check needed: a given ordered pair is only ever
-  // posed sequentially (within one bucket's classification loop), so it
-  // cannot race with itself.
-  verdicts_[key].push_back(Entry{&a, &b, verdict});
+  // Re-check under the lock: a concurrent caller posing the same pair
+  // (e.g. callers outside the pipeline's one-bucket-one-task discipline)
+  // may have solved and stored it while we ran the matcher. Keeping the
+  // first entry — verdicts are deterministic, so both agree — means each
+  // pair is stored and counted exactly once.
+  std::vector<Entry>& bucket = verdicts_[key];
+  for (const Entry& entry : bucket) {
+    if (entry.a == &a && entry.b == &b) return entry.verdict;
+  }
+  bucket.push_back(Entry{&a, &b, verdict});
+  entries_.fetch_add(1);
   return verdict;
 }
 

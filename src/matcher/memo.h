@@ -24,7 +24,11 @@
 // background and one foreground bucket with equal digests, classified
 // concurrently) occupy distinct entries, so hit/lookup totals are
 // deterministic at any thread count — the pipeline exposes them as
-// BenchmarkResult::similarity_cache_*.
+// BenchmarkResult::similarity_cache_*. When two workers race on the
+// *same* pair (both miss, both solve), the insert path re-checks under
+// the lock and keeps a single entry: each pair is stored exactly once,
+// so entries() and the hit counters merged into BenchmarkResult never
+// double-count a verdict, whatever pool the callers run on.
 #pragma once
 
 #include <atomic>
@@ -49,6 +53,9 @@ class SimilarityMemo {
   /// and digest-inequality short-circuits).
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t lookups() const { return lookups_.load(); }
+  /// Distinct pairs with a stored verdict — exactly one per pair ever
+  /// solved, even when concurrent callers raced on the same pair.
+  std::uint64_t entries() const { return entries_.load(); }
 
  private:
   struct Entry {
@@ -64,6 +71,7 @@ class SimilarityMemo {
       verdicts_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> entries_{0};
 };
 
 }  // namespace provmark::matcher

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,15 @@ constexpr const char* kUsage =
     "options:\n"
     "  --threads N  worker threads for the parallel runtime (default:\n"
     "               PROVMARK_THREADS env var, then hardware concurrency)\n"
+    "  --matcher-threads N\n"
+    "               workers for the deterministic parallel matcher\n"
+    "               search inside generalization/comparison (own pool,\n"
+    "               nests under --threads; default 1 = serial search;\n"
+    "               results are identical at any N)\n"
+    "  --matcher-order none|cost|time|wl\n"
+    "               candidate-ordering heuristic (default cost; wl =\n"
+    "               WL-scarcity ordering + component decomposition —\n"
+    "               optimal costs are unchanged by any choice)\n"
     "  --seed S     pipeline seed (default 42); results are\n"
     "               deterministic per seed at any thread count\n"
     "  --help       this text\n"
@@ -102,7 +112,16 @@ bench_suite::BenchmarkProgram find_program(const std::string& name) {
 struct CliOptions {
   runtime::ThreadPool* pool = nullptr;
   std::uint64_t seed = 42;
+  matcher::SearchConfig matcher;
 };
+
+matcher::CandidateOrder parse_order(const std::string& name) {
+  if (name == "none") return matcher::CandidateOrder::None;
+  if (name == "cost") return matcher::CandidateOrder::PropertyCost;
+  if (name == "time") return matcher::CandidateOrder::TimestampRank;
+  if (name == "wl") return matcher::CandidateOrder::WlScarcity;
+  throw std::invalid_argument("unknown matcher order: " + name);
+}
 
 int run_single(const CliOptions& cli, const std::string& system,
                const std::string& benchmark, int trials) {
@@ -111,6 +130,7 @@ int run_single(const CliOptions& cli, const std::string& system,
   options.trials = trials;
   options.seed = cli.seed;
   options.pool = cli.pool;
+  options.matcher = cli.matcher;
   core::BenchmarkResult result =
       core::run_benchmark(find_program(benchmark), options);
   std::printf("%s\n\n", core::summarize(result).c_str());
@@ -158,6 +178,7 @@ int run_batch(const CliOptions& cli, const std::string& system_list,
             options.system = pair.system;
             options.seed = cli.seed;
             options.pool = &pool;
+            options.matcher = cli.matcher;
             return core::run_benchmark(pair.program, options);
           });
 
@@ -205,6 +226,7 @@ int main(int argc, char** argv) {
 
   CliOptions cli;
   std::unique_ptr<runtime::ThreadPool> owned_pool;
+  std::unique_ptr<runtime::ThreadPool> matcher_pool;
   // Peel leading options off before the subcommand.
   try {
     while (!args.empty() && args[0].rfind("--", 0) == 0) {
@@ -216,6 +238,28 @@ int main(int argc, char** argv) {
         owned_pool = std::make_unique<runtime::ThreadPool>(
             std::stoi(args[1]));
         cli.pool = owned_pool.get();
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--matcher-threads" && args.size() >= 2) {
+        // A dedicated pool: the matcher search nests inside pipeline
+        // workers, and a loop on a *different* pool fans out instead of
+        // running inline (see runtime/thread_pool.h nesting rules).
+        cli.matcher.threads = std::stoi(args[1]);
+        if (cli.matcher.threads > 1) {
+          matcher_pool =
+              std::make_unique<runtime::ThreadPool>(cli.matcher.threads);
+          cli.matcher.pool = matcher_pool.get();
+        }
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--matcher-order" && args.size() >= 2) {
+        cli.matcher.order = parse_order(args[1]);
+        // WL scarcity brings component decomposition along: both halves
+        // of the strategy preserve optimal costs.
+        cli.matcher.decompose =
+            cli.matcher.order == matcher::CandidateOrder::WlScarcity;
         args.erase(args.begin(), args.begin() + 2);
         continue;
       }
