@@ -1,0 +1,404 @@
+// Datalog engine scaling benchmark: the perf trajectory of the
+// interned, indexed, parallel rewrite, with per-layer ablation columns.
+//
+// Runs the query-layer workloads the paper's storage format produces —
+// transitive closure over provenance edge facts, triangle joins over a
+// dense link relation, and a stratified provenance query program
+// (reachability + a negation-guarded write-only-file query) over the
+// Listing 1 representation — at growing scale, across the stacked
+// engine layers:
+//
+//   legacy    — the seed-era evaluator (string tuples in std::map/
+//               std::set, full-relation-scan joins), measured on the
+//               sizes it can finish
+//   scan      — the interned engine with indexes disabled: columnar
+//               symbol pools and flat slot bindings, but every body
+//               atom still scans its relation
+//   indexed   — + bound-signature hash indexes and greedy most-bound
+//               join ordering (the default configuration)
+//   parallel8 — indexed + per-stratum parallel rule evaluation at 8
+//               threads on a dedicated runtime pool
+//
+// The benchmark *asserts* (exit 1) that every engine configuration
+// derives bit-identical relation contents and query results on every
+// workload — the legacy engine is the reference — and that the indexed
+// engine beats legacy by the expected factor on the largest transitive
+// closure workload, so a join-layer regression fails CI instead of
+// silently inflating BENCH numbers.
+//
+// Usage: bench_perf_datalog_scaling [--smoke] [output.json]
+//   --smoke  small sizes + fewer repetitions (CI-friendly)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/engine.h"
+#include "datalog/fact_io.h"
+#include "datalog/legacy_engine.h"
+#include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+using namespace provmark;
+
+namespace {
+
+constexpr int kParallelThreads = 8;
+
+/// A provenance-shaped random graph: one process spine with artifact
+/// fan-out, labelled like recorder output (same shape as the matcher
+/// scaling benchmark).
+graph::PropertyGraph make_provenance_graph(int processes,
+                                           int artifacts_per_process,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::PropertyGraph g;
+  std::string prev;
+  int edge = 0;
+  for (int p = 0; p < processes; ++p) {
+    std::string pid = "p" + std::to_string(p);
+    g.add_node(pid, "Process",
+               {{"pid", std::to_string(1000 + p)},
+                {"name", "proc" + std::to_string(p % 3)}});
+    if (!prev.empty()) {
+      g.add_edge("e" + std::to_string(edge++), pid, prev, "WasTriggeredBy",
+                 {{"operation", "fork"}});
+    }
+    for (int a = 0; a < artifacts_per_process; ++a) {
+      std::string aid = pid + "a" + std::to_string(a);
+      g.add_node(aid, "Artifact",
+                 {{"path", "/tmp/p" + std::to_string(p) + "f" +
+                               std::to_string(a)},
+                  {"time", std::to_string(rng.next_below(100000))}});
+      bool used = rng.chance(0.5);
+      g.add_edge("e" + std::to_string(edge++), used ? pid : aid,
+                 used ? aid : pid, used ? "Used" : "WasGeneratedBy",
+                 {{"operation", used ? "read" : "write"}});
+    }
+    prev = pid;
+  }
+  return g;
+}
+
+struct Workload {
+  std::string name;
+  int scale = 0;
+  std::string program;
+  std::vector<std::string> outputs;  ///< relations compared + counted
+  std::vector<std::string> queries;  ///< query atoms compared
+};
+
+/// Transitive closure over the edge facts of a provenance graph — the
+/// regression store's reachability workhorse. Derived tuples grow
+/// quadratically with the spine, the shape that breaks scan joins.
+Workload closure_workload(int processes) {
+  graph::PropertyGraph g = make_provenance_graph(processes, 3, 11);
+  Workload w;
+  w.name = "closure";
+  w.scale = processes;
+  for (const graph::Edge& e : g.edges()) {
+    w.program += "edge(" + e.src + "," + e.tgt + ").\n";
+  }
+  w.program +=
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y), edge(Y,Z).\n";
+  w.outputs = {"path"};
+  w.queries = {"path(p0, X)", "path(X, p0)"};
+  return w;
+}
+
+/// Triangle join over a dense random link relation: one round, three-way
+/// self-join — pure join-order and index-probe stress.
+Workload triangle_workload(int nodes) {
+  util::Rng rng(23);
+  Workload w;
+  w.name = "triangle";
+  w.scale = nodes;
+  std::set<std::pair<int, int>> seen;
+  int edges = nodes * 4;
+  for (int i = 0; i < edges; ++i) {
+    int a = static_cast<int>(rng.next_below(nodes));
+    int b = static_cast<int>(rng.next_below(nodes));
+    if (!seen.insert({a, b}).second) continue;
+    w.program += "link(v" + std::to_string(a) + ",v" + std::to_string(b) +
+                 ").\n";
+  }
+  w.program +=
+      "tri(X,Y,Z) :- link(X,Y), link(Y,Z), link(Z,X).\n"
+      "fanout(X,Y,Z) :- link(X,Y), link(X,Z), Y != Z.\n";
+  w.outputs = {"tri", "fanout"};
+  w.queries = {"tri(X, Y, Z)"};
+  return w;
+}
+
+/// The paper's Listing 1 representation end-to-end: graph facts through
+/// fact_io, reachability, and a stratified negation query (files written
+/// but never read back) — the Charlie regression-query shape.
+Workload provenance_query_workload(int processes) {
+  graph::PropertyGraph g = make_provenance_graph(processes, 3, 31);
+  Workload w;
+  w.name = "provquery";
+  w.scale = processes;
+  w.program = datalog::to_datalog(g, "r");
+  w.program +=
+      "flow(A,B) :- er(E, A, B, L).\n"
+      "reach(A,B) :- flow(A,B).\n"
+      "reach(A,C) :- reach(A,B), flow(B,C).\n"
+      "written(F) :- er(_, F, _, \"WasGeneratedBy\").\n"
+      "readback(F) :- er(_, _, F, \"Used\").\n"
+      "writeonly(F) :- written(F), not readback(F).\n"
+      "proc(P) :- nr(P, \"Process\").\n"
+      "touched(P,F) :- proc(P), reach(P,F), not proc(F).\n";
+  w.outputs = {"reach", "writeonly", "touched"};
+  w.queries = {"reach(p0, X)", "writeonly(F)"};
+  return w;
+}
+
+/// One engine run's comparable outcome: derived relations and query
+/// results, plus the wall clock to reach them from a cold engine.
+struct Outcome {
+  double seconds = 0;  ///< best-of-reps wall clock
+  std::map<std::string, std::set<datalog::Tuple>> relations;
+  std::vector<std::vector<std::map<std::string, std::string>>> queries;
+  std::size_t derived = 0;
+  bool measured = false;
+};
+
+template <typename EngineT, typename Setup>
+Outcome measure(const Workload& w, int reps, Setup&& setup) {
+  Outcome out;
+  out.seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    EngineT engine;
+    setup(engine);
+    auto start = std::chrono::steady_clock::now();
+    engine.load_program(w.program);
+    engine.run();
+    std::map<std::string, std::set<datalog::Tuple>> relations;
+    for (const std::string& name : w.outputs) {
+      relations[name] = engine.relation(name);
+    }
+    std::vector<std::vector<std::map<std::string, std::string>>> queries;
+    for (const std::string& query : w.queries) {
+      queries.push_back(engine.query(query));
+    }
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (elapsed < out.seconds) out.seconds = elapsed;
+    out.relations = std::move(relations);
+    out.queries = std::move(queries);
+  }
+  out.derived = 0;
+  for (const auto& [name, tuples] : out.relations) {
+    out.derived += tuples.size();
+  }
+  out.measured = true;
+  return out;
+}
+
+struct Case {
+  Workload workload;
+  std::size_t fact_lines = 0;
+  Outcome legacy;
+  Outcome scan;
+  Outcome indexed;
+  Outcome parallel;
+};
+
+bool check(bool condition, const char* what, const Case& c) {
+  if (!condition) {
+    std::fprintf(stderr, "ASSERTION FAILED [%s scale=%d]: %s\n",
+                 c.workload.name.c_str(), c.workload.scale, what);
+  }
+  return condition;
+}
+
+bool same_results(const Outcome& a, const Outcome& b) {
+  return a.relations == b.relations && a.queries == b.queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_datalog_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const int reps = smoke ? 2 : 3;
+  // The legacy engine joins by full relation scans over string tuples;
+  // beyond these sizes a single run takes minutes and the columns stop
+  // being informative.
+  const int legacy_closure_cap = smoke ? 16 : 96;
+  const int legacy_triangle_cap = smoke ? 48 : 192;
+  const int legacy_provquery_cap = smoke ? 16 : 64;
+  std::vector<int> scales = smoke ? std::vector<int>{8, 16}
+                                  : std::vector<int>{16, 32, 64, 96};
+  runtime::ThreadPool pool(kParallelThreads);
+
+  std::vector<Case> cases;
+  bool failed = false;
+  for (int scale : scales) {
+    std::vector<std::pair<Workload, int>> workloads = {
+        {closure_workload(scale), legacy_closure_cap},
+        {triangle_workload(scale * 3), legacy_triangle_cap},
+        {provenance_query_workload(scale), legacy_provquery_cap},
+    };
+    for (auto& [workload, legacy_cap] : workloads) {
+      Case c;
+      c.workload = std::move(workload);
+      for (char ch : c.workload.program) {
+        if (ch == '\n') ++c.fact_lines;
+      }
+
+      if (c.workload.scale <= legacy_cap) {
+        c.legacy = measure<datalog::legacy::Engine>(
+            c.workload, reps, [](datalog::legacy::Engine&) {});
+      }
+      c.scan = measure<datalog::Engine>(
+          c.workload, reps, [](datalog::Engine& e) {
+            e.set_eval_options({/*use_indexes=*/false, 1, nullptr});
+          });
+      c.indexed = measure<datalog::Engine>(
+          c.workload, reps, [](datalog::Engine& e) {
+            e.set_eval_options({/*use_indexes=*/true, 1, nullptr});
+          });
+      c.parallel = measure<datalog::Engine>(
+          c.workload, reps, [&pool](datalog::Engine& e) {
+            e.set_eval_options({/*use_indexes=*/true, kParallelThreads,
+                                &pool});
+          });
+
+      // -- identity gates --------------------------------------------------
+      if (c.legacy.measured) {
+        failed |= !check(same_results(c.legacy, c.indexed),
+                         "indexed engine diverged from legacy", c);
+        failed |= !check(same_results(c.legacy, c.scan),
+                         "scan engine diverged from legacy", c);
+      }
+      failed |= !check(same_results(c.indexed, c.scan),
+                       "index layer changed derived facts", c);
+      failed |= !check(same_results(c.indexed, c.parallel),
+                       "parallel evaluation diverged from serial", c);
+      failed |= !check(c.indexed.derived > 0,
+                       "workload derived nothing (generator broke)", c);
+
+      cases.push_back(std::move(c));
+    }
+  }
+
+  std::printf("%-10s %6s %7s %9s | %11s %11s %11s %13s | %9s %9s\n",
+              "workload", "scale", "facts", "derived", "legacy(ms)",
+              "scan(ms)", "indexed(ms)", "parallel8(ms)", "vs legacy",
+              "vs scan");
+  for (const Case& c : cases) {
+    char legacy_cell[32];
+    if (c.legacy.measured) {
+      std::snprintf(legacy_cell, sizeof(legacy_cell), "%.2f",
+                    c.legacy.seconds * 1e3);
+    } else {
+      std::snprintf(legacy_cell, sizeof(legacy_cell), "-");
+    }
+    std::printf(
+        "%-10s %6d %7zu %9zu | %11s %11.2f %11.2f %13.2f | %8.1fx %8.1fx\n",
+        c.workload.name.c_str(), c.workload.scale, c.fact_lines,
+        c.indexed.derived, legacy_cell, c.scan.seconds * 1e3,
+        c.indexed.seconds * 1e3, c.parallel.seconds * 1e3,
+        c.legacy.measured && c.indexed.seconds > 0
+            ? c.legacy.seconds / c.indexed.seconds
+            : 0.0,
+        c.indexed.seconds > 0 ? c.scan.seconds / c.indexed.seconds : 0.0);
+  }
+
+  // Headline + speedup gate: the largest transitive-closure workload the
+  // legacy engine completes. The indexed rewrite must clear 10x there
+  // (2x in smoke mode, where the instances are too small to amortize).
+  const Case* headline = nullptr;
+  for (const Case& c : cases) {
+    if (c.workload.name == "closure" && c.legacy.measured &&
+        (headline == nullptr ||
+         c.workload.scale > headline->workload.scale)) {
+      headline = &c;
+    }
+  }
+  if (headline != nullptr) {
+    double speedup = headline->indexed.seconds > 0
+                         ? headline->legacy.seconds / headline->indexed.seconds
+                         : 0.0;
+    std::printf("\nclosure scale=%d: legacy %.2fms -> indexed %.2fms "
+                "(%.1fx), parallel8 %.2fms\n",
+                headline->workload.scale, headline->legacy.seconds * 1e3,
+                headline->indexed.seconds * 1e3, speedup,
+                headline->parallel.seconds * 1e3);
+    double required = smoke ? 2.0 : 10.0;
+    failed |= !check(speedup >= required,
+                     "indexed engine lost its speedup over legacy on the "
+                     "largest closure workload",
+                     *headline);
+  } else {
+    std::fprintf(stderr, "no legacy-measured closure case — gate skipped\n");
+    failed = true;
+  }
+
+  std::FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"datalog_scaling\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"parallel_threads\": %d,\n", kParallelThreads);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"scale\": %d, "
+                 "\"fact_lines\": %zu, \"derived\": %zu,\n",
+                 c.workload.name.c_str(), c.workload.scale, c.fact_lines,
+                 c.indexed.derived);
+    if (c.legacy.measured) {
+      std::fprintf(f, "      \"legacy\": {\"seconds\": %.6f},\n",
+                   c.legacy.seconds);
+    }
+    std::fprintf(f, "      \"scan\": {\"seconds\": %.6f},\n",
+                 c.scan.seconds);
+    std::fprintf(f, "      \"indexed\": {\"seconds\": %.6f},\n",
+                 c.indexed.seconds);
+    std::fprintf(
+        f,
+        "      \"parallel_%dt\": {\"seconds\": %.6f, \"identical\": %s},\n",
+        kParallelThreads, c.parallel.seconds,
+        same_results(c.indexed, c.parallel) ? "true" : "false");
+    std::fprintf(
+        f,
+        "      \"speedup_indexed_vs_legacy\": %.3f, "
+        "\"speedup_indexed_vs_scan\": %.3f}%s\n",
+        c.legacy.measured && c.indexed.seconds > 0
+            ? c.legacy.seconds / c.indexed.seconds
+            : 0.0,
+        c.indexed.seconds > 0 ? c.scan.seconds / c.indexed.seconds : 0.0,
+        i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", output.c_str());
+  if (failed) {
+    std::fprintf(stderr, "\nFAILED: identity or speedup gates tripped\n");
+    return 1;
+  }
+  return 0;
+}

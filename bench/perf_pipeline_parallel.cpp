@@ -169,7 +169,9 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"benchmarks\": %zu,\n", programs.size());
   std::fprintf(f, "  \"simulated_recording_latency_ms\": %.1f,\n",
                latency * 1e3);
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+  // Same key as BENCH_matcher_perf.json: parallel numbers from a
+  // single-core container are self-describing.
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {

@@ -1,14 +1,28 @@
 #include "datalog/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <stdexcept>
 
+#include "datalog/escape.h"
+#include "runtime/thread_pool.h"
 #include "util/strings.h"
 
 namespace provmark::datalog {
 
 namespace {
+
+/// Sentinel for an unbound variable slot. Interned symbols are dense ids
+/// starting at 0, so graph::kNoSymbol can never collide with one.
+constexpr graph::Symbol kUnbound = graph::kNoSymbol;
+
+/// Hash of `n` symbols (a whole row, or the masked key columns of one).
+std::uint64_t row_hash(const graph::Symbol* values, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) h = graph::hash_mix(h, values[i]);
+  return h;
+}
 
 /// Tokenizer shared by the atom and program parsers.
 class Lexer {
@@ -83,7 +97,7 @@ class Lexer {
       if (c == '"') return out;
       if (c == '\\') {
         if (pos_ >= text_.size()) fail("bad escape");
-        out += text_[pos_++];
+        out += decode_escape(text_[pos_++]);
       } else {
         out += c;
       }
@@ -135,129 +149,17 @@ Atom parse_atom(std::string_view text) {
   return atom;
 }
 
-void Engine::add_fact(const std::string& relation, Tuple tuple) {
-  auto [it, inserted] = arity_.try_emplace(relation, tuple.size());
-  if (!inserted && it->second != tuple.size()) {
-    throw std::invalid_argument("arity mismatch for relation " + relation);
-  }
-  if (facts_[relation].insert(std::move(tuple)).second) {
-    saturated_ = false;
-  }
-}
-
-void Engine::check_range_restriction(const Rule& rule) const {
-  std::set<std::string> bound;
-  for (const BodyLiteral& lit : rule.body) {
-    if (const Atom* atom = std::get_if<Atom>(&lit)) {
-      for (const Term& t : atom->terms) {
-        if (t.is_variable()) bound.insert(t.text);
-      }
-    }
-  }
-  for (const Term& t : rule.head.terms) {
-    if (t.is_variable() && bound.count(t.text) == 0) {
-      throw std::invalid_argument(
-          "rule head variable " + t.text +
-          " does not occur in any positive body atom");
-    }
-  }
-  for (const BodyLiteral& lit : rule.body) {
-    if (const Disequality* diseq = std::get_if<Disequality>(&lit)) {
-      for (const Term* t : {&diseq->lhs, &diseq->rhs}) {
-        if (t->is_variable() && bound.count(t->text) == 0) {
-          throw std::invalid_argument(
-              "disequality variable " + t->text + " is unbound");
-        }
-      }
-    }
-    if (const NegatedAtom* negated = std::get_if<NegatedAtom>(&lit)) {
-      for (const Term& t : negated->atom.terms) {
-        if (t.is_variable() && t.text != "_" &&
-            bound.count(t.text) == 0) {
-          throw std::invalid_argument(
-              "negated-atom variable " + t.text + " is unbound");
-        }
-      }
-    }
-  }
-}
-
-std::vector<std::vector<std::size_t>> Engine::stratify() const {
-  // stratum[relation]: 0 for EDB; a head is at least the stratum of each
-  // positive body relation, and strictly above each negated one.
-  std::map<std::string, std::size_t> stratum;
-  auto stratum_of = [&](const std::string& relation) -> std::size_t {
-    auto it = stratum.find(relation);
-    return it == stratum.end() ? 0 : it->second;
-  };
-  const std::size_t limit = rules_.size() + 2;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Rule& rule : rules_) {
-      std::size_t need = 0;
-      for (const BodyLiteral& lit : rule.body) {
-        if (const Atom* atom = std::get_if<Atom>(&lit)) {
-          need = std::max(need, stratum_of(atom->relation));
-        } else if (const NegatedAtom* negated =
-                       std::get_if<NegatedAtom>(&lit)) {
-          need = std::max(need, stratum_of(negated->atom.relation) + 1);
-        }
-      }
-      if (need > stratum_of(rule.head.relation)) {
-        if (need >= limit) {
-          throw std::logic_error(
-              "negation is not stratified (relation " +
-              rule.head.relation + " depends on its own negation)");
-        }
-        stratum[rule.head.relation] = need;
-        changed = true;
-      }
-    }
-  }
-  std::size_t max_stratum = 0;
-  for (const auto& [relation, s] : stratum) {
-    max_stratum = std::max(max_stratum, s);
-  }
-  std::vector<std::vector<std::size_t>> strata(max_stratum + 1);
-  for (std::size_t i = 0; i < rules_.size(); ++i) {
-    strata[stratum_of(rules_[i].head.relation)].push_back(i);
-  }
-  return strata;
-}
-
-void Engine::add_rule(Rule rule) {
-  check_range_restriction(rule);
-  if (rule.body.empty()) {
-    // A bodiless rule is a fact; require it to be ground.
-    Tuple tuple;
-    for (const Term& t : rule.head.terms) {
-      if (t.is_variable()) {
-        throw std::invalid_argument("fact with variable argument");
-      }
-      tuple.push_back(t.text);
-    }
-    add_fact(rule.head.relation, std::move(tuple));
-    return;
-  }
-  rules_.push_back(std::move(rule));
-  saturated_ = false;
-}
-
-void Engine::load_program(std::string_view text) {
+std::vector<Rule> parse_program(std::string_view text) {
+  std::vector<Rule> rules;
   Lexer lex(text);
   while (!lex.at_end()) {
     Rule rule;
     rule.head = parse_atom_with(lex);
     if (lex.try_consume(":-")) {
       while (true) {
-        // A body literal is either `X != Y` or an atom. Try disequality by
-        // scanning a term then checking for `!=`.
-        // Simplest approach: parse a term; if next token is '!=' it is a
-        // disequality, otherwise backtrack is needed — avoid backtracking
-        // by peeking: an atom always has '(' after its relation name.
+        // A body literal is either `X != Y` or an atom. An atom always
+        // has '(' after its relation name, so no backtracking is needed.
         lex.skip_space();
-        // Parse either atom or disequality. We parse one term first.
         if (lex.peek() == '"') {
           Term lhs = lex.term();
           lex.expect("!=");
@@ -296,24 +198,653 @@ void Engine::load_program(std::string_view text) {
       }
     }
     lex.expect(".");
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+// -- relation registry --------------------------------------------------------
+
+std::uint32_t Engine::relation_id(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(relations_.size());
+  relations_.emplace_back();
+  relations_.back().name = name;
+  relation_ids_.emplace(name, id);
+  return id;
+}
+
+Engine::Relation* Engine::find_relation(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? nullptr : &relations_[it->second];
+}
+
+const Engine::Relation* Engine::find_relation(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? nullptr : &relations_[it->second];
+}
+
+bool Engine::insert_row(Relation& rel, const Symbol* values,
+                        std::size_t arity) {
+  if (!rel.arity_known) {
+    rel.arity_known = true;
+    rel.arity = arity;
+    rel.columns.assign(arity, {});
+  } else if (rel.arity != arity) {
+    throw std::invalid_argument("arity mismatch for relation " + rel.name);
+  }
+  auto& bucket = rel.tuple_index[row_hash(values, arity)];
+  for (std::uint32_t row : bucket) {
+    bool equal = true;
+    for (std::size_t p = 0; p < arity; ++p) {
+      if (rel.columns[p][row] != values[p]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return false;
+  }
+  for (std::size_t p = 0; p < arity; ++p) {
+    rel.columns[p].push_back(values[p]);
+  }
+  bucket.push_back(static_cast<std::uint32_t>(rel.rows));
+  ++rel.rows;
+  return true;
+}
+
+void Engine::add_fact(const std::string& relation, Tuple tuple) {
+  Relation& rel = relations_[relation_id(relation)];
+  std::vector<Symbol> row;
+  row.reserve(tuple.size());
+  for (const std::string& value : tuple) row.push_back(symbols_.intern(value));
+  if (insert_row(rel, row.data(), row.size())) {
+    saturated_ = false;
+  }
+}
+
+// -- rule compilation ---------------------------------------------------------
+
+void Engine::check_range_restriction(const Rule& rule) const {
+  std::set<std::string> bound;
+  for (const BodyLiteral& lit : rule.body) {
+    if (const Atom* atom = std::get_if<Atom>(&lit)) {
+      for (const Term& t : atom->terms) {
+        if (t.is_variable()) bound.insert(t.text);
+      }
+    }
+  }
+  for (const Term& t : rule.head.terms) {
+    if (t.is_variable() && bound.count(t.text) == 0) {
+      throw std::invalid_argument(
+          "rule head variable " + t.text +
+          " does not occur in any positive body atom");
+    }
+  }
+  for (const BodyLiteral& lit : rule.body) {
+    if (const Disequality* diseq = std::get_if<Disequality>(&lit)) {
+      for (const Term* t : {&diseq->lhs, &diseq->rhs}) {
+        if (t->is_variable() && bound.count(t->text) == 0) {
+          throw std::invalid_argument(
+              "disequality variable " + t->text + " is unbound");
+        }
+      }
+    }
+    if (const NegatedAtom* negated = std::get_if<NegatedAtom>(&lit)) {
+      for (const Term& t : negated->atom.terms) {
+        if (t.is_variable() && t.text != "_" &&
+            bound.count(t.text) == 0) {
+          throw std::invalid_argument(
+              "negated-atom variable " + t.text + " is unbound");
+        }
+      }
+    }
+  }
+}
+
+Engine::CompiledAtom Engine::compile_atom(const Atom& atom,
+                                          std::map<std::string, int>& slots,
+                                          std::size_t& var_count) {
+  CompiledAtom out;
+  out.rel = relation_id(atom.relation);
+  out.slots.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    Slot slot;
+    if (t.is_variable()) {
+      slot.is_var = true;
+      if (t.text == "_") {
+        slot.var = -1;  // anonymous: never binds, never checks
+      } else {
+        auto [it, inserted] =
+            slots.try_emplace(t.text, static_cast<int>(var_count));
+        if (inserted) ++var_count;
+        slot.var = it->second;
+      }
+    } else {
+      slot.constant = symbols_.intern(t.text);
+    }
+    out.slots.push_back(slot);
+  }
+  return out;
+}
+
+void Engine::add_rule(Rule rule) {
+  check_range_restriction(rule);
+  if (rule.body.empty()) {
+    // A bodiless rule is a fact; require it to be ground.
+    Tuple tuple;
+    for (const Term& t : rule.head.terms) {
+      if (t.is_variable()) {
+        throw std::invalid_argument("fact with variable argument");
+      }
+      tuple.push_back(t.text);
+    }
+    add_fact(rule.head.relation, std::move(tuple));
+    return;
+  }
+  CompiledRule compiled;
+  std::map<std::string, int> slots;
+  std::size_t var_count = 0;
+  // Positive atoms first: they own the variable slots every other part
+  // of the rule (checked by the range restriction) resolves against.
+  for (const BodyLiteral& lit : rule.body) {
+    if (const Atom* atom = std::get_if<Atom>(&lit)) {
+      compiled.atoms.push_back(compile_atom(*atom, slots, var_count));
+    }
+  }
+  auto compile_term = [&](const Term& t) {
+    Slot slot;
+    if (t.is_variable()) {
+      slot.is_var = true;
+      slot.var = slots.at(t.text);  // guaranteed by range restriction
+    } else {
+      slot.constant = symbols_.intern(t.text);
+    }
+    return slot;
+  };
+  for (const BodyLiteral& lit : rule.body) {
+    if (const Disequality* diseq = std::get_if<Disequality>(&lit)) {
+      compiled.diseqs.push_back(
+          CompiledDiseq{compile_term(diseq->lhs), compile_term(diseq->rhs)});
+    } else if (const NegatedAtom* negated = std::get_if<NegatedAtom>(&lit)) {
+      compiled.negs.push_back(compile_atom(negated->atom, slots, var_count));
+    }
+  }
+  compiled.head = compile_atom(rule.head, slots, var_count);
+  compiled.var_count = var_count;
+  rules_.push_back(std::move(compiled));
+  rule_head_names_.push_back(rule.head.relation);
+  saturated_ = false;
+}
+
+void Engine::load_program(std::string_view text) {
+  for (Rule& rule : parse_program(text)) {
     add_rule(std::move(rule));
   }
 }
 
-bool Engine::unify(const Atom& pattern, const Tuple& tuple,
-                   Bindings& bindings) const {
-  if (pattern.terms.size() != tuple.size()) return false;
-  for (std::size_t i = 0; i < tuple.size(); ++i) {
-    const Term& t = pattern.terms[i];
-    if (t.is_variable()) {
-      if (t.text == "_") continue;  // anonymous variable
-      auto [it, inserted] = bindings.try_emplace(t.text, tuple[i]);
-      if (!inserted && it->second != tuple[i]) return false;
-    } else if (t.text != tuple[i]) {
-      return false;
+// -- stratification -----------------------------------------------------------
+
+std::vector<std::vector<std::size_t>> Engine::stratify() const {
+  // stratum[relation]: 0 for EDB; a head is at least the stratum of each
+  // positive body relation, and strictly above each negated one.
+  std::vector<std::size_t> stratum(relations_.size(), 0);
+  const std::size_t limit = rules_.size() + 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const CompiledRule& rule = rules_[i];
+      std::size_t need = 0;
+      for (const CompiledAtom& atom : rule.atoms) {
+        need = std::max(need, stratum[atom.rel]);
+      }
+      for (const CompiledAtom& negated : rule.negs) {
+        need = std::max(need, stratum[negated.rel] + 1);
+      }
+      if (need > stratum[rule.head.rel]) {
+        if (need >= limit) {
+          throw std::logic_error(
+              "negation is not stratified (relation " + rule_head_names_[i] +
+              " depends on its own negation)");
+        }
+        stratum[rule.head.rel] = need;
+        changed = true;
+      }
+    }
+  }
+  std::size_t max_stratum = 0;
+  for (std::size_t s : stratum) max_stratum = std::max(max_stratum, s);
+  std::vector<std::vector<std::size_t>> strata(max_stratum + 1);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    strata[stratum[rules_[i].head.rel]].push_back(i);
+  }
+  return strata;
+}
+
+// -- indexes ------------------------------------------------------------------
+
+namespace {
+
+/// Key of `row` under `mask`: hash of the masked column values in
+/// ascending position order (identical on the build and probe side).
+std::uint64_t masked_row_hash(
+    const std::vector<std::vector<graph::Symbol>>& columns,
+    std::uint64_t mask, std::uint32_t row) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t p = 0; p < columns.size() && p < 64; ++p) {
+    if (mask & (1ull << p)) h = graph::hash_mix(h, columns[p][row]);
+  }
+  return h;
+}
+
+}  // namespace
+
+Engine::Index& Engine::ensure_index(Relation& rel, std::uint64_t mask) {
+  Index* index = nullptr;
+  for (Index& candidate : rel.indexes) {
+    if (candidate.mask == mask) {
+      index = &candidate;
+      break;
+    }
+  }
+  if (index == nullptr) {
+    rel.indexes.emplace_back();
+    index = &rel.indexes.back();
+    index->mask = mask;
+  }
+  // Append-only pools: extending the index is a scan of the new rows.
+  // Buckets accumulate rows in ascending order, which keeps probe
+  // iteration (and therefore derivation order) deterministic.
+  for (std::size_t row = index->rows_indexed; row < rel.full_end; ++row) {
+    index->buckets[masked_row_hash(rel.columns, mask,
+                                   static_cast<std::uint32_t>(row))]
+        .push_back(static_cast<std::uint32_t>(row));
+  }
+  index->rows_indexed = std::max(index->rows_indexed, rel.full_end);
+  return *index;
+}
+
+// -- join planning ------------------------------------------------------------
+
+Engine::JoinPlan Engine::plan_join(std::size_t rule_index,
+                                   std::size_t pivot) const {
+  const CompiledRule& rule = rules_[rule_index];
+  const std::size_t n = rule.atoms.size();
+  JoinPlan plan;
+  plan.rule = rule_index;
+  plan.pivot = pivot;
+  plan.order.reserve(n);
+  plan.masks.assign(n, 0);
+
+  std::vector<bool> bound(rule.var_count, false);
+  std::vector<bool> placed(n, false);
+  auto bind_atom = [&](const CompiledAtom& atom) {
+    for (const Slot& slot : atom.slots) {
+      if (slot.is_var && slot.var >= 0) bound[slot.var] = true;
+    }
+  };
+  auto mask_of = [&](const CompiledAtom& atom) {
+    std::uint64_t mask = 0;
+    for (std::size_t p = 0; p < atom.slots.size() && p < 64; ++p) {
+      const Slot& slot = atom.slots[p];
+      if (!slot.is_var || (slot.var >= 0 && bound[slot.var])) {
+        mask |= 1ull << p;
+      }
+    }
+    return mask;
+  };
+
+  // The delta atom leads (it is the small side by construction); the
+  // rest follow greedily most-bound-first, smallest relation on ties, so
+  // every level resolves through the tightest available index.
+  plan.order.push_back(pivot);
+  placed[pivot] = true;
+  bind_atom(rule.atoms[pivot]);
+  for (std::size_t level = 1; level < n; ++level) {
+    std::size_t chosen = n;
+    int chosen_bound = -1;
+    std::size_t chosen_rows = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (placed[a]) continue;
+      int bound_positions = std::popcount(mask_of(rule.atoms[a]));
+      std::size_t rows = relations_[rule.atoms[a].rel].full_end;
+      if (chosen == n || bound_positions > chosen_bound ||
+          (bound_positions == chosen_bound && rows < chosen_rows)) {
+        chosen = a;
+        chosen_bound = bound_positions;
+        chosen_rows = rows;
+      }
+    }
+    plan.masks[level] = mask_of(rule.atoms[chosen]);
+    plan.order.push_back(chosen);
+    placed[chosen] = true;
+    bind_atom(rule.atoms[chosen]);
+  }
+
+  // Schedule each filter at the earliest level where it is fully bound.
+  plan.diseqs_at.assign(n, {});
+  plan.negs_at.assign(n, {});
+  std::vector<bool> bound_now(rule.var_count, false);
+  std::vector<bool> diseq_done(rule.diseqs.size(), false);
+  std::vector<bool> neg_done(rule.negs.size(), false);
+  auto slot_ready = [&](const Slot& slot) {
+    return !slot.is_var || slot.var < 0 || bound_now[slot.var];
+  };
+  for (std::size_t level = 0; level < n; ++level) {
+    for (const Slot& slot : rule.atoms[plan.order[level]].slots) {
+      if (slot.is_var && slot.var >= 0) bound_now[slot.var] = true;
+    }
+    for (std::size_t d = 0; d < rule.diseqs.size(); ++d) {
+      if (diseq_done[d]) continue;
+      if (slot_ready(rule.diseqs[d].lhs) && slot_ready(rule.diseqs[d].rhs)) {
+        plan.diseqs_at[level].push_back(d);
+        diseq_done[d] = true;
+      }
+    }
+    for (std::size_t g = 0; g < rule.negs.size(); ++g) {
+      if (neg_done[g]) continue;
+      bool ready = true;
+      for (const Slot& slot : rule.negs[g].slots) {
+        ready = ready && slot_ready(slot);
+      }
+      if (ready) {
+        plan.negs_at[level].push_back(g);
+        neg_done[g] = true;
+      }
+    }
+  }
+  return plan;
+}
+
+// -- evaluation ---------------------------------------------------------------
+
+bool Engine::row_matches(const Relation& rel, std::uint32_t row,
+                         const CompiledAtom& atom,
+                         std::vector<Symbol>& binding) const {
+  for (std::size_t p = 0; p < atom.slots.size(); ++p) {
+    Symbol value = rel.columns[p][row];
+    const Slot& slot = atom.slots[p];
+    if (!slot.is_var) {
+      if (slot.constant != value) return false;
+    } else if (slot.var >= 0) {
+      Symbol& bound = binding[slot.var];
+      if (bound == kUnbound) {
+        bound = value;
+      } else if (bound != value) {
+        return false;
+      }
     }
   }
   return true;
+}
+
+std::uint64_t Engine::probe_key(const CompiledAtom& atom, std::uint64_t mask,
+                                const std::vector<Symbol>& binding) const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t p = 0; p < atom.slots.size() && p < 64; ++p) {
+    if (mask & (1ull << p)) {
+      const Slot& slot = atom.slots[p];
+      h = graph::hash_mix(h, slot.is_var ? binding[slot.var] : slot.constant);
+    }
+  }
+  return h;
+}
+
+bool Engine::negation_holds(const CompiledAtom& neg,
+                            const std::vector<Symbol>& binding) const {
+  const Relation& rel = relations_[neg.rel];
+  // Negated relations live in strictly lower strata, so their pools are
+  // final: rows == full_end. A missing or arity-incompatible relation
+  // can never match.
+  if (rel.rows == 0 || rel.arity != neg.slots.size()) return false;
+  std::uint64_t mask = 0;
+  for (std::size_t p = 0; p < neg.slots.size() && p < 64; ++p) {
+    const Slot& slot = neg.slots[p];
+    if (!slot.is_var || slot.var >= 0) mask |= 1ull << p;
+  }
+  auto matches = [&](std::uint32_t row) {
+    for (std::size_t p = 0; p < neg.slots.size(); ++p) {
+      const Slot& slot = neg.slots[p];
+      if (slot.is_var && slot.var < 0) continue;  // anonymous: free
+      Symbol want = slot.is_var ? binding[slot.var] : slot.constant;
+      if (rel.columns[p][row] != want) return false;
+    }
+    return true;
+  };
+  if (mask != 0 && eval_.use_indexes) {
+    const Index* index = nullptr;
+    for (const Index& candidate : rel.indexes) {
+      if (candidate.mask == mask && candidate.rows_indexed >= rel.rows) {
+        index = &candidate;
+        break;
+      }
+    }
+    if (index != nullptr) {
+      auto it = index->buckets.find(probe_key(neg, mask, binding));
+      if (it == index->buckets.end()) return false;
+      for (std::uint32_t row : it->second) {
+        if (matches(row)) return true;
+      }
+      return false;
+    }
+  }
+  for (std::uint32_t row = 0; row < rel.rows; ++row) {
+    if (matches(row)) return true;
+  }
+  return false;
+}
+
+void Engine::eval_level(const CompiledRule& rule, const JoinPlan& plan,
+                        std::size_t level, std::vector<Symbol>& binding,
+                        SavedBindings& scratch, std::vector<Symbol>& out)
+    const {
+  if (level == plan.order.size()) {
+    // Emit the head tuple, unless the round snapshot already has it (the
+    // common case once a fixpoint nears: most derivations rediscover
+    // known facts, and filtering them here keeps buffers small). A
+    // nullary head has no columns; it occupies one sentinel slot in the
+    // flat buffer so the merge can count it.
+    const CompiledAtom& head = rule.head;
+    const std::size_t arity = head.slots.size();
+    const std::size_t base = out.size();
+    for (const Slot& slot : head.slots) {
+      out.push_back(slot.is_var ? binding[slot.var] : slot.constant);
+    }
+    const Relation& rel = relations_[head.rel];
+    if (rel.arity_known && rel.arity == arity && rel.rows > 0) {
+      auto it = rel.tuple_index.find(row_hash(out.data() + base, arity));
+      if (it != rel.tuple_index.end()) {
+        for (std::uint32_t row : it->second) {
+          bool equal = true;
+          for (std::size_t p = 0; p < arity; ++p) {
+            if (rel.columns[p][row] != out[base + p]) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            out.resize(base);
+            return;
+          }
+        }
+      }
+    }
+    if (arity == 0) out.push_back(kUnbound);
+    return;
+  }
+
+  const CompiledAtom& atom = rule.atoms[plan.order[level]];
+  const Relation& rel = relations_[atom.rel];
+  // The atom's variable slots are the only binding entries this level
+  // can touch; snapshot them once (into the per-level scratch slot, so
+  // the join loop never allocates) and restore after every row.
+  std::vector<std::pair<int, Symbol>>& saved = scratch[level];
+  saved.clear();
+  for (const Slot& slot : atom.slots) {
+    if (slot.is_var && slot.var >= 0) {
+      saved.emplace_back(slot.var, binding[slot.var]);
+    }
+  }
+  auto process_row = [&](std::uint32_t row) {
+    if (row_matches(rel, row, atom, binding)) {
+      bool ok = true;
+      for (std::size_t d : plan.diseqs_at[level]) {
+        const CompiledDiseq& diseq = rule.diseqs[d];
+        Symbol lhs = diseq.lhs.is_var ? binding[diseq.lhs.var]
+                                      : diseq.lhs.constant;
+        Symbol rhs = diseq.rhs.is_var ? binding[diseq.rhs.var]
+                                      : diseq.rhs.constant;
+        if (lhs == rhs) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (std::size_t g : plan.negs_at[level]) {
+          if (negation_holds(rule.negs[g], binding)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) eval_level(rule, plan, level + 1, binding, scratch, out);
+    }
+    for (const auto& [var, value] : saved) binding[var] = value;
+  };
+
+  if (level == 0) {
+    // The pivot ranges over the delta row range of its relation.
+    for (std::size_t row = rel.delta_lo; row < rel.delta_hi; ++row) {
+      process_row(static_cast<std::uint32_t>(row));
+    }
+    return;
+  }
+  const std::uint64_t mask = plan.masks[level];
+  if (mask != 0 && eval_.use_indexes) {
+    const Index* index = nullptr;
+    for (const Index& candidate : rel.indexes) {
+      if (candidate.mask == mask) {
+        index = &candidate;
+        break;
+      }
+    }
+    if (index != nullptr && index->rows_indexed >= rel.full_end) {
+      auto it = index->buckets.find(probe_key(atom, mask, binding));
+      if (it != index->buckets.end()) {
+        for (std::uint32_t row : it->second) {
+          process_row(row);
+        }
+      }
+      return;
+    }
+  }
+  for (std::size_t row = 0; row < rel.full_end; ++row) {
+    process_row(static_cast<std::uint32_t>(row));
+  }
+}
+
+void Engine::eval_plan(const JoinPlan& plan, std::vector<Symbol>& out) const {
+  const CompiledRule& rule = rules_[plan.rule];
+  std::vector<Symbol> binding(rule.var_count, kUnbound);
+  SavedBindings scratch(plan.order.size());
+  eval_level(rule, plan, 0, binding, scratch, out);
+}
+
+void Engine::run_stratum(const std::vector<std::size_t>& rule_indices) {
+  // Delta-indexed semi-naive evaluation. Pools are append-only, so each
+  // round's delta is the contiguous row range appended by the previous
+  // round and the same hash indexes serve full and delta access.
+  for (Relation& rel : relations_) {
+    rel.delta_lo = 0;
+    rel.delta_hi = rel.rows;
+  }
+  while (true) {
+    for (Relation& rel : relations_) rel.full_end = rel.rows;
+
+    // Plan one join per (rule, pivot) whose pivot delta is non-empty and
+    // whose body is satisfiable this round.
+    std::vector<JoinPlan> plans;
+    for (std::size_t rule_index : rule_indices) {
+      const CompiledRule& rule = rules_[rule_index];
+      bool satisfiable = !rule.atoms.empty();
+      for (const CompiledAtom& atom : rule.atoms) {
+        const Relation& rel = relations_[atom.rel];
+        if (rel.full_end == 0 ||
+            (rel.arity_known && rel.arity != atom.slots.size())) {
+          satisfiable = false;
+          break;
+        }
+      }
+      if (!satisfiable) continue;
+      for (std::size_t pivot = 0; pivot < rule.atoms.size(); ++pivot) {
+        const Relation& rel = relations_[rule.atoms[pivot].rel];
+        if (rel.delta_lo == rel.delta_hi) continue;
+        plans.push_back(plan_join(rule_index, pivot));
+      }
+    }
+
+    // Index prepass (serial): every probe the parallel phase will make —
+    // join levels and negation filters — gets its index built or
+    // extended here, so evaluation is strictly read-only.
+    if (eval_.use_indexes) {
+      for (const JoinPlan& plan : plans) {
+        const CompiledRule& rule = rules_[plan.rule];
+        for (std::size_t level = 1; level < plan.order.size(); ++level) {
+          if (plan.masks[level] != 0) {
+            ensure_index(relations_[rule.atoms[plan.order[level]].rel],
+                         plan.masks[level]);
+          }
+        }
+        for (const CompiledAtom& neg : rule.negs) {
+          const Relation& rel = relations_[neg.rel];
+          if (rel.rows == 0 || rel.arity != neg.slots.size()) continue;
+          std::uint64_t mask = 0;
+          for (std::size_t p = 0; p < neg.slots.size() && p < 64; ++p) {
+            if (!neg.slots[p].is_var || neg.slots[p].var >= 0) {
+              mask |= 1ull << p;
+            }
+          }
+          if (mask != 0) ensure_index(relations_[neg.rel], mask);
+        }
+      }
+    }
+
+    // Evaluate every plan against the immutable round snapshot; rules of
+    // a stratum fan out over the pool. Each plan's derivations land in
+    // its own buffer, so results are identical at any thread count.
+    std::vector<std::vector<Symbol>> outs(plans.size());
+    if (eval_.threads > 1 && plans.size() > 1) {
+      runtime::ThreadPool& pool =
+          eval_.pool != nullptr ? *eval_.pool : runtime::default_pool();
+      pool.parallel_for(plans.size(),
+                        [&](std::size_t i) { eval_plan(plans[i], outs[i]); });
+    } else {
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        eval_plan(plans[i], outs[i]);
+      }
+    }
+
+    // Deterministic merge in plan order; insert_row dedups.
+    bool grew = false;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const CompiledAtom& head = rules_[plans[i].rule].head;
+      Relation& rel = relations_[head.rel];
+      const std::size_t arity = head.slots.size();
+      // Nullary heads use one sentinel slot per derivation (see
+      // eval_level's emit branch).
+      const std::size_t stride = arity == 0 ? 1 : arity;
+      for (std::size_t base = 0; base + stride <= outs[i].size();
+           base += stride) {
+        grew |= insert_row(rel, outs[i].data() + base, arity);
+      }
+    }
+    for (Relation& rel : relations_) {
+      rel.delta_lo = rel.full_end;
+      rel.delta_hi = rel.rows;
+    }
+    if (!grew) break;
+  }
 }
 
 void Engine::run() {
@@ -326,129 +857,96 @@ void Engine::run() {
   saturated_ = true;
 }
 
-void Engine::run_stratum(const std::vector<std::size_t>& rule_indices) {
-  // Semi-naive evaluation: track the per-relation delta from the previous
-  // round and require each rule application to use at least one delta
-  // tuple, so each derivation is attempted once.
-  std::map<std::string, std::set<Tuple>> delta = facts_;
-  while (true) {
-    std::map<std::string, std::set<Tuple>> next_delta;
-    for (std::size_t rule_index : rule_indices) {
-      const Rule& rule = rules_[rule_index];
-      // Positions of positive atoms in the body.
-      std::vector<const Atom*> atoms;
-      for (const BodyLiteral& lit : rule.body) {
-        if (const Atom* a = std::get_if<Atom>(&lit)) atoms.push_back(a);
-      }
-      for (std::size_t delta_pos = 0; delta_pos < atoms.size(); ++delta_pos) {
-        // Join: atom at delta_pos ranges over delta, earlier atoms over all
-        // facts (they had their turn in previous rounds), later atoms over
-        // all facts.
-        std::vector<Bindings> partial{{}};
-        bool dead = false;
-        for (std::size_t i = 0; i < atoms.size() && !dead; ++i) {
-          const std::set<Tuple>* source = nullptr;
-          if (i == delta_pos) {
-            auto it = delta.find(atoms[i]->relation);
-            if (it != delta.end()) source = &it->second;
-          } else {
-            auto it = facts_.find(atoms[i]->relation);
-            if (it != facts_.end()) source = &it->second;
-          }
-          if (source == nullptr || source->empty()) {
-            dead = true;
-            break;
-          }
-          std::vector<Bindings> extended;
-          for (const Bindings& b : partial) {
-            for (const Tuple& tuple : *source) {
-              Bindings nb = b;
-              if (unify(*atoms[i], tuple, nb)) {
-                extended.push_back(std::move(nb));
-              }
-            }
-          }
-          partial = std::move(extended);
-          if (partial.empty()) dead = true;
-        }
-        if (dead) continue;
-        // Apply disequality and negation filters, then emit head tuples.
-        for (const Bindings& b : partial) {
-          bool ok = true;
-          for (const BodyLiteral& lit : rule.body) {
-            auto value = [&](const Term& t) -> const std::string& {
-              return t.is_variable() ? b.at(t.text) : t.text;
-            };
-            if (const Disequality* diseq = std::get_if<Disequality>(&lit)) {
-              if (value(diseq->lhs) == value(diseq->rhs)) {
-                ok = false;
-                break;
-              }
-            } else if (const NegatedAtom* negated =
-                           std::get_if<NegatedAtom>(&lit)) {
-              // Negation as failure against the (complete) lower strata.
-              auto rel_it = facts_.find(negated->atom.relation);
-              if (rel_it == facts_.end()) continue;
-              bool matched = false;
-              for (const Tuple& tuple : rel_it->second) {
-                Bindings probe = b;
-                if (unify(negated->atom, tuple, probe)) {
-                  matched = true;
-                  break;
-                }
-              }
-              if (matched) {
-                ok = false;
-                break;
-              }
-            }
-          }
-          if (!ok) continue;
-          Tuple head;
-          head.reserve(rule.head.terms.size());
-          for (const Term& t : rule.head.terms) {
-            head.push_back(t.is_variable() ? b.at(t.text) : t.text);
-          }
-          auto& rel = facts_[rule.head.relation];
-          auto [it2, inserted2] = arity_.try_emplace(rule.head.relation,
-                                                     head.size());
-          if (!inserted2 && it2->second != head.size()) {
-            throw std::invalid_argument("arity mismatch for relation " +
-                                        rule.head.relation);
-          }
-          if (rel.find(head) == rel.end()) {
-            next_delta[rule.head.relation].insert(head);
-          }
-        }
-      }
-    }
-    bool grew = false;
-    for (auto& [relation, tuples] : next_delta) {
-      for (const Tuple& tuple : tuples) {
-        if (facts_[relation].insert(tuple).second) grew = true;
-      }
-    }
-    if (!grew) break;
-    delta = std::move(next_delta);
-  }
-}
+// -- results ------------------------------------------------------------------
 
 std::set<Tuple> Engine::relation(const std::string& relation) {
   run();
-  auto it = facts_.find(relation);
-  return it == facts_.end() ? std::set<Tuple>{} : it->second;
+  std::set<Tuple> out;
+  const Relation* rel = find_relation(relation);
+  if (rel == nullptr) return out;
+  for (std::size_t row = 0; row < rel->rows; ++row) {
+    Tuple tuple;
+    tuple.reserve(rel->arity);
+    for (std::size_t p = 0; p < rel->arity; ++p) {
+      tuple.push_back(symbols_.resolve(rel->columns[p][row]));
+    }
+    out.insert(std::move(tuple));
+  }
+  return out;
 }
 
 std::vector<std::map<std::string, std::string>> Engine::query(
     const Atom& pattern) {
   run();
-  std::vector<Bindings> out;
-  auto it = facts_.find(pattern.relation);
-  if (it == facts_.end()) return out;
-  for (const Tuple& tuple : it->second) {
-    Bindings b;
-    if (unify(pattern, tuple, b)) out.push_back(std::move(b));
+  std::vector<std::map<std::string, std::string>> out;
+  Relation* rel = find_relation(pattern.relation);
+  if (rel == nullptr || rel->rows == 0 ||
+      rel->arity != pattern.terms.size()) {
+    return out;
   }
+  // Compile the pattern with lookup-only interning: a constant the
+  // engine never saw cannot match any row.
+  CompiledAtom atom;
+  std::map<std::string, int> slots;
+  std::size_t var_count = 0;
+  for (const Term& t : pattern.terms) {
+    Slot slot;
+    if (t.is_variable()) {
+      slot.is_var = true;
+      if (t.text != "_") {
+        auto [it, inserted] =
+            slots.try_emplace(t.text, static_cast<int>(var_count));
+        if (inserted) ++var_count;
+        slot.var = it->second;
+      }
+    } else {
+      slot.constant = symbols_.lookup(t.text);
+      if (slot.constant == graph::kNoSymbol) return out;
+    }
+    atom.slots.push_back(slot);
+  }
+
+  // Resolve through the constant-position index when one applies.
+  std::uint64_t mask = 0;
+  for (std::size_t p = 0; p < atom.slots.size() && p < 64; ++p) {
+    if (!atom.slots[p].is_var) mask |= 1ull << p;
+  }
+  std::vector<std::uint32_t> rows;
+  if (mask != 0 && eval_.use_indexes) {
+    rel->full_end = rel->rows;
+    Index& index = ensure_index(*rel, mask);
+    // The mask covers constant positions only, so no binding is needed.
+    auto it = index.buckets.find(probe_key(atom, mask, {}));
+    if (it != index.buckets.end()) rows = it->second;
+  } else {
+    rows.resize(rel->rows);
+    for (std::size_t row = 0; row < rel->rows; ++row) {
+      rows[row] = static_cast<std::uint32_t>(row);
+    }
+  }
+
+  // Collect matches, then emit bindings in sorted tuple order (the order
+  // the legacy engine's std::set storage produced).
+  std::vector<Symbol> binding(var_count, kUnbound);
+  std::vector<std::pair<Tuple, std::map<std::string, std::string>>> matches;
+  for (std::uint32_t row : rows) {
+    std::fill(binding.begin(), binding.end(), kUnbound);
+    if (!row_matches(*rel, row, atom, binding)) continue;
+    Tuple tuple;
+    tuple.reserve(rel->arity);
+    for (std::size_t p = 0; p < rel->arity; ++p) {
+      tuple.push_back(symbols_.resolve(rel->columns[p][row]));
+    }
+    std::map<std::string, std::string> bindings;
+    for (const auto& [name, slot] : slots) {
+      bindings.emplace(name, symbols_.resolve(binding[slot]));
+    }
+    matches.emplace_back(std::move(tuple), std::move(bindings));
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.reserve(matches.size());
+  for (auto& match : matches) out.push_back(std::move(match.second));
   return out;
 }
 
@@ -459,7 +957,7 @@ std::vector<std::map<std::string, std::string>> Engine::query(
 
 std::size_t Engine::fact_count() const {
   std::size_t n = 0;
-  for (const auto& [relation, tuples] : facts_) n += tuples.size();
+  for (const Relation& rel : relations_) n += rel.rows;
   return n;
 }
 

@@ -1,0 +1,41 @@
+// The one quoted-constant escape table, shared by every encoder and
+// decoder of the Datalog surface syntax: fact_io's quote() on the write
+// side, and the clause lexer (engine.cpp) plus fact_io's fact scanner on
+// the read side. Keeping encode and decode in a single header makes a
+// new escape a one-file change instead of a three-way silent-corruption
+// hazard (unknown escapes decode as the raw byte, so a missed mirror
+// edit would mangle values rather than error).
+#pragma once
+
+#include <string>
+
+namespace provmark::datalog {
+
+/// Append `c` to `out` in its in-quotes encoding: quotes and
+/// backslashes escaped; newlines, carriage returns and tabs as \n, \r,
+/// \t so a constant can never break one-fact-per-line framing; every
+/// other byte (commas, non-ASCII) as-is.
+inline void append_escaped(std::string& out, char c) {
+  switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default: out += c;
+  }
+}
+
+/// The byte an escape sequence `\e` stands for. Inverse of
+/// append_escaped; any unlisted escaped byte stands for itself (which
+/// covers \" and \\).
+inline char decode_escape(char e) {
+  switch (e) {
+    case 'n': return '\n';
+    case 'r': return '\r';
+    case 't': return '\t';
+    default: return e;
+  }
+}
+
+}  // namespace provmark::datalog

@@ -5,21 +5,35 @@
 #include <stdexcept>
 #include <vector>
 
+#include "datalog/escape.h"
 #include "util/strings.h"
 
 namespace provmark::datalog {
 
 namespace {
 
-/// Quote a string as a Datalog constant.
+/// Quote a string as a Datalog constant (escape table: escape.h).
 std::string quote(const std::string& s) {
   std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
+  for (char c : s) append_escaped(out, c);
   out += '"';
   return out;
+}
+
+/// Emit an element id: bare when it is a safe identifier for both this
+/// parser and the engine's clause lexer (lower-case or digit head so it
+/// cannot read as a variable; alnum/_/-/: tail with no ":-", which the
+/// engine treats as the rule separator), quoted otherwise.
+std::string id_constant(const std::string& s) {
+  bool bare = !s.empty() &&
+              (std::islower(static_cast<unsigned char>(s[0])) ||
+               std::isdigit(static_cast<unsigned char>(s[0])));
+  for (std::size_t i = 0; bare && i < s.size(); ++i) {
+    char c = s[i];
+    bare = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || (c == ':' && !(i + 1 < s.size() && s[i + 1] == '-'));
+  }
+  return bare ? s : quote(s);
 }
 
 /// Scanner for one fact line: name(arg1,arg2,...).
@@ -75,7 +89,7 @@ struct FactScanner {
       if (c == '"') return out;
       if (c == '\\') {
         if (pos >= text.size()) fail("bad escape");
-        out += text[pos++];
+        out += decode_escape(text[pos++]);
       } else {
         out += c;
       }
@@ -113,20 +127,22 @@ std::string to_datalog(const graph::PropertyGraph& g, std::string_view gid) {
 
   std::string out;
   for (const graph::Node& n : nodes) {
-    out += "n" + sg + "(" + n.id + "," + quote(n.label) + ").\n";
+    out += "n" + sg + "(" + id_constant(n.id) + "," + quote(n.label) + ").\n";
   }
   for (const graph::Edge& e : edges) {
-    out += "e" + sg + "(" + e.id + "," + e.src + "," + e.tgt + "," +
-           quote(e.label) + ").\n";
+    out += "e" + sg + "(" + id_constant(e.id) + "," + id_constant(e.src) +
+           "," + id_constant(e.tgt) + "," + quote(e.label) + ").\n";
   }
   for (const graph::Node& n : nodes) {
     for (const auto& [k, v] : n.props) {
-      out += "p" + sg + "(" + n.id + "," + quote(k) + "," + quote(v) + ").\n";
+      out += "p" + sg + "(" + id_constant(n.id) + "," + quote(k) + "," +
+             quote(v) + ").\n";
     }
   }
   for (const graph::Edge& e : edges) {
     for (const auto& [k, v] : e.props) {
-      out += "p" + sg + "(" + e.id + "," + quote(k) + "," + quote(v) + ").\n";
+      out += "p" + sg + "(" + id_constant(e.id) + "," + quote(k) + "," +
+             quote(v) + ").\n";
     }
   }
   return out;

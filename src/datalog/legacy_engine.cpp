@@ -1,0 +1,286 @@
+#include "datalog/legacy_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace provmark::datalog::legacy {
+
+void Engine::add_fact(const std::string& relation, Tuple tuple) {
+  auto [it, inserted] = arity_.try_emplace(relation, tuple.size());
+  if (!inserted && it->second != tuple.size()) {
+    throw std::invalid_argument("arity mismatch for relation " + relation);
+  }
+  if (facts_[relation].insert(std::move(tuple)).second) {
+    saturated_ = false;
+  }
+}
+
+void Engine::check_range_restriction(const Rule& rule) const {
+  std::set<std::string> bound;
+  for (const BodyLiteral& lit : rule.body) {
+    if (const Atom* atom = std::get_if<Atom>(&lit)) {
+      for (const Term& t : atom->terms) {
+        if (t.is_variable()) bound.insert(t.text);
+      }
+    }
+  }
+  for (const Term& t : rule.head.terms) {
+    if (t.is_variable() && bound.count(t.text) == 0) {
+      throw std::invalid_argument(
+          "rule head variable " + t.text +
+          " does not occur in any positive body atom");
+    }
+  }
+  for (const BodyLiteral& lit : rule.body) {
+    if (const Disequality* diseq = std::get_if<Disequality>(&lit)) {
+      for (const Term* t : {&diseq->lhs, &diseq->rhs}) {
+        if (t->is_variable() && bound.count(t->text) == 0) {
+          throw std::invalid_argument(
+              "disequality variable " + t->text + " is unbound");
+        }
+      }
+    }
+    if (const NegatedAtom* negated = std::get_if<NegatedAtom>(&lit)) {
+      for (const Term& t : negated->atom.terms) {
+        if (t.is_variable() && t.text != "_" &&
+            bound.count(t.text) == 0) {
+          throw std::invalid_argument(
+              "negated-atom variable " + t.text + " is unbound");
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::size_t>> Engine::stratify() const {
+  // stratum[relation]: 0 for EDB; a head is at least the stratum of each
+  // positive body relation, and strictly above each negated one.
+  std::map<std::string, std::size_t> stratum;
+  auto stratum_of = [&](const std::string& relation) -> std::size_t {
+    auto it = stratum.find(relation);
+    return it == stratum.end() ? 0 : it->second;
+  };
+  const std::size_t limit = rules_.size() + 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      std::size_t need = 0;
+      for (const BodyLiteral& lit : rule.body) {
+        if (const Atom* atom = std::get_if<Atom>(&lit)) {
+          need = std::max(need, stratum_of(atom->relation));
+        } else if (const NegatedAtom* negated =
+                       std::get_if<NegatedAtom>(&lit)) {
+          need = std::max(need, stratum_of(negated->atom.relation) + 1);
+        }
+      }
+      if (need > stratum_of(rule.head.relation)) {
+        if (need >= limit) {
+          throw std::logic_error(
+              "negation is not stratified (relation " +
+              rule.head.relation + " depends on its own negation)");
+        }
+        stratum[rule.head.relation] = need;
+        changed = true;
+      }
+    }
+  }
+  std::size_t max_stratum = 0;
+  for (const auto& [relation, s] : stratum) {
+    max_stratum = std::max(max_stratum, s);
+  }
+  std::vector<std::vector<std::size_t>> strata(max_stratum + 1);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    strata[stratum_of(rules_[i].head.relation)].push_back(i);
+  }
+  return strata;
+}
+
+void Engine::add_rule(Rule rule) {
+  check_range_restriction(rule);
+  if (rule.body.empty()) {
+    // A bodiless rule is a fact; require it to be ground.
+    Tuple tuple;
+    for (const Term& t : rule.head.terms) {
+      if (t.is_variable()) {
+        throw std::invalid_argument("fact with variable argument");
+      }
+      tuple.push_back(t.text);
+    }
+    add_fact(rule.head.relation, std::move(tuple));
+    return;
+  }
+  rules_.push_back(std::move(rule));
+  saturated_ = false;
+}
+
+void Engine::load_program(std::string_view text) {
+  for (Rule& rule : parse_program(text)) {
+    add_rule(std::move(rule));
+  }
+}
+
+bool Engine::unify(const Atom& pattern, const Tuple& tuple,
+                   Bindings& bindings) const {
+  if (pattern.terms.size() != tuple.size()) return false;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    const Term& t = pattern.terms[i];
+    if (t.is_variable()) {
+      if (t.text == "_") continue;  // anonymous variable
+      auto [it, inserted] = bindings.try_emplace(t.text, tuple[i]);
+      if (!inserted && it->second != tuple[i]) return false;
+    } else if (t.text != tuple[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::run() {
+  if (saturated_) return;
+  // Evaluate stratum by stratum: every relation a negated atom refers to
+  // is fully computed before the stratum that negates it runs.
+  for (const std::vector<std::size_t>& stratum : stratify()) {
+    run_stratum(stratum);
+  }
+  saturated_ = true;
+}
+
+void Engine::run_stratum(const std::vector<std::size_t>& rule_indices) {
+  // Semi-naive evaluation: track the per-relation delta from the previous
+  // round and require each rule application to use at least one delta
+  // tuple, so each derivation is attempted once.
+  std::map<std::string, std::set<Tuple>> delta = facts_;
+  while (true) {
+    std::map<std::string, std::set<Tuple>> next_delta;
+    for (std::size_t rule_index : rule_indices) {
+      const Rule& rule = rules_[rule_index];
+      // Positions of positive atoms in the body.
+      std::vector<const Atom*> atoms;
+      for (const BodyLiteral& lit : rule.body) {
+        if (const Atom* a = std::get_if<Atom>(&lit)) atoms.push_back(a);
+      }
+      for (std::size_t delta_pos = 0; delta_pos < atoms.size(); ++delta_pos) {
+        // Join: atom at delta_pos ranges over delta, earlier atoms over all
+        // facts (they had their turn in previous rounds), later atoms over
+        // all facts.
+        std::vector<Bindings> partial{{}};
+        bool dead = false;
+        for (std::size_t i = 0; i < atoms.size() && !dead; ++i) {
+          const std::set<Tuple>* source = nullptr;
+          if (i == delta_pos) {
+            auto it = delta.find(atoms[i]->relation);
+            if (it != delta.end()) source = &it->second;
+          } else {
+            auto it = facts_.find(atoms[i]->relation);
+            if (it != facts_.end()) source = &it->second;
+          }
+          if (source == nullptr || source->empty()) {
+            dead = true;
+            break;
+          }
+          std::vector<Bindings> extended;
+          for (const Bindings& b : partial) {
+            for (const Tuple& tuple : *source) {
+              Bindings nb = b;
+              if (unify(*atoms[i], tuple, nb)) {
+                extended.push_back(std::move(nb));
+              }
+            }
+          }
+          partial = std::move(extended);
+          if (partial.empty()) dead = true;
+        }
+        if (dead) continue;
+        // Apply disequality and negation filters, then emit head tuples.
+        for (const Bindings& b : partial) {
+          bool ok = true;
+          for (const BodyLiteral& lit : rule.body) {
+            auto value = [&](const Term& t) -> const std::string& {
+              return t.is_variable() ? b.at(t.text) : t.text;
+            };
+            if (const Disequality* diseq = std::get_if<Disequality>(&lit)) {
+              if (value(diseq->lhs) == value(diseq->rhs)) {
+                ok = false;
+                break;
+              }
+            } else if (const NegatedAtom* negated =
+                           std::get_if<NegatedAtom>(&lit)) {
+              // Negation as failure against the (complete) lower strata.
+              auto rel_it = facts_.find(negated->atom.relation);
+              if (rel_it == facts_.end()) continue;
+              bool matched = false;
+              for (const Tuple& tuple : rel_it->second) {
+                Bindings probe = b;
+                if (unify(negated->atom, tuple, probe)) {
+                  matched = true;
+                  break;
+                }
+              }
+              if (matched) {
+                ok = false;
+                break;
+              }
+            }
+          }
+          if (!ok) continue;
+          Tuple head;
+          head.reserve(rule.head.terms.size());
+          for (const Term& t : rule.head.terms) {
+            head.push_back(t.is_variable() ? b.at(t.text) : t.text);
+          }
+          auto& rel = facts_[rule.head.relation];
+          auto [it2, inserted2] = arity_.try_emplace(rule.head.relation,
+                                                     head.size());
+          if (!inserted2 && it2->second != head.size()) {
+            throw std::invalid_argument("arity mismatch for relation " +
+                                        rule.head.relation);
+          }
+          if (rel.find(head) == rel.end()) {
+            next_delta[rule.head.relation].insert(head);
+          }
+        }
+      }
+    }
+    bool grew = false;
+    for (auto& [relation, tuples] : next_delta) {
+      for (const Tuple& tuple : tuples) {
+        if (facts_[relation].insert(tuple).second) grew = true;
+      }
+    }
+    if (!grew) break;
+    delta = std::move(next_delta);
+  }
+}
+
+std::set<Tuple> Engine::relation(const std::string& relation) {
+  run();
+  auto it = facts_.find(relation);
+  return it == facts_.end() ? std::set<Tuple>{} : it->second;
+}
+
+std::vector<std::map<std::string, std::string>> Engine::query(
+    const Atom& pattern) {
+  run();
+  std::vector<Bindings> out;
+  auto it = facts_.find(pattern.relation);
+  if (it == facts_.end()) return out;
+  for (const Tuple& tuple : it->second) {
+    Bindings b;
+    if (unify(pattern, tuple, b)) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<std::map<std::string, std::string>> Engine::query(
+    std::string_view pattern_text) {
+  return query(parse_atom(pattern_text));
+}
+
+std::size_t Engine::fact_count() const {
+  std::size_t n = 0;
+  for (const auto& [relation, tuples] : facts_) n += tuples.size();
+  return n;
+}
+
+}  // namespace provmark::datalog::legacy

@@ -453,18 +453,63 @@ class SearchEngine {
 
   /// Admissible remaining-cost estimate for WlScarcity: suffix_min_[pos]
   /// = sum over order positions >= pos of the node's minimum candidate
-  /// cost. Never overestimates (edge-group costs are ignored and the
-  /// minimum is taken over the full list, a superset of the available
-  /// candidates), so pruning on acc + suffix preserves the optimum — and
-  /// the first minimum-cost solution in DFS order, hence the matching.
+  /// cost, plus the minimum cost of every edge group decided at or after
+  /// pos. A group's cost lands when its later endpoint is assigned
+  /// (edge_groups_cost), and the realized per-edge cost is an injective
+  /// assignment within one same-label target group — never below the
+  /// cheapest same-label target edge anywhere in the graph. Neither term
+  /// overestimates (node minima are taken over the full candidate list,
+  /// a superset of the available candidates), so pruning on acc + suffix
+  /// preserves the optimum — and the first minimum-cost solution in DFS
+  /// order, hence the matching.
   void compute_suffix_min() {
+    auto saturating_add = [](int a, int b) {
+      return std::min(a + b, kInfinity);
+    };
+    // Minimum cost of each edge group, charged to the order position
+    // where the group becomes fully mapped. Property-heavy edge
+    // workloads put the entire optimal cost here, where the per-node
+    // term is blind (ROADMAP "admissible edge-cost bounds").
+    std::vector<int> group_min_at(order_.size(), 0);
+    if (options_.cost_model != CostModel::None) {
+      std::vector<std::size_t> pos_of(order_.size(), 0);
+      for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+        pos_of[order_[pos]] = pos;
+      }
+      std::unordered_map<Symbol, std::vector<std::uint32_t>> target_by_label;
+      for (std::uint32_t e = 0; e < target_.g.edge_count(); ++e) {
+        target_by_label[target_.g.edge_label[e]].push_back(e);
+      }
+      for (const EdgeGroup& group : pattern_.groups) {
+        std::size_t decided_at =
+            std::max(pos_of[group.src], pos_of[group.tgt]);
+        auto it = target_by_label.find(group.label);
+        int group_min = it == target_by_label.end() ? kInfinity : 0;
+        if (it != target_by_label.end()) {
+          for (std::uint32_t pe : group.edges) {
+            int edge_min = kInfinity;
+            for (std::uint32_t te : it->second) {
+              edge_min = std::min(
+                  edge_min, prop_cost(pattern_.g.edge_props[pe],
+                                      target_.g.edge_props[te],
+                                      options_.cost_model));
+            }
+            group_min = saturating_add(group_min, edge_min);
+            if (group_min >= kInfinity) break;
+          }
+        }
+        group_min_at[decided_at] =
+            saturating_add(group_min_at[decided_at], group_min);
+      }
+    }
     suffix_min_.assign(order_.size() + 1, 0);
     for (std::size_t pos = order_.size(); pos-- > 0;) {
       int node_min = kInfinity;
       for (const Candidate& candidate : candidates_[order_[pos]]) {
         node_min = std::min(node_min, candidate.cost);
       }
-      suffix_min_[pos] = suffix_min_[pos + 1] + node_min;
+      suffix_min_[pos] = saturating_add(
+          suffix_min_[pos + 1], saturating_add(node_min, group_min_at[pos]));
     }
   }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "datalog/engine.h"
+
 namespace provmark::datalog {
 namespace {
 
@@ -36,6 +38,58 @@ TEST(FactIo, RoundTripWithSpecialCharacters) {
   graph::PropertyGraph back =
       single_graph_from_datalog(to_datalog(g, "x"), "x");
   EXPECT_EQ(g, back);
+}
+
+TEST(FactIo, RoundTripControlAndNonAsciiBytes) {
+  // The escaping audit: constants carrying quotes, commas, newlines,
+  // carriage returns, tabs and non-ASCII bytes must survive the
+  // serialize/parse cycle. A raw newline in a value would otherwise
+  // split the fact across two lines of the line-framed format.
+  graph::PropertyGraph g;
+  g.add_node("n1", "Label, with \"commas\"",
+             {{"cmd", "sh -c \"echo a,b\"\nexit 1\r\n"},
+              {"tabs", "a\tb\tc"},
+              {"utf8", "caf\xC3\xA9 \xE2\x86\x92 r\xC3\xA9sultat"},
+              {"raw", std::string("\xFF\x01 high and low bytes", 21)}});
+  g.add_node("n2", "Process");
+  g.add_edge("e1", "n1", "n2", "label\nwith newline",
+             {{"k,ey", "v\"al\\ue"}});
+  graph::PropertyGraph back =
+      single_graph_from_datalog(to_datalog(g, "x"), "x");
+  EXPECT_EQ(g, back);
+}
+
+TEST(FactIo, RoundTripUnsafeElementIds) {
+  // Ids outside the bare-identifier alphabet (uppercase heads would
+  // read as Datalog variables, '/' and spaces break the clause lexer)
+  // are emitted quoted and must round-trip.
+  // Ids in sorted order: to_datalog sorts by id and PropertyGraph
+  // equality is insertion-order-sensitive.
+  graph::PropertyGraph g;
+  g.add_node("/tmp/file one", "Artifact");  // path with a space
+  g.add_node("N1", "Process");              // variable-like head
+  g.add_node("cf:task:12", "Task");         // recorder id, stays bare
+  g.add_edge("a:-b", "N1", "/tmp/file one", "Used");
+  graph::PropertyGraph back =
+      single_graph_from_datalog(to_datalog(g, "x"), "x");
+  EXPECT_EQ(g, back);
+  EXPECT_NE(to_datalog(g, "x").find("nx(cf:task:12,"), std::string::npos);
+}
+
+TEST(FactIo, UnsafeIdsLoadIntoTheEngine) {
+  // The Listing 1 document must stay consumable by Engine::load_program
+  // even when ids need quoting — uppercase ids emitted bare used to
+  // parse as variables and reject the fact.
+  graph::PropertyGraph g;
+  g.add_node("P1", "Process");
+  g.add_node("f1", "Artifact", {{"path", "/tmp/out\n"}});
+  g.add_edge("E1", "P1", "f1", "Used");
+  Engine engine;
+  engine.load_program(to_datalog(g, "r"));
+  auto rows = engine.query("er(E, S, T, L)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("S"), "P1");
+  EXPECT_EQ(engine.relation("pr").size(), 1u);
 }
 
 TEST(FactIo, MultipleGraphsInOneDocument) {

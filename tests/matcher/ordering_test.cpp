@@ -247,6 +247,49 @@ TEST(WlScarcityAblation, CollapsesTheSpineProofPhase) {
   EXPECT_LE(wl_stats.steps, property_stats.steps);
 }
 
+TEST(WlScarcityAblation, EdgeGroupBoundPrunesPropertyHeavyEdges) {
+  // Instance where the optimal cost lives entirely on edge properties:
+  // bare nodes (every per-node candidate minimum is 0, so the node part
+  // of the suffix bound is blind) and per-trial transient edge
+  // timestamps that mismatch against every target edge. The per-edge-
+  // group minima folded into the suffix bound price the unassigned
+  // remainder exactly, so the proof-of-optimality phase collapses; the
+  // node-only bound left WlScarcity at the PropertyCost baseline's
+  // step count (3194 on this instance).
+  const int k = 6;
+  graph::PropertyGraph g1, g2;
+  for (int i = 0; i < k; ++i) {
+    std::string p = "p" + std::to_string(i);
+    for (graph::PropertyGraph* g : {&g1, &g2}) {
+      g->add_node(p, "Process");
+      g->add_node(p + "f", "Artifact");
+    }
+    g1.add_edge(p + "e", p, p + "f", "Used",
+                {{"operation", "read"}, {"time", std::to_string(1000 + i)}});
+    g2.add_edge(p + "e", p, p + "f", "Used",
+                {{"operation", "read"}, {"time", std::to_string(2000 + i)}});
+  }
+  SearchOptions property;
+  property.cost_model = CostModel::Symmetric;
+  property.candidate_order = CandidateOrder::PropertyCost;
+  SearchOptions wl = property;
+  wl.candidate_order = CandidateOrder::WlScarcity;
+
+  Stats property_stats, wl_stats;
+  auto a = best_isomorphism(g1, g2, property, &property_stats);
+  auto b = best_isomorphism(g1, g2, wl, &wl_stats);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Every fragment pairing mismatches `time` in both directions: 2 per
+  // edge, and the bound must not change the optimum.
+  EXPECT_EQ(a->cost, 2 * k);
+  EXPECT_EQ(b->cost, a->cost);
+  EXPECT_LT(wl_stats.steps, property_stats.steps);
+  // One descent to the optimum plus immediate pruning of every sibling;
+  // far under the node-only bound's step count.
+  EXPECT_LE(wl_stats.steps, 50u);
+}
+
 /// Structural validity of a bijective matching, independent of how the
 /// search produced it.
 void expect_valid_isomorphism(const PropertyGraph& g1,

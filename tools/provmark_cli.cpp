@@ -22,9 +22,11 @@
 //
 // The full grammar lives in usage() below; docs/cli.md documents every
 // subcommand with worked examples and must be kept in sync with it.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -35,6 +37,7 @@
 #include "bench_suite/program_text.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "datalog/engine.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
 #include "systems/recorder.h"
@@ -48,6 +51,7 @@ constexpr const char* kUsage =
     "usage:\n"
     "  provmark [options] run <system> <benchmark> [trials]\n"
     "  provmark [options] batch <systems> <rb|rg|rh> [output-dir]\n"
+    "  provmark query <facts.datalog> <atom> [rules.datalog]\n"
     "  provmark --help\n"
     "\n"
     "subcommands:\n"
@@ -58,6 +62,11 @@ constexpr const char* kUsage =
     "         separated, e.g. spade,camflow), swept in parallel across\n"
     "         the thread pool; appends timing CSV to\n"
     "         <output-dir>/time.log (default output-dir: finalResult)\n"
+    "  query  load a Datalog fact document (a regression-store save, a\n"
+    "         batch .datalog result, or any Listing 1 file), optionally\n"
+    "         add rules from a second file, and evaluate a query atom\n"
+    "         (e.g. 'reach(p0, X)'); bindings print as a table, exit 1\n"
+    "         when nothing matches\n"
     "\n"
     "options:\n"
     "  --threads N  worker threads for the parallel runtime (default:\n"
@@ -219,6 +228,66 @@ int run_batch(const CliOptions& cli, const std::string& system_list,
   return 0;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+int run_query(const std::string& facts_path, const std::string& pattern,
+              const std::string& rules_path) {
+  datalog::Engine engine;
+  engine.load_program(read_file(facts_path));
+  if (!rules_path.empty()) {
+    engine.load_program(read_file(rules_path));
+  }
+  datalog::Atom atom = datalog::parse_atom(pattern);
+  std::vector<std::map<std::string, std::string>> rows = engine.query(atom);
+
+  // Columns in first-appearance order within the query atom.
+  std::vector<std::string> columns;
+  for (const datalog::Term& term : atom.terms) {
+    if (term.is_variable() && term.text != "_" &&
+        std::find(columns.begin(), columns.end(), term.text) ==
+            columns.end()) {
+      columns.push_back(term.text);
+    }
+  }
+  if (columns.empty()) {
+    // A ground query is a membership test.
+    std::printf("%s\n", rows.empty() ? "no" : "yes");
+    return rows.empty() ? 1 : 0;
+  }
+  std::vector<std::size_t> widths;
+  for (const std::string& column : columns) {
+    std::size_t width = column.size();
+    for (const auto& row : rows) {
+      width = std::max(width, row.at(column).size());
+    }
+    widths.push_back(width);
+  }
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    std::printf("%-*s%s", static_cast<int>(widths[c]), columns[c].c_str(),
+                c + 1 < columns.size() ? "  " : "\n");
+  }
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 < columns.size() ? "  " : "\n");
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]),
+                  row.at(columns[c]).c_str(),
+                  c + 1 < columns.size() ? "  " : "\n");
+    }
+  }
+  std::printf("(%zu row%s)\n", rows.size(), rows.size() == 1 ? "" : "s");
+  return rows.empty() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +350,9 @@ int main(int argc, char** argv) {
       }
       return run_batch(cli, args[1], args[2],
                        args.size() == 4 ? args[3] : "finalResult");
+    }
+    if (args[0] == "query" && (args.size() == 3 || args.size() == 4)) {
+      return run_query(args[1], args[2], args.size() == 4 ? args[3] : "");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
