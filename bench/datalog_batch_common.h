@@ -1,0 +1,40 @@
+// Shared batched-replay splitting for the Datalog incremental contract:
+// bench/perf_datalog_scaling.cpp (the CI speedup/identity gate) and
+// tests/datalog/engine_equivalence_test.cpp (the per-batch equivalence
+// gate) must replay *the same* add_fact/run() cycles, so the one
+// definition of "split a program into rules + N fact batches" lives
+// here and both include it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace provmark_bench {
+
+/// Split `program` into its rule clauses (returned via `rules`, load
+/// them first) and `batches` contiguous batches of fact clauses — the
+/// regression-store update pattern: facts arrive in batches, the store
+/// re-saturates after each. One clause per line; a line is a rule iff
+/// it contains ":-".
+inline void split_fact_batches(const std::string& program, int batches,
+                               std::string* rules,
+                               std::vector<std::string>* fact_batches) {
+  std::vector<std::string> fact_lines;
+  for (const std::string& line : provmark::util::split(program, '\n')) {
+    if (line.empty()) continue;
+    if (line.find(":-") != std::string::npos) {
+      *rules += line + "\n";
+    } else {
+      fact_lines.push_back(line);
+    }
+  }
+  fact_batches->assign(batches, "");
+  for (std::size_t i = 0; i < fact_lines.size(); ++i) {
+    (*fact_batches)[i * batches / fact_lines.size()] +=
+        fact_lines[i] + "\n";
+  }
+}
+
+}  // namespace provmark_bench

@@ -2,8 +2,9 @@
 // representative syscalls with SPADE + Graphviz.
 #include "timing_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return provmark_bench::run_timing_figure(
       "Figure 5: timing results, SPADE+Graphviz", "spade",
-      provmark_bench::figure5_programs());
+      provmark_bench::figure5_programs(),
+      provmark_bench::parse_calibrated_flag(argc, argv));
 }

@@ -4,8 +4,9 @@
 // are larger (environment variables).
 #include "timing_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return provmark_bench::run_timing_figure(
       "Figure 6: timing results, OPUS+Neo4j", "opus",
-      provmark_bench::figure5_programs());
+      provmark_bench::figure5_programs(),
+      provmark_bench::parse_calibrated_flag(argc, argv));
 }

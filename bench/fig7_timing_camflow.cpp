@@ -2,8 +2,9 @@
 // representative syscalls with CamFlow + PROV-JSON.
 #include "timing_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return provmark_bench::run_timing_figure(
       "Figure 7: timing results, CamFlow+ProvJson", "camflow",
-      provmark_bench::figure5_programs());
+      provmark_bench::figure5_programs(),
+      provmark_bench::parse_calibrated_flag(argc, argv));
 }

@@ -1,0 +1,210 @@
+// Sharded batch sweep benchmark + identity gate: the perf trajectory of
+// the src/core/shard.{h,cpp} work.
+//
+// Workload: the CamFlow 16-trial configuration (the trial-heaviest
+// system) over a slice of the Table 1 benchmarks, with simulated
+// recording latency restoring the paper's recording-bound cost profile
+// (the real sweep spends its wall clock waiting on recorder daemons —
+// exactly the waits independent shard processes overlap).
+//
+// For each shard count N ∈ {1, 2, 4} the benchmark emulates the
+// multi-process flow in-process: N concurrent shard workers (one outer
+// pool slot each, a dedicated 1-thread pipeline pool inside, mirroring
+// N single-threaded worker processes), per-shard artifact directories
+// via write_shard_dir, then a merge via read_shard_results +
+// write_batch_outputs. The process-level fork/exec path is exercised by
+// the CI batch-shard-gate, which runs the real CLI.
+//
+// The benchmark *asserts* (exit 1) that every merged artifact —
+// time.log, validation.txt, every .dot and .datalog store — is
+// byte-identical to the single-process sweep at every shard count
+// (deterministic timings mode, so time.log rows carry comparable
+// bytes), and records per-shard-count wall clock plus the host's
+// hardware concurrency. On a single-core container the speedup still
+// shows up because shard workers overlap recording waits, exactly as
+// distributed workers would.
+//
+// Usage: bench_perf_batch_shard [--smoke] [output.json]
+//   --smoke  fewer benchmarks, lower latency (CI-friendly)
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/shard.h"
+#include "runtime/thread_pool.h"
+
+using namespace provmark;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "<missing " + path.string() + ">";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Compare every batch artifact of `dir` against the baseline `single`.
+bool artifacts_identical(const fs::path& single, const fs::path& merged) {
+  bool identical = true;
+  for (const auto& entry : fs::directory_iterator(single)) {
+    const std::string name = entry.path().filename().string();
+    if (slurp(entry.path()) != slurp(merged / name)) {
+      std::fprintf(stderr, "  MISMATCH: %s\n", name.c_str());
+      identical = false;
+    }
+  }
+  return identical;
+}
+
+struct Run {
+  int shards = 1;
+  double seconds = 0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_batch_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const double latency = smoke ? 0.004 : 0.02;  // seconds per trial
+  const std::vector<std::string> systems = {"camflow"};
+  std::vector<std::string> benchmarks = core::table_benchmark_names();
+  benchmarks.resize(smoke ? 2 : 8);
+  const std::vector<int> shard_counts = {1, 2, 4};
+  const std::string result_type = "rg";
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("provmark_batch_shard_bench_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  auto run_cells = [&](const std::vector<core::BatchCell>& cells,
+                       runtime::ThreadPool* pool) {
+    core::CellRunOptions options;
+    options.seed = 42;
+    options.pool = pool;
+    options.simulated_recording_latency = latency;
+    options.deterministic_timings = true;
+    return core::run_batch_cells(cells, options);
+  };
+
+  std::printf("batch_shard: %zu benchmarks x camflow, %.0fms simulated "
+              "recording latency/trial, serial workers "
+              "(host hardware threads: %u)\n\n",
+              benchmarks.size(), latency * 1e3,
+              std::thread::hardware_concurrency());
+
+  // The unsharded reference: one process, one worker thread — the
+  // baseline every merged sweep must reproduce byte-for-byte.
+  core::ShardPlan plan = core::plan_batch(systems, benchmarks, 1, 42,
+                                          result_type, true);
+  const fs::path single_dir = root / "single";
+  double single_seconds = 0;
+  {
+    runtime::ThreadPool pool(1);
+    auto start = std::chrono::steady_clock::now();
+    std::vector<core::BenchmarkResult> results =
+        run_cells(plan.cells, &pool);
+    single_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    core::write_batch_outputs(single_dir.string(), results, result_type);
+  }
+  std::printf("  single-process  wall=%.3fs\n", single_seconds);
+
+  std::vector<Run> runs;
+  bool all_identical = true;
+  for (int shards : shard_counts) {
+    core::ShardPlan sharded = core::plan_batch(systems, benchmarks, shards,
+                                               42, result_type, true);
+    const fs::path sweep_dir = root / ("sweep-" + std::to_string(shards));
+    std::vector<core::ShardSpec> specs;
+    for (int k = 0; k < shards; ++k) specs.push_back(sharded.shard(k));
+
+    Run run;
+    run.shards = shards;
+    auto start = std::chrono::steady_clock::now();
+    {
+      // N emulated worker processes: each claims one outer-pool slot
+      // and pipelines its cells on a private 1-thread pool.
+      runtime::ThreadPool worker_slots(shards);
+      worker_slots.parallel_for(specs.size(), [&](std::size_t k) {
+        runtime::ThreadPool worker_pool(1);
+        core::write_shard_dir(sweep_dir.string(), specs[k],
+                              run_cells(specs[k].cells, &worker_pool));
+      });
+    }
+    std::string merged_type;
+    std::vector<std::string> shard_dirs;
+    for (int k = 0; k < shards; ++k) {
+      shard_dirs.push_back(core::shard_dir_path(sweep_dir.string(), k));
+    }
+    std::vector<core::BenchmarkResult> merged =
+        core::read_shard_results(shard_dirs, &merged_type);
+    const fs::path merged_dir = root / ("merged-" + std::to_string(shards));
+    core::write_batch_outputs(merged_dir.string(), merged, merged_type);
+    run.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    run.identical = artifacts_identical(single_dir, merged_dir);
+    all_identical = all_identical && run.identical;
+    std::printf("  shards=%d  wall=%.3fs  speedup=%.2fx  %s\n", shards,
+                run.seconds, single_seconds / run.seconds,
+                run.identical ? "merged output identical to single-process"
+                              : "MERGED OUTPUT DIVERGED");
+    runs.push_back(run);
+  }
+
+  fs::remove_all(root);
+
+  std::FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"batch_shard\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"system\": \"camflow\",\n");
+  std::fprintf(f, "  \"benchmarks\": %zu,\n", benchmarks.size());
+  std::fprintf(f, "  \"simulated_recording_latency_ms\": %.1f,\n",
+               latency * 1e3);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"single_process_seconds\": %.6f,\n", single_seconds);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"merged_identical\": %s}%s\n",
+                 run.shards, run.seconds, single_seconds / run.seconds,
+                 run.identical ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"identical\": %s\n}\n",
+               all_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", output.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -19,6 +19,14 @@
 //   parallel8 — indexed + per-stratum parallel rule evaluation at 8
 //               threads on a dedicated runtime pool
 //
+// A second table replays each workload as add_fact/run() cycles (the
+// regression-store update pattern: facts arrive in batches, the store
+// re-saturates after each) and ablates EvalOptions::incremental: the
+// delta-reuse engine seeds each re-run with only the newly appended
+// rows, the scratch column re-derives from the whole store every cycle.
+// Both must land on bit-identical stores after every batch — asserted —
+// and the incremental speedup on the largest closure workload is gated.
+//
 // The benchmark *asserts* (exit 1) that every engine configuration
 // derives bit-identical relation contents and query results on every
 // workload — the legacy engine is the reference — and that the indexed
@@ -37,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "datalog_batch_common.h"
 #include "datalog/engine.h"
 #include "datalog/fact_io.h"
 #include "datalog/legacy_engine.h"
@@ -202,6 +211,55 @@ Outcome measure(const Workload& w, int reps, Setup&& setup) {
   return out;
 }
 
+constexpr int kFactBatches = 8;
+
+/// Replay the workload as add_fact/run() cycles: rules first, then the
+/// facts in kFactBatches batches with a run() after each (the split is
+/// shared with the equivalence test — datalog_batch_common.h). Measures
+/// the total wall clock of all cycles under the given
+/// EvalOptions::incremental setting.
+Outcome measure_batched(const Workload& w, int reps, bool incremental) {
+  std::string rules;
+  std::vector<std::string> batches;
+  provmark_bench::split_fact_batches(w.program, kFactBatches, &rules,
+                                     &batches);
+
+  Outcome out;
+  out.seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    datalog::Engine engine;
+    datalog::Engine::EvalOptions options;
+    options.incremental = incremental;
+    engine.set_eval_options(options);
+    auto start = std::chrono::steady_clock::now();
+    engine.load_program(rules);
+    for (const std::string& batch : batches) {
+      engine.load_program(batch);
+      engine.run();
+    }
+    std::map<std::string, std::set<datalog::Tuple>> relations;
+    for (const std::string& name : w.outputs) {
+      relations[name] = engine.relation(name);
+    }
+    std::vector<std::vector<std::map<std::string, std::string>>> queries;
+    for (const std::string& query : w.queries) {
+      queries.push_back(engine.query(query));
+    }
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (elapsed < out.seconds) out.seconds = elapsed;
+    out.relations = std::move(relations);
+    out.queries = std::move(queries);
+  }
+  out.derived = 0;
+  for (const auto& [name, tuples] : out.relations) {
+    out.derived += tuples.size();
+  }
+  out.measured = true;
+  return out;
+}
+
 struct Case {
   Workload workload;
   std::size_t fact_lines = 0;
@@ -209,6 +267,8 @@ struct Case {
   Outcome scan;
   Outcome indexed;
   Outcome parallel;
+  Outcome incremental;      ///< batched replay, delta reuse on
+  Outcome scratch_batched;  ///< batched replay, from-scratch re-runs
 };
 
 bool check(bool condition, const char* what, const Case& c) {
@@ -280,7 +340,24 @@ int main(int argc, char** argv) {
                                 &pool});
           });
 
+      c.incremental = measure_batched(c.workload, reps,
+                                      /*incremental=*/true);
+      c.scratch_batched = measure_batched(c.workload, reps,
+                                          /*incremental=*/false);
+
       // -- identity gates --------------------------------------------------
+      failed |= !check(same_results(c.incremental, c.scratch_batched),
+                       "incremental delta reuse changed the fact store", c);
+      if (c.workload.name != "provquery") {
+        // Positive programs are monotone, so the batched replay must
+        // also land exactly on the one-shot fixpoint. (provquery's
+        // negation makes batched saturation legitimately cumulative —
+        // there the scratch-batched column is the reference.)
+        failed |= !check(same_results(c.incremental, c.indexed),
+                         "batched incremental replay diverged from the "
+                         "one-shot fixpoint",
+                         c);
+      }
       if (c.legacy.measured) {
         failed |= !check(same_results(c.legacy, c.indexed),
                          "indexed engine diverged from legacy", c);
@@ -319,6 +396,48 @@ int main(int argc, char** argv) {
             ? c.legacy.seconds / c.indexed.seconds
             : 0.0,
         c.indexed.seconds > 0 ? c.scan.seconds / c.indexed.seconds : 0.0);
+  }
+
+  std::printf("\nincremental add_fact/run() cycles (%d fact batches):\n",
+              kFactBatches);
+  std::printf("%-10s %6s | %12s %15s | %9s %9s\n", "workload", "scale",
+              "scratch(ms)", "incremental(ms)", "speedup", "identical");
+  for (const Case& c : cases) {
+    std::printf("%-10s %6d | %12.2f %15.2f | %8.1fx %9s\n",
+                c.workload.name.c_str(), c.workload.scale,
+                c.scratch_batched.seconds * 1e3,
+                c.incremental.seconds * 1e3,
+                c.incremental.seconds > 0
+                    ? c.scratch_batched.seconds / c.incremental.seconds
+                    : 0.0,
+                same_results(c.incremental, c.scratch_batched) ? "yes"
+                                                               : "NO");
+  }
+
+  // Incremental gate: on the largest closure workload, delta reuse must
+  // actually pay for itself across the batched replay. Smoke instances
+  // are too small to amortize anything, so only identity is gated there.
+  if (!smoke) {
+    const Case* inc_headline = nullptr;
+    for (const Case& c : cases) {
+      if (c.workload.name == "closure" &&
+          (inc_headline == nullptr ||
+           c.workload.scale > inc_headline->workload.scale)) {
+        inc_headline = &c;
+      }
+    }
+    if (inc_headline != nullptr) {
+      double speedup =
+          inc_headline->incremental.seconds > 0
+              ? inc_headline->scratch_batched.seconds /
+                    inc_headline->incremental.seconds
+              : 0.0;
+      failed |= !check(speedup >= 1.5,
+                       "incremental delta reuse lost its speedup over "
+                       "from-scratch re-derivation on the largest closure "
+                       "workload",
+                       *inc_headline);
+    }
   }
 
   // Headline + speedup gate: the largest transitive-closure workload the
@@ -385,12 +504,24 @@ int main(int argc, char** argv) {
         same_results(c.indexed, c.parallel) ? "true" : "false");
     std::fprintf(
         f,
+        "      \"incremental\": {\"seconds\": %.6f, \"identical\": %s},\n"
+        "      \"scratch_batched\": {\"seconds\": %.6f, "
+        "\"fact_batches\": %d},\n",
+        c.incremental.seconds,
+        same_results(c.incremental, c.scratch_batched) ? "true" : "false",
+        c.scratch_batched.seconds, kFactBatches);
+    std::fprintf(
+        f,
         "      \"speedup_indexed_vs_legacy\": %.3f, "
-        "\"speedup_indexed_vs_scan\": %.3f}%s\n",
+        "\"speedup_indexed_vs_scan\": %.3f, "
+        "\"speedup_incremental_vs_scratch\": %.3f}%s\n",
         c.legacy.measured && c.indexed.seconds > 0
             ? c.legacy.seconds / c.indexed.seconds
             : 0.0,
         c.indexed.seconds > 0 ? c.scan.seconds / c.indexed.seconds : 0.0,
+        c.incremental.seconds > 0
+            ? c.scratch_batched.seconds / c.incremental.seconds
+            : 0.0,
         i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -47,8 +47,12 @@ struct PipelineOptions {
   /// simulated recorders run instantaneously. Setting this restores the
   /// paper's recording-bound cost profile (trials overlap on the pool,
   /// so it also exercises the parallel runtime the way production
-  /// recording does). 0 (the default) keeps tests instantaneous. Affects
-  /// timings only, never results.
+  /// recording does). Affects timings only, never results.
+  ///   0   (the default): no simulated latency — tests stay instantaneous
+  ///   > 0: this many seconds per trial, overriding the per-system table
+  ///   < 0: the system's calibrated default from
+  ///        systems::calibrated_recording_latency(), which scales each
+  ///        recorder to the Figures 5-7 recording-time profile
   double simulated_recording_latency = 0;
   TransformOptions transform;
   GeneralizeOptions generalize;
@@ -134,6 +138,17 @@ struct BenchmarkResult {
 /// Default trials per system (SPADE and CamFlow need headroom for
 /// discarded runs; OPUS is stable).
 int default_trials(const std::string& system);
+
+/// The deterministic seed of one recording trial: a pure function of
+/// (run seed, benchmark program name, variant, trial index). Execution
+/// order, thread identity and process identity never enter, which is
+/// the slice API the sharded batch subsystem builds on — any contiguous
+/// or strided slice of the (program × system × trials) matrix can be
+/// recomputed in isolation, on any host, and lands on exactly the bytes
+/// the full single-process sweep would have produced.
+std::uint64_t trial_seed(std::uint64_t run_seed,
+                         const std::string& program_name, bool foreground,
+                         int trial_index);
 
 /// Run the full pipeline for one benchmark program on one system.
 BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,

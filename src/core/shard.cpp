@@ -1,0 +1,658 @@
+#include "core/shard.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_suite/program.h"
+#include "core/report.h"
+#include "datalog/escape.h"
+#include "datalog/fact_io.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::core {
+
+namespace {
+
+constexpr const char* kCellHeader = "provmark-cell v1";
+constexpr const char* kManifestHeader = "provmark-shard v1";
+constexpr const char* kManifestName = "shard.manifest";
+
+// -- record syntax ------------------------------------------------------------
+// Line-based, space-separated tokens; string fields are quoted with the
+// Datalog escape table (escape.h), so ids/labels/values containing
+// spaces, quotes or newlines round-trip exactly.
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) datalog::append_escaped(out, c);
+  out += '"';
+}
+
+/// Tokenize one record line: bare tokens split on spaces, quoted tokens
+/// unescaped. Throws on unterminated quotes.
+std::vector<std::string> record_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ') {
+      ++i;
+      continue;
+    }
+    std::string token;
+    if (line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        char c = line[i++];
+        if (c == '"') {
+          closed = true;
+          break;
+        }
+        if (c == '\\') {
+          if (i >= line.size()) break;
+          token += datalog::decode_escape(line[i++]);
+        } else {
+          token += c;
+        }
+      }
+      if (!closed) {
+        throw std::runtime_error("shard record: unterminated string in: " +
+                                 line);
+      }
+    } else {
+      while (i < line.size() && line[i] != ' ') token += line[i++];
+    }
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+/// Sequential line reader with a one-line failure context.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& text) : in_(text) {}
+
+  bool next(std::vector<std::string>* tokens) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      *tokens = record_tokens(line);
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<std::string> expect(const std::string& keyword,
+                                  std::size_t min_tokens) {
+    std::vector<std::string> tokens;
+    if (!next(&tokens) || tokens.empty() || tokens[0] != keyword ||
+        tokens.size() < min_tokens) {
+      throw std::runtime_error("shard record: expected '" + keyword +
+                               "' line");
+    }
+    return tokens;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+std::size_t parse_size(const std::string& s) {
+  return static_cast<std::size_t>(std::strtoull(s.c_str(), nullptr, 10));
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// %.17g round-trips every IEEE double, so merged artifacts reprint the
+/// exact %.6f bytes the producing process would have written.
+void append_double(std::string& out, double value) {
+  out += util::format("%.17g", value);
+}
+
+BenchmarkStatus parse_status(const std::string& name) {
+  if (name == "ok") return BenchmarkStatus::Ok;
+  if (name == "empty") return BenchmarkStatus::Empty;
+  if (name == "failed") return BenchmarkStatus::Failed;
+  throw std::runtime_error("shard record: unknown status " + name);
+}
+
+void encode_graph(std::string& out, const char* tag,
+                  const graph::PropertyGraph& g) {
+  out += util::format("graph %s %zu %zu\n", tag, g.node_count(),
+                      g.edge_count());
+  // Insertion order, not id order: result_dot and the html report render
+  // in this order, so the round-trip must preserve it byte-for-byte.
+  for (const graph::Node& n : g.nodes()) {
+    out += util::format("n %zu ", n.props.size());
+    append_quoted(out, n.id);
+    out += ' ';
+    append_quoted(out, n.label);
+    out += '\n';
+    for (const auto& [key, value] : n.props) {
+      out += "p ";
+      append_quoted(out, key);
+      out += ' ';
+      append_quoted(out, value);
+      out += '\n';
+    }
+  }
+  for (const graph::Edge& e : g.edges()) {
+    out += util::format("e %zu ", e.props.size());
+    append_quoted(out, e.id);
+    out += ' ';
+    append_quoted(out, e.src);
+    out += ' ';
+    append_quoted(out, e.tgt);
+    out += ' ';
+    append_quoted(out, e.label);
+    out += '\n';
+    for (const auto& [key, value] : e.props) {
+      out += "p ";
+      append_quoted(out, key);
+      out += ' ';
+      append_quoted(out, value);
+      out += '\n';
+    }
+  }
+}
+
+graph::Properties decode_props(RecordReader& reader, std::size_t count) {
+  graph::Properties props;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::string> tokens = reader.expect("p", 3);
+    props.emplace(tokens[1], tokens[2]);
+  }
+  return props;
+}
+
+graph::PropertyGraph decode_graph(RecordReader& reader, const char* tag) {
+  std::vector<std::string> header = reader.expect("graph", 4);
+  if (header[1] != tag) {
+    throw std::runtime_error("shard record: expected graph " +
+                             std::string(tag) + ", got " + header[1]);
+  }
+  const std::size_t nodes = parse_size(header[2]);
+  const std::size_t edges = parse_size(header[3]);
+  graph::PropertyGraph g;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    std::vector<std::string> tokens = reader.expect("n", 4);
+    g.add_node(tokens[2], tokens[3],
+               decode_props(reader, parse_size(tokens[1])));
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    std::vector<std::string> tokens = reader.expect("e", 6);
+    std::size_t props = parse_size(tokens[1]);
+    g.add_edge(tokens[2], tokens[3], tokens[4], tokens[5],
+               decode_props(reader, props));
+  }
+  return g;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("cannot write " + path.string());
+  }
+  out << text;
+  if (!out.good()) {
+    throw std::runtime_error("short write to " + path.string());
+  }
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string manifest_text(const ShardSpec& spec) {
+  std::string out = std::string(kManifestHeader) + "\n";
+  out += util::format("shard %d %d\n", spec.shard_id, spec.shard_count);
+  out += util::format("seed %llu\n",
+                      static_cast<unsigned long long>(spec.seed));
+  out += "result-type " + spec.result_type + "\n";
+  out += util::format("deterministic-timings %d\n",
+                      spec.deterministic_timings ? 1 : 0);
+  out += "matcher-order ";
+  append_quoted(out, spec.matcher_order);
+  out += util::format("\nmatrix %zu %llu\n", spec.matrix_cells,
+                      static_cast<unsigned long long>(spec.matrix_hash));
+  out += util::format("cells %zu\n", spec.cells.size());
+  for (const BatchCell& cell : spec.cells) {
+    out += util::format("cell %zu ", cell.index);
+    append_quoted(out, cell.system);
+    out += ' ';
+    append_quoted(out, cell.benchmark);
+    out += '\n';
+  }
+  out += "complete\n";
+  return out;
+}
+
+/// Parse a manifest; `complete` reports whether the trailing marker —
+/// the last thing write_shard_dir emits — is present.
+ShardSpec parse_manifest(const std::string& text, bool* complete) {
+  RecordReader reader(text);
+  std::vector<std::string> tokens;
+  if (!reader.next(&tokens) || tokens.size() != 2 ||
+      tokens[0] + " " + tokens[1] != kManifestHeader) {
+    throw std::runtime_error("not a shard manifest");
+  }
+  ShardSpec spec;
+  tokens = reader.expect("shard", 3);
+  spec.shard_id = std::atoi(tokens[1].c_str());
+  spec.shard_count = std::atoi(tokens[2].c_str());
+  spec.seed = parse_u64(reader.expect("seed", 2)[1]);
+  spec.result_type = reader.expect("result-type", 2)[1];
+  spec.deterministic_timings =
+      reader.expect("deterministic-timings", 2)[1] == "1";
+  spec.matcher_order = reader.expect("matcher-order", 2)[1];
+  tokens = reader.expect("matrix", 3);
+  spec.matrix_cells = parse_size(tokens[1]);
+  spec.matrix_hash = parse_u64(tokens[2]);
+  const std::size_t cells = parse_size(reader.expect("cells", 2)[1]);
+  for (std::size_t i = 0; i < cells; ++i) {
+    tokens = reader.expect("cell", 4);
+    spec.cells.push_back(BatchCell{parse_size(tokens[1]), tokens[2],
+                                   tokens[3]});
+  }
+  *complete = reader.next(&tokens) && !tokens.empty() &&
+              tokens[0] == "complete";
+  return spec;
+}
+
+}  // namespace
+
+// -- planning -----------------------------------------------------------------
+
+ShardSpec ShardPlan::shard(int shard_id) const {
+  ShardSpec spec;
+  spec.shard_id = shard_id;
+  spec.shard_count = shard_count;
+  spec.seed = seed;
+  spec.result_type = result_type;
+  spec.deterministic_timings = deterministic_timings;
+  spec.matcher_order = matcher_order;
+  spec.matrix_cells = cells.size();
+  spec.matrix_hash = matrix_hash;
+  for (const BatchCell& cell : cells) {
+    if (static_cast<int>(cell.index % shard_count) == shard_id) {
+      spec.cells.push_back(cell);
+    }
+  }
+  return spec;
+}
+
+ShardPlan plan_batch(const std::vector<std::string>& systems,
+                     const std::vector<std::string>& benchmarks,
+                     int shard_count, std::uint64_t seed,
+                     const std::string& result_type,
+                     bool deterministic_timings,
+                     const std::string& matcher_order) {
+  if (shard_count < 1) {
+    throw std::invalid_argument("shard count must be >= 1");
+  }
+  if (systems.empty() || benchmarks.empty()) {
+    throw std::invalid_argument("batch matrix is empty");
+  }
+  ShardPlan plan;
+  plan.shard_count = shard_count;
+  plan.seed = seed;
+  plan.result_type = result_type;
+  plan.deterministic_timings = deterministic_timings;
+  plan.matcher_order = matcher_order;
+  // The exact single-process sweep order: systems outer, benchmarks
+  // inner. Cell index == position in that loop, the key every shard
+  // layout and the merge step agree on.
+  for (const std::string& system : systems) {
+    for (const std::string& benchmark : benchmarks) {
+      plan.cells.push_back(
+          BatchCell{plan.cells.size(), system, benchmark});
+    }
+  }
+  // Matrix fingerprint: shards carry it so resume and merge can prove
+  // they are slices of this sweep, not a same-shaped different one.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const BatchCell& cell : plan.cells) {
+    h ^= cell.index;
+    h *= 0x100000001B3ULL;
+    h ^= util::stable_hash(cell.system);
+    h *= 0x100000001B3ULL;
+    h ^= util::stable_hash(cell.benchmark);
+    h *= 0x100000001B3ULL;
+  }
+  plan.matrix_hash = h;
+  return plan;
+}
+
+std::vector<std::string> table_benchmark_names() {
+  std::vector<std::string> names;
+  for (const bench_suite::BenchmarkProgram& program :
+       bench_suite::table_benchmarks()) {
+    names.push_back(program.name);
+  }
+  return names;
+}
+
+// -- execution ----------------------------------------------------------------
+
+std::vector<BenchmarkResult> run_batch_cells(
+    const std::vector<BatchCell>& cells, const CellRunOptions& options) {
+  runtime::ThreadPool& pool = options.pool != nullptr
+                                  ? *options.pool
+                                  : runtime::default_pool();
+  std::vector<BenchmarkResult> results =
+      pool.parallel_map<BenchmarkResult>(
+          cells, [&](const BatchCell& cell, std::size_t) {
+            PipelineOptions pipeline;
+            pipeline.system = cell.system;
+            pipeline.seed = options.seed;
+            pipeline.pool = &pool;
+            pipeline.matcher = options.matcher;
+            pipeline.simulated_recording_latency =
+                options.simulated_recording_latency;
+            return run_benchmark(
+                bench_suite::benchmark_by_name(cell.benchmark), pipeline);
+          });
+  if (options.deterministic_timings) {
+    for (BenchmarkResult& result : results) {
+      result.timings = deterministic_timings(options.seed, result.system,
+                                             result.benchmark);
+    }
+  }
+  return results;
+}
+
+StageTimings deterministic_timings(std::uint64_t seed,
+                                   const std::string& system,
+                                   const std::string& benchmark) {
+  util::Rng rng(seed ^ util::stable_hash(system + "\x1f" + benchmark));
+  StageTimings t;
+  // Six decimal places, matching time_log_row's %.6f exactly, so the
+  // printed bytes carry the full value.
+  t.recording = static_cast<double>(rng.next_below(1000000)) * 1e-6;
+  t.transformation = static_cast<double>(rng.next_below(1000000)) * 1e-6;
+  t.generalization = static_cast<double>(rng.next_below(1000000)) * 1e-6;
+  t.comparison = static_cast<double>(rng.next_below(1000000)) * 1e-6;
+  return t;
+}
+
+std::string time_log_row(const BenchmarkResult& result) {
+  return util::format("%s,%s,%.6f,%.6f,%.6f,%.6f\n", result.system.c_str(),
+                      result.benchmark.c_str(), result.timings.recording,
+                      result.timings.transformation,
+                      result.timings.generalization,
+                      result.timings.comparison);
+}
+
+void write_batch_outputs(const std::string& dir,
+                         const std::vector<BenchmarkResult>& results,
+                         const std::string& result_type) {
+  std::filesystem::create_directories(dir);
+  {
+    // time.log appends (the appendix A.6.4 harness accumulates sweeps);
+    // validation.txt is the current sweep's table and truncates.
+    std::ofstream time_log(dir + "/time.log",
+                           std::ios::binary | std::ios::app);
+    for (const BenchmarkResult& result : results) {
+      time_log << time_log_row(result);
+    }
+  }
+  write_file(dir + "/validation.txt", validation_table(results));
+  if (result_type == "rg" || result_type == "rh") {
+    for (const BenchmarkResult& result : results) {
+      std::string base = dir + "/" + result.system + "_" + result.benchmark;
+      write_file(base + ".dot", result_dot(result));
+      write_file(base + ".datalog",
+                 "% generalized background\n" +
+                     datalog::to_datalog(result.generalized_background,
+                                         "bg") +
+                     "% generalized foreground\n" +
+                     datalog::to_datalog(result.generalized_foreground,
+                                         "fg") +
+                     "% benchmark result\n" +
+                     datalog::to_datalog(result.result, "result"));
+    }
+  }
+  if (result_type == "rh") {
+    write_file(dir + "/index.html", html_report(results));
+  }
+}
+
+// -- cell records -------------------------------------------------------------
+
+std::string encode_cell_record(std::size_t cell_index,
+                               const BenchmarkResult& result) {
+  std::string out = std::string(kCellHeader) + "\n";
+  out += util::format("cell %zu\n", cell_index);
+  out += "system ";
+  append_quoted(out, result.system);
+  out += "\nbenchmark ";
+  append_quoted(out, result.benchmark);
+  out += util::format("\nstatus %s\nfailure ",
+                      status_name(result.status));
+  append_quoted(out, result.failure_reason);
+  out += "\ntimings ";
+  append_double(out, result.timings.recording);
+  out += ' ';
+  append_double(out, result.timings.transformation);
+  out += ' ';
+  append_double(out, result.timings.generalization);
+  out += ' ';
+  append_double(out, result.timings.comparison);
+  out += util::format(
+      "\ncounters %d %d %d %d %d\n", result.trials_run,
+      result.trials_discarded, result.trials_unparseable,
+      result.transient_properties, result.threads_used);
+  out += util::format(
+      "cache %llu %llu %llu\n",
+      static_cast<unsigned long long>(result.similarity_cache_hits),
+      static_cast<unsigned long long>(result.similarity_cache_lookups),
+      static_cast<unsigned long long>(result.matcher_steps));
+  out += util::format("dummies %zu\n", result.dummy_nodes.size());
+  for (const graph::Id& id : result.dummy_nodes) {
+    out += "d ";
+    append_quoted(out, id);
+    out += '\n';
+  }
+  encode_graph(out, "result", result.result);
+  encode_graph(out, "foreground", result.generalized_foreground);
+  encode_graph(out, "background", result.generalized_background);
+  out += "end\n";
+  return out;
+}
+
+BenchmarkResult decode_cell_record(const std::string& text,
+                                   std::size_t* cell_index) {
+  RecordReader reader(text);
+  std::vector<std::string> tokens;
+  if (!reader.next(&tokens) || tokens.size() != 2 ||
+      tokens[0] + " " + tokens[1] != kCellHeader) {
+    throw std::runtime_error("not a shard cell record");
+  }
+  BenchmarkResult result;
+  std::size_t index = parse_size(reader.expect("cell", 2)[1]);
+  if (cell_index != nullptr) *cell_index = index;
+  result.system = reader.expect("system", 2)[1];
+  result.benchmark = reader.expect("benchmark", 2)[1];
+  result.status = parse_status(reader.expect("status", 2)[1]);
+  result.failure_reason = reader.expect("failure", 2)[1];
+  tokens = reader.expect("timings", 5);
+  result.timings.recording = std::strtod(tokens[1].c_str(), nullptr);
+  result.timings.transformation = std::strtod(tokens[2].c_str(), nullptr);
+  result.timings.generalization = std::strtod(tokens[3].c_str(), nullptr);
+  result.timings.comparison = std::strtod(tokens[4].c_str(), nullptr);
+  tokens = reader.expect("counters", 6);
+  result.trials_run = std::atoi(tokens[1].c_str());
+  result.trials_discarded = std::atoi(tokens[2].c_str());
+  result.trials_unparseable = std::atoi(tokens[3].c_str());
+  result.transient_properties = std::atoi(tokens[4].c_str());
+  result.threads_used = std::atoi(tokens[5].c_str());
+  tokens = reader.expect("cache", 4);
+  result.similarity_cache_hits = parse_u64(tokens[1]);
+  result.similarity_cache_lookups = parse_u64(tokens[2]);
+  result.matcher_steps = parse_u64(tokens[3]);
+  const std::size_t dummies = parse_size(reader.expect("dummies", 2)[1]);
+  for (std::size_t i = 0; i < dummies; ++i) {
+    result.dummy_nodes.push_back(reader.expect("d", 2)[1]);
+  }
+  result.result = decode_graph(reader, "result");
+  result.generalized_foreground = decode_graph(reader, "foreground");
+  result.generalized_background = decode_graph(reader, "background");
+  reader.expect("end", 1);
+  return result;
+}
+
+// -- shard directories --------------------------------------------------------
+
+std::string shard_dir_path(const std::string& output_dir, int shard_id) {
+  return output_dir + "/shard-" + std::to_string(shard_id);
+}
+
+std::string write_shard_dir(const std::string& output_dir,
+                            const ShardSpec& spec,
+                            const std::vector<BenchmarkResult>& results) {
+  if (results.size() != spec.cells.size()) {
+    throw std::invalid_argument("shard result count does not match spec");
+  }
+  const std::string dir = shard_dir_path(output_dir, spec.shard_id);
+  // Replace any stale/partial attempt wholesale, so a resumed sweep
+  // never mixes artifacts from two configurations; the manifest goes
+  // last — its "complete" marker is what shard_complete() trusts.
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    write_file(dir + util::format("/cell-%zu.result", spec.cells[i].index),
+               encode_cell_record(spec.cells[i].index, results[i]));
+  }
+  write_batch_outputs(dir, results, spec.result_type);
+  write_file(dir + "/" + kManifestName, manifest_text(spec));
+  return dir;
+}
+
+bool shard_complete(const std::string& dir, const ShardSpec& spec) {
+  const std::filesystem::path manifest =
+      std::filesystem::path(dir) / kManifestName;
+  std::error_code ec;
+  if (!std::filesystem::exists(manifest, ec)) return false;
+  try {
+    bool complete = false;
+    ShardSpec recorded = parse_manifest(read_file(manifest), &complete);
+    return complete && recorded == spec;
+  } catch (const std::exception&) {
+    return false;  // malformed manifest == incomplete shard
+  }
+}
+
+std::vector<BenchmarkResult> read_shard_results(
+    const std::vector<std::string>& dirs, std::string* result_type) {
+  if (dirs.empty()) {
+    throw std::runtime_error("no shard directories to merge");
+  }
+  std::vector<ShardSpec> specs;
+  for (const std::string& dir : dirs) {
+    bool complete = false;
+    ShardSpec spec;
+    try {
+      spec = parse_manifest(
+          read_file(std::filesystem::path(dir) / kManifestName), &complete);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(dir + ": " + e.what());
+    }
+    if (!complete) {
+      throw std::runtime_error(dir + ": shard artifacts are incomplete");
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  // The shard group must be one coherent sweep, covering every shard id
+  // and every matrix cell exactly once.
+  const ShardSpec& first = specs.front();
+  std::set<int> shard_ids;
+  std::size_t total_cells = 0;
+  for (const ShardSpec& spec : specs) {
+    if (spec.shard_count != first.shard_count || spec.seed != first.seed ||
+        spec.result_type != first.result_type ||
+        spec.deterministic_timings != first.deterministic_timings ||
+        spec.matcher_order != first.matcher_order ||
+        spec.matrix_cells != first.matrix_cells ||
+        spec.matrix_hash != first.matrix_hash) {
+      throw std::runtime_error(
+          "shard manifests disagree (mixed sweeps cannot merge)");
+    }
+    if (spec.shard_id < 0 || spec.shard_id >= spec.shard_count ||
+        !shard_ids.insert(spec.shard_id).second) {
+      throw std::runtime_error(util::format(
+          "duplicate or out-of-range shard id %d", spec.shard_id));
+    }
+    total_cells += spec.cells.size();
+  }
+  if (static_cast<int>(shard_ids.size()) != first.shard_count) {
+    throw std::runtime_error(util::format(
+        "merge needs all %d shards, got %zu", first.shard_count,
+        shard_ids.size()));
+  }
+  if (total_cells != first.matrix_cells) {
+    throw std::runtime_error(util::format(
+        "shard cell lists cover %zu of the sweep's %zu matrix cells",
+        total_cells, first.matrix_cells));
+  }
+
+  std::map<std::size_t, BenchmarkResult> by_index;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (const BatchCell& cell : specs[s].cells) {
+      if (cell.index % specs[s].shard_count !=
+          static_cast<std::size_t>(specs[s].shard_id)) {
+        throw std::runtime_error(util::format(
+            "cell %zu does not belong to shard %d", cell.index,
+            specs[s].shard_id));
+      }
+      std::size_t recorded_index = 0;
+      BenchmarkResult result;
+      const std::string path =
+          dirs[s] + util::format("/cell-%zu.result", cell.index);
+      try {
+        result = decode_cell_record(read_file(path), &recorded_index);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(path + ": " + e.what());
+      }
+      if (recorded_index != cell.index || result.system != cell.system ||
+          result.benchmark != cell.benchmark) {
+        throw std::runtime_error(path +
+                                 ": record does not match its manifest cell");
+      }
+      if (!by_index.emplace(cell.index, std::move(result)).second) {
+        throw std::runtime_error(
+            util::format("cell %zu appears in two shards", cell.index));
+      }
+    }
+  }
+  std::vector<BenchmarkResult> results;
+  results.reserve(by_index.size());
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    auto it = by_index.find(i);
+    if (it == by_index.end()) {
+      throw std::runtime_error(
+          util::format("cell %zu is missing from every shard", i));
+    }
+    results.push_back(std::move(it->second));
+  }
+  if (result_type != nullptr) *result_type = first.result_type;
+  return results;
+}
+
+}  // namespace provmark::core

@@ -1,0 +1,202 @@
+// Sharded batch sweeps: deterministic partition, per-shard artifacts,
+// exact merge.
+//
+// `provmark batch` runs the paper's full benchmark × system matrix
+// (appendix A.6.4). A single process saturates at one machine; this
+// module partitions that matrix into independent shards so the sweep can
+// fan out across worker processes (or cluster jobs) and be recombined
+// *exactly* — the merged `time.log`, validation table and `.datalog`
+// stores are byte-identical to what one process would have written.
+//
+// The design leans on the same invariant that made the in-process
+// runtime deterministic: every trial's randomness is a pure function of
+// (run seed, benchmark name, variant, trial index) — see `trial_seed` in
+// core/pipeline.h — so a matrix cell computes the same result whichever
+// process, shard layout, or execution order hosts it. The planner only
+// has to partition *positions*; correctness of the recombination is then
+// a pure serialization problem, solved by cell records that round-trip a
+// BenchmarkResult exactly (graphs in insertion order, timings at full
+// double precision).
+//
+// Sharding protocol:
+//   1. plan_batch() numbers the (system, benchmark) cells in the exact
+//      order the single-process sweep runs them; shard k takes cells
+//      with index ≡ k (mod shard_count) — round-robin, so systems with
+//      expensive trial counts spread evenly.
+//   2. each worker runs its ShardSpec's cells (run_batch_cells) and
+//      writes an artifact directory: per-cell records, its slice of
+//      time.log / validation table / result stores, and a manifest whose
+//      final "complete" line doubles as the resume marker.
+//   3. merge (read_shard_results + write_batch_outputs) validates the
+//      manifests cover the matrix exactly once, reorders the cells into
+//      matrix order, and re-renders the combined artifacts through the
+//      same writers the single-process path uses.
+//
+// Wall-clock stage timings are inherently nondeterministic, so byte
+// identity of time.log is asserted under deterministic_timings() — a
+// per-cell pure-hash stand-in the CLI enables with
+// --deterministic-timings — which also proves the merge routes each
+// cell's payload to the right row. Everything else (validation tables,
+// graphs, stores) is deterministic under real timings too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace provmark::core {
+
+/// One cell of the batch matrix: the single-process sweep runs cells in
+/// ascending `index` order (systems outer, Table-1 benchmarks inner).
+struct BatchCell {
+  std::size_t index = 0;
+  std::string system;
+  std::string benchmark;
+
+  bool operator==(const BatchCell&) const = default;
+};
+
+/// The work assigned to one shard: every field a worker needs to run its
+/// cells in isolation (and re-run them bit-identically at any time).
+///
+/// Everything that can change the produced *bytes* is part of the spec
+/// and therefore of the resume/merge fingerprint: seed, result type,
+/// timing mode, the matcher ordering strategy (different orders report
+/// identical optimal costs but may select a different tied matching,
+/// i.e. different .dot/.datalog bytes), and the whole matrix (count +
+/// hash — so shards of two different sweeps can never merge, even when
+/// their per-shard cell lists are individually plausible). Thread
+/// counts are deliberately excluded: results are bit-identical at any
+/// pipeline or matcher worker count.
+struct ShardSpec {
+  int shard_id = 0;
+  int shard_count = 1;
+  std::uint64_t seed = 42;
+  std::string result_type = "rb";  ///< rb | rg | rh
+  bool deterministic_timings = false;
+  std::string matcher_order;  ///< CLI spelling; "" = the default order
+  std::size_t matrix_cells = 0;   ///< total cells in the sweep matrix
+  std::uint64_t matrix_hash = 0;  ///< hash of every (index, cell) triple
+  std::vector<BatchCell> cells;   ///< this shard's slice, ascending index
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// The full deterministic plan for one sweep.
+struct ShardPlan {
+  int shard_count = 1;
+  std::uint64_t seed = 42;
+  std::string result_type = "rb";
+  bool deterministic_timings = false;
+  std::string matcher_order;
+  std::uint64_t matrix_hash = 0;
+  std::vector<BatchCell> cells;  ///< the whole matrix, ascending index
+
+  /// Shard k's spec: cells with index % shard_count == k.
+  ShardSpec shard(int shard_id) const;
+};
+
+/// Plan a sweep of `benchmarks` × `systems` over `shard_count` shards.
+/// Cell order matches the single-process batch loop exactly: for each
+/// system (in list order), every benchmark (in list order). Throws
+/// std::invalid_argument when shard_count < 1 or the matrix is empty.
+/// `matcher_order` is carried into every shard's fingerprint (see
+/// ShardSpec); pass the CLI spelling, or "" for the default.
+ShardPlan plan_batch(const std::vector<std::string>& systems,
+                     const std::vector<std::string>& benchmarks,
+                     int shard_count, std::uint64_t seed,
+                     const std::string& result_type,
+                     bool deterministic_timings,
+                     const std::string& matcher_order = "");
+
+/// The Table-1 benchmark names in sweep order (the batch default).
+std::vector<std::string> table_benchmark_names();
+
+/// Pipeline configuration shared by every cell of a sweep (the per-cell
+/// system/benchmark comes from the cell itself).
+struct CellRunOptions {
+  std::uint64_t seed = 42;
+  runtime::ThreadPool* pool = nullptr;  ///< nullptr = default pool
+  matcher::SearchConfig matcher;
+  /// See PipelineOptions::simulated_recording_latency (0 = off, > 0 =
+  /// per-trial seconds, < 0 = the per-system calibrated table).
+  double simulated_recording_latency = 0;
+  /// Replace measured stage timings with deterministic_timings() so
+  /// time.log is byte-reproducible (the shard identity gates run with
+  /// this on).
+  bool deterministic_timings = false;
+};
+
+/// Run a set of cells (benchmarks resolved by Table-1 name) across the
+/// pool, results in cell order. Used by the single-process batch path,
+/// shard workers, and the shard benchmark — one executor, so sharded and
+/// unsharded sweeps cannot drift.
+std::vector<BenchmarkResult> run_batch_cells(
+    const std::vector<BatchCell>& cells, const CellRunOptions& options);
+
+/// Pure-hash stand-in stage timings for one cell: stable across runs and
+/// processes, distinct across (seed, system, benchmark, stage) — byte
+/// identity of a merged time.log under these proves the merge routed
+/// every cell's record to the right row.
+StageTimings deterministic_timings(std::uint64_t seed,
+                                   const std::string& system,
+                                   const std::string& benchmark);
+
+/// The appendix A.6.4 time.log line for one result (with trailing
+/// newline): system,benchmark,recording,transformation,generalization,
+/// comparison.
+std::string time_log_row(const BenchmarkResult& result);
+
+/// Write the batch artifacts for `results` (assumed matrix order) into
+/// `dir`: time.log rows (appended), validation.txt (the Table-2 style
+/// validation table, truncated), and for rg/rh the per-cell .dot and
+/// .datalog stores, plus index.html for rh. Shared verbatim by the
+/// single-process batch, each shard (over its own slice), and the merge
+/// step — the byte-identity guarantee lives here.
+void write_batch_outputs(const std::string& dir,
+                         const std::vector<BenchmarkResult>& results,
+                         const std::string& result_type);
+
+// -- shard artifact directories ----------------------------------------------
+
+/// Serialize one cell's BenchmarkResult as a self-contained record
+/// (quoted/escaped strings, graphs in insertion order, timings at full
+/// double precision — the exact fields the batch writers consume).
+std::string encode_cell_record(std::size_t cell_index,
+                               const BenchmarkResult& result);
+
+/// Inverse of encode_cell_record; throws std::runtime_error on malformed
+/// input. `cell_index` receives the recorded matrix position.
+BenchmarkResult decode_cell_record(const std::string& text,
+                                   std::size_t* cell_index);
+
+/// Write shard `spec`'s artifact directory under
+/// `<output_dir>/shard-<id>/`: cell-<index>.result records, the shard's
+/// own time.log/validation.txt/stores slice, and shard.manifest (written
+/// last; its final "complete" line is the resume marker). Any existing
+/// directory is replaced. Returns the shard directory path.
+std::string write_shard_dir(const std::string& output_dir,
+                            const ShardSpec& spec,
+                            const std::vector<BenchmarkResult>& results);
+
+/// Path of shard `shard_id`'s directory under `output_dir`.
+std::string shard_dir_path(const std::string& output_dir, int shard_id);
+
+/// True when `dir` holds a complete artifact directory for exactly
+/// `spec` (manifest present, fingerprint matches, "complete" marker
+/// written) — the resume check: complete shards are skipped, anything
+/// else is re-run.
+bool shard_complete(const std::string& dir, const ShardSpec& spec);
+
+/// Load and validate shard artifact directories (in any order): the
+/// manifests must agree on (shard_count, seed, result_type, timing
+/// mode), cover every shard id exactly once, and jointly cover the cell
+/// matrix exactly once. Returns all cell results in matrix order, ready
+/// for write_batch_outputs. Throws std::runtime_error on any gap,
+/// duplicate, or mismatch.
+std::vector<BenchmarkResult> read_shard_results(
+    const std::vector<std::string>& dirs, std::string* result_type = nullptr);
+
+}  // namespace provmark::core

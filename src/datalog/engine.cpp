@@ -375,6 +375,7 @@ void Engine::add_rule(Rule rule) {
   rules_.push_back(std::move(compiled));
   rule_head_names_.push_back(rule.head.relation);
   saturated_ = false;
+  rules_dirty_ = true;
 }
 
 void Engine::load_program(std::string_view text) {
@@ -751,12 +752,20 @@ void Engine::eval_plan(const JoinPlan& plan, std::vector<Symbol>& out) const {
   eval_level(rule, plan, 0, binding, scratch, out);
 }
 
-void Engine::run_stratum(const std::vector<std::size_t>& rule_indices) {
+void Engine::run_stratum(const std::vector<std::size_t>& rule_indices,
+                         bool incremental) {
   // Delta-indexed semi-naive evaluation. Pools are append-only, so each
   // round's delta is the contiguous row range appended by the previous
   // round and the same hash indexes serve full and delta access.
+  //
+  // An incremental re-run starts each relation's delta at its
+  // saturation watermark instead of row 0: old-rows-only joins were
+  // exhausted by the previous fixpoint, so only rows appended since —
+  // new EDB facts, plus anything lower strata derived earlier in this
+  // same run() — can pivot a new derivation. With no appended rows
+  // anywhere the stratum settles in a single plan-free round.
   for (Relation& rel : relations_) {
-    rel.delta_lo = 0;
+    rel.delta_lo = incremental ? rel.saturated_rows : 0;
     rel.delta_hi = rel.rows;
   }
   while (true) {
@@ -849,11 +858,19 @@ void Engine::run_stratum(const std::vector<std::size_t>& rule_indices) {
 
 void Engine::run() {
   if (saturated_) return;
+  // Incremental delta reuse applies when only facts arrived since the
+  // last fixpoint; a changed rule set re-derives from scratch (the new
+  // rules never saw the old rows).
+  const bool incremental = eval_.incremental && !rules_dirty_;
   // Evaluate stratum by stratum: every relation a negated atom refers to
   // is fully computed before the stratum that negates it runs.
   for (const std::vector<std::size_t>& stratum : stratify()) {
-    run_stratum(stratum);
+    run_stratum(stratum, incremental);
   }
+  for (Relation& rel : relations_) {
+    rel.saturated_rows = rel.rows;
+  }
+  rules_dirty_ = false;
   saturated_ = true;
 }
 

@@ -111,6 +111,20 @@ class Engine {
     int threads = 1;
     /// Pool for parallel evaluation; nullptr = runtime::default_pool().
     runtime::ThreadPool* pool = nullptr;
+    /// Reuse the previous fixpoint across add_fact batches: a run()
+    /// following only fact insertions seeds each stratum's first
+    /// semi-naive delta with just the rows appended since the last
+    /// saturation, instead of re-deriving from the whole store. Sound
+    /// because the store is append-only and the prior run() saturated
+    /// the same rule set over the old rows: every fact the from-scratch
+    /// re-run could derive either is already in a pool or needs at
+    /// least one new row in a positive body atom — and negation only
+    /// shrinks as lower strata grow, so no old-rows-only derivation can
+    /// newly appear. Adding a *rule* always falls back to a full
+    /// re-derivation (its old-rows derivations were never tried).
+    /// False = always re-derive from scratch (the benchmark's ablation
+    /// baseline). Derived stores are identical either way.
+    bool incremental = true;
   };
 
   /// Add a ground fact; throws std::invalid_argument on arity conflicts.
@@ -179,6 +193,11 @@ class Engine {
     std::size_t delta_lo = 0;
     std::size_t delta_hi = 0;
     std::size_t full_end = 0;
+    // Rows present when run() last reached a fixpoint. An incremental
+    // re-run seeds every stratum's first delta at this watermark: rows
+    // below it were saturated together under the current rules, so only
+    // [saturated_rows, rows) can fuel new derivations.
+    std::size_t saturated_rows = 0;
   };
 
   /// One argument position of a compiled atom: a constant symbol or a
@@ -257,7 +276,8 @@ class Engine {
                   std::size_t level, std::vector<Symbol>& binding,
                   SavedBindings& scratch, std::vector<Symbol>& out) const;
   std::vector<std::vector<std::size_t>> stratify() const;
-  void run_stratum(const std::vector<std::size_t>& rule_indices);
+  void run_stratum(const std::vector<std::size_t>& rule_indices,
+                   bool incremental);
 
   graph::SymbolTable symbols_;
   std::vector<Relation> relations_;
@@ -266,6 +286,10 @@ class Engine {
   std::vector<std::string> rule_head_names_;  ///< for stratify errors
   EvalOptions eval_;
   bool saturated_ = true;
+  // True until the first run() and whenever a rule was added since the
+  // last one: the saturated_rows watermarks only certify fact-only
+  // growth, so a dirty rule set forces a from-scratch derivation.
+  bool rules_dirty_ = true;
 };
 
 /// Parse a single atom such as `path(X, "a b")`.

@@ -48,10 +48,33 @@ class Recorder {
   /// shipped recorders hold only immutable config between calls).
   virtual std::string record(const os::EventTrace& trace,
                              const TrialContext& trial) = 0;
+
+  /// This recorder's calibrated per-trial recording latency in seconds
+  /// (see calibrated_recording_latency below). The default keys the
+  /// table by name(); recorders whose cost depends on configuration —
+  /// SPADE's storage backend changes what each trial waits on — resolve
+  /// it themselves. The pipeline consults this when
+  /// PipelineOptions::simulated_recording_latency is negative.
+  virtual double recording_latency() const;
 };
 
 /// Factory by system name ("spade" | "opus" | "camflow"), baseline
 /// configuration. Throws std::invalid_argument for unknown names.
 std::unique_ptr<Recorder> make_recorder(const std::string& system);
+
+/// Calibrated per-trial recording latency in seconds, keyed by system
+/// name (Recorder::name() values; the CLI abbreviations spg/spn/opu/cam
+/// are accepted too). The real recorders spend most of each trial
+/// waiting — SPADE restarts its JVM daemon and flushes audit output per
+/// trial, OPUS commits every trial into Neo4j, CamFlow drains relayfs
+/// for the whole system — which is why recording dominates the paper's
+/// Figures 5-7 absolute times. The table scales each system so that
+/// (default_trials × 2 variants × latency) lands in the figures'
+/// recording-time profile: OPUS slowest per trial but fewest trials,
+/// CamFlow cheapest per trial but trial-heaviest, SPADE in between.
+/// Unknown systems get a conservative 1s. Opted into via a negative
+/// core::PipelineOptions::simulated_recording_latency; a positive scalar
+/// there overrides this table.
+double calibrated_recording_latency(const std::string& system);
 
 }  // namespace provmark::systems

@@ -67,6 +67,12 @@ class SpadeRecorder final : public Recorder {
   std::set<std::string> extra_audit_rules() const override;
   std::string record(const os::EventTrace& trace,
                      const TrialContext& trial) override;
+  double recording_latency() const override {
+    // The Neo4j backend pays a transaction commit on top of the shared
+    // daemon start/stop + audit flush — the spn column of Figure 5.
+    return calibrated_recording_latency(
+        config_.storage == SpadeStorage::Neo4j ? "spn" : "spade");
+  }
 
   const SpadeConfig& config() const { return config_; }
 

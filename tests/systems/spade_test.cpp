@@ -248,6 +248,18 @@ TEST(Spade, TruncationProducesUnparseableOutput) {
   EXPECT_THROW(formats::from_dot(clipped), std::runtime_error);
 }
 
+TEST(Spade, CalibratedLatencyTracksStorageBackend) {
+  // Both storage backends report name()=="spade", so the recorder —
+  // not a name-keyed lookup — must resolve the calibrated latency:
+  // the Neo4j backend pays a per-trial transaction commit on top.
+  EXPECT_EQ(make_recorder("spade")->recording_latency(),
+            calibrated_recording_latency("spade"));
+  EXPECT_EQ(make_recorder("spn")->recording_latency(),
+            calibrated_recording_latency("spn"));
+  EXPECT_GT(make_recorder("spn")->recording_latency(),
+            make_recorder("spg")->recording_latency());
+}
+
 TEST(Spade, TransientPropertiesDifferAcrossTrials) {
   os::EventTrace t1 = trace_for("open", true, 1);
   os::EventTrace t2 = trace_for("open", true, 2);

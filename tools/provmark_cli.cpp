@@ -19,9 +19,24 @@
 // Batch mode also appends one CSV line per benchmark to
 // <output-dir>/time.log — the appendix A.6.4 timing-log format:
 //   system,syscall,recording,transformation,generalization,comparison
+// and writes the Table 2-style validation table to
+// <output-dir>/validation.txt.
+//
+// Sharded sweeps (--shards N) partition the batch matrix across N
+// worker processes (fork/exec of this binary with --shard-id) and merge
+// the per-shard artifact directories back into output that is
+// byte-identical to the single-process sweep; `provmark merge`
+// recombines shard directories produced elsewhere (e.g. a cluster
+// launch with explicit --shard-id). See src/core/shard.h for the
+// protocol.
 //
 // The full grammar lives in usage() below; docs/cli.md documents every
 // subcommand with worked examples and must be kept in sync with it.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +52,7 @@
 #include "bench_suite/program_text.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/shard.h"
 #include "datalog/engine.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
@@ -51,6 +67,7 @@ constexpr const char* kUsage =
     "usage:\n"
     "  provmark [options] run <system> <benchmark> [trials]\n"
     "  provmark [options] batch <systems> <rb|rg|rh> [output-dir]\n"
+    "  provmark merge <output-dir> <shard-dir> [<shard-dir>...]\n"
     "  provmark query <facts.datalog> <atom> [rules.datalog]\n"
     "  provmark --help\n"
     "\n"
@@ -61,7 +78,14 @@ constexpr const char* kUsage =
     "  batch  all Table 1 benchmarks on every listed system (comma-\n"
     "         separated, e.g. spade,camflow), swept in parallel across\n"
     "         the thread pool; appends timing CSV to\n"
-    "         <output-dir>/time.log (default output-dir: finalResult)\n"
+    "         <output-dir>/time.log and writes the validation table to\n"
+    "         <output-dir>/validation.txt (default output-dir:\n"
+    "         finalResult). With --shards N the sweep is partitioned\n"
+    "         across N worker processes and merged back byte-identically\n"
+    "  merge  recombine shard artifact directories (written by batch\n"
+    "         --shards N --shard-id K) into <output-dir>, reproducing\n"
+    "         the single-process sweep's time.log row order, validation\n"
+    "         table and result stores exactly\n"
     "  query  load a Datalog fact document (a regression-store save, a\n"
     "         batch .datalog result, or any Listing 1 file), optionally\n"
     "         add rules from a second file, and evaluate a query atom\n"
@@ -82,6 +106,19 @@ constexpr const char* kUsage =
     "               optimal costs are unchanged by any choice)\n"
     "  --seed S     pipeline seed (default 42); results are\n"
     "               deterministic per seed at any thread count\n"
+    "  --shards N   (batch) partition the sweep into N shards. Without\n"
+    "               --shard-id: spawn N worker processes, wait, and\n"
+    "               merge their artifacts into <output-dir>; shards\n"
+    "               already complete under <output-dir>/shard-K/ are\n"
+    "               skipped (resume)\n"
+    "  --shard-id K (batch, with --shards) run only shard K (0-based)\n"
+    "               and write its artifacts to <output-dir>/shard-K/ —\n"
+    "               for external/cluster launch; recombine with merge\n"
+    "  --deterministic-timings\n"
+    "               (batch) replace measured stage timings with per-cell\n"
+    "               pure-hash values so time.log is byte-reproducible\n"
+    "               across runs, shard counts and hosts (the shard\n"
+    "               identity gates run with this on)\n"
     "  --help       this text\n"
     "\n"
     "systems: spade|spg, spn, opus|opu, camflow|cam, spade-camflow\n"
@@ -122,6 +159,10 @@ struct CliOptions {
   runtime::ThreadPool* pool = nullptr;
   std::uint64_t seed = 42;
   matcher::SearchConfig matcher;
+  int shards = 0;     ///< 0 = unsharded batch
+  int shard_id = -1;  ///< >= 0: run only this shard
+  bool deterministic_timings = false;
+  std::string matcher_order_name;  ///< as given (shard plan fingerprint)
 };
 
 matcher::CandidateOrder parse_order(const std::string& name) {
@@ -152,7 +193,61 @@ int run_single(const CliOptions& cli, const std::string& system,
   return 0;
 }
 
-int run_batch(const CliOptions& cli, const std::string& system_list,
+void print_batch_report(const std::vector<core::BenchmarkResult>& results) {
+  for (const core::BenchmarkResult& result : results) {
+    std::printf("%s\n", core::summarize(result).c_str());
+  }
+  std::printf("\n%s\n", core::validation_table(results).c_str());
+}
+
+/// Resolved path of this executable, for re-execing shard workers.
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+/// Fork/exec one shard worker — this binary with the orchestrator's own
+/// command line plus a leading `--shard-id K`, so every sweep flag,
+/// present and future, forwards by construction — with stdout+stderr
+/// captured in `log_path`. The argv array is materialized *before*
+/// fork(): the runtime pool's threads may hold allocator locks at fork
+/// time, so the child performs only async-signal-safe calls (open/
+/// dup2/close/execv) before the exec.
+pid_t spawn_shard_worker(const std::string& exe,
+                         const std::vector<std::string>& args,
+                         const std::string& log_path) {
+  std::vector<char*> child_argv;
+  child_argv.reserve(args.size() + 2);
+  child_argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& arg : args) {
+    child_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  child_argv.push_back(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("fork failed");
+  }
+  if (pid == 0) {
+    int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+    ::execv(exe.c_str(), child_argv.data());
+    ::_exit(127);  // exec failed; the log file holds nothing to explain it
+  }
+  return pid;
+}
+
+int run_batch(const CliOptions& cli, const char* argv0,
+              const std::vector<std::string>& raw_args,
+              const std::string& system_list,
               const std::string& result_type,
               const std::string& output_dir) {
   std::vector<std::string> systems = util::split_nonempty(system_list, ',');
@@ -163,68 +258,125 @@ int run_batch(const CliOptions& cli, const std::string& system_list,
   for (const std::string& system : systems) {
     systems::make_recorder(system);
   }
-
-  // The (benchmark, system) sweep: all pairs fan out over the pool and
-  // land in pair-order slots, so stdout and time.log read identically
-  // at any thread count.
-  struct Pair {
-    bench_suite::BenchmarkProgram program;
-    std::string system;
-  };
-  std::vector<Pair> pairs;
-  for (const std::string& system : systems) {
-    for (const bench_suite::BenchmarkProgram& program :
-         bench_suite::table_benchmarks()) {
-      pairs.push_back({program, system});
-    }
+  if (cli.shard_id >= 0 &&
+      (cli.shards < 1 || cli.shard_id >= cli.shards)) {
+    throw std::invalid_argument("--shard-id requires 0 <= K < --shards N");
   }
-  runtime::ThreadPool& pool =
-      cli.pool != nullptr ? *cli.pool : runtime::default_pool();
-  std::vector<core::BenchmarkResult> results =
-      pool.parallel_map<core::BenchmarkResult>(
-          pairs, [&](const Pair& pair, std::size_t) {
-            core::PipelineOptions options;
-            options.system = pair.system;
-            options.seed = cli.seed;
-            options.pool = &pool;
-            options.matcher = cli.matcher;
-            return core::run_benchmark(pair.program, options);
-          });
 
+  core::ShardPlan plan = core::plan_batch(
+      systems, core::table_benchmark_names(), std::max(1, cli.shards),
+      cli.seed, result_type, cli.deterministic_timings,
+      cli.matcher_order_name);
+  core::CellRunOptions cell_options;
+  cell_options.seed = cli.seed;
+  cell_options.pool = cli.pool;
+  cell_options.matcher = cli.matcher;
+  cell_options.deterministic_timings = cli.deterministic_timings;
+
+  if (cli.shards <= 0) {
+    // -- single-process sweep ----------------------------------------------
+    std::vector<core::BenchmarkResult> results =
+        core::run_batch_cells(plan.cells, cell_options);
+    print_batch_report(results);
+    core::write_batch_outputs(output_dir, results, result_type);
+    if (result_type == "rh") {
+      std::printf("wrote %s/index.html\n", output_dir.c_str());
+    }
+    return 0;
+  }
+
+  if (cli.shard_id >= 0) {
+    // -- one shard worker (spawned below, or launched externally) ----------
+    core::ShardSpec spec = plan.shard(cli.shard_id);
+    std::vector<core::BenchmarkResult> results =
+        core::run_batch_cells(spec.cells, cell_options);
+    std::string dir = core::write_shard_dir(output_dir, spec, results);
+    print_batch_report(results);
+    std::printf("shard %d/%d: %zu cells -> %s\n", cli.shard_id, cli.shards,
+                spec.cells.size(), dir.c_str());
+    return 0;
+  }
+
+  // -- orchestrator: spawn-and-wait N workers, then merge ------------------
   std::filesystem::create_directories(output_dir);
-  std::ofstream time_log(output_dir + "/time.log", std::ios::app);
-  for (const core::BenchmarkResult& result : results) {
-    std::printf("%s\n", core::summarize(result).c_str());
-    time_log << util::format("%s,%s,%.6f,%.6f,%.6f,%.6f\n",
-                             result.system.c_str(),
-                             result.benchmark.c_str(),
-                             result.timings.recording,
-                             result.timings.transformation,
-                             result.timings.generalization,
-                             result.timings.comparison);
+  const std::string exe = self_exe_path(argv0);
+  std::vector<std::pair<int, pid_t>> running;
+  try {
+    for (int shard = 0; shard < cli.shards; ++shard) {
+      if (core::shard_complete(core::shard_dir_path(output_dir, shard),
+                               plan.shard(shard))) {
+        // Resume: the deterministic plan makes completed shard artifacts
+        // reusable as-is — identical cells, seeds, and therefore bytes.
+        std::printf("shard %d/%d: already complete, skipping\n", shard,
+                    cli.shards);
+        continue;
+      }
+      const std::string log_path =
+          output_dir + "/shard-" + std::to_string(shard) + ".log";
+      // The worker re-runs this invocation's exact argv; a leading
+      // --shard-id narrows it to one shard (leading options parse in
+      // any order).
+      std::vector<std::string> args = {"--shard-id",
+                                       std::to_string(shard)};
+      args.insert(args.end(), raw_args.begin(), raw_args.end());
+      running.emplace_back(shard, spawn_shard_worker(exe, args, log_path));
+      std::printf("shard %d/%d: spawned worker (pid %d, log %s)\n", shard,
+                  cli.shards, static_cast<int>(running.back().second),
+                  log_path.c_str());
+    }
+  } catch (...) {
+    // A failed spawn must not orphan the workers already running: a
+    // rerun would race them on the very shard directories it rewrites.
+    for (const auto& [shard, pid] : running) {
+      ::kill(pid, SIGTERM);
+      ::waitpid(pid, nullptr, 0);
+    }
+    throw;
   }
-
-  std::printf("\n%s\n", core::validation_table(results).c_str());
-
-  if (result_type == "rg" || result_type == "rh") {
-    for (const core::BenchmarkResult& result : results) {
-      std::string base = output_dir + "/" + result.system + "_" +
-                         result.benchmark;
-      std::ofstream(base + ".dot") << core::result_dot(result);
-      std::ofstream(base + ".datalog")
-          << "% generalized background\n"
-          << datalog::to_datalog(result.generalized_background, "bg")
-          << "% generalized foreground\n"
-          << datalog::to_datalog(result.generalized_foreground, "fg")
-          << "% benchmark result\n"
-          << datalog::to_datalog(result.result, "result");
+  bool workers_ok = true;
+  for (const auto& [shard, pid] : running) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "shard %d worker failed (see %s/shard-%d.log)\n",
+                   shard, output_dir.c_str(), shard);
+      workers_ok = false;
     }
   }
+  if (!workers_ok) {
+    std::fprintf(stderr,
+                 "sweep incomplete; rerun the same command to resume the "
+                 "finished shards\n");
+    return 1;
+  }
+
+  std::vector<std::string> shard_dirs;
+  for (int shard = 0; shard < cli.shards; ++shard) {
+    shard_dirs.push_back(core::shard_dir_path(output_dir, shard));
+  }
+  std::vector<core::BenchmarkResult> results =
+      core::read_shard_results(shard_dirs);
+  print_batch_report(results);
+  core::write_batch_outputs(output_dir, results, result_type);
   if (result_type == "rh") {
-    std::ofstream(output_dir + "/index.html")
-        << core::html_report(results);
     std::printf("wrote %s/index.html\n", output_dir.c_str());
   }
+  std::printf("merged %d shards into %s\n", cli.shards, output_dir.c_str());
+  return 0;
+}
+
+int run_merge(const std::string& output_dir,
+              const std::vector<std::string>& shard_dirs) {
+  std::string result_type;
+  std::vector<core::BenchmarkResult> results =
+      core::read_shard_results(shard_dirs, &result_type);
+  print_batch_report(results);
+  core::write_batch_outputs(output_dir, results, result_type);
+  if (result_type == "rh") {
+    std::printf("wrote %s/index.html\n", output_dir.c_str());
+  }
+  std::printf("merged %zu shards into %s\n", shard_dirs.size(),
+              output_dir.c_str());
   return 0;
 }
 
@@ -292,6 +444,8 @@ int run_query(const std::string& facts_path, const std::string& pattern,
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // The untouched invocation, for re-execing shard workers verbatim.
+  const std::vector<std::string> raw_args = args;
 
   CliOptions cli;
   std::unique_ptr<runtime::ThreadPool> owned_pool;
@@ -310,6 +464,27 @@ int main(int argc, char** argv) {
         args.erase(args.begin(), args.begin() + 2);
         continue;
       }
+      if (args[0] == "--shards" && args.size() >= 2) {
+        cli.shards = std::stoi(args[1]);
+        if (cli.shards < 1) {
+          throw std::invalid_argument("--shards must be >= 1");
+        }
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--shard-id" && args.size() >= 2) {
+        cli.shard_id = std::stoi(args[1]);
+        if (cli.shard_id < 0) {
+          throw std::invalid_argument("--shard-id must be >= 0");
+        }
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--deterministic-timings") {
+        cli.deterministic_timings = true;
+        args.erase(args.begin());
+        continue;
+      }
       if (args[0] == "--matcher-threads" && args.size() >= 2) {
         // A dedicated pool: the matcher search nests inside pipeline
         // workers, and a loop on a *different* pool fans out instead of
@@ -325,6 +500,7 @@ int main(int argc, char** argv) {
       }
       if (args[0] == "--matcher-order" && args.size() >= 2) {
         cli.matcher.order = parse_order(args[1]);
+        cli.matcher_order_name = args[1];
         // WL scarcity brings component decomposition along: both halves
         // of the strategy preserve optimal costs.
         cli.matcher.decompose =
@@ -348,8 +524,12 @@ int main(int argc, char** argv) {
       if (args[2] != "rb" && args[2] != "rg" && args[2] != "rh") {
         return usage();
       }
-      return run_batch(cli, args[1], args[2],
+      return run_batch(cli, argv[0], raw_args, args[1], args[2],
                        args.size() == 4 ? args[3] : "finalResult");
+    }
+    if (args[0] == "merge" && args.size() >= 3) {
+      return run_merge(args[1], std::vector<std::string>(args.begin() + 2,
+                                                         args.end()));
     }
     if (args[0] == "query" && (args.size() == 3 || args.size() == 4)) {
       return run_query(args[1], args[2], args.size() == 4 ? args[3] : "");
