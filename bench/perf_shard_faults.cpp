@@ -1,0 +1,278 @@
+// Chaos bench + identity gate for the crash-tolerance subsystem
+// (src/core/supervise.{h,cpp}, src/util/fault.{h,cpp}, the atomic
+// publish protocol in src/core/shard.cpp — see docs/robustness.md).
+//
+// Each scenario runs a real 3-shard sweep with real forked worker
+// processes under the supervision engine, with deterministic faults
+// injected into chosen workers:
+//
+//   fault-free            the control run
+//   crash                 shard 1's worker _exit(70)s mid-sweep
+//   torn-write            shard 0 publishes a truncated validation.txt
+//   crash+torn+hang       both of the above, plus shard 2 stalling
+//                         before publish until straggler re-dispatch
+//
+// The gate *asserts* (exit 1 otherwise) that every scenario converges
+// — retries/re-dispatch leave all shards published — and that the
+// merged artifacts are byte-identical to the fault-free single-process
+// sweep, and that each injected fault really fired (the faulted shard
+// needed more than one launch). Wall clock per scenario is recorded
+// but not gated: recovery latency is backoff policy, not regression.
+//
+// Workers are forked without exec (ProcessWorkerHost fork mode): the
+// parent stays threadless until every scenario is done — each child
+// builds its own 1-thread pool — and the single-process baseline runs
+// last, so fork never duplicates a live thread pool.
+//
+// Usage: bench_perf_shard_faults [--smoke] [output.json]
+//   --smoke  fewer benchmarks (CI-friendly); identical gating
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/shard.h"
+#include "core/supervise.h"
+#include "runtime/thread_pool.h"
+#include "util/fault.h"
+
+using namespace provmark;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "<missing " + path.string() + ">";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool artifacts_identical(const fs::path& single, const fs::path& merged) {
+  bool identical = true;
+  for (const auto& entry : fs::directory_iterator(single)) {
+    const std::string name = entry.path().filename().string();
+    if (slurp(entry.path()) != slurp(merged / name)) {
+      std::fprintf(stderr, "  MISMATCH: %s\n", name.c_str());
+      identical = false;
+    }
+  }
+  return identical;
+}
+
+struct Scenario {
+  const char* name;
+  const char* fault_spec;       ///< "" = no faults
+  std::vector<int> hit_shards;  ///< shards that must need > 1 launch
+};
+
+struct Outcome {
+  std::string name;
+  double seconds = 0;
+  int total_launches = 0;
+  bool converged = false;
+  bool recovered = false;  ///< every faulted shard took > 1 launch
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_shard_faults.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const int shard_count = 3;
+  const double latency = 0.002;  // seconds per trial, keeps medians real
+  const std::vector<std::string> systems = {"spade"};
+  std::vector<std::string> benchmarks = core::table_benchmark_names();
+  benchmarks.resize(smoke ? 3 : 9);
+  const std::string result_type = "rg";
+
+  const std::vector<Scenario> scenarios = {
+      {"fault-free", "", {}},
+      {"crash", "crash:shard=1,after-cell=1", {1}},
+      {"torn-write", "torn-write:shard=0,file=validation.txt", {0}},
+      {"crash+torn-write+hang",
+       "crash:shard=1,after-cell=1;"
+       "torn-write:shard=0,file=validation.txt;"
+       "hang:shard=2,seconds=60",
+       {0, 1, 2}},
+  };
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("provmark_shard_faults_bench_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  core::ShardPlan plan = core::plan_batch(systems, benchmarks, shard_count,
+                                          42, result_type, true);
+  std::vector<core::ShardSpec> specs;
+  for (int k = 0; k < shard_count; ++k) specs.push_back(plan.shard(k));
+
+  std::printf("shard_faults: %zu benchmarks x spade, %d shards, "
+              "supervised fork-mode workers "
+              "(host hardware threads: %u)\n\n",
+              benchmarks.size(), shard_count,
+              std::thread::hardware_concurrency());
+
+  std::vector<Outcome> outcomes;
+  bool all_ok = true;
+  for (const Scenario& scenario : scenarios) {
+    const std::string spec_text = scenario.fault_spec;
+    const fs::path sweep_dir = root / ("sweep-" + std::string(scenario.name));
+    const fs::path merged_dir =
+        root / ("merged-" + std::string(scenario.name));
+
+    auto host = core::ProcessWorkerHost::fork_mode(
+        [&](int shard, int attempt) -> int {
+          // In the child: arm exactly this (shard, attempt)'s faults,
+          // run the slice on a private pool, publish atomically.
+          util::fault::disarm();
+          if (!spec_text.empty()) {
+            util::fault::arm(util::fault::parse_fault_spec(spec_text),
+                             shard, attempt);
+          }
+          runtime::ThreadPool pool(1);
+          core::CellRunOptions options;
+          options.seed = 42;
+          options.pool = &pool;
+          options.simulated_recording_latency = latency;
+          options.deterministic_timings = true;
+          core::write_shard_dir(
+              sweep_dir.string(), specs[static_cast<std::size_t>(shard)],
+              core::run_batch_cells(
+                  specs[static_cast<std::size_t>(shard)].cells, options));
+          return 0;
+        },
+        [&](int shard) {
+          return core::shard_complete(
+              core::shard_dir_path(sweep_dir.string(), shard),
+              specs[static_cast<std::size_t>(shard)]);
+        });
+
+    core::SuperviseOptions sup;
+    sup.retries = 2;
+    sup.seed = 42;
+    sup.backoff_base_ms = 50;  // fast bench; determinism is what matters
+    sup.backoff_cap_ms = 500;
+    sup.straggler_min_ms = 500;
+    sup.poll_ms = 10;
+
+    Outcome outcome;
+    outcome.name = scenario.name;
+    const auto start = std::chrono::steady_clock::now();
+    core::SuperviseReport report =
+        core::supervise(shard_count, host, sup);
+    std::string merged_type;
+    if (report.all_published) {
+      std::vector<std::string> shard_dirs;
+      for (int k = 0; k < shard_count; ++k) {
+        shard_dirs.push_back(core::shard_dir_path(sweep_dir.string(), k));
+      }
+      core::write_batch_outputs(merged_dir.string(),
+                                core::read_shard_results(shard_dirs,
+                                                         &merged_type),
+                                merged_type);
+    }
+    outcome.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    outcome.converged = report.all_published;
+    outcome.recovered = true;
+    for (const core::TaskOutcome& t : report.tasks) {
+      outcome.total_launches += t.launches;
+    }
+    for (int shard : scenario.hit_shards) {
+      outcome.recovered = outcome.recovered &&
+                          report.tasks[static_cast<std::size_t>(shard)]
+                                  .launches > 1;
+    }
+
+    outcomes.push_back(outcome);
+    std::printf("  %-22s wall=%.3fs launches=%d %s\n", scenario.name,
+                outcome.seconds, outcome.total_launches,
+                outcome.converged ? "converged" : "DID NOT CONVERGE");
+  }
+
+  // The baseline runs last: fork-mode workers must never duplicate a
+  // live parent thread pool, so the parent stays threadless until every
+  // scenario has finished forking.
+  const fs::path single_dir = root / "single";
+  {
+    runtime::ThreadPool pool(1);
+    core::CellRunOptions options;
+    options.seed = 42;
+    options.pool = &pool;
+    options.simulated_recording_latency = latency;
+    options.deterministic_timings = true;
+    core::write_batch_outputs(single_dir.string(),
+                              core::run_batch_cells(plan.cells, options),
+                              result_type);
+  }
+
+  for (Outcome& outcome : outcomes) {
+    outcome.identical =
+        outcome.converged &&
+        artifacts_identical(single_dir,
+                            root / ("merged-" + outcome.name));
+    std::printf("  %-22s %s\n", outcome.name.c_str(),
+                outcome.identical
+                    ? "merged output identical to fault-free single-process"
+                    : "MERGED OUTPUT DIVERGED");
+    all_ok = all_ok && outcome.identical && outcome.recovered;
+    if (!outcome.recovered) {
+      std::fprintf(stderr, "  %s: an injected fault never fired\n",
+                   outcome.name.c_str());
+    }
+  }
+
+  fs::remove_all(root);
+
+  std::FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"shard_faults\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"system\": \"spade\",\n");
+  std::fprintf(f, "  \"benchmarks\": %zu,\n", benchmarks.size());
+  std::fprintf(f, "  \"shards\": %d,\n", shard_count);
+  std::fprintf(f, "  \"retries\": %d,\n", 2);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"launches\": %d, \"converged\": %s, "
+                 "\"fault_recovery_exercised\": %s, "
+                 "\"merged_identical\": %s}%s\n",
+                 o.name.c_str(), o.seconds, o.total_launches,
+                 o.converged ? "true" : "false",
+                 o.recovered ? "true" : "false",
+                 o.identical ? "true" : "false",
+                 i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"identical\": %s\n}\n",
+               all_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", output.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -1,7 +1,12 @@
 #include "core/shard.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -14,6 +19,7 @@
 #include "datalog/escape.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -22,7 +28,7 @@ namespace provmark::core {
 namespace {
 
 constexpr const char* kCellHeader = "provmark-cell v1";
-constexpr const char* kManifestHeader = "provmark-shard v1";
+constexpr const char* kManifestHeader = "provmark-shard v2";
 constexpr const char* kManifestName = "shard.manifest";
 
 // -- record syntax ------------------------------------------------------------
@@ -199,15 +205,72 @@ graph::PropertyGraph decode_graph(RecordReader& reader, const char* tag) {
   return g;
 }
 
-void write_file(const std::filesystem::path& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    throw std::runtime_error("cannot write " + path.string());
+/// fsync a directory so a just-renamed entry survives a crash.
+void sync_dir(const std::filesystem::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
   }
-  out << text;
-  if (!out.good()) {
-    throw std::runtime_error("short write to " + path.string());
+}
+
+/// The atomic commit every artifact write uses: the bytes land in
+/// `<path>.tmp.<pid>`, are fsynced, and only then renamed over the
+/// final name — so a reader can never observe a half-written file, and
+/// a crash leaves at worst an ignorable .tmp orphan. The parent
+/// directory is fsynced after the rename so the commit itself is
+/// durable.
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& text) {
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("cannot write " + tmp.string() + ": " +
+                             std::strerror(errno));
   }
+  std::size_t written = 0;
+  while (written < text.size()) {
+    ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("short write to " + tmp.string() + ": " +
+                               std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot fsync " + tmp.string());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot publish " + path.string() + ": " +
+                             std::strerror(err));
+  }
+  sync_dir(path.parent_path());
+}
+
+ArtifactDigest digest_of(const std::string& content) {
+  return ArtifactDigest{util::stable_hash(content), content.size()};
+}
+
+/// Publish one artifact into `dir`. On the shard-publish path
+/// (`digests` non-null) the *intended* content digest is recorded
+/// first and the fault-injection tear hook runs after — so an injected
+/// torn write commits bytes that provably mismatch their manifest
+/// entry, exactly like a real torn write would.
+void publish_file(const std::filesystem::path& dir, const std::string& name,
+                  std::string content, ArtifactDigests* digests) {
+  if (digests != nullptr) {
+    (*digests)[name] = digest_of(content);
+    util::fault::tear_content(name, &content);
+  }
+  write_file_atomic(dir / name, content);
 }
 
 std::string read_file(const std::filesystem::path& path) {
@@ -219,7 +282,8 @@ std::string read_file(const std::filesystem::path& path) {
                      std::istreambuf_iterator<char>());
 }
 
-std::string manifest_text(const ShardSpec& spec) {
+std::string manifest_text(const ShardSpec& spec,
+                          const ArtifactDigests& digests) {
   std::string out = std::string(kManifestHeader) + "\n";
   out += util::format("shard %d %d\n", spec.shard_id, spec.shard_count);
   out += util::format("seed %llu\n",
@@ -239,13 +303,47 @@ std::string manifest_text(const ShardSpec& spec) {
     append_quoted(out, cell.benchmark);
     out += '\n';
   }
+  // The integrity section: the intended content digest of every
+  // artifact this manifest vouches for. The manifest itself needs no
+  // digest — its own torn tail reads as incomplete.
+  out += util::format("files %zu\n", digests.size());
+  for (const auto& [name, digest] : digests) {
+    out += util::format("f %llu %llu ",
+                        static_cast<unsigned long long>(digest.hash),
+                        static_cast<unsigned long long>(digest.size));
+    append_quoted(out, name);
+    out += '\n';
+  }
   out += "complete\n";
   return out;
 }
 
-/// Parse a manifest; `complete` reports whether the trailing marker —
-/// the last thing write_shard_dir emits — is present.
-ShardSpec parse_manifest(const std::string& text, bool* complete) {
+/// Verify every manifest-listed artifact of `dir` against its recorded
+/// digest; returns "" when all bytes match, else a description of the
+/// first torn/missing file.
+std::string verify_artifacts(const std::filesystem::path& dir,
+                             const ArtifactDigests& digests) {
+  for (const auto& [name, digest] : digests) {
+    std::string bytes;
+    try {
+      bytes = read_file(dir / name);
+    } catch (const std::exception&) {
+      return name + " is missing";
+    }
+    if (digest_of(bytes) != digest) {
+      return util::format(
+          "%s is torn or tampered (%zu bytes on disk, %llu intended)",
+          name.c_str(), bytes.size(),
+          static_cast<unsigned long long>(digest.size));
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+ShardSpec parse_shard_manifest(const std::string& text, bool* complete,
+                               ArtifactDigests* digests) {
   RecordReader reader(text);
   std::vector<std::string> tokens;
   if (!reader.next(&tokens) || tokens.size() != 2 ||
@@ -270,12 +368,28 @@ ShardSpec parse_manifest(const std::string& text, bool* complete) {
     spec.cells.push_back(BatchCell{parse_size(tokens[1]), tokens[2],
                                    tokens[3]});
   }
-  *complete = reader.next(&tokens) && !tokens.empty() &&
-              tokens[0] == "complete";
+  const std::size_t files = parse_size(reader.expect("files", 2)[1]);
+  for (std::size_t i = 0; i < files; ++i) {
+    tokens = reader.expect("f", 4);
+    if (digests != nullptr) {
+      (*digests)[tokens[3]] =
+          ArtifactDigest{parse_u64(tokens[1]), parse_u64(tokens[2])};
+    }
+  }
+  // Complete means the marker line *and* its terminating newline made
+  // it to disk: manifest_text always ends "complete\n", so truncation
+  // at every byte offset — including mid-marker — reads as incomplete.
+  const bool whole = reader.next(&tokens) && !tokens.empty() &&
+                     tokens[0] == "complete" && !text.empty() &&
+                     text.back() == '\n';
+  if (complete != nullptr) {
+    *complete = whole;
+  } else if (!whole) {
+    throw std::runtime_error(
+        "shard manifest is truncated (no complete marker)");
+  }
   return spec;
 }
-
-}  // namespace
 
 // -- planning -----------------------------------------------------------------
 
@@ -365,8 +479,12 @@ std::vector<BenchmarkResult> run_batch_cells(
             pipeline.matcher = options.matcher;
             pipeline.simulated_recording_latency =
                 options.simulated_recording_latency;
-            return run_benchmark(
+            BenchmarkResult result = run_benchmark(
                 bench_suite::benchmark_by_name(cell.benchmark), pipeline);
+            // Fault-injection progress hook (no-op unless a crash rule
+            // is armed in this worker process).
+            util::fault::cell_completed();
+            return result;
           });
   if (options.deterministic_timings) {
     for (BenchmarkResult& result : results) {
@@ -401,35 +519,44 @@ std::string time_log_row(const BenchmarkResult& result) {
 
 void write_batch_outputs(const std::string& dir,
                          const std::vector<BenchmarkResult>& results,
-                         const std::string& result_type) {
+                         const std::string& result_type,
+                         ArtifactDigests* digests) {
   std::filesystem::create_directories(dir);
   {
     // time.log appends (the appendix A.6.4 harness accumulates sweeps);
-    // validation.txt is the current sweep's table and truncates.
-    std::ofstream time_log(dir + "/time.log",
-                           std::ios::binary | std::ios::app);
-    for (const BenchmarkResult& result : results) {
-      time_log << time_log_row(result);
+    // the append is implemented as read + extend + atomic rename so a
+    // crash mid-sweep can never leave a half-appended row. The other
+    // artifacts describe the current sweep and replace wholesale.
+    std::string log;
+    try {
+      log = read_file(std::filesystem::path(dir) / "time.log");
+    } catch (const std::exception&) {
+      // First sweep into this directory: nothing to carry forward.
     }
+    for (const BenchmarkResult& result : results) {
+      log += time_log_row(result);
+    }
+    publish_file(dir, "time.log", std::move(log), digests);
   }
-  write_file(dir + "/validation.txt", validation_table(results));
+  publish_file(dir, "validation.txt", validation_table(results), digests);
   if (result_type == "rg" || result_type == "rh") {
     for (const BenchmarkResult& result : results) {
-      std::string base = dir + "/" + result.system + "_" + result.benchmark;
-      write_file(base + ".dot", result_dot(result));
-      write_file(base + ".datalog",
-                 "% generalized background\n" +
-                     datalog::to_datalog(result.generalized_background,
-                                         "bg") +
-                     "% generalized foreground\n" +
-                     datalog::to_datalog(result.generalized_foreground,
-                                         "fg") +
-                     "% benchmark result\n" +
-                     datalog::to_datalog(result.result, "result"));
+      std::string base = result.system + "_" + result.benchmark;
+      publish_file(dir, base + ".dot", result_dot(result), digests);
+      publish_file(dir, base + ".datalog",
+                   "% generalized background\n" +
+                       datalog::to_datalog(result.generalized_background,
+                                           "bg") +
+                       "% generalized foreground\n" +
+                       datalog::to_datalog(result.generalized_foreground,
+                                           "fg") +
+                       "% benchmark result\n" +
+                       datalog::to_datalog(result.result, "result"),
+                   digests);
     }
   }
   if (result_type == "rh") {
-    write_file(dir + "/index.html", html_report(results));
+    publish_file(dir, "index.html", html_report(results), digests);
   }
 }
 
@@ -514,6 +641,13 @@ BenchmarkResult decode_cell_record(const std::string& text,
   result.generalized_foreground = decode_graph(reader, "foreground");
   result.generalized_background = decode_graph(reader, "background");
   reader.expect("end", 1);
+  // encode_cell_record always terminates with "end\n"; requiring the
+  // trailing newline makes truncation at *every* byte offset — even one
+  // that only drops the final newline — a hard parse error instead of a
+  // silently accepted record.
+  if (text.empty() || text.back() != '\n') {
+    throw std::runtime_error("shard record: truncated (no trailing newline)");
+  }
   return result;
 }
 
@@ -529,19 +663,56 @@ std::string write_shard_dir(const std::string& output_dir,
   if (results.size() != spec.cells.size()) {
     throw std::invalid_argument("shard result count does not match spec");
   }
+  namespace fs = std::filesystem;
   const std::string dir = shard_dir_path(output_dir, spec.shard_id);
-  // Replace any stale/partial attempt wholesale, so a resumed sweep
-  // never mixes artifacts from two configurations; the manifest goes
-  // last — its "complete" marker is what shard_complete() trusts.
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
+  // Benign-duplicate fast path: a retry or straggler re-dispatch whose
+  // sibling already published identical bytes has nothing left to do.
+  if (shard_complete(dir, spec)) return dir;
+
+  // Stage everything under a pid-unique sibling, then publish with one
+  // directory rename: concurrent duplicate attempts never write the
+  // same path, and the final name only ever holds a whole directory.
+  const fs::path staging =
+      dir + ".staging." + std::to_string(::getpid());
+  fs::remove_all(staging);
+  fs::create_directories(staging);
+  ArtifactDigests digests;
   for (std::size_t i = 0; i < results.size(); ++i) {
-    write_file(dir + util::format("/cell-%zu.result", spec.cells[i].index),
-               encode_cell_record(spec.cells[i].index, results[i]));
+    publish_file(staging, util::format("cell-%zu.result",
+                                       spec.cells[i].index),
+                 encode_cell_record(spec.cells[i].index, results[i]),
+                 &digests);
   }
-  write_batch_outputs(dir, results, spec.result_type);
-  write_file(dir + "/" + kManifestName, manifest_text(spec));
-  return dir;
+  write_batch_outputs(staging.string(), results, spec.result_type,
+                      &digests);
+  // The manifest goes last — its "complete" marker plus the digests
+  // above are what shard_complete() trusts.
+  write_file_atomic(staging / kManifestName,
+                    manifest_text(spec, digests));
+  sync_dir(staging);
+
+  util::fault::before_publish();  // hang hook (no-op unless armed)
+
+  // First complete publish wins. A failed rename means the final name
+  // is occupied: by a complete sibling publish (benign — discard the
+  // staging copy) or by a stale incomplete attempt (replace it).
+  int err = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (::rename(staging.c_str(), dir.c_str()) == 0) {
+      sync_dir(fs::path(dir).parent_path());
+      return dir;
+    }
+    err = errno;
+    if (shard_complete(dir, spec)) {
+      fs::remove_all(staging);
+      return dir;
+    }
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  fs::remove_all(staging);
+  throw std::runtime_error("cannot publish shard directory " + dir + ": " +
+                           std::strerror(err));
 }
 
 bool shard_complete(const std::string& dir, const ShardSpec& spec) {
@@ -551,8 +722,14 @@ bool shard_complete(const std::string& dir, const ShardSpec& spec) {
   if (!std::filesystem::exists(manifest, ec)) return false;
   try {
     bool complete = false;
-    ShardSpec recorded = parse_manifest(read_file(manifest), &complete);
-    return complete && recorded == spec;
+    ArtifactDigests digests;
+    ShardSpec recorded =
+        parse_shard_manifest(read_file(manifest), &complete, &digests);
+    if (!complete || !(recorded == spec)) return false;
+    // The manifest alone is not enough: every artifact it vouches for
+    // must still carry the exact bytes the worker intended — a torn or
+    // tampered file makes the shard incomplete, hence re-run.
+    return verify_artifacts(dir, digests).empty();
   } catch (const std::exception&) {
     return false;  // malformed manifest == incomplete shard
   }
@@ -563,18 +740,29 @@ std::vector<BenchmarkResult> read_shard_results(
   if (dirs.empty()) {
     throw std::runtime_error("no shard directories to merge");
   }
+  // Per-shard damage — unreadable/truncated manifests, failed digest
+  // verification — is retryable: re-running that one shard repairs the
+  // sweep. Cross-shard structural conflicts below are fatal.
   std::vector<ShardSpec> specs;
   for (const std::string& dir : dirs) {
     bool complete = false;
     ShardSpec spec;
+    ArtifactDigests digests;
     try {
-      spec = parse_manifest(
-          read_file(std::filesystem::path(dir) / kManifestName), &complete);
+      spec = parse_shard_manifest(
+          read_file(std::filesystem::path(dir) / kManifestName), &complete,
+          &digests);
     } catch (const std::exception& e) {
-      throw std::runtime_error(dir + ": " + e.what());
+      throw ShardRetryableError(-1, dir, dir + ": " + e.what());
     }
     if (!complete) {
-      throw std::runtime_error(dir + ": shard artifacts are incomplete");
+      throw ShardRetryableError(spec.shard_id, dir,
+                                dir + ": shard artifacts are incomplete");
+    }
+    const std::string torn =
+        verify_artifacts(std::filesystem::path(dir), digests);
+    if (!torn.empty()) {
+      throw ShardRetryableError(spec.shard_id, dir, dir + ": " + torn);
     }
     specs.push_back(std::move(spec));
   }
@@ -602,9 +790,17 @@ std::vector<BenchmarkResult> read_shard_results(
     total_cells += spec.cells.size();
   }
   if (static_cast<int>(shard_ids.size()) != first.shard_count) {
-    throw std::runtime_error(util::format(
-        "merge needs all %d shards, got %zu", first.shard_count,
-        shard_ids.size()));
+    // An absent shard is repairable: name the first missing id so
+    // cluster scripts know exactly which worker to re-launch.
+    for (int id = 0; id < first.shard_count; ++id) {
+      if (shard_ids.count(id) == 0) {
+        throw ShardRetryableError(
+            id, "",
+            util::format("merge needs all %d shards; shard %d is missing "
+                         "— re-run it and merge again",
+                         first.shard_count, id));
+      }
+    }
   }
   if (total_cells != first.matrix_cells) {
     throw std::runtime_error(util::format(
@@ -628,12 +824,17 @@ std::vector<BenchmarkResult> read_shard_results(
       try {
         result = decode_cell_record(read_file(path), &recorded_index);
       } catch (const std::exception& e) {
-        throw std::runtime_error(path + ": " + e.what());
+        // Digest verification passed, so this is vanishingly rare
+        // (file replaced between the checks) — still repairable by
+        // re-running the shard.
+        throw ShardRetryableError(specs[s].shard_id, dirs[s],
+                                  path + ": " + e.what());
       }
       if (recorded_index != cell.index || result.system != cell.system ||
           result.benchmark != cell.benchmark) {
-        throw std::runtime_error(path +
-                                 ": record does not match its manifest cell");
+        throw ShardRetryableError(
+            specs[s].shard_id, dirs[s],
+            path + ": record does not match its manifest cell");
       }
       if (!by_index.emplace(cell.index, std::move(result)).second) {
         throw std::runtime_error(

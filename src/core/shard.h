@@ -38,15 +38,59 @@
 // --deterministic-timings — which also proves the merge routes each
 // cell's payload to the right row. Everything else (validation tables,
 // graphs, stores) is deterministic under real timings too.
+//
+// Crash safety (docs/robustness.md): every artifact write goes through
+// write-to-`<path>.tmp.<pid>` → fsync → rename, so no reader ever sees
+// a half-written file under its final name; a whole shard directory is
+// staged under `shard-K.staging.<pid>` and published with one
+// directory rename, so duplicate attempts (retries, straggler
+// re-dispatch) race benignly — the first complete publish wins. The
+// manifest records an FNV-1a content hash and size for every artifact
+// it covers; shard_complete (the resume check) and read_shard_results
+// (the merge) re-verify those hashes, so a torn or tampered file is
+// detected and the shard re-run instead of merged. Merge failures are
+// split into ShardRetryableError (this shard is incomplete/torn —
+// re-run it) and plain std::runtime_error (structurally mixed sweeps
+// that no re-run can fix).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 
 namespace provmark::core {
+
+/// A merge/read failure that re-running one shard fixes: its artifacts
+/// are missing, incomplete, or fail content-hash verification (torn or
+/// tampered files). Cluster scripts branch on this — `provmark merge`
+/// exits 3 for it, 1 for fatal (structural) mismatches.
+class ShardRetryableError : public std::runtime_error {
+ public:
+  ShardRetryableError(int shard_id, std::string dir,
+                      const std::string& what)
+      : std::runtime_error(what), shard_id(shard_id), dir(std::move(dir)) {}
+
+  int shard_id;     ///< shard to re-run, or -1 when unknown
+  std::string dir;  ///< offending artifact dir, or "" when missing
+};
+
+/// The intended content of one published artifact: FNV-1a hash + size
+/// of the bytes the writer meant to produce. Recorded in the shard
+/// manifest and re-verified against the on-disk bytes by resume and
+/// merge — a crashed or torn write can never pass.
+struct ArtifactDigest {
+  std::uint64_t hash = 0;
+  std::uint64_t size = 0;
+
+  bool operator==(const ArtifactDigest&) const = default;
+};
+
+/// Relative artifact name → digest, in deterministic (map) order.
+using ArtifactDigests = std::map<std::string, ArtifactDigest>;
 
 /// One cell of the batch matrix: the single-process sweep runs cells in
 /// ascending `index` order (systems outer, Table-1 benchmarks inner).
@@ -154,10 +198,16 @@ std::string time_log_row(const BenchmarkResult& result);
 /// validation table, truncated), and for rg/rh the per-cell .dot and
 /// .datalog stores, plus index.html for rh. Shared verbatim by the
 /// single-process batch, each shard (over its own slice), and the merge
-/// step — the byte-identity guarantee lives here.
+/// step — the byte-identity guarantee lives here. Every file is
+/// published atomically (tmp + fsync + rename). When `digests` is
+/// non-null (the shard-publish path), each file's intended content
+/// digest is recorded there *before* the bytes hit disk, and the
+/// fault-injection tear hook is applied — so an injected torn write
+/// produces exactly the detectable state a real crash would.
 void write_batch_outputs(const std::string& dir,
                          const std::vector<BenchmarkResult>& results,
-                         const std::string& result_type);
+                         const std::string& result_type,
+                         ArtifactDigests* digests = nullptr);
 
 // -- shard artifact directories ----------------------------------------------
 
@@ -172,11 +222,16 @@ std::string encode_cell_record(std::size_t cell_index,
 BenchmarkResult decode_cell_record(const std::string& text,
                                    std::size_t* cell_index);
 
-/// Write shard `spec`'s artifact directory under
+/// Write and atomically publish shard `spec`'s artifact directory as
 /// `<output_dir>/shard-<id>/`: cell-<index>.result records, the shard's
-/// own time.log/validation.txt/stores slice, and shard.manifest (written
-/// last; its final "complete" line is the resume marker). Any existing
-/// directory is replaced. Returns the shard directory path.
+/// own time.log/validation.txt/stores slice, and shard.manifest (with a
+/// content digest per artifact; written last — its final "complete"
+/// line is the resume marker). Everything is staged under
+/// `shard-<id>.staging.<pid>` and published with a single directory
+/// rename, so concurrent duplicate attempts are benign: the first
+/// complete publish wins, later ones discard their staging and return
+/// the winner's directory. A stale incomplete occupant of the final
+/// path is replaced. Returns the shard directory path.
 std::string write_shard_dir(const std::string& output_dir,
                             const ShardSpec& spec,
                             const std::vector<BenchmarkResult>& results);
@@ -184,18 +239,33 @@ std::string write_shard_dir(const std::string& output_dir,
 /// Path of shard `shard_id`'s directory under `output_dir`.
 std::string shard_dir_path(const std::string& output_dir, int shard_id);
 
-/// True when `dir` holds a complete artifact directory for exactly
-/// `spec` (manifest present, fingerprint matches, "complete" marker
-/// written) — the resume check: complete shards are skipped, anything
-/// else is re-run.
+/// Parse a shard.manifest document. With `complete == nullptr` the
+/// manifest must be whole — header through the trailing "complete"
+/// marker line (newline included) — and std::runtime_error is thrown
+/// otherwise, so truncation at *any* byte offset is rejected. With a
+/// non-null `complete`, structural truncation still throws but a
+/// missing tail only reports `*complete = false`. `digests`, when
+/// non-null, receives the per-artifact content digests.
+ShardSpec parse_shard_manifest(const std::string& text,
+                               bool* complete = nullptr,
+                               ArtifactDigests* digests = nullptr);
+
+/// True when `dir` holds a complete, intact artifact directory for
+/// exactly `spec`: manifest present, fingerprint matches, "complete"
+/// marker written, and every artifact's on-disk bytes match the digest
+/// the manifest recorded — the resume check. Torn, truncated, or
+/// tampered shards read as incomplete and are re-run.
 bool shard_complete(const std::string& dir, const ShardSpec& spec);
 
 /// Load and validate shard artifact directories (in any order): the
 /// manifests must agree on (shard_count, seed, result_type, timing
-/// mode), cover every shard id exactly once, and jointly cover the cell
-/// matrix exactly once. Returns all cell results in matrix order, ready
-/// for write_batch_outputs. Throws std::runtime_error on any gap,
-/// duplicate, or mismatch.
+/// mode), cover every shard id exactly once, jointly cover the cell
+/// matrix exactly once, and every artifact must pass digest
+/// verification. Returns all cell results in matrix order, ready for
+/// write_batch_outputs. Per-shard damage (missing/incomplete/torn
+/// artifacts, missing shards) throws ShardRetryableError naming the
+/// shard to re-run; structural conflicts (mixed sweep fingerprints,
+/// duplicate shards, impossible coverage) throw std::runtime_error.
 std::vector<BenchmarkResult> read_shard_results(
     const std::vector<std::string>& dirs, std::string* result_type = nullptr);
 

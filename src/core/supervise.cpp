@@ -1,0 +1,419 @@
+#include "core/supervise.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::core {
+
+namespace {
+
+/// Why the supervisor killed a still-running attempt, decided before
+/// the corpse arrives through wait_any.
+enum class KillMark { None, Superseded, Hung };
+
+struct RunningAttempt {
+  int task = 0;
+  int attempt = 0;
+  std::int64_t start_ms = 0;
+  KillMark mark = KillMark::None;
+};
+
+struct TaskState {
+  bool done = false;
+  bool quarantined = false;
+  int launches = 0;
+  int winning_attempt = -1;
+  std::int64_t retry_at_ms = -1;  ///< scheduled next launch, -1 = none
+  std::string last_failure;
+  std::string diagnostic;  ///< final quarantine message, when any
+};
+
+std::int64_t median_ms(std::vector<std::int64_t> durations) {
+  std::sort(durations.begin(), durations.end());
+  return durations[durations.size() / 2];
+}
+
+}  // namespace
+
+const char* fate_name(WorkerFate fate) {
+  switch (fate) {
+    case WorkerFate::Published:
+      return "published";
+    case WorkerFate::ExitedUnpublished:
+      return "exited-unpublished";
+    case WorkerFate::Failed:
+      return "failed";
+    case WorkerFate::Signaled:
+      return "signaled";
+    case WorkerFate::Hung:
+      return "hung";
+    case WorkerFate::Superseded:
+      return "superseded";
+    case WorkerFate::SpawnFailed:
+      return "spawn-failed";
+  }
+  return "unknown";
+}
+
+std::int64_t backoff_ms(std::uint64_t seed, int task, int attempt,
+                        const SuperviseOptions& options) {
+  if (attempt < 1) attempt = 1;
+  util::Rng rng(seed ^
+                util::stable_hash(util::format("supervise-backoff-%d-%d",
+                                               task, attempt)));
+  const double jitter =
+      0.75 + 0.5 * (static_cast<double>(rng.next_u64() >> 11) *
+                    (1.0 / 9007199254740992.0));
+  const double raw = static_cast<double>(options.backoff_base_ms) *
+                     std::ldexp(1.0, std::min(attempt, 48) - 1) * jitter;
+  const double capped =
+      std::min(raw, static_cast<double>(options.backoff_cap_ms));
+  return static_cast<std::int64_t>(std::llround(capped));
+}
+
+SuperviseReport supervise(int task_count, WorkerHost& host,
+                          const SuperviseOptions& options) {
+  const int max_launches = 1 + std::max(0, options.retries);
+  std::vector<TaskState> tasks(static_cast<std::size_t>(task_count));
+  std::map<std::uint64_t, RunningAttempt> running;
+  std::vector<std::int64_t> published_durations;
+  SuperviseReport report;
+  report.history.reserve(static_cast<std::size_t>(task_count));
+
+  auto settled = [&](const TaskState& t) {
+    return t.done || t.quarantined;
+  };
+  auto record = [&](int task, int attempt, WorkerFate fate,
+                    std::int64_t start_ms, std::int64_t end_ms) {
+    report.history.push_back(
+        AttemptRecord{task, attempt, fate, start_ms, end_ms});
+  };
+
+  // A task with no live attempt and no scheduled retry either gets one
+  // more launch or is quarantined with its accumulated diagnostic.
+  auto after_failure = [&](int task) {
+    TaskState& t = tasks[static_cast<std::size_t>(task)];
+    if (settled(t)) return;
+    bool has_running = false;
+    for (const auto& [token, run] : running) {
+      if (run.task == task) has_running = true;
+    }
+    if (t.launches < max_launches) {
+      if (t.retry_at_ms < 0) {
+        const std::int64_t delay =
+            backoff_ms(options.seed, task, t.launches, options);
+        t.retry_at_ms = host.now_ms() + delay;
+        host.note(util::format(
+            "shard %d attempt %d failed (%s); retrying in %lld ms", task,
+            t.launches - 1, t.last_failure.c_str(),
+            static_cast<long long>(delay)));
+      }
+      return;
+    }
+    if (has_running || t.retry_at_ms >= 0) return;  // a verdict is pending
+    t.quarantined = true;
+    const std::string diagnostic = util::format(
+        "shard %d failed all %d attempts; last failure: %s", task,
+        t.launches, t.last_failure.c_str());
+    host.note(diagnostic);
+    host.quarantine(task, t.launches - 1, diagnostic);
+    tasks[static_cast<std::size_t>(task)].diagnostic = diagnostic;
+  };
+
+  auto launch = [&](int task) {
+    TaskState& t = tasks[static_cast<std::size_t>(task)];
+    t.retry_at_ms = -1;
+    const int attempt = t.launches++;
+    const std::int64_t start = host.now_ms();
+    const std::uint64_t token = host.spawn(task, attempt);
+    if (token == 0) {
+      record(task, attempt, WorkerFate::SpawnFailed, start, start);
+      t.last_failure = "spawn failed";
+      after_failure(task);
+      return;
+    }
+    running[token] = RunningAttempt{task, attempt, start, KillMark::None};
+  };
+
+  for (int task = 0; task < task_count; ++task) launch(task);
+
+  while (true) {
+    bool all_settled = true;
+    for (const TaskState& t : tasks) all_settled &= settled(t);
+    if (all_settled) break;
+
+    std::int64_t now = host.now_ms();
+
+    // Fire due retries.
+    for (int task = 0; task < task_count; ++task) {
+      TaskState& t = tasks[static_cast<std::size_t>(task)];
+      if (!settled(t) && t.retry_at_ms >= 0 && t.retry_at_ms <= now) {
+        launch(task);
+      }
+    }
+
+    // Straggler scan: only meaningful once a majority of tasks have
+    // published — before that there is no trustworthy notion of how
+    // long a shard "should" take.
+    if (2 * static_cast<int>(published_durations.size()) >= task_count &&
+        !published_durations.empty()) {
+      const std::int64_t deadline = std::max(
+          options.straggler_min_ms,
+          static_cast<std::int64_t>(options.straggler_factor *
+                                    static_cast<double>(
+                                        median_ms(published_durations))));
+      for (int task = 0; task < task_count; ++task) {
+        TaskState& t = tasks[static_cast<std::size_t>(task)];
+        if (settled(t) || t.retry_at_ms >= 0) continue;
+        bool any_fresh = false;
+        std::vector<std::uint64_t> overdue;
+        for (auto& [token, run] : running) {
+          if (run.task != task) continue;
+          if (now - run.start_ms >= deadline) {
+            overdue.push_back(token);
+          } else {
+            any_fresh = true;
+          }
+        }
+        if (overdue.empty() || any_fresh) continue;
+        if (t.launches < max_launches) {
+          host.note(util::format(
+              "shard %d attempt %d is a straggler (> %lld ms); "
+              "dispatching a duplicate attempt",
+              task, running[overdue.front()].attempt,
+              static_cast<long long>(deadline)));
+          launch(task);
+        } else {
+          // No budget for a duplicate: the overdue attempts *are* the
+          // verdict. Kill them; their reaped corpses drive quarantine.
+          for (std::uint64_t token : overdue) {
+            if (running[token].mark != KillMark::None) continue;
+            running[token].mark = KillMark::Hung;
+            host.kill_worker(token);
+          }
+        }
+      }
+    }
+
+    // Sleep until the next retry timer or the poll tick, whichever is
+    // sooner, unless a worker dies first.
+    std::int64_t timeout = options.poll_ms;
+    for (const TaskState& t : tasks) {
+      if (!settled(t) && t.retry_at_ms >= 0) {
+        timeout = std::max<std::int64_t>(
+            1, std::min(timeout, t.retry_at_ms - now));
+      }
+    }
+    WorkerEvent event;
+    if (!host.wait_any(timeout, &event)) continue;
+
+    auto it = running.find(event.token);
+    if (it == running.end()) continue;  // not one of ours
+    const RunningAttempt run = it->second;
+    running.erase(it);
+    now = host.now_ms();
+    TaskState& t = tasks[static_cast<std::size_t>(run.task)];
+
+    if (t.done) {
+      record(run.task, run.attempt, WorkerFate::Superseded, run.start_ms,
+             now);
+      continue;
+    }
+    if (run.mark == KillMark::Hung) {
+      record(run.task, run.attempt, WorkerFate::Hung, run.start_ms, now);
+      t.last_failure = "hung past the straggler deadline";
+      after_failure(run.task);
+      continue;
+    }
+    if (event.signaled) {
+      record(run.task, run.attempt, WorkerFate::Signaled, run.start_ms,
+             now);
+      t.last_failure = util::format("killed by signal %d", event.signal);
+      after_failure(run.task);
+      continue;
+    }
+    if (event.exit_code == 0 && host.published(run.task)) {
+      record(run.task, run.attempt, WorkerFate::Published, run.start_ms,
+             now);
+      t.done = true;
+      t.winning_attempt = run.attempt;
+      t.retry_at_ms = -1;
+      published_durations.push_back(now - run.start_ms);
+      // Losers of the publish race are redundant work — reap them.
+      for (auto& [token, other] : running) {
+        if (other.task == run.task && other.mark == KillMark::None) {
+          other.mark = KillMark::Superseded;
+          host.kill_worker(token);
+        }
+      }
+      continue;
+    }
+    if (event.exit_code == 0) {
+      record(run.task, run.attempt, WorkerFate::ExitedUnpublished,
+             run.start_ms, now);
+      t.last_failure = "exited cleanly without publishing its artifacts";
+    } else {
+      record(run.task, run.attempt, WorkerFate::Failed, run.start_ms, now);
+      t.last_failure = util::format("exit code %d", event.exit_code);
+    }
+    after_failure(run.task);
+  }
+
+  // Every task is settled, but the last publish may have just killed a
+  // superseded loser: reap those corpses so no zombie outlives the
+  // sweep and every spawned attempt gets a history record.
+  while (!running.empty()) {
+    WorkerEvent event;
+    if (!host.wait_any(options.poll_ms, &event)) continue;
+    auto it = running.find(event.token);
+    if (it == running.end()) continue;
+    const RunningAttempt run = it->second;
+    running.erase(it);
+    record(run.task, run.attempt,
+           run.mark == KillMark::Hung ? WorkerFate::Hung
+                                      : WorkerFate::Superseded,
+           run.start_ms, host.now_ms());
+  }
+
+  report.all_published = true;
+  report.tasks.reserve(static_cast<std::size_t>(task_count));
+  for (int task = 0; task < task_count; ++task) {
+    const TaskState& t = tasks[static_cast<std::size_t>(task)];
+    report.all_published &= t.done;
+    report.tasks.push_back(TaskOutcome{task, t.done, t.launches,
+                                       t.winning_attempt, t.quarantined,
+                                       t.diagnostic});
+  }
+  return report;
+}
+
+// -- ProcessWorkerHost -------------------------------------------------------
+
+ProcessWorkerHost ProcessWorkerHost::exec_mode(ArgvFn argv_for,
+                                               PublishedFn published) {
+  ProcessWorkerHost host;
+  host.argv_for_ = std::move(argv_for);
+  host.published_ = std::move(published);
+  return host;
+}
+
+ProcessWorkerHost ProcessWorkerHost::fork_mode(ChildMainFn child_main,
+                                               PublishedFn published) {
+  ProcessWorkerHost host;
+  host.child_main_ = std::move(child_main);
+  host.published_ = std::move(published);
+  return host;
+}
+
+std::uint64_t ProcessWorkerHost::spawn(int task, int attempt) {
+  if (argv_for_) {
+    // Materialize argv (and the log path) before fork: between fork and
+    // exec the child may only call async-signal-safe functions.
+    std::vector<std::string> args = argv_for_(task, attempt);
+    const std::string log_path =
+        log_path_ ? log_path_(task, attempt) : std::string();
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid < 0) return 0;
+    if (pid == 0) {
+      if (!log_path.empty()) {
+        int fd =
+            ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+          ::dup2(fd, 1);
+          ::dup2(fd, 2);
+          ::close(fd);
+        }
+      }
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    live_[static_cast<std::uint64_t>(pid)] = task;
+    return static_cast<std::uint64_t>(pid);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) return 0;
+  if (pid == 0) {
+    int code = 1;
+    try {
+      code = child_main_(task, attempt);
+    } catch (...) {
+      code = 1;
+    }
+    ::_exit(code);
+  }
+  live_[static_cast<std::uint64_t>(pid)] = task;
+  return static_cast<std::uint64_t>(pid);
+}
+
+bool ProcessWorkerHost::wait_any(std::int64_t timeout_ms,
+                                 WorkerEvent* event) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!live_.empty()) {
+      int status = 0;
+      pid_t pid;
+      // EINTR retry: a signal delivered to the supervisor must not
+      // masquerade as a worker verdict.
+      do {
+        pid = ::waitpid(-1, &status, WNOHANG);
+      } while (pid < 0 && errno == EINTR);
+      if (pid > 0) {
+        const auto it = live_.find(static_cast<std::uint64_t>(pid));
+        if (it != live_.end()) {
+          live_.erase(it);
+          event->token = static_cast<std::uint64_t>(pid);
+          event->signaled = WIFSIGNALED(status);
+          event->exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+          event->signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+          return true;
+        }
+        continue;  // an unrelated child; keep draining
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool ProcessWorkerHost::published(int task) {
+  return published_ && published_(task);
+}
+
+void ProcessWorkerHost::kill_worker(std::uint64_t token) {
+  ::kill(static_cast<pid_t>(token), SIGKILL);
+}
+
+std::int64_t ProcessWorkerHost::now_ms() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void ProcessWorkerHost::quarantine(int task, int attempt,
+                                   const std::string& diagnostic) {
+  if (quarantine_) quarantine_(task, attempt, diagnostic);
+}
+
+void ProcessWorkerHost::note(const std::string& message) {
+  if (note_) note_(message);
+}
+
+}  // namespace provmark::core

@@ -1,0 +1,210 @@
+// Worker supervision for sharded sweeps: retry, backoff, quarantine,
+// straggler re-dispatch.
+//
+// The `--shards N` parent used to fork N workers, wait for each once,
+// and abort the sweep on the first bad exit. This module replaces that
+// with a supervisor that treats worker failure as routine (the default
+// condition in any multi-process sweep — see docs/robustness.md):
+//
+//   - every worker's fate is classified (published / exited without
+//     publishing / nonzero exit / signaled / hung / superseded /
+//     spawn failed),
+//   - failed shards are retried up to a budget with seeded exponential
+//     backoff (deterministic per (seed, shard, attempt) — two runs of
+//     the same sweep schedule identical retries),
+//   - a shard that exhausts its budget is quarantined: its artifact
+//     directory is moved aside as `shard-K.failed.<attempt>` with a
+//     diagnostic, and the sweep reports the failure instead of hanging,
+//   - once at least half the shards have completed, attempts running
+//     past max(straggler_min, factor × median completed duration) are
+//     treated as stragglers and a duplicate attempt is dispatched;
+//     whichever attempt publishes first wins (the atomic directory
+//     rename in write_shard_dir makes the duplicate benign), and the
+//     loser is killed and recorded as superseded.
+//
+// The engine is pure event-loop logic over an abstract WorkerHost, so
+// tests drive it with a scripted host and a virtual clock — no real
+// processes, no real sleeps — while the CLI and the chaos bench plug in
+// ProcessWorkerHost (fork/exec or fork-only) for real workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace provmark::core {
+
+/// What ultimately happened to one spawned worker attempt.
+enum class WorkerFate {
+  Published,          ///< exited clean and its task's artifact is published
+  ExitedUnpublished,  ///< exited clean but published nothing (counts failed)
+  Failed,             ///< nonzero exit code
+  Signaled,           ///< killed by an external signal
+  Hung,               ///< exceeded the straggler deadline with no budget
+                      ///< left; killed by the supervisor
+  Superseded,         ///< a duplicate attempt won the publish race first
+  SpawnFailed,        ///< fork/exec failed; no process ran
+};
+
+const char* fate_name(WorkerFate fate);
+
+/// A worker termination observed by WorkerHost::wait_any.
+struct WorkerEvent {
+  std::uint64_t token = 0;  ///< the handle spawn() returned
+  bool signaled = false;
+  int exit_code = 0;  ///< valid when !signaled
+  int signal = 0;     ///< valid when signaled
+};
+
+/// The supervisor's window onto the outside world. ProcessWorkerHost
+/// implements it with fork/waitpid/kill over real shard workers; tests
+/// implement it with a script and a virtual clock.
+class WorkerHost {
+ public:
+  virtual ~WorkerHost() = default;
+
+  /// Launch attempt `attempt` (0-based) of `task`. Returns an opaque
+  /// nonzero token identifying the worker, or 0 when the launch itself
+  /// failed (treated as a failed attempt, retried with backoff).
+  virtual std::uint64_t spawn(int task, int attempt) = 0;
+
+  /// Block up to `timeout_ms` for any live worker to terminate; fill
+  /// `*event` and return true, or return false on timeout (the host
+  /// must still let at least `timeout_ms` of clock elapse when it has
+  /// nothing to report — the supervisor's backoff timers depend on it).
+  virtual bool wait_any(std::int64_t timeout_ms, WorkerEvent* event) = 0;
+
+  /// True when `task`'s artifact is durably published (e.g.
+  /// shard_complete on its directory). Consulted when a worker exits
+  /// clean, to distinguish Published from ExitedUnpublished.
+  virtual bool published(int task) = 0;
+
+  /// Forcibly terminate a worker (straggler loser or hung attempt).
+  /// The death still arrives through wait_any.
+  virtual void kill_worker(std::uint64_t token) = 0;
+
+  /// Monotonic milliseconds. All supervisor arithmetic (backoff
+  /// deadlines, straggler medians) uses this clock only.
+  virtual std::int64_t now_ms() = 0;
+
+  /// `task` exhausted its attempt budget: move any partial artifacts
+  /// aside (shard-K.failed.<attempt>) and record `diagnostic`.
+  virtual void quarantine(int task, int attempt,
+                          const std::string& diagnostic) = 0;
+
+  /// Progress/diagnostic line for humans; hosts may print or discard.
+  virtual void note(const std::string&) {}
+};
+
+struct SuperviseOptions {
+  /// Total launches allowed per task: 1 first try + `retries` more
+  /// (shared between failure retries and straggler re-dispatches).
+  int retries = 2;
+  std::uint64_t seed = 42;  ///< sweeps pass their run seed
+  std::int64_t backoff_base_ms = 250;
+  std::int64_t backoff_cap_ms = 10'000;
+  /// Straggler deadline = max(straggler_min_ms, straggler_factor ×
+  /// median published-attempt duration); armed only once at least half
+  /// the tasks have published.
+  std::int64_t straggler_min_ms = 2'000;
+  double straggler_factor = 3.0;
+  /// wait_any timeout while idle (bounds timer latency).
+  std::int64_t poll_ms = 50;
+};
+
+/// Deterministic retry delay before attempt `attempt` (1-based: the
+/// first retry) of `task`: backoff_base_ms × 2^(attempt-1) × jitter,
+/// jitter ∈ [0.75, 1.25] drawn from Rng(seed ⊕ hash(task, attempt)),
+/// clamped to backoff_cap_ms. Monotone non-decreasing in `attempt`
+/// (2 × 0.75 ≥ 1.25, so doubling always dominates the jitter).
+std::int64_t backoff_ms(std::uint64_t seed, int task, int attempt,
+                        const SuperviseOptions& options);
+
+/// One spawned attempt, chronologically recorded.
+struct AttemptRecord {
+  int task = 0;
+  int attempt = 0;  ///< 0-based launch index for this task
+  WorkerFate fate = WorkerFate::Failed;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+};
+
+struct TaskOutcome {
+  int task = 0;
+  bool published = false;
+  int launches = 0;          ///< total attempts spawned
+  int winning_attempt = -1;  ///< attempt index that published, or -1
+  bool quarantined = false;
+  std::string diagnostic;  ///< why the task failed, when it did
+};
+
+struct SuperviseReport {
+  bool all_published = false;
+  std::vector<TaskOutcome> tasks;      ///< indexed by task id
+  std::vector<AttemptRecord> history;  ///< every attempt, in reap order
+};
+
+/// Supervise tasks 0..task_count-1 to completion: launch, classify,
+/// retry with backoff, quarantine on budget exhaustion, re-dispatch
+/// stragglers. Returns when every task is published or quarantined.
+SuperviseReport supervise(int task_count, WorkerHost& host,
+                          const SuperviseOptions& options);
+
+// -- real-process host -------------------------------------------------------
+
+/// WorkerHost over real child processes. Two launch modes:
+///   - exec mode: `argv_for(task, attempt)` names a command line; the
+///     child fork+execs it (the CLI re-invokes itself per shard). The
+///     argv is materialized before fork, so the child only calls
+///     async-signal-safe functions.
+///   - fork-only mode: `child_main(task, attempt)` runs in the forked
+///     child and its return value becomes the exit code (the chaos
+///     bench runs shard cells in-process; the parent must hold no
+///     live thread pools when spawning).
+class ProcessWorkerHost : public WorkerHost {
+ public:
+  using ArgvFn = std::function<std::vector<std::string>(int, int)>;
+  using ChildMainFn = std::function<int(int, int)>;
+  using PublishedFn = std::function<bool(int)>;
+  using QuarantineFn =
+      std::function<void(int, int, const std::string&)>;
+  using NoteFn = std::function<void(const std::string&)>;
+  using LogPathFn = std::function<std::string(int, int)>;
+
+  static ProcessWorkerHost exec_mode(ArgvFn argv_for,
+                                     PublishedFn published);
+  static ProcessWorkerHost fork_mode(ChildMainFn child_main,
+                                     PublishedFn published);
+
+  /// Default quarantine renames nothing; the CLI installs one that
+  /// moves the shard directory aside and writes a diagnostic file.
+  void set_quarantine(QuarantineFn fn) { quarantine_ = std::move(fn); }
+  void set_note(NoteFn fn) { note_ = std::move(fn); }
+  /// Exec mode only: redirect each worker's stdout+stderr to
+  /// `fn(task, attempt)` (path materialized before fork).
+  void set_log_path(LogPathFn fn) { log_path_ = std::move(fn); }
+
+  std::uint64_t spawn(int task, int attempt) override;
+  bool wait_any(std::int64_t timeout_ms, WorkerEvent* event) override;
+  bool published(int task) override;
+  void kill_worker(std::uint64_t token) override;
+  std::int64_t now_ms() override;
+  void quarantine(int task, int attempt,
+                  const std::string& diagnostic) override;
+  void note(const std::string& message) override;
+
+ private:
+  ProcessWorkerHost() = default;
+
+  ArgvFn argv_for_;
+  ChildMainFn child_main_;
+  PublishedFn published_;
+  QuarantineFn quarantine_;
+  NoteFn note_;
+  LogPathFn log_path_;
+  std::map<std::uint64_t, int> live_;  ///< token (pid) → task
+};
+
+}  // namespace provmark::core

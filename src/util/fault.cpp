@@ -1,0 +1,217 @@
+#include "util/fault.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace provmark::util::fault {
+
+namespace {
+
+/// Live (armed) rules plus their fire-once flags, guarded by a mutex;
+/// `g_armed` is the fast path every disarmed hook takes.
+struct LiveRule {
+  FaultRule rule;
+  bool fired = false;
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::vector<LiveRule> g_rules;
+std::atomic<int> g_cells_completed{0};
+
+double parse_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t end = 0;
+    double parsed = std::stod(value, &end);
+    if (end != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault-spec: " + key +
+                                " needs a number, got '" + value + "'");
+  }
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  double parsed = parse_number(key, value);
+  int truncated = static_cast<int>(parsed);
+  if (static_cast<double>(truncated) != parsed) {
+    throw std::invalid_argument("fault-spec: " + key +
+                                " needs an integer, got '" + value + "'");
+  }
+  return truncated;
+}
+
+FaultRule parse_rule(const std::string& clause) {
+  const std::size_t colon = clause.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument(
+        "fault-spec: rule '" + clause +
+        "' needs the form kind:key=value[,key=value...]");
+  }
+  const std::string kind = std::string(util::trim(clause.substr(0, colon)));
+  FaultRule rule;
+  if (kind == "crash") {
+    rule.kind = FaultKind::Crash;
+  } else if (kind == "torn-write") {
+    rule.kind = FaultKind::TornWrite;
+  } else if (kind == "hang") {
+    rule.kind = FaultKind::Hang;
+  } else {
+    throw std::invalid_argument("fault-spec: unknown fault kind '" + kind +
+                                "' (crash | torn-write | hang)");
+  }
+  for (const std::string& param :
+       util::split_nonempty(clause.substr(colon + 1), ',')) {
+    const std::size_t eq = param.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault-spec: parameter '" + param +
+                                  "' needs the form key=value");
+    }
+    const std::string key = std::string(util::trim(param.substr(0, eq)));
+    const std::string value = std::string(util::trim(param.substr(eq + 1)));
+    if (key == "shard") {
+      rule.shard = parse_int(key, value);
+    } else if (key == "attempt") {
+      rule.attempt = value == "any" ? -1 : parse_int(key, value);
+    } else if (key == "after-cell" && rule.kind == FaultKind::Crash) {
+      rule.after_cell = parse_int(key, value);
+      if (rule.after_cell < 1) {
+        throw std::invalid_argument("fault-spec: after-cell must be >= 1");
+      }
+    } else if (key == "file" && rule.kind == FaultKind::TornWrite) {
+      rule.file = value;
+    } else if (key == "keep" && rule.kind == FaultKind::TornWrite) {
+      rule.keep_fraction = parse_number(key, value);
+      if (rule.keep_fraction < 0 || rule.keep_fraction >= 1) {
+        throw std::invalid_argument(
+            "fault-spec: keep must be in [0, 1) — a torn file is a "
+            "strict prefix");
+      }
+    } else if (key == "seconds" && rule.kind == FaultKind::Hang) {
+      rule.hang_seconds = parse_number(key, value);
+    } else {
+      throw std::invalid_argument("fault-spec: unknown key '" + key +
+                                  "' for " + kind_name(rule.kind));
+    }
+  }
+  if (rule.shard < 0) {
+    throw std::invalid_argument("fault-spec: every rule needs shard=<id>");
+  }
+  if (rule.kind == FaultKind::TornWrite && rule.file.empty()) {
+    throw std::invalid_argument("fault-spec: torn-write needs file=<name>");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Crash:
+      return "crash";
+    case FaultKind::TornWrite:
+      return "torn-write";
+    case FaultKind::Hang:
+      return "hang";
+  }
+  return "unknown";
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& clause : util::split_nonempty(text, ';')) {
+    spec.rules.push_back(parse_rule(clause));
+  }
+  if (spec.rules.empty()) {
+    throw std::invalid_argument("fault-spec: no rules in '" + text + "'");
+  }
+  return spec;
+}
+
+void arm(const FaultSpec& spec, int shard_id, int attempt) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_rules.clear();
+  g_cells_completed.store(0);
+  for (const FaultRule& rule : spec.rules) {
+    if (rule.shard == shard_id &&
+        (rule.attempt < 0 || rule.attempt == attempt)) {
+      g_rules.push_back(LiveRule{rule, false});
+    }
+  }
+  g_armed.store(!g_rules.empty());
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_rules.clear();
+  g_armed.store(false);
+}
+
+bool armed() { return g_armed.load(); }
+
+void cell_completed() {
+  if (!g_armed.load()) return;
+  const int done = g_cells_completed.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (LiveRule& live : g_rules) {
+    if (live.rule.kind != FaultKind::Crash || live.fired) continue;
+    if (done < live.rule.after_cell) continue;
+    live.fired = true;
+    std::fprintf(stderr,
+                 "fault-injection: crash after cell %d (shard %d) — "
+                 "_exit(%d)\n",
+                 done, live.rule.shard, kCrashExitCode);
+    std::fflush(stderr);
+    ::_exit(kCrashExitCode);
+  }
+}
+
+void before_publish() {
+  if (!g_armed.load()) return;
+  double stall_seconds = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (LiveRule& live : g_rules) {
+      if (live.rule.kind != FaultKind::Hang || live.fired) continue;
+      live.fired = true;
+      stall_seconds = live.rule.hang_seconds;
+    }
+  }
+  if (stall_seconds <= 0) return;
+  std::fprintf(stderr,
+               "fault-injection: hanging %.0fs before publish "
+               "(waiting for the supervisor)\n",
+               stall_seconds);
+  std::fflush(stderr);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(stall_seconds));
+}
+
+bool tear_content(std::string_view file_name, std::string* content) {
+  if (!g_armed.load()) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (LiveRule& live : g_rules) {
+    if (live.rule.kind != FaultKind::TornWrite || live.fired) continue;
+    if (live.rule.file != file_name) continue;
+    live.fired = true;
+    const std::size_t keep = static_cast<std::size_t>(
+        static_cast<double>(content->size()) * live.rule.keep_fraction);
+    content->resize(keep);
+    std::fprintf(stderr,
+                 "fault-injection: torn write of %s (%zu bytes kept)\n",
+                 std::string(file_name).c_str(), keep);
+    std::fflush(stderr);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace provmark::util::fault

@@ -1,0 +1,94 @@
+// Deterministic fault injection for the crash-tolerance subsystem.
+//
+// The sharded sweep orchestrator (docs/robustness.md) promises to
+// survive worker crashes, torn artifact writes, and hangs. Promises
+// about failure paths rot unless the failures are cheap to produce on
+// demand, so this module turns a textual fault specification
+// (`provmark --fault-spec ...`) into hooks the shard writer and worker
+// loop call at the exact moments real faults would strike:
+//
+//   crash:shard=1,after-cell=3    worker for shard 1 calls _exit(70)
+//                                 once its 3rd matrix cell completes
+//   torn-write:shard=2,file=validation.txt
+//                                 shard 2 publishes validation.txt
+//                                 truncated (the manifest still records
+//                                 the intended content hash, so the
+//                                 tear is detectable downstream)
+//   hang:shard=0                  shard 0 stalls before publishing its
+//                                 artifacts (a straggler with all work
+//                                 done), until the supervisor kills it
+//
+// Rules are joined with ';' and target exactly one (shard, attempt)
+// pair: `attempt=K` defaults to 0 — the first try — so retries and
+// straggler re-dispatches run fault-free and the sweep converges;
+// `attempt=any` keeps a rule armed on every attempt (how tests produce
+// a shard that fails until quarantined). Everything is deterministic:
+// a rule either fires at its trigger point or it does not — no clocks,
+// no randomness — so the chaos bench and CI gate reproduce bit-for-bit.
+//
+// The injector is process-global and disarmed by default; every hook
+// is a no-op (one relaxed atomic load) until arm() is called, which
+// only ever happens inside shard worker processes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provmark::util::fault {
+
+enum class FaultKind { Crash, TornWrite, Hang };
+
+const char* kind_name(FaultKind kind);
+
+/// Exit code of a `crash:` rule, chosen to be recognizable in worker
+/// fate diagnostics (BSD sysexits' EX_SOFTWARE).
+constexpr int kCrashExitCode = 70;
+
+struct FaultRule {
+  FaultKind kind = FaultKind::Crash;
+  int shard = -1;    ///< target shard id (required in the spec)
+  int attempt = 0;   ///< target attempt; -1 = every attempt ("any")
+  int after_cell = 1;          ///< crash: fire after this many cells
+  std::string file;            ///< torn-write: artifact name to tear
+  double keep_fraction = 0.5;  ///< torn-write: prefix fraction kept
+  double hang_seconds = 3600;  ///< hang: stall duration before publish
+};
+
+struct FaultSpec {
+  std::vector<FaultRule> rules;
+};
+
+/// Parse the `--fault-spec` grammar (see module comment). Throws
+/// std::invalid_argument with a pointed message on any malformed rule,
+/// unknown kind, unknown key, or missing required key.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Arm `spec` for this process: rules whose (shard, attempt) match the
+/// given pair become live. Resets all fire-once state.
+void arm(const FaultSpec& spec, int shard_id, int attempt);
+
+/// Disarm every rule (tests call this between scenarios).
+void disarm();
+
+/// True when any rule is live in this process.
+bool armed();
+
+// -- hooks (no-ops while disarmed) -------------------------------------------
+
+/// Worker loop hook: one matrix cell finished in this process. A live
+/// crash rule whose after-cell count is reached calls _exit(70).
+void cell_completed();
+
+/// Shard writer hook: the artifact directory is fully staged and about
+/// to be published. A live hang rule stalls here for hang_seconds.
+void before_publish();
+
+/// Shard writer hook: `content` is about to be written as artifact
+/// `file_name` (no directory components). A live torn-write rule for
+/// that name truncates `content` in place (fires once) and returns
+/// true; the caller must have recorded the intended content hash
+/// *before* this call, so the tear is detectable.
+bool tear_content(std::string_view file_name, std::string* content);
+
+}  // namespace provmark::util::fault

@@ -315,5 +315,147 @@ TEST(ShardResume, CompletenessDetection) {
   EXPECT_FALSE(shard_complete(dir, spec));
 }
 
+TEST(ShardIntegrity, ManifestTruncationFuzzNeverParses) {
+  // A crashed writer can leave a prefix of any length on disk. Every
+  // one of them must be rejected with a clean runtime_error — never a
+  // crash, never a successful strict parse (which would let a torn
+  // manifest impersonate a complete shard).
+  ShardPlan plan = plan_batch({"spade"}, {"open"}, 1, 42, "rb", true);
+  ShardSpec spec = plan.shard(0);
+  TempDir tmp("fuzz_manifest");
+  write_shard_dir(tmp.str(), spec, run_mini_sweep(plan));
+  const std::string text =
+      slurp(fs::path(shard_dir_path(tmp.str(), 0)) / "shard.manifest");
+  ASSERT_GT(text.size(), 0u);
+
+  // The whole document parses strictly and round-trips the spec.
+  ArtifactDigests digests;
+  EXPECT_EQ(parse_shard_manifest(text, nullptr, &digests), spec);
+  EXPECT_FALSE(digests.empty());
+
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    EXPECT_THROW(parse_shard_manifest(text.substr(0, len)),
+                 std::runtime_error)
+        << "prefix of " << len << " bytes parsed as complete";
+    // Lenient mode (resume) must classify the same prefix as
+    // incomplete or malformed — never complete.
+    try {
+      bool complete = true;
+      parse_shard_manifest(text.substr(0, len), &complete);
+      EXPECT_FALSE(complete) << "prefix of " << len << " bytes";
+    } catch (const std::runtime_error&) {
+      // Structurally unreadable: equally safe.
+    }
+  }
+}
+
+TEST(ShardIntegrity, CellRecordTruncationFuzzNeverParses) {
+  BenchmarkResult result;
+  result.system = "spade";
+  result.benchmark = "open";
+  result.trials_run = 2;
+  result.result.add_node("p0", "Process", {{"name", "sh"}});
+  result.result.add_node("a0", "Artifact");
+  result.result.add_edge("e0", "p0", "a0", "Used");
+  const std::string encoded = encode_cell_record(3, result);
+
+  std::size_t index = 0;
+  EXPECT_EQ(decode_cell_record(encoded, &index).result, result.result);
+  EXPECT_EQ(index, 3u);
+
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_THROW(decode_cell_record(encoded.substr(0, len), nullptr),
+                 std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(ShardIntegrity, TornArtifactFailsResumeAndMergesRetryable) {
+  ShardPlan plan = plan_batch({"spade"}, kBenchmarks, 2, 42, "rb", true);
+  TempDir tmp("torn");
+  std::vector<std::string> shard_dirs;
+  for (int k = 0; k < 2; ++k) {
+    ShardSpec spec = plan.shard(k);
+    CellRunOptions options;
+    options.seed = spec.seed;
+    options.deterministic_timings = spec.deterministic_timings;
+    write_shard_dir(tmp.str(), spec, run_batch_cells(spec.cells, options));
+    shard_dirs.push_back(shard_dir_path(tmp.str(), k));
+  }
+  ASSERT_TRUE(shard_complete(shard_dirs[1], plan.shard(1)));
+
+  // Truncate one artifact of shard 1 (a torn write: the manifest still
+  // records the intended digest).
+  const fs::path victim = fs::path(shard_dirs[1]) / "validation.txt";
+  const std::string original = slurp(victim);
+  std::ofstream(victim, std::ios::binary | std::ios::trunc)
+      << original.substr(0, original.size() / 2);
+
+  EXPECT_FALSE(shard_complete(shard_dirs[1], plan.shard(1)));
+  try {
+    read_shard_results(shard_dirs);
+    FAIL() << "torn artifact merged";
+  } catch (const ShardRetryableError& e) {
+    EXPECT_EQ(e.shard_id, 1);
+    EXPECT_EQ(e.dir, shard_dirs[1]);
+    EXPECT_NE(std::string(e.what()).find("torn"), std::string::npos);
+  }
+
+  // Same-size tampering (bit flip, not truncation) is caught too.
+  std::string tampered = original;
+  tampered[tampered.size() / 2] ^= 0x20;
+  std::ofstream(victim, std::ios::binary | std::ios::trunc) << tampered;
+  EXPECT_FALSE(shard_complete(shard_dirs[1], plan.shard(1)));
+  EXPECT_THROW(read_shard_results(shard_dirs), ShardRetryableError);
+
+  // Restoring the intended bytes repairs both checks.
+  std::ofstream(victim, std::ios::binary | std::ios::trunc) << original;
+  EXPECT_TRUE(shard_complete(shard_dirs[1], plan.shard(1)));
+  EXPECT_EQ(read_shard_results(shard_dirs).size(), plan.cells.size());
+
+  // A missing shard is retryable and names the shard to re-run; a
+  // duplicate shard is structural and is not.
+  try {
+    read_shard_results({shard_dirs[0]});
+    FAIL() << "missing shard merged";
+  } catch (const ShardRetryableError& e) {
+    EXPECT_EQ(e.shard_id, 1);
+    EXPECT_TRUE(e.dir.empty());
+  }
+  EXPECT_THROW(
+      {
+        try {
+          read_shard_results({shard_dirs[0], shard_dirs[0]});
+        } catch (const ShardRetryableError&) {
+          ADD_FAILURE() << "duplicate shard classified retryable";
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ShardIntegrity, DuplicatePublishIsBenign) {
+  // Straggler re-dispatch can complete a shard twice; the second
+  // publish must leave the first winner's artifacts untouched.
+  ShardPlan plan = plan_batch({"spade"}, {"open"}, 1, 42, "rb", true);
+  ShardSpec spec = plan.shard(0);
+  std::vector<BenchmarkResult> results = run_mini_sweep(plan);
+
+  TempDir tmp("dup");
+  const std::string first = write_shard_dir(tmp.str(), spec, results);
+  const std::string manifest =
+      slurp(fs::path(first) / "shard.manifest");
+  const std::string second = write_shard_dir(tmp.str(), spec, results);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(slurp(fs::path(first) / "shard.manifest"), manifest);
+  EXPECT_TRUE(shard_complete(first, spec));
+  // No staging directory leaks behind either attempt.
+  for (const auto& entry : fs::directory_iterator(tmp.path)) {
+    EXPECT_EQ(entry.path().filename().string().find(".staging."),
+              std::string::npos)
+        << entry.path();
+  }
+}
+
 }  // namespace
 }  // namespace provmark::core

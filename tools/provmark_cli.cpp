@@ -30,11 +30,16 @@
 // launch with explicit --shard-id). See src/core/shard.h for the
 // protocol.
 //
+// The orchestrator supervises its workers (src/core/supervise.h):
+// failed/crashed/hung shards are retried up to --shard-retries with
+// seeded backoff, stragglers get duplicate attempts (first publish
+// wins via the atomic directory rename), and a shard that exhausts its
+// budget is quarantined as shard-K.failed.<attempt>. --fault-spec
+// injects deterministic crashes/torn writes/hangs to exercise exactly
+// those paths (docs/robustness.md).
+//
 // The full grammar lives in usage() below; docs/cli.md documents every
 // subcommand with worked examples and must be kept in sync with it.
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -53,10 +58,12 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "core/shard.h"
+#include "core/supervise.h"
 #include "datalog/engine.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
 #include "systems/recorder.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 using namespace provmark;
@@ -85,7 +92,10 @@ constexpr const char* kUsage =
     "  merge  recombine shard artifact directories (written by batch\n"
     "         --shards N --shard-id K) into <output-dir>, reproducing\n"
     "         the single-process sweep's time.log row order, validation\n"
-    "         table and result stores exactly\n"
+    "         table and result stores exactly; exit 0 on success, 3 when\n"
+    "         a shard is incomplete/torn (retryable — the message names\n"
+    "         the shard to re-run), 1 on structural mismatches (mixed\n"
+    "         sweep fingerprints) that no re-run can fix\n"
     "  query  load a Datalog fact document (a regression-store save, a\n"
     "         batch .datalog result, or any Listing 1 file), optionally\n"
     "         add rules from a second file, and evaluate a query atom\n"
@@ -114,6 +124,26 @@ constexpr const char* kUsage =
     "  --shard-id K (batch, with --shards) run only shard K (0-based)\n"
     "               and write its artifacts to <output-dir>/shard-K/ —\n"
     "               for external/cluster launch; recombine with merge\n"
+    "  --shard-retries R\n"
+    "               (batch orchestrator) extra launches allowed per\n"
+    "               shard after its first attempt crashes, fails, hangs\n"
+    "               or straggles (default 2); a shard that exhausts its\n"
+    "               budget is quarantined as shard-K.failed.<attempt>\n"
+    "               with a diagnostic and the sweep exits 1\n"
+    "  --shard-attempt A\n"
+    "               (worker, with --shard-id) this launch's attempt\n"
+    "               number; set by the orchestrator on retries, selects\n"
+    "               which --fault-spec rules arm (default 0)\n"
+    "  --fault-spec SPEC\n"
+    "               deterministic fault injection for crash-tolerance\n"
+    "               testing: ';'-joined rules of\n"
+    "                 crash:shard=K,after-cell=M\n"
+    "                 torn-write:shard=K,file=NAME[,keep=F]\n"
+    "                 hang:shard=K[,seconds=S]\n"
+    "               each rule arms on attempt 0 only unless\n"
+    "               attempt=N|any is given, so retried attempts run\n"
+    "               fault-free and the sweep converges (see\n"
+    "               docs/robustness.md for the full grammar)\n"
     "  --deterministic-timings\n"
     "               (batch) replace measured stage timings with per-cell\n"
     "               pure-hash values so time.log is byte-reproducible\n"
@@ -159,10 +189,13 @@ struct CliOptions {
   runtime::ThreadPool* pool = nullptr;
   std::uint64_t seed = 42;
   matcher::SearchConfig matcher;
-  int shards = 0;     ///< 0 = unsharded batch
-  int shard_id = -1;  ///< >= 0: run only this shard
+  int shards = 0;         ///< 0 = unsharded batch
+  int shard_id = -1;      ///< >= 0: run only this shard
+  int shard_retries = 2;  ///< extra launches per shard (orchestrator)
+  int shard_attempt = 0;  ///< this worker's attempt (fault arming)
   bool deterministic_timings = false;
   std::string matcher_order_name;  ///< as given (shard plan fingerprint)
+  std::string fault_spec;          ///< "" = no fault injection
 };
 
 matcher::CandidateOrder parse_order(const std::string& name) {
@@ -211,40 +244,6 @@ std::string self_exe_path(const char* argv0) {
   return argv0;
 }
 
-/// Fork/exec one shard worker — this binary with the orchestrator's own
-/// command line plus a leading `--shard-id K`, so every sweep flag,
-/// present and future, forwards by construction — with stdout+stderr
-/// captured in `log_path`. The argv array is materialized *before*
-/// fork(): the runtime pool's threads may hold allocator locks at fork
-/// time, so the child performs only async-signal-safe calls (open/
-/// dup2/close/execv) before the exec.
-pid_t spawn_shard_worker(const std::string& exe,
-                         const std::vector<std::string>& args,
-                         const std::string& log_path) {
-  std::vector<char*> child_argv;
-  child_argv.reserve(args.size() + 2);
-  child_argv.push_back(const_cast<char*>(exe.c_str()));
-  for (const std::string& arg : args) {
-    child_argv.push_back(const_cast<char*>(arg.c_str()));
-  }
-  child_argv.push_back(nullptr);
-  pid_t pid = ::fork();
-  if (pid < 0) {
-    throw std::runtime_error("fork failed");
-  }
-  if (pid == 0) {
-    int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd >= 0) {
-      ::dup2(fd, 1);
-      ::dup2(fd, 2);
-      ::close(fd);
-    }
-    ::execv(exe.c_str(), child_argv.data());
-    ::_exit(127);  // exec failed; the log file holds nothing to explain it
-  }
-  return pid;
-}
-
 int run_batch(const CliOptions& cli, const char* argv0,
               const std::vector<std::string>& raw_args,
               const std::string& system_list,
@@ -287,6 +286,12 @@ int run_batch(const CliOptions& cli, const char* argv0,
 
   if (cli.shard_id >= 0) {
     // -- one shard worker (spawned below, or launched externally) ----------
+    if (!cli.fault_spec.empty()) {
+      // Arm only the rules targeting this (shard, attempt); every hook
+      // stays a no-op otherwise.
+      util::fault::arm(util::fault::parse_fault_spec(cli.fault_spec),
+                       cli.shard_id, cli.shard_attempt);
+    }
     core::ShardSpec spec = plan.shard(cli.shard_id);
     std::vector<core::BenchmarkResult> results =
         core::run_batch_cells(spec.cells, cell_options);
@@ -297,57 +302,92 @@ int run_batch(const CliOptions& cli, const char* argv0,
     return 0;
   }
 
-  // -- orchestrator: spawn-and-wait N workers, then merge ------------------
+  // -- orchestrator: supervised workers, then merge ------------------------
   std::filesystem::create_directories(output_dir);
   const std::string exe = self_exe_path(argv0);
-  std::vector<std::pair<int, pid_t>> running;
-  try {
-    for (int shard = 0; shard < cli.shards; ++shard) {
-      if (core::shard_complete(core::shard_dir_path(output_dir, shard),
-                               plan.shard(shard))) {
-        // Resume: the deterministic plan makes completed shard artifacts
-        // reusable as-is — identical cells, seeds, and therefore bytes.
-        std::printf("shard %d/%d: already complete, skipping\n", shard,
-                    cli.shards);
-        continue;
+  std::vector<int> pending;  // supervise task index -> shard id
+  for (int shard = 0; shard < cli.shards; ++shard) {
+    if (core::shard_complete(core::shard_dir_path(output_dir, shard),
+                             plan.shard(shard))) {
+      // Resume: the deterministic plan makes completed shard artifacts
+      // reusable as-is — identical cells, seeds, and therefore bytes
+      // (shard_complete re-verifies every content digest, so torn
+      // leftovers of a crashed run re-run instead of resuming).
+      std::printf("shard %d/%d: already complete, skipping\n", shard,
+                  cli.shards);
+      continue;
+    }
+    pending.push_back(shard);
+  }
+  if (!pending.empty()) {
+    // Each attempt re-runs this invocation's exact argv; the leading
+    // --shard-id/--shard-attempt narrow it to one shard and tell the
+    // fault injector which attempt this is (leading options parse in
+    // any order, so every sweep flag forwards by construction).
+    auto host = core::ProcessWorkerHost::exec_mode(
+        [&](int task, int attempt) {
+          std::vector<std::string> args = {
+              exe, "--shard-id", std::to_string(pending[task]),
+              "--shard-attempt", std::to_string(attempt)};
+          args.insert(args.end(), raw_args.begin(), raw_args.end());
+          return args;
+        },
+        [&](int task) {
+          return core::shard_complete(
+              core::shard_dir_path(output_dir, pending[task]),
+              plan.shard(pending[task]));
+        });
+    host.set_log_path([&](int task, int attempt) {
+      return output_dir + "/shard-" + std::to_string(pending[task]) +
+             ".attempt-" + std::to_string(attempt) + ".log";
+    });
+    host.set_note([](const std::string& message) {
+      std::printf("%s\n", message.c_str());
+    });
+    host.set_quarantine([&](int task, int attempt,
+                            const std::string& diagnostic) {
+      const int shard = pending[task];
+      const std::string dir = core::shard_dir_path(output_dir, shard);
+      const std::string failed = dir + ".failed." + std::to_string(attempt);
+      std::error_code ec;
+      std::filesystem::remove_all(failed, ec);
+      if (std::filesystem::exists(dir, ec)) {
+        std::filesystem::rename(dir, failed, ec);
+      } else {
+        std::filesystem::create_directories(failed, ec);
       }
-      const std::string log_path =
-          output_dir + "/shard-" + std::to_string(shard) + ".log";
-      // The worker re-runs this invocation's exact argv; a leading
-      // --shard-id narrows it to one shard (leading options parse in
-      // any order).
-      std::vector<std::string> args = {"--shard-id",
-                                       std::to_string(shard)};
-      args.insert(args.end(), raw_args.begin(), raw_args.end());
-      running.emplace_back(shard, spawn_shard_worker(exe, args, log_path));
-      std::printf("shard %d/%d: spawned worker (pid %d, log %s)\n", shard,
-                  cli.shards, static_cast<int>(running.back().second),
-                  log_path.c_str());
+      std::ofstream out(failed + "/diagnostic.txt");
+      out << diagnostic << "\n"
+          << "worker logs: " << output_dir << "/shard-" << shard
+          << ".attempt-*.log\n";
+    });
+    core::SuperviseOptions sup;
+    sup.retries = cli.shard_retries;
+    sup.seed = cli.seed;
+    std::printf("supervising %zu shard worker(s) (retries per shard: %d)\n",
+                pending.size(), sup.retries);
+    core::SuperviseReport report =
+        core::supervise(static_cast<int>(pending.size()), host, sup);
+    for (const core::TaskOutcome& outcome : report.tasks) {
+      if (outcome.published) {
+        std::printf("shard %d/%d: published by attempt %d (%d launch%s)\n",
+                    pending[outcome.task], cli.shards,
+                    outcome.winning_attempt, outcome.launches,
+                    outcome.launches == 1 ? "" : "es");
+      }
     }
-  } catch (...) {
-    // A failed spawn must not orphan the workers already running: a
-    // rerun would race them on the very shard directories it rewrites.
-    for (const auto& [shard, pid] : running) {
-      ::kill(pid, SIGTERM);
-      ::waitpid(pid, nullptr, 0);
+    if (!report.all_published) {
+      for (const core::TaskOutcome& outcome : report.tasks) {
+        if (!outcome.published) {
+          std::fprintf(stderr, "%s\n", outcome.diagnostic.c_str());
+        }
+      }
+      std::fprintf(stderr,
+                   "sweep incomplete; inspect the shard-K.failed.* "
+                   "quarantine and rerun the same command to resume the "
+                   "finished shards\n");
+      return 1;
     }
-    throw;
-  }
-  bool workers_ok = true;
-  for (const auto& [shard, pid] : running) {
-    int status = 0;
-    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      std::fprintf(stderr, "shard %d worker failed (see %s/shard-%d.log)\n",
-                   shard, output_dir.c_str(), shard);
-      workers_ok = false;
-    }
-  }
-  if (!workers_ok) {
-    std::fprintf(stderr,
-                 "sweep incomplete; rerun the same command to resume the "
-                 "finished shards\n");
-    return 1;
   }
 
   std::vector<std::string> shard_dirs;
@@ -480,6 +520,29 @@ int main(int argc, char** argv) {
         args.erase(args.begin(), args.begin() + 2);
         continue;
       }
+      if (args[0] == "--shard-retries" && args.size() >= 2) {
+        cli.shard_retries = std::stoi(args[1]);
+        if (cli.shard_retries < 0) {
+          throw std::invalid_argument("--shard-retries must be >= 0");
+        }
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--shard-attempt" && args.size() >= 2) {
+        cli.shard_attempt = std::stoi(args[1]);
+        if (cli.shard_attempt < 0) {
+          throw std::invalid_argument("--shard-attempt must be >= 0");
+        }
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      if (args[0] == "--fault-spec" && args.size() >= 2) {
+        // Parse eagerly so a malformed spec fails before any work runs.
+        util::fault::parse_fault_spec(args[1]);
+        cli.fault_spec = args[1];
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
       if (args[0] == "--deterministic-timings") {
         cli.deterministic_timings = true;
         args.erase(args.begin());
@@ -534,6 +597,21 @@ int main(int argc, char** argv) {
     if (args[0] == "query" && (args.size() == 3 || args.size() == 4)) {
       return run_query(args[1], args[2], args.size() == 4 ? args[3] : "");
     }
+  } catch (const core::ShardRetryableError& e) {
+    // Re-running the named shard repairs the sweep — exit 3 so cluster
+    // scripts can branch on retryable vs fatal (exit 1) failures.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (e.shard_id >= 0) {
+      std::fprintf(stderr,
+                   "retryable: re-run shard %d (batch --shards N "
+                   "--shard-id %d), then merge again\n",
+                   e.shard_id, e.shard_id);
+    } else {
+      std::fprintf(stderr,
+                   "retryable: re-run the damaged shard, then merge "
+                   "again\n");
+    }
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
