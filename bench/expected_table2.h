@@ -73,6 +73,23 @@ inline const std::map<std::string, ExpectedRow>& expected_table2() {
     add({4, "pipe", {"empty", "NR"}, {"ok", ""}, {"empty", "NR"}});
     add({4, "pipe2", {"empty", "NR"}, {"ok", ""}, {"empty", "NR"}});
     add({4, "tee", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    // Extension rows beyond the paper's matrix (verified empirically
+    // against the simulated kernel, like the rest of the table): the
+    // socket family is outside both SPADE's default audit rules and
+    // OPUS's wrapped-function list, but every call maps to an LSM
+    // socket_* hook; mmap is audited and hooked but not wrapped; munmap
+    // is invisible to all three layers past libc; a CLONE_THREAD clone
+    // is still a clone record / task_alloc hook.
+    add({2, "thread", {"ok", ""}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "socket", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "bind", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "connect", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "listen", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "accept", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "sendto", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({5, "recvfrom", {"empty", "NR"}, {"empty", "NR"}, {"ok", ""}});
+    add({6, "mmap", {"ok", ""}, {"empty", "NR"}, {"ok", ""}});
+    add({6, "munmap", {"empty", "NR"}, {"empty", "NR"}, {"empty", "NR"}});
     return t;
   }();
   return kTable;

@@ -131,7 +131,7 @@ class ProgramRun {
       }
       case OpCode::Tee:
         return kernel_.sys_tee(pid_, fd(o),
-                               static_cast<int>(vars_.at(o.var2)),
+                               static_cast<int>(var_or(o.var2, -1)),
                                static_cast<std::uint64_t>(o.a));
       case OpCode::Fork:
       case OpCode::VFork:
@@ -151,15 +151,54 @@ class ProgramRun {
       case OpCode::Exit:
         return kernel_.sys_exit(pid_, static_cast<int>(o.a));
       case OpCode::Kill:
-        return kernel_.sys_kill(pid_, static_cast<Pid>(vars_.at(o.var)),
+        return kernel_.sys_kill(pid_, static_cast<Pid>(var_or(o.var, -1)),
                                 static_cast<int>(o.a));
+      case OpCode::Socket:
+        return store(o.out, kernel_.sys_socket(pid_, static_cast<int>(o.a),
+                                               static_cast<int>(o.b)));
+      case OpCode::Connect:
+        return kernel_.sys_connect(pid_, fd(o), o.path);
+      case OpCode::Bind:
+        return kernel_.sys_bind(pid_, fd(o), o.path);
+      case OpCode::Listen:
+        return kernel_.sys_listen(pid_, fd(o), static_cast<int>(o.a));
+      case OpCode::Accept:
+        return store(o.out, kernel_.sys_accept(pid_, fd(o)));
+      case OpCode::SendTo:
+        return kernel_.sys_sendto(pid_, fd(o),
+                                  static_cast<std::uint64_t>(o.a));
+      case OpCode::RecvFrom:
+        return kernel_.sys_recvfrom(pid_, fd(o),
+                                    static_cast<std::uint64_t>(o.a));
+      case OpCode::Mmap:
+        return kernel_.sys_mmap(pid_, fd(o),
+                                static_cast<std::uint64_t>(o.a),
+                                static_cast<int>(o.b));
+      case OpCode::Munmap:
+        return kernel_.sys_munmap(pid_, static_cast<std::uint64_t>(o.a));
+      case OpCode::Thread: {
+        SyscallResult r = kernel_.sys_clone_thread(pid_);
+        if (r.ok()) {
+          kernel_.finish_process(static_cast<Pid>(r.ret));
+          if (!o.out.empty()) vars_[o.out] = r.ret;
+        }
+        return r;
+      }
     }
     return SyscallResult::fail(os::Errno::kINVAL);
   }
 
  private:
+  /// Variable lookup that tolerates undefined names (generator- or
+  /// parser-fed programs may reference a var whose producer op failed):
+  /// the fallback flows into the kernel as an invalid fd/pid -> EBADF.
+  long var_or(const std::string& name, long fallback) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? fallback : it->second;
+  }
+
   int fd(const Op& o) const {
-    if (!o.var.empty()) return static_cast<int>(vars_.at(o.var));
+    if (!o.var.empty()) return static_cast<int>(var_or(o.var, -1));
     return static_cast<int>(o.a);
   }
 
@@ -185,29 +224,24 @@ ExecutionResult execute_program(
   Kernel kernel(options);
 
   // Staging: prepare the filesystem before recording starts.
+  auto absolute = [](const std::string& path) {
+    if (!path.empty() && path.front() == '/') return path;
+    return "/home/user/" + path;
+  };
   for (const StageAction& action : program.staging) {
     switch (action.kind) {
       case StageAction::Kind::File:
-        kernel.stage_file(action.path.front() == '/'
-                              ? action.path
-                              : "/home/user/" + action.path,
-                          action.mode, action.uid, action.gid);
+        kernel.stage_file(absolute(action.path), action.mode, action.uid,
+                          action.gid);
         break;
       case StageAction::Kind::Fifo:
-        kernel.stage_fifo(action.path.front() == '/'
-                              ? action.path
-                              : "/home/user/" + action.path);
+        kernel.stage_fifo(absolute(action.path));
         break;
       case StageAction::Kind::Symlink:
-        kernel.stage_symlink(action.target,
-                             action.path.front() == '/'
-                                 ? action.path
-                                 : "/home/user/" + action.path);
+        kernel.stage_symlink(action.target, absolute(action.path));
         break;
       case StageAction::Kind::Remove:
-        kernel.stage_remove(action.path.front() == '/'
-                                ? action.path
-                                : "/home/user/" + action.path);
+        kernel.stage_remove(absolute(action.path));
         break;
     }
   }

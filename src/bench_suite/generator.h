@@ -1,0 +1,63 @@
+// Seeded adversarial workload generator.
+//
+// Produces valid BenchmarkPrograms of configurable scale and shape: file /
+// pipe / socket churn, rename/unlink cycles, process and thread spawning,
+// mmap activity, expected-failure probes, and hostile identifiers (spaces,
+// newlines, quotes, backslashes, '#', '=', control bytes, non-ASCII
+// UTF-8) in paths, link targets and program names-adjacent fields. Every
+// emitted program upholds the pipeline's execution contract:
+//
+//   * all non-target ops precede all target ops, so the background trace
+//     is exactly the foreground trace minus the target suffix;
+//   * every op's success/failure is deterministic and matches its
+//     expect_failure flag, so behaviour checks pass in both variants;
+//   * target ops depend only on staged state and earlier target ops,
+//     background ops only on staged state.
+//
+// Generation is a pure function of GeneratorOptions: the same options
+// produce a byte-identical program on every run, thread and host (the
+// seed-stability regression test pins a golden digest). Generated
+// programs are name-addressable as "gen<seed>x<scale>" through
+// bench_suite::benchmark_by_name, which lets the sharded batch layer and
+// the CLI sweep them like Table 1 rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bench_suite/program.h"
+
+namespace provmark::bench_suite {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 1;
+  /// Approximate number of target ops (the generated "syscall of
+  /// interest" region).
+  int scale = 16;
+  /// Process-tree shape: depth levels x fan_out spawns per level are
+  /// spread through the target stream (children exit immediately, as in
+  /// every Table 1 process benchmark).
+  int depth = 2;
+  int fan_out = 2;
+  /// Probability that an identifier gets a hostile decoration.
+  double hostile_probability = 0.25;
+  /// Op-family toggles.
+  bool network = true;
+  bool memory = true;
+  bool failure_probes = true;
+};
+
+/// Generate a program. Pure: no global state, no clocks, no allocation-
+/// order dependence — identical options yield an identical program.
+BenchmarkProgram generate_program(const GeneratorOptions& options);
+
+/// The canonical name of a generated program: "gen<seed>x<scale>".
+std::string generated_name(const GeneratorOptions& options);
+
+/// Parse a "gen<seed>x<scale>" name back into options (defaults for the
+/// unencoded fields); nullopt when the name is not of that form.
+std::optional<GeneratorOptions> parse_generated_name(
+    const std::string& name);
+
+}  // namespace provmark::bench_suite

@@ -32,6 +32,8 @@ enum class OpCode {
   SetGid, SetReGid, SetResGid, SetUid, SetReUid, SetResUid,
   Pipe, Pipe2, Tee,
   Fork, VFork, Clone, Execve, Exit, Kill,
+  Socket, Connect, Bind, Listen, Accept, SendTo, RecvFrom,
+  Mmap, Munmap, Thread,
 };
 
 const char* opcode_name(OpCode code);

@@ -13,7 +13,7 @@ namespace {
 const std::map<std::string, OpCode>& opcode_names() {
   static const std::map<std::string, OpCode> kNames = [] {
     std::map<std::string, OpCode> names;
-    for (int i = 0; i <= static_cast<int>(OpCode::Kill); ++i) {
+    for (int i = 0; i <= static_cast<int>(OpCode::Thread); ++i) {
       OpCode code = static_cast<OpCode>(i);
       names[opcode_name(code)] = code;
     }
@@ -25,6 +25,143 @@ const std::map<std::string, OpCode>& opcode_names() {
 [[noreturn]] void fail(std::size_t line_no, const std::string& message) {
   throw std::invalid_argument("program line " + std::to_string(line_no) +
                               ": " + message);
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Split a line into tokens. Tokens are space/tab separated; a token (or
+/// part of one) may be double-quoted, which protects separators and
+/// supports the escapes \\ \" \n \r \t and \xHH — this is how hostile
+/// identifiers (spaces, newlines, quotes, raw bytes) survive the text
+/// form. An *unquoted* token starting with '#' begins a comment running to
+/// end of line (backward compatible with the old " # remark" convention).
+std::vector<std::string> tokenize(std::string_view line,
+                                  std::size_t line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    if (line[i] == '#') break;  // comment to end of line
+    std::string token;
+    bool quoted = false;
+    while (i < line.size()) {
+      char c = line[i];
+      if (c == '"') {
+        ++i;
+        quoted = true;
+        bool closed = false;
+        while (i < line.size()) {
+          char q = line[i];
+          if (q == '"') {
+            ++i;
+            closed = true;
+            break;
+          }
+          if (q == '\\') {
+            ++i;
+            if (i >= line.size()) fail(line_no, "dangling escape");
+            char e = line[i++];
+            switch (e) {
+              case '\\': token += '\\'; break;
+              case '"': token += '"'; break;
+              case 'n': token += '\n'; break;
+              case 'r': token += '\r'; break;
+              case 't': token += '\t'; break;
+              case 'x': {
+                if (i + 1 >= line.size()) {
+                  fail(line_no, "truncated \\x escape");
+                }
+                int hi = hex_digit(line[i]);
+                int lo = hex_digit(line[i + 1]);
+                if (hi < 0 || lo < 0) fail(line_no, "invalid \\x escape");
+                token += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                break;
+              }
+              default:
+                fail(line_no,
+                     "unknown escape '\\" + std::string(1, e) + "'");
+            }
+            continue;
+          }
+          token += q;
+          ++i;
+        }
+        if (!closed) fail(line_no, "unterminated quote");
+        continue;
+      }
+      if (c == ' ' || c == '\t') break;
+      token += c;
+      ++i;
+    }
+    if (!token.empty() || quoted) tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+/// Does a value survive as a bare token? Anything the tokenizer treats
+/// specially — separators, quotes, backslash, comment lead, control
+/// bytes, the empty string — must be quoted on output.
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  if (value.front() == '#') return true;
+  for (char raw : value) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (c == ' ' || c == '\t' || c == '"' || c == '\\' || c < 0x20 ||
+        c == 0x7f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string quote_token(const std::string& value) {
+  if (!needs_quoting(value)) return value;
+  std::string out = "\"";
+  for (char raw : value) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20 || c == 0x7f) {
+          out += util::format("\\x%02x", c);
+        } else {
+          out += raw;  // bytes >= 0x80 pass through (UTF-8 stays UTF-8)
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// std::stol with whole-string and range checking, reported with the line
+/// number instead of a bare std::invalid_argument from deep inside stol.
+long parse_long(const std::string& value, std::size_t line_no,
+                int base = 10) {
+  std::size_t pos = 0;
+  long v = 0;
+  bool ok = !value.empty();
+  if (ok) {
+    try {
+      v = std::stol(value, &pos, base);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || pos != value.size()) {
+    fail(line_no, "invalid number '" + value + "'");
+  }
+  return v;
 }
 
 int parse_flags(const std::string& text, std::size_t line_no) {
@@ -103,13 +240,13 @@ Op parse_op_line(const std::vector<std::string>& tokens,
     } else if (key == "flags") {
       o.flags = parse_flags(value, line_no);
     } else if (key == "mode") {
-      o.mode = static_cast<int>(std::stol(value, nullptr, 8));
+      o.mode = static_cast<int>(parse_long(value, line_no, 8));
     } else if (key == "a") {
-      o.a = std::stol(value);
+      o.a = parse_long(value, line_no);
     } else if (key == "b") {
-      o.b = std::stol(value);
+      o.b = parse_long(value, line_no);
     } else if (key == "c") {
-      o.c = std::stol(value);
+      o.c = parse_long(value, line_no);
     } else {
       fail(line_no, "unknown op argument '" + key + "'");
     }
@@ -136,9 +273,9 @@ StageAction parse_stage_line(const std::vector<std::string>& tokens,
   action.path = tokens[2];
   for (const auto& [key, value] : parse_kv(tokens, 3, line_no)) {
     if (key == "mode") {
-      action.mode = static_cast<int>(std::stol(value, nullptr, 8));
+      action.mode = static_cast<int>(parse_long(value, line_no, 8));
     } else if (key == "uid") {
-      action.uid = std::stoi(value);
+      action.uid = static_cast<int>(parse_long(value, line_no));
       action.gid = action.uid;
     } else if (key == "target") {
       action.target = value;
@@ -165,15 +302,8 @@ BenchmarkProgram parse_program(std::string_view text) {
   bool named = false;
   for (const std::string& raw_line : util::split(text, '\n')) {
     ++line_no;
-    std::string_view line = util::trim(raw_line);
-    if (line.empty() || line.front() == '#') continue;
-    // Strip trailing comment.
-    std::size_t hash = line.find(" #");
-    if (hash != std::string_view::npos) {
-      line = util::trim(line.substr(0, hash));
-    }
-    std::vector<std::string> tokens =
-        util::split_nonempty(line, ' ');
+    std::vector<std::string> tokens = tokenize(raw_line, line_no);
+    if (tokens.empty()) continue;  // blank or comment-only line
     const std::string& keyword = tokens[0];
     if (keyword == "name") {
       if (tokens.size() != 2) fail(line_no, "name needs one argument");
@@ -181,11 +311,11 @@ BenchmarkProgram parse_program(std::string_view text) {
       named = true;
     } else if (keyword == "group") {
       if (tokens.size() < 2) fail(line_no, "group needs a number");
-      program.group = std::stoi(tokens[1]);
+      program.group = static_cast<int>(parse_long(tokens[1], line_no));
       if (tokens.size() > 2) program.family = tokens[2];
     } else if (keyword == "creds") {
       if (tokens.size() != 2) fail(line_no, "creds needs a uid");
-      int uid = std::stoi(tokens[1]);
+      int uid = static_cast<int>(parse_long(tokens[1], line_no));
       program.creds = os::Credentials{uid, uid, uid, uid, uid, uid};
     } else if (keyword == "shuffle-targets") {
       program.shuffle_targets = true;
@@ -206,9 +336,9 @@ BenchmarkProgram parse_program(std::string_view text) {
 }
 
 std::string format_program(const BenchmarkProgram& program) {
-  std::string out = "name " + program.name + "\n";
+  std::string out = "name " + quote_token(program.name) + "\n";
   out += "group " + std::to_string(program.group);
-  if (!program.family.empty()) out += " " + program.family;
+  if (!program.family.empty()) out += " " + quote_token(program.family);
   out += "\n";
   if (program.creds.has_value()) {
     out += "creds " + std::to_string(program.creds->uid) + "\n";
@@ -218,15 +348,18 @@ std::string format_program(const BenchmarkProgram& program) {
     out += "stage ";
     switch (action.kind) {
       case StageAction::Kind::File:
-        out += "file " + action.path +
+        out += "file " + quote_token(action.path) +
                util::format(" mode=%o uid=%d", action.mode, action.uid);
         break;
-      case StageAction::Kind::Fifo: out += "fifo " + action.path; break;
+      case StageAction::Kind::Fifo:
+        out += "fifo " + quote_token(action.path);
+        break;
       case StageAction::Kind::Symlink:
-        out += "symlink " + action.path + " target=" + action.target;
+        out += "symlink " + quote_token(action.path) +
+               " target=" + quote_token(action.target);
         break;
       case StageAction::Kind::Remove:
-        out += "remove " + action.path;
+        out += "remove " + quote_token(action.path);
         break;
     }
     out += "\n";
@@ -238,12 +371,12 @@ std::string format_program(const BenchmarkProgram& program) {
                     : "op";
     out += " ";
     out += opcode_name(o.code);
-    if (!o.path.empty()) out += " path=" + o.path;
-    if (!o.path2.empty()) out += " path2=" + o.path2;
-    if (!o.var.empty()) out += " var=" + o.var;
-    if (!o.var2.empty()) out += " var2=" + o.var2;
-    if (!o.out.empty()) out += " out=" + o.out;
-    if (!o.out2.empty()) out += " out2=" + o.out2;
+    if (!o.path.empty()) out += " path=" + quote_token(o.path);
+    if (!o.path2.empty()) out += " path2=" + quote_token(o.path2);
+    if (!o.var.empty()) out += " var=" + quote_token(o.var);
+    if (!o.var2.empty()) out += " var2=" + quote_token(o.var2);
+    if (!o.out.empty()) out += " out=" + quote_token(o.out);
+    if (!o.out2.empty()) out += " out2=" + quote_token(o.out2);
     if (o.code == OpCode::Open || o.code == OpCode::OpenAt) {
       out += " flags=" + flags_to_text(o.flags);
     }

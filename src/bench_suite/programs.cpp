@@ -1,7 +1,10 @@
 #include "bench_suite/program.h"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
+#include "bench_suite/generator.h"
 #include "os/kernel.h"
 
 namespace provmark::bench_suite {
@@ -81,6 +84,30 @@ BenchmarkProgram pipe_program(std::string name) {
   return p;
 }
 
+BenchmarkProgram network_program(std::string name) {
+  BenchmarkProgram p;
+  p.name = std::move(name);
+  p.group = 5;
+  p.family = "Network";
+  return p;
+}
+
+BenchmarkProgram memory_program(std::string name) {
+  BenchmarkProgram p;
+  p.name = std::move(name);
+  p.group = 6;
+  p.family = "Memory";
+  return p;
+}
+
+Op socket_op(std::string out) {
+  Op s = op(OpCode::Socket);
+  s.a = 2;  // AF_INET
+  s.b = 1;  // SOCK_STREAM
+  s.out = std::move(out);
+  return s;
+}
+
 }  // namespace
 
 const char* opcode_name(OpCode code) {
@@ -129,6 +156,16 @@ const char* opcode_name(OpCode code) {
     case OpCode::Execve: return "execve";
     case OpCode::Exit: return "exit";
     case OpCode::Kill: return "kill";
+    case OpCode::Socket: return "socket";
+    case OpCode::Connect: return "connect";
+    case OpCode::Bind: return "bind";
+    case OpCode::Listen: return "listen";
+    case OpCode::Accept: return "accept";
+    case OpCode::SendTo: return "sendto";
+    case OpCode::RecvFrom: return "recvfrom";
+    case OpCode::Mmap: return "mmap";
+    case OpCode::Munmap: return "munmap";
+    case OpCode::Thread: return "thread";
   }
   return "?";
 }
@@ -318,6 +355,15 @@ std::vector<BenchmarkProgram> table_benchmarks() {
     p.ops.push_back(target(f));
     programs.push_back(p);
   }
+  {
+    // clone(CLONE_THREAD|CLONE_VM): a thread, not a process. Audit still
+    // logs the clone record, LSM marks the task_alloc as a thread.
+    BenchmarkProgram p = process_program("thread");
+    Op t = op(OpCode::Thread);
+    t.out = "tid";
+    p.ops.push_back(target(t));
+    programs.push_back(p);
+  }
 
   // ---- Group 3: permissions -----------------------------------------------
 
@@ -458,6 +504,122 @@ std::vector<BenchmarkProgram> table_benchmarks() {
     t.var2 = "w2";
     t.a = 4096;
     p.ops.push_back(target(t));
+    programs.push_back(p);
+  }
+
+  // ---- Group 5: network ---------------------------------------------------
+  // The socket family is absent from both the default audit rule set and
+  // OPUS's wrapped-function list; only the LSM socket_* hooks observe it.
+
+  {
+    BenchmarkProgram p = network_program("socket");
+    p.ops.push_back(target(socket_op("sfd")));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = network_program("bind");
+    p.ops.push_back(socket_op("sfd"));
+    Op b = op(OpCode::Bind);
+    b.var = "sfd";
+    b.path = "127.0.0.1:8080";
+    p.ops.push_back(target(b));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = network_program("connect");
+    p.ops.push_back(socket_op("sfd"));
+    Op c = op(OpCode::Connect);
+    c.var = "sfd";
+    c.path = "10.0.0.1:80";
+    p.ops.push_back(target(c));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = network_program("listen");
+    p.ops.push_back(socket_op("sfd"));
+    Op b = op(OpCode::Bind);
+    b.var = "sfd";
+    b.path = "127.0.0.1:8080";
+    p.ops.push_back(b);
+    Op l = op(OpCode::Listen);
+    l.var = "sfd";
+    l.a = 16;  // backlog
+    p.ops.push_back(target(l));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = network_program("accept");
+    p.ops.push_back(socket_op("sfd"));
+    Op b = op(OpCode::Bind);
+    b.var = "sfd";
+    b.path = "127.0.0.1:8080";
+    p.ops.push_back(b);
+    Op l = op(OpCode::Listen);
+    l.var = "sfd";
+    l.a = 16;
+    p.ops.push_back(l);
+    Op a = op(OpCode::Accept);
+    a.var = "sfd";
+    a.out = "cfd";
+    p.ops.push_back(target(a));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = network_program("sendto");
+    p.ops.push_back(socket_op("sfd"));
+    Op c = op(OpCode::Connect);
+    c.var = "sfd";
+    c.path = "10.0.0.1:80";
+    p.ops.push_back(c);
+    Op s = op(OpCode::SendTo);
+    s.var = "sfd";
+    s.a = 64;  // byte count
+    p.ops.push_back(target(s));
+    programs.push_back(p);
+  }
+  {
+    BenchmarkProgram p = network_program("recvfrom");
+    p.ops.push_back(socket_op("sfd"));
+    Op c = op(OpCode::Connect);
+    c.var = "sfd";
+    c.path = "10.0.0.1:80";
+    p.ops.push_back(c);
+    Op r = op(OpCode::RecvFrom);
+    r.var = "sfd";
+    r.a = 64;
+    p.ops.push_back(target(r));
+    programs.push_back(p);
+  }
+
+  // ---- Group 6: memory ----------------------------------------------------
+
+  {
+    // mmap of an open file is audited (path record + prot field) and hits
+    // the mmap_file LSM hook; OPUS 0.1.0.26 does not wrap mmap.
+    BenchmarkProgram p = memory_program("mmap");
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op m = op(OpCode::Mmap);
+    m.var = "fd";
+    m.a = 4096;  // length
+    m.b = 3;     // PROT_READ|PROT_WRITE
+    p.ops.push_back(target(m));
+    programs.push_back(p);
+  }
+  {
+    // munmap is invisible to every layer but libc (not audited, no LSM
+    // unmap hook): expected empty for all recorders.
+    BenchmarkProgram p = memory_program("munmap");
+    p.staging = {stage_file("test.txt")};
+    p.ops.push_back(open_op("test.txt", kO_RDWR, "fd"));
+    Op m = op(OpCode::Mmap);
+    m.var = "fd";
+    m.a = 4096;
+    m.b = 1;  // PROT_READ
+    p.ops.push_back(m);
+    Op u = op(OpCode::Munmap);
+    u.a = 4096;
+    p.ops.push_back(target(u));
     programs.push_back(p);
   }
 
@@ -629,6 +791,20 @@ const BenchmarkProgram& benchmark_by_name(const std::string& name) {
   static const std::vector<BenchmarkProgram> programs = table_benchmarks();
   for (const BenchmarkProgram& p : programs) {
     if (p.name == name) return p;
+  }
+  // Generated programs are name-addressable ("gen<seed>x<scale>") so the
+  // batch/shard layers can sweep them like Table 1 rows. Generation is a
+  // pure function of the name, so caching is sound; the mutex covers
+  // concurrent shard-cell workers.
+  if (std::optional<GeneratorOptions> options = parse_generated_name(name)) {
+    static std::mutex mutex;
+    static std::map<std::string, BenchmarkProgram> generated;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = generated.find(name);
+    if (it == generated.end()) {
+      it = generated.emplace(name, generate_program(*options)).first;
+    }
+    return it->second;
   }
   throw std::out_of_range("no benchmark named " + name);
 }

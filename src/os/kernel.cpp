@@ -28,6 +28,7 @@ const char* kind_for_type(FileType type) {
     case FileType::Symlink: return "link";
     case FileType::Fifo: return "fifo";
     case FileType::CharDevice: return "chardev";
+    case FileType::Socket: return "socket";
   }
   return "file";
 }
@@ -1124,6 +1125,269 @@ SyscallResult Kernel::sys_kill(Pid pid, Pid target, int sig) {
             {std::to_string(target), std::to_string(sig)}, sys.ret,
             sys.error);
   return sys;
+}
+
+// ---------------------------------------------------------------------------
+// sockets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* socket_domain_name(int domain) {
+  switch (domain) {
+    case 1: return "AF_UNIX";
+    case 2: return "AF_INET";
+    case 10: return "AF_INET6";
+  }
+  return "AF_UNSPEC";
+}
+
+const char* socket_type_name(int type) {
+  switch (type) {
+    case 1: return "SOCK_STREAM";
+    case 2: return "SOCK_DGRAM";
+  }
+  return "SOCK_RAW";
+}
+
+std::string prot_to_string(int prot) {
+  if (prot == 0) return "PROT_READ";
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (prot & 1) append("PROT_READ");
+  if (prot & 2) append("PROT_WRITE");
+  if (prot & 4) append("PROT_EXEC");
+  return out.empty() ? "PROT_NONE" : out;
+}
+
+}  // namespace
+
+SyscallResult Kernel::sys_socket(Pid pid, int domain, int type) {
+  Process& p = processes_.at(pid);
+  std::uint64_t ino = vfs_.allocate_anonymous(FileType::Socket);
+  int fd = p.next_fd++;
+  OpenFile file;
+  file.ino = ino;
+  file.flags = kO_RDWR;
+  file.is_socket = true;
+  p.fds[fd] = file;
+  SyscallResult sys = SyscallResult::success(fd);
+  emit_libc(pid, "socket",
+            {socket_domain_name(domain), socket_type_name(type)}, sys.ret,
+            sys.error);
+  // The socket family is outside the default audit rules — SPADE's
+  // baseline misses all of group 5 (an "audit"-style recorder installs
+  // explicit -S socket,... rules to see them).
+  emit_audit(pid, "socket", true, fd, {},
+             {{"family", socket_domain_name(domain)},
+              {"type", socket_type_name(type)}});
+  emit_lsm(pid, "socket_create", object_for_inode(ino, std::nullopt),
+           std::nullopt,
+           {{"family", socket_domain_name(domain)},
+            {"type", socket_type_name(type)}});
+  return sys;
+}
+
+SyscallResult Kernel::do_socket_addr(Pid pid, const std::string& call,
+                                     int fd, const std::string& addr) {
+  Process& p = processes_.at(pid);
+  auto it = p.fds.find(fd);
+  SyscallResult sys;
+  std::uint64_t ino = 0;
+  if (it == p.fds.end()) {
+    sys = SyscallResult::fail(Errno::kBADF);
+  } else if (!it->second.is_socket) {
+    sys = SyscallResult::fail(Errno::kINVAL);
+  } else {
+    ino = it->second.ino;
+    it->second.sock_addr = addr;
+    sys = SyscallResult::success(0);
+  }
+  emit_libc(pid, call, {std::to_string(fd), addr}, sys.ret, sys.error);
+  emit_audit(pid, call, sys.ok(), sys.ret, {},
+             {{"a0", std::to_string(fd)}, {"addr", addr}});
+  if (sys.ok()) {
+    emit_lsm(pid, call == "bind" ? "socket_bind" : "socket_connect",
+             object_for_inode(ino, std::nullopt), std::nullopt,
+             {{"addr", addr}});
+  }
+  return sys;
+}
+
+SyscallResult Kernel::sys_bind(Pid pid, int fd, const std::string& addr) {
+  return do_socket_addr(pid, "bind", fd, addr);
+}
+
+SyscallResult Kernel::sys_connect(Pid pid, int fd, const std::string& addr) {
+  return do_socket_addr(pid, "connect", fd, addr);
+}
+
+SyscallResult Kernel::sys_listen(Pid pid, int fd, int backlog) {
+  Process& p = processes_.at(pid);
+  auto it = p.fds.find(fd);
+  SyscallResult sys;
+  std::uint64_t ino = 0;
+  if (it == p.fds.end()) {
+    sys = SyscallResult::fail(Errno::kBADF);
+  } else if (!it->second.is_socket) {
+    sys = SyscallResult::fail(Errno::kINVAL);
+  } else {
+    ino = it->second.ino;
+    it->second.listening = true;
+    sys = SyscallResult::success(0);
+  }
+  emit_libc(pid, "listen", {std::to_string(fd), std::to_string(backlog)},
+            sys.ret, sys.error);
+  emit_audit(pid, "listen", sys.ok(), sys.ret, {},
+             {{"a0", std::to_string(fd)},
+              {"backlog", std::to_string(backlog)}});
+  if (sys.ok()) {
+    emit_lsm(pid, "socket_listen", object_for_inode(ino, std::nullopt),
+             std::nullopt, {{"backlog", std::to_string(backlog)}});
+  }
+  return sys;
+}
+
+SyscallResult Kernel::sys_accept(Pid pid, int fd) {
+  Process& p = processes_.at(pid);
+  auto it = p.fds.find(fd);
+  SyscallResult sys;
+  std::uint64_t listen_ino = 0;
+  std::uint64_t conn_ino = 0;
+  if (it == p.fds.end()) {
+    sys = SyscallResult::fail(Errno::kBADF);
+  } else if (!it->second.is_socket || !it->second.listening) {
+    sys = SyscallResult::fail(Errno::kINVAL);
+  } else {
+    listen_ino = it->second.ino;
+    conn_ino = vfs_.allocate_anonymous(FileType::Socket);
+    int new_fd = p.next_fd++;
+    OpenFile file;
+    file.ino = conn_ino;
+    file.flags = kO_RDWR;
+    file.is_socket = true;
+    file.sock_addr = it->second.sock_addr;
+    p.fds[new_fd] = file;
+    sys = SyscallResult::success(new_fd);
+  }
+  emit_libc(pid, "accept", {std::to_string(fd)}, sys.ret, sys.error);
+  emit_audit(pid, "accept", sys.ok(), sys.ret, {},
+             {{"a0", std::to_string(fd)}});
+  if (sys.ok()) {
+    emit_lsm(pid, "socket_accept",
+             object_for_inode(listen_ino, std::nullopt),
+             object_for_inode(conn_ino, std::nullopt));
+  }
+  return sys;
+}
+
+SyscallResult Kernel::do_socket_io(Pid pid, const std::string& call, int fd,
+                                   std::uint64_t count, bool is_send) {
+  Process& p = processes_.at(pid);
+  auto it = p.fds.find(fd);
+  SyscallResult sys;
+  std::uint64_t ino = 0;
+  std::string addr;
+  if (it == p.fds.end()) {
+    sys = SyscallResult::fail(Errno::kBADF);
+  } else if (!it->second.is_socket) {
+    sys = SyscallResult::fail(Errno::kINVAL);
+  } else {
+    ino = it->second.ino;
+    addr = it->second.sock_addr;
+    sys = SyscallResult::success(static_cast<long>(count));
+  }
+  emit_libc(pid, call, {std::to_string(fd), std::to_string(count)},
+            sys.ret, sys.error);
+  std::map<std::string, std::string> fields{{"a0", std::to_string(fd)}};
+  if (!addr.empty()) fields["addr"] = addr;
+  emit_audit(pid, call, sys.ok(), sys.ret, {}, std::move(fields));
+  if (sys.ok()) {
+    emit_lsm(pid, is_send ? "socket_sendmsg" : "socket_recvmsg",
+             object_for_inode(ino, std::nullopt), std::nullopt,
+             {{"bytes", std::to_string(count)}});
+  }
+  return sys;
+}
+
+SyscallResult Kernel::sys_sendto(Pid pid, int fd, std::uint64_t count) {
+  return do_socket_io(pid, "sendto", fd, count, true);
+}
+
+SyscallResult Kernel::sys_recvfrom(Pid pid, int fd, std::uint64_t count) {
+  return do_socket_io(pid, "recvfrom", fd, count, false);
+}
+
+// ---------------------------------------------------------------------------
+// memory mappings / threads
+// ---------------------------------------------------------------------------
+
+SyscallResult Kernel::sys_mmap(Pid pid, int fd, std::uint64_t length,
+                               int prot) {
+  Process& p = processes_.at(pid);
+  auto it = p.fds.find(fd);
+  SyscallResult sys;
+  std::uint64_t ino = 0;
+  std::string path;
+  if (it == p.fds.end()) {
+    sys = SyscallResult::fail(Errno::kBADF);
+  } else {
+    ino = it->second.ino;
+    path = it->second.path;
+    sys = SyscallResult::success(static_cast<long>(length));
+  }
+  std::string prot_text = prot_to_string(prot);
+  emit_libc(pid, "mmap",
+            {std::to_string(fd), std::to_string(length), prot_text},
+            sys.ret, sys.error);
+  std::vector<AuditPathRecord> paths;
+  if (sys.ok() && !path.empty()) {
+    paths.push_back(AuditPathRecord{path, ino, "NORMAL"});
+  }
+  emit_audit(pid, "mmap", sys.ok(), sys.ret, std::move(paths),
+             {{"prot", prot_text}});
+  if (sys.ok()) {
+    emit_lsm(pid, "mmap_file",
+             object_for_inode(ino, path.empty()
+                                       ? std::optional<std::string>{}
+                                       : std::optional<std::string>{path}),
+             std::nullopt, {{"prot", prot_text}});
+  }
+  return sys;
+}
+
+SyscallResult Kernel::sys_munmap(Pid pid, std::uint64_t length) {
+  // Releasing a mapping is invisible to every layer but libc: munmap is
+  // not in the default audit rules and LSM has no unmap hook.
+  SyscallResult sys = SyscallResult::success(0);
+  emit_libc(pid, "munmap", {std::to_string(length)}, sys.ret, sys.error);
+  return sys;
+}
+
+SyscallResult Kernel::sys_clone_thread(Pid pid) {
+  Process& parent = processes_.at(pid);
+  Process thread;
+  thread.pid = allocate_pid();
+  thread.ppid = pid;
+  thread.creds = parent.creds;
+  thread.comm = parent.comm;
+  thread.exe = parent.exe;
+  thread.cwd = parent.cwd;
+  thread.fds = parent.fds;
+  thread.next_fd = parent.next_fd;
+  Pid tid = thread.pid;
+  processes_[tid] = std::move(thread);
+  emit_libc(pid, "clone", {"CLONE_THREAD|CLONE_VM"}, tid, Errno::None);
+  emit_lsm(pid, "task_alloc",
+           LsmObject{"task", static_cast<std::uint64_t>(tid), std::nullopt},
+           std::nullopt, {{"call", "clone"}, {"thread", "1"}});
+  emit_audit(pid, "clone", true, tid, {},
+             {{"child", std::to_string(tid)},
+              {"flags", "CLONE_THREAD|CLONE_VM"}});
+  return SyscallResult::success(tid);
 }
 
 }  // namespace provmark::os

@@ -59,10 +59,13 @@ struct SyscallResult {
 /// An open file description shared by duplicated descriptors.
 struct OpenFile {
   std::uint64_t ino = 0;
-  std::string path;  ///< empty for anonymous objects (pipe ends)
+  std::string path;  ///< empty for anonymous objects (pipe ends, sockets)
   int flags = 0;
   bool pipe_read_end = false;
   bool pipe_write_end = false;
+  bool is_socket = false;
+  bool listening = false;    ///< socket has a listen() backlog
+  std::string sock_addr;     ///< bound/connected address ("ip:port")
 };
 
 struct Process {
@@ -191,6 +194,29 @@ class Kernel {
   SyscallResult sys_execve(Pid pid, const std::string& path);
   SyscallResult sys_exit(Pid pid, int code);
   SyscallResult sys_kill(Pid pid, Pid target, int sig);
+  /// socket(2): allocates an anonymous socket inode; returns the fd.
+  /// `domain` is AF_* (2 = AF_INET), `type` is SOCK_* (1 = SOCK_STREAM,
+  /// 2 = SOCK_DGRAM). Observed by libc and LSM (socket_create); the
+  /// socket family is outside the default audit rule set.
+  SyscallResult sys_socket(Pid pid, int domain, int type);
+  SyscallResult sys_bind(Pid pid, int fd, const std::string& addr);
+  SyscallResult sys_connect(Pid pid, int fd, const std::string& addr);
+  SyscallResult sys_listen(Pid pid, int fd, int backlog);
+  /// accept(2): requires a listening socket; returns the connection fd.
+  SyscallResult sys_accept(Pid pid, int fd);
+  SyscallResult sys_sendto(Pid pid, int fd, std::uint64_t count);
+  SyscallResult sys_recvfrom(Pid pid, int fd, std::uint64_t count);
+  /// mmap(2) of an fd-backed mapping. `prot` is a PROT_* bit mask
+  /// (1 = READ, 2 = WRITE, 4 = EXEC; 0 is treated as PROT_READ).
+  /// Audited (the default rules include mmap) and hooked (mmap_file).
+  SyscallResult sys_mmap(Pid pid, int fd, std::uint64_t length, int prot);
+  /// munmap(2): releases a mapping. Observed by libc only — there is no
+  /// munmap audit rule by default and no LSM unmap hook.
+  SyscallResult sys_munmap(Pid pid, std::uint64_t length);
+  /// clone(CLONE_THREAD|CLONE_VM): spawns a thread of the caller. Audit
+  /// logs it as a clone record with the thread flags; LSM sees task_alloc
+  /// with a thread marker.
+  SyscallResult sys_clone_thread(Pid pid);
 
  private:
   Pid allocate_pid();
@@ -245,6 +271,10 @@ class Kernel {
   SyscallResult do_pipe(Pid pid, const std::string& call,
                         std::pair<int, int>* pipe_fds);
   SyscallResult do_fork(Pid pid, const std::string& call);
+  SyscallResult do_socket_addr(Pid pid, const std::string& call, int fd,
+                               const std::string& addr);
+  SyscallResult do_socket_io(Pid pid, const std::string& call, int fd,
+                             std::uint64_t count, bool is_send);
 
   /// Resolve a possibly-relative path against the process cwd.
   std::string resolve_path(const Process& p, const std::string& path) const;

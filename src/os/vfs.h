@@ -11,7 +11,7 @@
 
 namespace provmark::os {
 
-enum class FileType { Regular, Directory, Symlink, Fifo, CharDevice };
+enum class FileType { Regular, Directory, Symlink, Fifo, CharDevice, Socket };
 
 /// POSIX-style errno subset used by the simulated kernel. Enumerators are
 /// k-prefixed because <errno.h> defines the plain names as macros.

@@ -161,6 +161,44 @@ class CamflowBuilder {
       relate(memory, inode, "wasDerivedFrom", "mmap");
       return;
     }
+    if (hook == "socket_create") {
+      std::string inode = inode_node(*event.object);
+      relate(inode, task, "wasGeneratedBy", "socket_create");
+      return;
+    }
+    if (hook == "socket_bind") {
+      std::string inode = inode_node(*event.object);
+      relate(inode, task, "wasGeneratedBy", "bind");
+      return;
+    }
+    if (hook == "socket_connect") {
+      std::string inode = inode_node(*event.object);
+      relate(task, inode, "used", "connect");
+      return;
+    }
+    if (hook == "socket_listen") {
+      std::string inode = inode_node(*event.object);
+      relate(task, inode, "used", "listen");
+      return;
+    }
+    if (hook == "socket_accept") {
+      // object: the listening socket; object2: the accepted connection.
+      std::string listening = inode_node(*event.object);
+      std::string accepted = inode_node(*event.object2);
+      relate(accepted, listening, "wasDerivedFrom", "accept");
+      relate(accepted, task, "wasGeneratedBy", "accept");
+      return;
+    }
+    if (hook == "socket_sendmsg") {
+      std::string inode = inode_node(*event.object);
+      relate(inode, task, "wasGeneratedBy", "send");
+      return;
+    }
+    if (hook == "socket_recvmsg") {
+      std::string inode = inode_node(*event.object);
+      relate(task, inode, "used", "receive");
+      return;
+    }
     if (hook == "inode_create") {
       std::string inode = inode_node(*event.object);
       if (event.object->path.has_value()) {

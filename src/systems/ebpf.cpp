@@ -1,0 +1,119 @@
+#include "systems/ebpf.h"
+
+#include <utility>
+
+#include "formats/prov_json.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::systems {
+
+namespace {
+
+using graph::PropertyGraph;
+using os::LsmEvent;
+using os::LsmObject;
+
+class EbpfBuilder {
+ public:
+  EbpfBuilder(const EbpfConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {
+    // Event ids mirror the ring-buffer sequence of one tracing session:
+    // minted per trial, transient like every recorder's identifiers.
+    next_id_ = 1 + rng_.next_below(1u << 20);
+  }
+
+  PropertyGraph take(const os::EventTrace& trace) {
+    for (const LsmEvent& event : trace.lsm) {
+      handle(event);
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  std::string fresh_id(const char* kind) {
+    return std::string("bpf:") + kind + ":" + std::to_string(next_id_++);
+  }
+
+  std::string task_node(os::Pid pid, const os::Credentials& creds) {
+    auto it = task_node_.find(pid);
+    if (it != task_node_.end()) return it->second;
+    std::string id = fresh_id("task");
+    graph_.add_node(id, "activity",
+                    {{"prov:type", "task"},
+                     {"bpf:pid", std::to_string(pid)},
+                     {"bpf:uid", std::to_string(creds.uid)},
+                     {"bpf:gid", std::to_string(creds.gid)}});
+    task_node_[pid] = id;
+    return id;
+  }
+
+  std::string object_node(const LsmObject& object,
+                          const os::Credentials& creds) {
+    if (object.kind == "task") {
+      return task_node(static_cast<os::Pid>(object.id), creds);
+    }
+    auto it = object_node_.find(object.id);
+    if (it != object_node_.end()) return it->second;
+    std::string id = fresh_id("obj");
+    graph::Properties props;
+    props["prov:type"] = object.kind;
+    props["bpf:ino"] = std::to_string(object.id);
+    if (object.path.has_value()) props["bpf:path"] = *object.path;
+    graph_.add_node(id, "entity", std::move(props));
+    object_node_[object.id] = id;
+    return id;
+  }
+
+  void handle(const LsmEvent& event) {
+    if (event.permission_denied && !config_.record_denied) return;
+    std::string task = task_node(event.pid, event.creds);
+    graph::Properties props;
+    props["prov:label"] = event.hook;
+    props["bpf:seq"] = std::to_string(next_id_);  // transient
+    for (const auto& [key, value] : event.fields) {
+      if (key == "time") continue;  // transient
+      props["bpf:" + key] = value;
+    }
+    if (event.permission_denied) props["bpf:denied"] = "true";
+    if (!event.object.has_value()) {
+      // Hook with no object in scope: self-edge on the task keeps the
+      // firing visible (every attached hook produces exactly one event).
+      graph_.add_edge(fresh_id("ev"), task, task, event.hook,
+                      std::move(props));
+      return;
+    }
+    std::string object = object_node(*event.object, event.creds);
+    graph_.add_edge(fresh_id("ev"), task, object, event.hook,
+                    std::move(props));
+    if (event.object2.has_value()) {
+      std::string other = object_node(*event.object2, event.creds);
+      graph_.add_edge(fresh_id("ev"), object, other, event.hook,
+                      {{"prov:label", event.hook + ":object2"}});
+    }
+  }
+
+  const EbpfConfig& config_;
+  util::Rng rng_;
+  PropertyGraph graph_;
+  std::uint64_t next_id_ = 1;
+  std::map<os::Pid, std::string> task_node_;
+  std::map<std::uint64_t, std::string> object_node_;
+};
+
+}  // namespace
+
+graph::PropertyGraph build_ebpf_graph(const os::EventTrace& trace,
+                                      const EbpfConfig& config,
+                                      std::uint64_t seed) {
+  return EbpfBuilder(config, seed).take(trace);
+}
+
+std::string EbpfRecorder::record(const os::EventTrace& trace,
+                                 const TrialContext& trial) {
+  util::Rng rng(trial.seed ^ util::stable_hash("ebpf"));
+  return formats::to_prov_json(
+      build_ebpf_graph(trace, config_, rng.next_u64()));
+}
+
+}  // namespace provmark::systems

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "systems/audit.h"
 #include "systems/camflow.h"
+#include "systems/ebpf.h"
 #include "systems/opus.h"
 #include "systems/spade.h"
 #include "systems/spade_camflow.h"
@@ -29,6 +31,12 @@ std::unique_ptr<Recorder> make_recorder(const std::string& system) {
   if (system == "spade-camflow") {
     return std::make_unique<SpadeCamflowRecorder>();
   }
+  if (system == "audit" || system == "aud") {
+    return std::make_unique<AuditRecorder>();
+  }
+  if (system == "ebpf" || system == "bpf") {
+    return std::make_unique<EbpfRecorder>();
+  }
   throw std::invalid_argument("unknown provenance system: " + system);
 }
 
@@ -48,6 +56,11 @@ double calibrated_recording_latency(const std::string& system) {
   if (system == "opus" || system == "opu") return 9.0;
   if (system == "camflow" || system == "cam") return 1.2;
   if (system == "spade-camflow") return 2.5;
+  // The new simulated recorders are lighter-weight than their daemons:
+  // auditd only rotates a log file per trial; a BPF tracer just detaches
+  // its programs and drains a ring buffer.
+  if (system == "audit" || system == "aud") return 0.8;
+  if (system == "ebpf" || system == "bpf") return 0.6;
   return 1.0;
 }
 

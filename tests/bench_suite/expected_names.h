@@ -1,4 +1,5 @@
-// The 44 Table 1 benchmark names, shared by suite tests.
+// The 54 Table 1 benchmark names (44 from the paper plus the network /
+// memory / thread extension rows), shared by suite tests.
 #pragma once
 
 namespace provmark::bench_suite {
@@ -9,9 +10,11 @@ inline constexpr const char* kTable1Names[] = {
     "mknodat",   "open",      "openat",    "read",      "pread",
     "rename",    "renameat",  "truncate",  "ftruncate", "unlink",
     "unlinkat",  "write",     "pwrite",    "clone",     "execve",
-    "exit",      "fork",      "kill",      "vfork",     "chmod",
-    "fchmod",    "fchmodat",  "chown",     "fchown",    "fchownat",
-    "setgid",    "setregid",  "setresgid", "setuid",    "setreuid",
-    "setresuid", "pipe",      "pipe2",     "tee"};
+    "exit",      "fork",      "kill",      "vfork",     "thread",
+    "chmod",     "fchmod",    "fchmodat",  "chown",     "fchown",
+    "fchownat",  "setgid",    "setregid",  "setresgid", "setuid",
+    "setreuid",  "setresuid", "pipe",      "pipe2",     "tee",
+    "socket",    "bind",      "connect",   "listen",    "accept",
+    "sendto",    "recvfrom",  "mmap",      "munmap"};
 
 }  // namespace provmark::bench_suite

@@ -12,7 +12,7 @@ namespace {
 
 TEST(Programs, RegistryCoversTable1) {
   std::vector<BenchmarkProgram> programs = table_benchmarks();
-  EXPECT_EQ(programs.size(), 44u);
+  EXPECT_EQ(programs.size(), 54u);
   std::set<std::string> names;
   for (const BenchmarkProgram& p : programs) names.insert(p.name);
   for (const char* expected : kTable1Names) {
@@ -37,6 +37,8 @@ TEST(Programs, GroupsMatchTable1Families) {
       case 2: EXPECT_EQ(p.family, "Processes") << p.name; break;
       case 3: EXPECT_EQ(p.family, "Permissions") << p.name; break;
       case 4: EXPECT_EQ(p.family, "Pipes") << p.name; break;
+      case 5: EXPECT_EQ(p.family, "Network") << p.name; break;
+      case 6: EXPECT_EQ(p.family, "Memory") << p.name; break;
       default: FAIL() << p.name << " has group " << p.group;
     }
   }

@@ -1,0 +1,151 @@
+// The eBPF/LSM-style recorder: exhaustive, literal hook serialization —
+// including the hooks CamFlow drops and denied permission checks — with
+// seed-driven transient ids and no recording noise.
+#include "systems/ebpf.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/executor.h"
+#include "bench_suite/program.h"
+#include "formats/detect.h"
+#include "formats/prov_json.h"
+#include "os/kernel.h"
+
+namespace provmark::systems {
+namespace {
+
+os::EventTrace trace_for(const std::string& benchmark, bool foreground,
+                         std::uint64_t seed = 1) {
+  return bench_suite::execute_program(
+             bench_suite::benchmark_by_name(benchmark), foreground, seed)
+      .trace;
+}
+
+bool has_edge_labeled(const graph::PropertyGraph& g,
+                      const std::string& label) {
+  for (const graph::Edge& e : g.edges()) {
+    if (e.label == label) return true;
+  }
+  return false;
+}
+
+TEST(Ebpf, OutputIsProvJson) {
+  EbpfRecorder recorder;
+  std::string out = recorder.record(trace_for("open", true), {1});
+  EXPECT_EQ(formats::detect_format(out), formats::Format::ProvJson);
+  EXPECT_GT(formats::from_prov_json(out).node_count(), 0u);
+}
+
+TEST(Ebpf, EveryLsmEventBecomesAnEdge) {
+  os::EventTrace trace = trace_for("open", true);
+  graph::PropertyGraph g = build_ebpf_graph(trace, {}, 1);
+  std::size_t object2_events = 0;
+  for (const os::LsmEvent& e : trace.lsm) {
+    if (e.object2.has_value()) ++object2_events;
+  }
+  // One edge per hook firing, plus one extra edge per two-object event.
+  EXPECT_EQ(g.edge_count(), trace.lsm.size() + object2_events);
+}
+
+TEST(Ebpf, SeesHooksCamflowDrops) {
+  // CamFlow 0.4.5 skips inode_symlink and task_kill (Table 2 empty
+  // cells); a BPF tracer attached to those hooks records them.
+  graph::PropertyGraph symlink =
+      build_ebpf_graph(trace_for("symlink", true), {}, 1);
+  EXPECT_TRUE(has_edge_labeled(symlink, "inode_symlink"));
+
+  // The Table-1 kill benchmark targets an exited child (ESRCH), which
+  // fires no hook — kill a live process to exercise task_kill.
+  os::Kernel::Options options;
+  options.seed = 1;
+  options.free_record_probability = 0;
+  os::Kernel kernel(options);
+  os::Pid pid = kernel.launch_program("/usr/bin/bench", "bench");
+  kernel.start_recording();
+  os::SyscallResult child = kernel.sys_fork(pid);
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(
+      kernel.sys_kill(pid, static_cast<os::Pid>(child.ret), 9).ok());
+  graph::PropertyGraph kill = build_ebpf_graph(kernel.trace(), {}, 1);
+  EXPECT_TRUE(has_edge_labeled(kill, "task_kill"));
+}
+
+TEST(Ebpf, DeniedPermissionChecksAreRecordedAndGateable) {
+  // A BPF LSM program observes the hook before the verdict is enforced,
+  // so denied checks appear — with a denied marker — unless configured
+  // away. Drive an unprivileged open of a root-owned 0600 file.
+  os::Kernel::Options options;
+  options.seed = 3;
+  options.free_record_probability = 0;
+  options.initial_creds = os::Credentials{1000, 1000, 1000,
+                                          1000, 1000, 1000};
+  os::Kernel kernel(options);
+  kernel.stage_file("/home/user/secret.txt", 0600, /*uid=*/0);
+  os::Pid pid = kernel.launch_program("/usr/bin/bench", "bench");
+  kernel.start_recording();
+  os::SyscallResult r =
+      kernel.sys_open(pid, "/home/user/secret.txt", os::kO_RDWR);
+  ASSERT_EQ(r.error, os::Errno::kACCES);
+
+  graph::PropertyGraph with = build_ebpf_graph(kernel.trace(), {}, 1);
+  bool saw_denied = false;
+  for (const graph::Edge& e : with.edges()) {
+    auto it = e.props.find("bpf:denied");
+    if (it != e.props.end() && it->second == "true" &&
+        e.label == "file_open") {
+      saw_denied = true;
+    }
+  }
+  EXPECT_TRUE(saw_denied);
+
+  EbpfConfig quiet;
+  quiet.record_denied = false;
+  graph::PropertyGraph without = build_ebpf_graph(kernel.trace(), quiet, 1);
+  for (const graph::Edge& e : without.edges()) {
+    EXPECT_EQ(e.props.count("bpf:denied"), 0u);
+  }
+  EXPECT_LT(without.edge_count(), with.edge_count());
+}
+
+TEST(Ebpf, SocketLifecycleIsFullyVisible) {
+  graph::PropertyGraph g = build_ebpf_graph(trace_for("accept", true), {}, 1);
+  for (const char* hook :
+       {"socket_create", "socket_bind", "socket_listen", "socket_accept"}) {
+    EXPECT_TRUE(has_edge_labeled(g, hook)) << hook;
+  }
+  // The accept's second object materializes the accepted connection.
+  EXPECT_TRUE(has_edge_labeled(g, "socket_accept"));
+  bool object2_edge = false;
+  for (const graph::Edge& e : g.edges()) {
+    auto it = e.props.find("prov:label");
+    if (it != e.props.end() && it->second == "socket_accept:object2") {
+      object2_edge = true;
+    }
+  }
+  EXPECT_TRUE(object2_edge);
+}
+
+TEST(Ebpf, NodesArePROVTypedTasksAndEntities) {
+  graph::PropertyGraph g = build_ebpf_graph(trace_for("open", true), {}, 1);
+  for (const graph::Node& n : g.nodes()) {
+    EXPECT_TRUE(n.label == "activity" || n.label == "entity") << n.label;
+    EXPECT_TRUE(n.props.count("prov:type")) << n.id;
+    if (n.label == "activity") {
+      EXPECT_TRUE(n.props.count("bpf:pid")) << n.id;
+    }
+  }
+}
+
+TEST(Ebpf, SeedMintsTransientIdsStructureStable) {
+  os::EventTrace trace = trace_for("open", true);
+  graph::PropertyGraph a = build_ebpf_graph(trace, {}, 7);
+  graph::PropertyGraph a_again = build_ebpf_graph(trace, {}, 7);
+  EXPECT_TRUE(a == a_again);
+  graph::PropertyGraph b = build_ebpf_graph(trace, {}, 8);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_FALSE(a == b) << "ring-buffer ids must be seed-minted transients";
+}
+
+}  // namespace
+}  // namespace provmark::systems

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_suite/generator.h"
 #include "bench_suite/program.h"
 #include "bench_suite/program_text.h"
 #include "core/pipeline.h"
@@ -76,6 +77,7 @@ constexpr const char* kUsage =
     "  provmark [options] batch <systems> <rb|rg|rh> [output-dir]\n"
     "  provmark merge <output-dir> <shard-dir> [<shard-dir>...]\n"
     "  provmark query <facts.datalog> <atom> [rules.datalog]\n"
+    "  provmark gen [--seed S] [--scale K] [gen-options]\n"
     "  provmark --help\n"
     "\n"
     "subcommands:\n"
@@ -101,6 +103,17 @@ constexpr const char* kUsage =
     "         add rules from a second file, and evaluate a query atom\n"
     "         (e.g. 'reach(p0, X)'); bindings print as a table, exit 1\n"
     "         when nothing matches\n"
+    "  gen    emit a seeded adversarial benchmark program in the textual\n"
+    "         format (stdout): file/pipe/socket churn, process and thread\n"
+    "         spawning, rename/unlink cycles, hostile identifiers, and\n"
+    "         expected-failure probes. Deterministic per options; pipe to\n"
+    "         a file and run it with 'run <system> @file.prog', or\n"
+    "         reference it directly as benchmark gen<seed>x<scale>.\n"
+    "         gen-options: --seed S (default: the global seed), --scale K\n"
+    "         (approximate target-op count, default 16), --depth D and\n"
+    "         --fan-out F (process-tree shape, default 2x2), --hostile P\n"
+    "         (hostile-identifier probability 0..1, default 0.25),\n"
+    "         --no-network, --no-memory, --no-failure-probes\n"
     "\n"
     "options:\n"
     "  --threads N  worker threads for the parallel runtime (default:\n"
@@ -151,11 +164,13 @@ constexpr const char* kUsage =
     "               identity gates run with this on)\n"
     "  --help       this text\n"
     "\n"
-    "systems: spade|spg, spn, opus|opu, camflow|cam, spade-camflow\n"
+    "systems: spade|spg, spn, opus|opu, camflow|cam, spade-camflow,\n"
+    "         audit|aud, ebpf|bpf\n"
     "result types: rb = benchmark only, rg = + generalized graphs,\n"
     "              rh = + HTML report (<output-dir>/index.html)\n"
     "benchmarks: Table 1 syscall names (e.g. rename), scaleN,\n"
-    "            rename-fail, failure-case names, @file.prog\n";
+    "            rename-fail, failure-case names, @file.prog,\n"
+    "            gen<seed>x<scale> (seeded adversarial programs)\n";
 
 int usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -420,6 +435,50 @@ int run_merge(const std::string& output_dir,
   return 0;
 }
 
+int run_gen(const CliOptions& cli, const std::vector<std::string>& args) {
+  bench_suite::GeneratorOptions options;
+  options.seed = cli.seed;  // the leading global --seed is honoured too
+  auto numeric = [&](std::size_t i, const char* flag) {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(std::string(flag) + " needs a value");
+    }
+    return args[i + 1];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--seed") {
+      options.seed = std::stoull(numeric(i, "--seed"));
+      ++i;
+    } else if (args[i] == "--scale") {
+      options.scale = std::stoi(numeric(i, "--scale"));
+      if (options.scale < 1) {
+        throw std::invalid_argument("--scale must be >= 1");
+      }
+      ++i;
+    } else if (args[i] == "--depth") {
+      options.depth = std::stoi(numeric(i, "--depth"));
+      ++i;
+    } else if (args[i] == "--fan-out") {
+      options.fan_out = std::stoi(numeric(i, "--fan-out"));
+      ++i;
+    } else if (args[i] == "--hostile") {
+      options.hostile_probability = std::stod(numeric(i, "--hostile"));
+      ++i;
+    } else if (args[i] == "--no-network") {
+      options.network = false;
+    } else if (args[i] == "--no-memory") {
+      options.memory = false;
+    } else if (args[i] == "--no-failure-probes") {
+      options.failure_probes = false;
+    } else {
+      return usage();
+    }
+  }
+  std::printf("%s", bench_suite::format_program(
+                        bench_suite::generate_program(options))
+                        .c_str());
+  return 0;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -596,6 +655,10 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "query" && (args.size() == 3 || args.size() == 4)) {
       return run_query(args[1], args[2], args.size() == 4 ? args[3] : "");
+    }
+    if (args[0] == "gen") {
+      return run_gen(cli, std::vector<std::string>(args.begin() + 1,
+                                                   args.end()));
     }
   } catch (const core::ShardRetryableError& e) {
     // Re-running the named shard repairs the sweep — exit 3 so cluster
