@@ -1,0 +1,435 @@
+// Performance + identity gates for the streaming provenance service
+// (src/serve/ — see docs/serve.md).
+//
+// Three scenarios, each with a hard self-asserting gate (exit 1 on any
+// failure) plus recorded-but-ungated wall-clock metrics:
+//
+//   crash-recovery   a forked child streams a 1000-event multi-client
+//                    load into a threaded Service and is killed without
+//                    warning mid-stream (fault-injected _exit(70), the
+//                    journal-visible equivalent of kill -9). The parent
+//                    restarts the service over the journal root and
+//                    GATES that every session's recovered fixpoint
+//                    digest is byte-identical to a fresh service fed
+//                    the same journaled records. Recovery-replay time
+//                    is recorded.
+//   ingest           multi-session fact/rule streaming through a
+//                    threaded service: events/sec and p50/p99 admission
+//                    latency. Admission is O(1)+fsync by design — the
+//                    gate demands p99 under an intentionally generous
+//                    bound (500 ms) to catch admission accidentally
+//                    acquiring apply-side work, not to benchmark disks.
+//   overload         2x-capacity burst into a workers=0 service: the
+//                    shed/busy counters must match the deterministic
+//                    watermark arithmetic *exactly*, and the surviving
+//                    admitted prefix must apply to the same fixpoint a
+//                    clean run of just that prefix produces — shedding
+//                    drops work, never corrupts it.
+//
+// The child is forked before the parent ever creates a Service, so the
+// parent is threadless at fork time (same discipline as
+// perf_shard_faults).
+//
+// Usage: bench_perf_serve [--smoke] [output.json]
+//   --smoke  smaller ingest volume (CI-friendly); identical gating
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/journal.h"
+#include "serve/service.h"
+#include "util/fault.h"
+
+using namespace provmark;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+serve::Request fact_event(const std::string& session,
+                          const std::string& payload,
+                          serve::Priority priority =
+                              serve::Priority::Normal) {
+  serve::Request request;
+  request.is_event = true;
+  request.event = serve::EventKind::Fact;
+  request.session = session;
+  request.priority = priority;
+  request.payload = payload;
+  return request;
+}
+
+serve::Request rule_event(const std::string& session,
+                          const std::string& payload) {
+  serve::Request request = fact_event(session, payload);
+  request.event = serve::EventKind::Rule;
+  return request;
+}
+
+std::map<std::string, std::string> drained_digests(
+    serve::Service& service) {
+  service.drain();
+  return service.session_digests();
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+const std::vector<std::string> kClients = {"alice", "bob", "carol",
+                                           "dave"};
+
+std::string stream_fact(const std::string& client, int i) {
+  return "edge(" + client + std::to_string(i) + "," + client +
+         std::to_string(i + 1) + ").";
+}
+
+// -- scenario: crash recovery -------------------------------------------------
+
+struct RecoveryOutcome {
+  int events_offered = 0;
+  int crash_after = 0;
+  std::uint64_t replayed_events = 0;
+  double recovery_seconds = 0;
+  bool child_crashed_as_injected = false;
+  bool digests_identical = false;
+};
+
+int recovery_child(const fs::path& root, int total_events,
+                   int crash_after) {
+  // Dies inside submit() via the serve-crash hook: after the Nth
+  // admitted event is durable (journal fsync done) but before anything
+  // else — the hardest crash point for recovery to get right.
+  util::fault::arm(
+      util::fault::parse_fault_spec("serve-crash:after-events=" +
+                                    std::to_string(crash_after)),
+      0, 0);
+  serve::ServiceOptions options;
+  options.root = root;
+  options.workers = 2;
+  options.checkpoint_every = 0;  // keep the whole stream replayable
+  // Admission must never refuse here: the gate is about recovery, so
+  // the queues are sized to hold the whole stream even if the appliers
+  // never keep up.
+  options.session_queue_cap = static_cast<std::size_t>(total_events);
+  options.global_queue_cap = static_cast<std::size_t>(total_events) * 2;
+  serve::Service service(options);
+  for (int i = 0; i < total_events; ++i) {
+    const std::string& client = kClients[i % kClients.size()];
+    serve::Request request =
+        (i % 100 == 99)
+            ? rule_event(client, "reach(X,Y) :- edge(X,Y).")
+            : fact_event(client, stream_fact(client, i));
+    if (service.submit(request).status != serve::Status::Ok) return 9;
+  }
+  return 8;  // the injected crash never fired
+}
+
+RecoveryOutcome run_recovery(const fs::path& root, int total_events) {
+  RecoveryOutcome outcome;
+  outcome.events_offered = total_events;
+  outcome.crash_after = total_events * 3 / 5;
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::_exit(recovery_child(root, total_events, outcome.crash_after));
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  outcome.child_crashed_as_injected =
+      WIFEXITED(status) &&
+      WEXITSTATUS(status) == util::fault::kCrashExitCode;
+  if (!outcome.child_crashed_as_injected) {
+    std::fprintf(stderr,
+                 "recovery: child did not crash as injected "
+                 "(status 0x%x)\n",
+                 status);
+    return outcome;
+  }
+
+  // Restart over the kill site and time the replay.
+  serve::ServiceOptions options;
+  options.root = root;
+  options.workers = 0;
+  const auto start = std::chrono::steady_clock::now();
+  serve::Service recovered(options);
+  outcome.recovery_seconds = ms_since(start) / 1000.0;
+  outcome.replayed_events = recovered.stats().replayed_events;
+  std::map<std::string, std::string> digests =
+      recovered.session_digests();
+
+  // Reference: a fresh service fed exactly the journaled records.
+  serve::ServiceOptions ref_options;
+  ref_options.root = root.string() + "_ref";
+  ref_options.workers = 0;
+  // workers=0 queues everything until pump(): size the queues for the
+  // whole journal or admission would shed the replay itself.
+  ref_options.session_queue_cap =
+      static_cast<std::size_t>(total_events);
+  ref_options.global_queue_cap =
+      static_cast<std::size_t>(total_events) * 2;
+  serve::Service reference(ref_options);
+  bool ok = digests.size() == kClients.size();
+  for (const std::string& client : kClients) {
+    serve::Journal journal(root, client, 0);
+    for (const serve::JournalRecord& record :
+         journal.recover().records) {
+      serve::Request request;
+      request.is_event = true;
+      request.event = record.kind;
+      request.session = client;
+      request.priority = record.priority;
+      request.payload = record.payload;
+      ok = ok && reference.submit(request).status == serve::Status::Ok;
+    }
+  }
+  reference.pump();
+  std::map<std::string, std::string> reference_digests =
+      reference.session_digests();
+  ok = ok && digests == reference_digests;
+  if (!ok) {
+    for (const auto& [id, digest] : digests) {
+      std::fprintf(stderr, "  recovered %s=%s reference %s=%s\n",
+                   id.c_str(), digest.c_str(), id.c_str(),
+                   reference_digests[id].c_str());
+    }
+  }
+  outcome.digests_identical = ok;
+  return outcome;
+}
+
+// -- scenario: ingest throughput + admission latency --------------------------
+
+struct IngestOutcome {
+  int events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool all_acked = false;
+  bool p99_bounded = false;
+};
+
+IngestOutcome run_ingest(const fs::path& root, int total_events) {
+  IngestOutcome outcome;
+  outcome.events = total_events;
+  serve::ServiceOptions options;
+  options.root = root;
+  options.workers = 2;
+  options.session_queue_cap = static_cast<std::size_t>(total_events);
+  options.global_queue_cap = static_cast<std::size_t>(total_events) * 2;
+  serve::Service service(options);
+  // Give every session a recursive rule up front: the apply workers
+  // have real Datalog saturation to chew on while admission streams —
+  // the latency numbers below include that contention by construction.
+  for (const std::string& client : kClients) {
+    service.submit(rule_event(
+        client, "reach(X,Y) :- edge(X,Y).\n"
+                "reach(X,Z) :- reach(X,Y), edge(Y,Z)."));
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(total_events));
+  bool all_acked = true;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < total_events; ++i) {
+    const std::string& client = kClients[i % kClients.size()];
+    const auto before = std::chrono::steady_clock::now();
+    serve::Status status =
+        service.submit(fact_event(client, stream_fact(client, i)))
+            .status;
+    latencies.push_back(ms_since(before));
+    all_acked = all_acked && status == serve::Status::Ok;
+  }
+  outcome.seconds = ms_since(start) / 1000.0;
+  outcome.events_per_sec =
+      outcome.seconds > 0 ? total_events / outcome.seconds : 0;
+  std::sort(latencies.begin(), latencies.end());
+  outcome.p50_ms = latencies[latencies.size() / 2];
+  outcome.p99_ms = latencies[latencies.size() * 99 / 100];
+  outcome.all_acked = all_acked;
+  // Generous by two orders of magnitude over a healthy fsync: this
+  // catches admission blocking on matcher/Datalog work, not disk jitter.
+  outcome.p99_bounded = outcome.p99_ms < 500.0;
+  service.drain();
+  return outcome;
+}
+
+// -- scenario: deterministic overload shedding --------------------------------
+
+struct OverloadOutcome {
+  int offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_low = 0;
+  std::uint64_t shed_normal = 0;
+  std::uint64_t busy_high = 0;
+  bool deterministic = false;
+  bool survivors_identical = false;
+};
+
+OverloadOutcome run_overload(const fs::path& root) {
+  OverloadOutcome outcome;
+  const std::size_t cap = 64;
+  serve::ServiceOptions options;
+  options.root = root;
+  options.workers = 0;  // backlog == admitted count: exact arithmetic
+  options.global_queue_cap = cap;
+  options.session_queue_cap = cap * 2;
+  serve::Service service(options);
+
+  // A 2x-capacity normal-priority burst: exactly `cap` admitted, the
+  // rest shed. Then at full backlog, low sheds and high gets `busy`.
+  outcome.offered = static_cast<int>(cap) * 2 + 2;
+  std::vector<std::string> admitted_payloads;
+  for (std::size_t i = 0; i < cap * 2; ++i) {
+    const std::string payload = stream_fact("burst", static_cast<int>(i));
+    if (service.submit(fact_event("burst", payload)).status ==
+        serve::Status::Ok) {
+      admitted_payloads.push_back(payload);
+    }
+  }
+  const serve::Status low_status =
+      service.submit(fact_event("burst", "low(x).", serve::Priority::Low))
+          .status;
+  const serve::Status high_status =
+      service
+          .submit(fact_event("burst", "high(x).", serve::Priority::High))
+          .status;
+
+  serve::ServiceStats stats = service.stats();
+  outcome.admitted = stats.admitted;
+  outcome.shed_low = stats.shed_low;
+  outcome.shed_normal = stats.shed_normal;
+  outcome.busy_high = stats.busy;
+  outcome.deterministic = stats.admitted == cap &&
+                          stats.shed_normal == cap &&
+                          low_status == serve::Status::Shed &&
+                          high_status == serve::Status::Busy;
+
+  // Shedding must not have corrupted the survivors: applying the
+  // admitted prefix equals a clean run of exactly that prefix.
+  service.pump();
+  serve::ServiceOptions clean_options;
+  clean_options.root = root.string() + "_clean";
+  clean_options.workers = 0;
+  serve::Service clean(clean_options);
+  for (const std::string& payload : admitted_payloads) {
+    clean.submit(fact_event("burst", payload));
+  }
+  clean.pump();
+  outcome.survivors_identical =
+      drained_digests(service) == drained_digests(clean);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("provmark_bench_serve_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  // Fork-based scenario first: the parent holds no threads yet.
+  std::printf("scenario crash-recovery: 1000-event multi-client stream, "
+              "killed mid-stream\n");
+  RecoveryOutcome recovery = run_recovery(scratch / "recovery", 1000);
+  std::printf(
+      "  crashed after %d acked events, replayed %llu in %.3fs, "
+      "digests %s\n",
+      recovery.crash_after,
+      static_cast<unsigned long long>(recovery.replayed_events),
+      recovery.recovery_seconds,
+      recovery.digests_identical ? "identical" : "MISMATCH");
+
+  const int ingest_events = smoke ? 1'000 : 8'000;
+  std::printf("scenario ingest: %d events over %zu sessions\n",
+              ingest_events, kClients.size());
+  IngestOutcome ingest = run_ingest(scratch / "ingest", ingest_events);
+  std::printf("  %.0f events/s, admission p50 %.3f ms p99 %.3f ms\n",
+              ingest.events_per_sec, ingest.p50_ms, ingest.p99_ms);
+
+  std::printf("scenario overload: 2x-capacity burst\n");
+  OverloadOutcome overload = run_overload(scratch / "overload");
+  std::printf(
+      "  admitted %llu shed_normal %llu shed_low %llu busy %llu — %s\n",
+      static_cast<unsigned long long>(overload.admitted),
+      static_cast<unsigned long long>(overload.shed_normal),
+      static_cast<unsigned long long>(overload.shed_low),
+      static_cast<unsigned long long>(overload.busy_high),
+      overload.deterministic ? "deterministic" : "OFF-BY-POLICY");
+
+  const bool all_ok =
+      recovery.child_crashed_as_injected && recovery.digests_identical &&
+      ingest.all_acked && ingest.p99_bounded && overload.deterministic &&
+      overload.survivors_identical;
+
+  FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"recovery\": {\n");
+  std::fprintf(f, "    \"events_offered\": %d,\n",
+               recovery.events_offered);
+  std::fprintf(f, "    \"crash_after_events\": %d,\n",
+               recovery.crash_after);
+  std::fprintf(f, "    \"replayed_events\": %llu,\n",
+               static_cast<unsigned long long>(recovery.replayed_events));
+  std::fprintf(f, "    \"recovery_replay_seconds\": %.6f,\n",
+               recovery.recovery_seconds);
+  std::fprintf(f, "    \"digests_identical\": %s\n  },\n",
+               recovery.digests_identical ? "true" : "false");
+  std::fprintf(f, "  \"ingest\": {\n");
+  std::fprintf(f, "    \"events\": %d,\n", ingest.events);
+  std::fprintf(f, "    \"seconds\": %.6f,\n", ingest.seconds);
+  std::fprintf(f, "    \"events_per_sec\": %.1f,\n",
+               ingest.events_per_sec);
+  std::fprintf(f, "    \"admission_p50_ms\": %.4f,\n", ingest.p50_ms);
+  std::fprintf(f, "    \"admission_p99_ms\": %.4f,\n", ingest.p99_ms);
+  std::fprintf(f, "    \"p99_bounded\": %s\n  },\n",
+               ingest.p99_bounded ? "true" : "false");
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f, "    \"offered\": %d,\n", overload.offered);
+  std::fprintf(f, "    \"admitted\": %llu,\n",
+               static_cast<unsigned long long>(overload.admitted));
+  std::fprintf(f, "    \"shed_normal\": %llu,\n",
+               static_cast<unsigned long long>(overload.shed_normal));
+  std::fprintf(f, "    \"shed_low\": %llu,\n",
+               static_cast<unsigned long long>(overload.shed_low));
+  std::fprintf(f, "    \"busy_high\": %llu,\n",
+               static_cast<unsigned long long>(overload.busy_high));
+  std::fprintf(f, "    \"deterministic\": %s,\n",
+               overload.deterministic ? "true" : "false");
+  std::fprintf(f, "    \"survivors_identical\": %s\n  },\n",
+               overload.survivors_identical ? "true" : "false");
+  std::fprintf(f, "  \"identical\": %s\n}\n", all_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", output.c_str());
+
+  fs::remove_all(scratch);
+  return all_ok ? 0 : 1;
+}

@@ -296,7 +296,9 @@ OpCode opcode_from_name(std::string_view name) {
   return it->second;
 }
 
-BenchmarkProgram parse_program(std::string_view text) {
+BenchmarkProgram parse_program(std::string_view text,
+                               std::size_t max_bytes) {
+  util::check_input_size("benchmark program text", text.size(), max_bytes);
   BenchmarkProgram program;
   std::size_t line_no = 0;
   bool named = false;

@@ -28,12 +28,18 @@
 #include <string_view>
 
 #include "bench_suite/program.h"
+#include "util/limits.h"
 
 namespace provmark::bench_suite {
 
 /// Parse the textual format. Throws std::invalid_argument with a line
-/// number on malformed input.
-BenchmarkProgram parse_program(std::string_view text);
+/// number on malformed input, and util::InputSizeError when `text` is
+/// larger than `max_bytes` (0 disables the guard) — the size check runs
+/// before any allocation, so a hostile oversized document is rejected
+/// in O(1) instead of parsed into an unbounded op list.
+BenchmarkProgram parse_program(
+    std::string_view text,
+    std::size_t max_bytes = util::kDefaultMaxInputBytes);
 
 /// Serialize a program to the textual format (round-trips with
 /// parse_program).

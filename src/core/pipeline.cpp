@@ -146,6 +146,20 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
   std::optional<CompareResult> compared;
   std::string behaviour_error;
 
+  // Stage-boundary cancellation (PipelineOptions::cancel): checked
+  // between stages so a cancelled run stops within one stage's worth of
+  // work without ever interrupting a matcher or Datalog inner loop.
+  auto cancelled = [&options, &result]() {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      result.status = BenchmarkStatus::Failed;
+      result.failure_reason = "cancelled";
+      return true;
+    }
+    return false;
+  };
+  if (cancelled()) return result;
+
   // Retry loop: when generalization cannot find two consistent runs, or
   // the background does not embed into the foreground (inconsistently
   // chosen representative classes — the §3.4 failure mode), run more
@@ -190,6 +204,7 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
     }
     trials_recorded += want;
     result.timings.recording += watch.elapsed_seconds();
+    if (cancelled()) return result;
 
     // -- (2) transformation (new trials only) -------------------------------
     // Parsing and digesting are per-trial pure work and run on the pool;
@@ -222,6 +237,7 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
       set.digests.push_back(parsed[t].digest);
     }
     result.timings.transformation += watch.elapsed_seconds();
+    if (cancelled()) return result;
 
     // -- (3) generalization -------------------------------------------------
     // The two variants are independent generalization problems; they run
@@ -252,6 +268,7 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
     result.trials_unparseable = unparseable;
 
     result.trials_run = trials_recorded;
+    if (cancelled()) return result;
     if (!bg_general.has_value() || !fg_general.has_value()) continue;
 
     // -- (4) comparison -----------------------------------------------------
@@ -262,6 +279,7 @@ BenchmarkResult run_benchmark(const bench_suite::BenchmarkProgram& program,
     result.timings.comparison += watch.elapsed_seconds();
     result.matcher_steps += compared->search_stats.steps;
     if (!compared->embedding_failed) break;
+    if (cancelled()) return result;
   }
 
   result.similarity_cache_hits = memo.hits();

@@ -3,6 +3,7 @@
 // per-stage wall-clock timing for the Figures 5-10 reproductions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -57,6 +58,15 @@ struct PipelineOptions {
   TransformOptions transform;
   GeneralizeOptions generalize;
   CompareOptions compare;
+  /// Cooperative cancellation for long-lived hosts (the streaming
+  /// service's graceful shutdown): when non-null and set, run_benchmark
+  /// stops at the next stage boundary and returns a Failed result with
+  /// failure_reason "cancelled". A cancelled run is abandoned work, not
+  /// an error state — the serve layer leaves the triggering event
+  /// journaled and un-applied, so the next recovery replays it in full.
+  /// Checks sit between stages, never inside the matcher or Datalog
+  /// inner loops, so cancellation can lag by one stage.
+  const std::atomic<bool>* cancel = nullptr;
   /// Matcher search strategy for the generalization and comparison
   /// stages (candidate ordering, component decomposition, parallel
   /// search workers, step budget). Overlaid onto `generalize.search`

@@ -1,6 +1,7 @@
 #include "core/shard.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -19,6 +20,7 @@
 #include "datalog/escape.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
+#include "util/atomic_io.h"
 #include "util/fault.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -205,55 +207,11 @@ graph::PropertyGraph decode_graph(RecordReader& reader, const char* tag) {
   return g;
 }
 
-/// fsync a directory so a just-renamed entry survives a crash.
-void sync_dir(const std::filesystem::path& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
-/// The atomic commit every artifact write uses: the bytes land in
-/// `<path>.tmp.<pid>`, are fsynced, and only then renamed over the
-/// final name — so a reader can never observe a half-written file, and
-/// a crash leaves at worst an ignorable .tmp orphan. The parent
-/// directory is fsynced after the rename so the commit itself is
-/// durable.
-void write_file_atomic(const std::filesystem::path& path,
-                       const std::string& text) {
-  const std::filesystem::path tmp =
-      path.string() + ".tmp." + std::to_string(::getpid());
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw std::runtime_error("cannot write " + tmp.string() + ": " +
-                             std::strerror(errno));
-  }
-  std::size_t written = 0;
-  while (written < text.size()) {
-    ssize_t n = ::write(fd, text.data() + written, text.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int err = errno;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw std::runtime_error("short write to " + tmp.string() + ": " +
-                               std::strerror(err));
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0 || ::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error("cannot fsync " + tmp.string());
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    int err = errno;
-    ::unlink(tmp.c_str());
-    throw std::runtime_error("cannot publish " + path.string() + ": " +
-                             std::strerror(err));
-  }
-  sync_dir(path.parent_path());
-}
+// Atomic artifact commits (tmp + fsync + rename) live in
+// util/atomic_io.h, shared with the streaming service's checkpoint and
+// journal-compaction writes.
+using util::sync_dir;
+using util::write_file_atomic;
 
 ArtifactDigest digest_of(const std::string& content) {
   return ArtifactDigest{util::stable_hash(content), content.size()};
@@ -655,6 +613,49 @@ BenchmarkResult decode_cell_record(const std::string& text,
 
 std::string shard_dir_path(const std::string& output_dir, int shard_id) {
   return output_dir + "/shard-" + std::to_string(shard_id);
+}
+
+namespace {
+
+/// Parse the decimal pid suffix after the last '.' of a
+/// `...staging.<pid>` / `...tmp.<pid>` name; 0 when malformed.
+pid_t pid_suffix(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= name.size()) return 0;
+  long long pid = 0;
+  for (std::size_t i = dot + 1; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return 0;
+    pid = pid * 10 + (name[i] - '0');
+    if (pid > 1ll << 30) return 0;
+  }
+  return static_cast<pid_t>(pid);
+}
+
+bool pid_is_dead(pid_t pid) {
+  if (pid <= 0) return false;  // malformed: refuse to classify as dead
+  return ::kill(pid, 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace
+
+std::size_t remove_orphaned_staging(const std::string& output_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::size_t removed = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(output_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool staging =
+        entry.is_directory(ec) && name.find(".staging.") != std::string::npos;
+    const bool tmp =
+        !entry.is_directory(ec) && name.find(".tmp.") != std::string::npos;
+    if (!staging && !tmp) continue;
+    if (!pid_is_dead(pid_suffix(name))) continue;
+    std::error_code remove_ec;
+    fs::remove_all(entry.path(), remove_ec);
+    if (!remove_ec) ++removed;
+  }
+  return removed;
 }
 
 std::string write_shard_dir(const std::string& output_dir,

@@ -239,6 +239,17 @@ std::string write_shard_dir(const std::string& output_dir,
 /// Path of shard `shard_id`'s directory under `output_dir`.
 std::string shard_dir_path(const std::string& output_dir, int shard_id);
 
+/// Remove orphaned crash leftovers under `output_dir`: staging
+/// directories (`shard-K.staging.<pid>`) and atomic-write temporaries
+/// (`*.tmp.<pid>`) whose owning process is no longer alive. A SIGKILL'd
+/// or signal-forwarded worker can leave both behind; they are dead
+/// weight — staging is only ever published by the process that created
+/// it. Leftovers of *live* pids are left alone (a concurrent attempt
+/// may still publish them). Returns how many entries were removed.
+/// The orchestrator calls this once at startup, before spawning
+/// workers.
+std::size_t remove_orphaned_staging(const std::string& output_dir);
+
 /// Parse a shard.manifest document. With `complete == nullptr` the
 /// manifest must be whole — header through the trailing "complete"
 /// marker line (newline included) — and std::runtime_error is thrown

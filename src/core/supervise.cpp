@@ -45,6 +45,13 @@ std::int64_t median_ms(std::vector<std::int64_t> durations) {
   return durations[durations.size() / 2];
 }
 
+/// The signal a forwarding handler recorded, or 0. The handler only
+/// writes this flag (async-signal-safe); wait_any does the actual
+/// forwarding from normal context, where touching live_ is legal.
+volatile sig_atomic_t g_pending_forward_signal = 0;
+
+void on_forward_signal(int sig) { g_pending_forward_signal = sig; }
+
 }  // namespace
 
 const char* fate_name(WorkerFate fate) {
@@ -318,6 +325,7 @@ ProcessWorkerHost ProcessWorkerHost::fork_mode(ChildMainFn child_main,
 }
 
 std::uint64_t ProcessWorkerHost::spawn(int task, int attempt) {
+  forward_pending_signal();  // don't launch into a dying sweep
   if (argv_for_) {
     // Materialize argv (and the log path) before fork: between fork and
     // exec the child may only call async-signal-safe functions.
@@ -349,6 +357,11 @@ std::uint64_t ProcessWorkerHost::spawn(int task, int attempt) {
   const pid_t pid = ::fork();
   if (pid < 0) return 0;
   if (pid == 0) {
+    // The worker must die to a forwarded SIGTERM/SIGINT, not inherit
+    // the orchestrator's record-and-continue handler. (Exec mode gets
+    // this for free: execv resets caught signals to default.)
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
     int code = 1;
     try {
       code = child_main_(task, attempt);
@@ -361,11 +374,62 @@ std::uint64_t ProcessWorkerHost::spawn(int task, int attempt) {
   return static_cast<std::uint64_t>(pid);
 }
 
+void ProcessWorkerHost::install_signal_forwarding(std::int64_t grace_ms) {
+  forward_signals_ = true;
+  forward_grace_ms_ = grace_ms;
+  g_pending_forward_signal = 0;
+  struct sigaction action{};
+  action.sa_handler = on_forward_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+void ProcessWorkerHost::forward_pending_signal() {
+  if (!forward_signals_ || g_pending_forward_signal == 0) return;
+  const int sig = static_cast<int>(g_pending_forward_signal);
+  for (const auto& [token, task] : live_) {
+    ::kill(static_cast<pid_t>(token), sig);
+  }
+  // Reap within the grace window; anything still alive after it gets
+  // SIGKILL (a worker wedged enough to ignore SIGTERM is exactly the
+  // case hygiene exists for). Leftover staging directories are swept
+  // by remove_orphaned_staging on the next orchestrator start.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(forward_grace_ms_);
+  bool killed = false;
+  while (!live_.empty()) {
+    int status = 0;
+    pid_t pid;
+    do {
+      pid = ::waitpid(-1, &status, WNOHANG);
+    } while (pid < 0 && errno == EINTR);
+    if (pid > 0) {
+      live_.erase(static_cast<std::uint64_t>(pid));
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (killed) break;  // even SIGKILL did not reap: give up
+      for (const auto& [token, task] : live_) {
+        ::kill(static_cast<pid_t>(token), SIGKILL);
+      }
+      killed = true;
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Die the way the caller asked us to: default disposition, same
+  // signal — wait-status observers (scripts, CI) see a signal death,
+  // not a made-up exit code.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
 bool ProcessWorkerHost::wait_any(std::int64_t timeout_ms,
                                  WorkerEvent* event) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
+    forward_pending_signal();
     if (!live_.empty()) {
       int status = 0;
       pid_t pid;

@@ -186,6 +186,15 @@ class ProcessWorkerHost : public WorkerHost {
   /// `fn(task, attempt)` (path materialized before fork).
   void set_log_path(LogPathFn fn) { log_path_ = std::move(fn); }
 
+  /// Shutdown hygiene: install SIGTERM/SIGINT handlers that make the
+  /// next wait_any forward the signal to every live worker, reap them
+  /// (SIGKILL after `grace_ms` for any that linger), then re-raise the
+  /// signal with its default disposition — so killing the orchestrator
+  /// kills the whole sweep instead of orphaning in-flight shard
+  /// workers. Handlers stay installed for the host's lifetime; only
+  /// one host per process may install them.
+  void install_signal_forwarding(std::int64_t grace_ms = 2'000);
+
   std::uint64_t spawn(int task, int attempt) override;
   bool wait_any(std::int64_t timeout_ms, WorkerEvent* event) override;
   bool published(int task) override;
@@ -202,9 +211,15 @@ class ProcessWorkerHost : public WorkerHost {
   ChildMainFn child_main_;
   PublishedFn published_;
   QuarantineFn quarantine_;
+  /// Forward a pending SIGTERM/SIGINT (recorded by the handler) to
+  /// every live worker, reap, and re-raise. No-op when none is pending.
+  void forward_pending_signal();
+
   NoteFn note_;
   LogPathFn log_path_;
   std::map<std::uint64_t, int> live_;  ///< token (pid) → task
+  bool forward_signals_ = false;
+  std::int64_t forward_grace_ms_ = 2'000;
 };
 
 }  // namespace provmark::core

@@ -892,6 +892,16 @@ std::set<Tuple> Engine::relation(const std::string& relation) {
   return out;
 }
 
+std::vector<std::string> Engine::relation_names() {
+  run();
+  std::vector<std::string> names;
+  for (const Relation& rel : relations_) {
+    if (rel.rows > 0) names.push_back(rel.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 std::vector<std::map<std::string, std::string>> Engine::query(
     const Atom& pattern) {
   run();

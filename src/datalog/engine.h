@@ -151,6 +151,12 @@ class Engine {
   /// All tuples currently derived for `relation` (runs evaluation first).
   std::set<Tuple> relation(const std::string& relation);
 
+  /// Sorted names of every relation with at least one tuple at the
+  /// current fixpoint (runs evaluation first). Together with
+  /// relation(), this is the whole-store enumeration the streaming
+  /// service uses to serialize and digest a session's fixpoint.
+  std::vector<std::string> relation_names();
+
   /// Query with a pattern: constants must match, variables bind. Returns
   /// one map per matching tuple, keyed by variable name, in sorted tuple
   /// order.

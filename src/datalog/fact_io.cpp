@@ -149,7 +149,8 @@ std::string to_datalog(const graph::PropertyGraph& g, std::string_view gid) {
 }
 
 std::map<std::string, graph::PropertyGraph> from_datalog(
-    std::string_view text) {
+    std::string_view text, std::size_t max_bytes) {
+  util::check_input_size("datalog document", text.size(), max_bytes);
   std::map<std::string, graph::PropertyGraph> graphs;
   std::vector<PendingEdge> edges;
   std::vector<PendingProp> props;
@@ -228,8 +229,10 @@ std::map<std::string, graph::PropertyGraph> from_datalog(
 }
 
 graph::PropertyGraph single_graph_from_datalog(std::string_view text,
-                                               std::string_view gid) {
-  std::map<std::string, graph::PropertyGraph> graphs = from_datalog(text);
+                                               std::string_view gid,
+                                               std::size_t max_bytes) {
+  std::map<std::string, graph::PropertyGraph> graphs =
+      from_datalog(text, max_bytes);
   auto it = graphs.find(std::string(gid));
   if (it == graphs.end()) {
     throw std::runtime_error("datalog document has no graph named " +

@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "graph/property_graph.h"
+#include "util/limits.h"
 
 namespace provmark::datalog {
 
@@ -28,12 +29,17 @@ std::string to_datalog(const graph::PropertyGraph& g, std::string_view gid);
 /// ids; returns one property graph per gid.
 ///
 /// Throws std::runtime_error on malformed facts, dangling edge endpoints,
-/// or properties attached to unknown elements.
+/// or properties attached to unknown elements, and util::InputSizeError
+/// when `text` exceeds `max_bytes` (0 disables the guard) — checked
+/// before any parsing, so an oversized network-borne document is
+/// rejected in O(1) rather than loaded into unbounded graph storage.
 std::map<std::string, graph::PropertyGraph> from_datalog(
-    std::string_view text);
+    std::string_view text,
+    std::size_t max_bytes = util::kDefaultMaxInputBytes);
 
 /// Convenience: parse a document expected to contain exactly one graph.
-graph::PropertyGraph single_graph_from_datalog(std::string_view text,
-                                               std::string_view gid);
+graph::PropertyGraph single_graph_from_datalog(
+    std::string_view text, std::string_view gid,
+    std::size_t max_bytes = util::kDefaultMaxInputBytes);
 
 }  // namespace provmark::datalog

@@ -1,0 +1,259 @@
+#include "serve/daemon.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace provmark::serve {
+
+namespace {
+
+int g_signal_pipe_write = -1;
+
+void on_signal(int) {
+  // async-signal-safe: one byte wakes the poll loop.
+  const char byte = 1;
+  if (g_signal_pipe_write >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe_write, &byte, 1);
+  }
+}
+
+struct Connection {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+};
+
+bool flush_outbuf(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // peer gone
+    }
+    conn.outbuf.erase(0, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+int make_listener(const std::string& socket_path) {
+  ::unlink(socket_path.c_str());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+  Service service(options.service);
+
+  int listener = make_listener(options.socket_path);
+  if (listener < 0) {
+    std::fprintf(stderr, "serve: cannot listen on %s: %s\n",
+                 options.socket_path.c_str(), std::strerror(errno));
+    return 1;
+  }
+
+  int signal_pipe[2];
+  if (::pipe(signal_pipe) != 0) {
+    ::close(listener);
+    std::fprintf(stderr, "serve: cannot create signal pipe\n");
+    return 1;
+  }
+  g_signal_pipe_write = signal_pipe[1];
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("serve: listening on %s\n", options.socket_path.c_str());
+  std::fflush(stdout);
+
+  std::map<int, Connection> connections;
+  bool shutting_down = false;
+  while (!shutting_down) {
+    std::vector<pollfd> fds;
+    fds.push_back({signal_pipe[0], POLLIN, 0});
+    fds.push_back({listener, POLLIN, 0});
+    for (auto& [fd, conn] : connections) {
+      short events = POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      shutting_down = true;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) {
+        Connection conn;
+        conn.fd = fd;
+        connections.emplace(fd, std::move(conn));
+      }
+    }
+
+    std::vector<int> closed;
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      Connection& conn = connections[fds[i].fd];
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        if (conn.outbuf.empty() || !(fds[i].revents & POLLHUP)) {
+          closed.push_back(conn.fd);
+          continue;
+        }
+      }
+      if (fds[i].revents & POLLIN) {
+        char buffer[4096];
+        ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+        if (n <= 0 && errno != EINTR && errno != EAGAIN) {
+          closed.push_back(conn.fd);
+          continue;
+        }
+        if (n > 0) conn.inbuf.append(buffer, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = conn.inbuf.find('\n')) != std::string::npos) {
+          std::string line = conn.inbuf.substr(0, nl);
+          conn.inbuf.erase(0, nl + 1);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;
+          Response response;
+          try {
+            response = service.submit(parse_request(line));
+          } catch (const std::exception& e) {
+            response = Response{Status::BadRequest, 0, e.what()};
+          }
+          conn.outbuf += format_response(response) + "\n";
+        }
+      }
+      if (!conn.outbuf.empty() && !flush_outbuf(conn)) {
+        closed.push_back(conn.fd);
+      }
+    }
+    for (int fd : closed) {
+      ::close(fd);
+      connections.erase(fd);
+    }
+  }
+
+  // Graceful drain: finish queued applies, checkpoint + compact every
+  // healthy session, then leave. Clients see their sockets close after
+  // any buffered responses are flushed best-effort.
+  std::fprintf(stderr, "serve: draining\n");
+  service.drain();
+  for (auto& [fd, conn] : connections) {
+    flush_outbuf(conn);
+    ::close(fd);
+  }
+  ::close(listener);
+  ::close(signal_pipe[0]);
+  ::close(signal_pipe[1]);
+  g_signal_pipe_write = -1;
+  ::unlink(options.socket_path.c_str());
+  std::fprintf(stderr, "serve: clean shutdown\n");
+  return 0;
+}
+
+int run_feed(const std::string& socket_path, std::istream& in,
+             std::ostream& out) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return 1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    std::fprintf(stderr, "feed: socket path too long\n");
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "feed: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  bool all_ok = true;
+  std::string line;
+  std::string response_buf;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "feed: connection lost\n");
+        ::close(fd);
+        return 1;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    // Synchronous request/response: one line back per line sent.
+    std::size_t nl;
+    while ((nl = response_buf.find('\n')) == std::string::npos) {
+      char buffer[4096];
+      ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        std::fprintf(stderr, "feed: connection closed by daemon\n");
+        ::close(fd);
+        return 1;
+      }
+      response_buf.append(buffer, static_cast<std::size_t>(n));
+    }
+    const std::string response_line = response_buf.substr(0, nl);
+    response_buf.erase(0, nl + 1);
+    out << response_line << "\n";
+    try {
+      Response response = parse_response(response_line);
+      if (response.status != Status::Ok &&
+          response.status != Status::Result) {
+        all_ok = false;
+      }
+    } catch (const std::exception&) {
+      all_ok = false;
+    }
+  }
+  ::close(fd);
+  return all_ok ? 0 : 3;
+}
+
+}  // namespace provmark::serve

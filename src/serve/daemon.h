@@ -1,0 +1,40 @@
+// AF_UNIX front end of the streaming service: `provmark serve` hosts a
+// Service behind a stream socket; `provmark feed` streams request lines
+// to it and prints the responses.
+//
+// The daemon is a single poll loop — accept, buffered line reads,
+// buffered writes — because admission is O(1)+fsync and all heavy work
+// lives on the Service's apply workers. Responses go back in request
+// order per connection. SIGTERM/SIGINT reach the loop via a self-pipe;
+// the loop then stops accepting, drains the service (finish queued
+// applies, checkpoint + compact every healthy session) and exits 0 —
+// the graceful half of the crash-recovery story. The ungraceful half
+// (SIGKILL, serve-crash fault injection) is what the journal exists
+// for.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/service.h"
+
+namespace provmark::serve {
+
+struct DaemonOptions {
+  ServiceOptions service;
+  std::string socket_path;
+};
+
+/// Run the daemon until SIGTERM/SIGINT; returns the process exit code
+/// (0 on clean drain). Replaces a stale socket file at `socket_path`.
+int run_daemon(const DaemonOptions& options);
+
+/// Stream newline-framed request lines from `in` (blank lines and
+/// `#` comments skipped) to the daemon at `socket_path`, writing one
+/// response line each to `out`. Returns 0 when every event was acked
+/// and every query answered, 3 when any request was shed, refused or
+/// errored, 1 on connection failure.
+int run_feed(const std::string& socket_path, std::istream& in,
+             std::ostream& out);
+
+}  // namespace provmark::serve

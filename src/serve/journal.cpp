@@ -1,0 +1,285 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/atomic_io.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::serve {
+
+namespace {
+
+constexpr const char* kJournalName = "journal.log";
+constexpr const char* kCheckpointName = "checkpoint.dlog";
+constexpr const char* kHeaderMagic = "provmark-serve-journal";
+constexpr const char* kHeaderVersion = "v1";
+
+[[noreturn]] void corrupt(const std::string& message) {
+  throw std::runtime_error("serve journal: " + message);
+}
+
+std::uint64_t parse_u64_strict(const std::string& field,
+                               const std::string& what) {
+  if (field.empty()) corrupt(what + " is empty");
+  char* end = nullptr;
+  errno = 0;
+  std::uint64_t value = std::strtoull(field.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    corrupt(what + " is not a number: '" + field + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_hex_strict(const std::string& field,
+                               const std::string& what) {
+  if (field.empty()) corrupt(what + " is empty");
+  char* end = nullptr;
+  errno = 0;
+  std::uint64_t value = std::strtoull(field.c_str(), &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    corrupt(what + " is not hex: '" + field + "'");
+  }
+  return value;
+}
+
+EventKind parse_kind_strict(const std::string& field) {
+  if (field == "fact") return EventKind::Fact;
+  if (field == "rule") return EventKind::Rule;
+  if (field == "run") return EventKind::Run;
+  corrupt("unknown record kind '" + field + "'");
+}
+
+Priority parse_priority_strict(const std::string& field) {
+  if (field == "low") return Priority::Low;
+  if (field == "normal") return Priority::Normal;
+  if (field == "high") return Priority::High;
+  corrupt("unknown record priority '" + field + "'");
+}
+
+std::string read_whole_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) corrupt("cannot read " + path.string());
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+std::string format_record(const JournalRecord& record) {
+  const std::string escaped = escape_field(record.payload);
+  return util::format("R %llu %s %s %zu %016llx ",
+                      static_cast<unsigned long long>(record.seq),
+                      event_kind_name(record.kind),
+                      priority_name(record.priority), escaped.size(),
+                      static_cast<unsigned long long>(
+                          util::stable_hash(escaped))) +
+         escaped;
+}
+
+JournalRecord parse_record(std::string_view line) {
+  std::vector<std::string> fields = util::split_nonempty(line, ' ');
+  if (fields.size() != 7 || fields[0] != "R") {
+    corrupt("malformed record line");
+  }
+  JournalRecord record;
+  record.seq = parse_u64_strict(fields[1], "record seq");
+  record.kind = parse_kind_strict(fields[2]);
+  record.priority = parse_priority_strict(fields[3]);
+  const std::uint64_t bytes = parse_u64_strict(fields[4], "record length");
+  const std::uint64_t fnv = parse_hex_strict(fields[5], "record checksum");
+  const std::string& escaped = fields[6];
+  if (escaped.size() != bytes) {
+    corrupt(util::format("record length mismatch: header %llu, field %zu",
+                         static_cast<unsigned long long>(bytes),
+                         escaped.size()));
+  }
+  if (util::stable_hash(escaped) != fnv) corrupt("record checksum mismatch");
+  record.payload = unescape_field(escaped);
+  return record;
+}
+
+Journal::Journal(const std::filesystem::path& root,
+                 const std::string& session, std::uint64_t seed)
+    : dir_(root / session), session_(session), seed_(seed) {
+  std::filesystem::create_directories(dir_);
+  const std::filesystem::path log = dir_ / kJournalName;
+  if (!std::filesystem::exists(log)) {
+    // Fresh session: the header (and with it the seed) is committed
+    // atomically before any event can be admitted.
+    util::write_file_atomic(log, header_line() + "\n");
+  }
+  open_for_append();
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Journal::header_line() const {
+  return util::format("H %s %s %s %llu", kHeaderMagic, kHeaderVersion,
+                      session_.c_str(),
+                      static_cast<unsigned long long>(seed_));
+}
+
+void Journal::open_for_append() {
+  if (fd_ >= 0) ::close(fd_);
+  const std::filesystem::path log = dir_ / kJournalName;
+  fd_ = ::open(log.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    throw std::runtime_error("serve journal: cannot open " + log.string() +
+                             ": " + std::strerror(errno));
+  }
+}
+
+RecoveredSession Journal::recover() {
+  RecoveredSession out;
+  live_records_.clear();
+
+  // -- checkpoint (optional) --------------------------------------------------
+  const std::filesystem::path ckpt = dir_ / kCheckpointName;
+  if (std::filesystem::exists(ckpt)) {
+    // Format: header line, "C <seq>" line, then the program text. The
+    // checkpoint was published atomically, so it is all-or-nothing; a
+    // malformed one is a hard error, not a torn tail.
+    const std::string text = read_whole_file(ckpt);
+    std::size_t first_nl = text.find('\n');
+    std::size_t second_nl =
+        first_nl == std::string::npos ? std::string::npos
+                                      : text.find('\n', first_nl + 1);
+    if (second_nl == std::string::npos) corrupt("checkpoint too short");
+    std::vector<std::string> header =
+        util::split_nonempty(text.substr(0, first_nl), ' ');
+    if (header.size() != 5 || header[0] != "H" || header[1] != kHeaderMagic ||
+        header[2] != kHeaderVersion || header[3] != session_) {
+      corrupt("checkpoint header mismatch in " + ckpt.string());
+    }
+    out.seed = parse_u64_strict(header[4], "checkpoint seed");
+    std::vector<std::string> cline = util::split_nonempty(
+        text.substr(first_nl + 1, second_nl - first_nl - 1), ' ');
+    if (cline.size() != 2 || cline[0] != "C") {
+      corrupt("checkpoint seq line mismatch");
+    }
+    out.checkpoint_seq = parse_u64_strict(cline[1], "checkpoint seq");
+    out.checkpoint_program = text.substr(second_nl + 1);
+  }
+
+  // -- journal ----------------------------------------------------------------
+  const std::filesystem::path log = dir_ / kJournalName;
+  const std::string text = read_whole_file(log);
+  std::size_t pos = 0;
+  std::size_t good_end = 0;  ///< byte offset past the last intact record
+  bool header_seen = false;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated tail: torn
+    const std::string_view line(text.data() + pos, nl - pos);
+    if (!header_seen) {
+      std::vector<std::string> header = util::split_nonempty(line, ' ');
+      if (header.size() != 5 || header[0] != "H" ||
+          header[1] != kHeaderMagic || header[2] != kHeaderVersion ||
+          header[3] != session_) {
+        corrupt("journal header mismatch in " + log.string());
+      }
+      const std::uint64_t seed = parse_u64_strict(header[4], "journal seed");
+      if (!out.checkpoint_program.empty() && out.seed != seed) {
+        corrupt("checkpoint/journal seed mismatch");
+      }
+      out.seed = seed;
+      header_seen = true;
+      good_end = nl + 1;
+      pos = nl + 1;
+      continue;
+    }
+    JournalRecord record;
+    try {
+      record = parse_record(line);
+    } catch (const std::exception&) {
+      break;  // torn or corrupt from here on: truncate
+    }
+    if (record.seq > out.checkpoint_seq) {
+      out.records.push_back(std::move(record));
+    }
+    good_end = nl + 1;
+    pos = nl + 1;
+  }
+  if (!header_seen) corrupt("journal has no header: " + log.string());
+
+  out.torn_bytes = text.size() - good_end;
+  if (out.torn_bytes > 0) {
+    // Truncate the torn tail via an atomic rewrite so the next append
+    // extends a well-formed log instead of a half-record.
+    util::write_file_atomic(log, text.substr(0, good_end));
+    open_for_append();
+  }
+  seed_ = out.seed;
+  live_records_ = out.records;
+  return out;
+}
+
+void Journal::append(const JournalRecord& record) {
+  const std::string line = format_record(record) + "\n";
+  std::size_t written = 0;
+  while (written < line.size()) {
+    ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve journal: append failed: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("serve journal: fsync failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  live_records_.push_back(record);
+}
+
+void Journal::checkpoint(const std::string& program_text,
+                         std::uint64_t seq) {
+  // 1. Publish the checkpoint. After this rename, every crash point
+  //    recovers to (checkpoint, journal-tail) — a compaction that never
+  //    happens only costs a replay overlap that seq comparison skips.
+  util::write_file_atomic(
+      dir_ / kCheckpointName,
+      header_line() + "\n" +
+          util::format("C %llu", static_cast<unsigned long long>(seq)) +
+          "\n" + program_text);
+
+  // 2. Compact the journal down to records newer than the checkpoint.
+  std::string compacted = header_line() + "\n";
+  std::vector<JournalRecord> keep;
+  for (const JournalRecord& record : live_records_) {
+    if (record.seq > seq) {
+      compacted += format_record(record) + "\n";
+      keep.push_back(record);
+    }
+  }
+  util::write_file_atomic(dir_ / kJournalName, compacted);
+  live_records_ = std::move(keep);
+  open_for_append();
+}
+
+std::vector<std::string> list_sessions(const std::filesystem::path& root) {
+  std::vector<std::string> out;
+  if (!std::filesystem::is_directory(root)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(root)) {
+    if (entry.is_directory() &&
+        std::filesystem::exists(entry.path() / kJournalName)) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace provmark::serve

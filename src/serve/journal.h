@@ -1,0 +1,110 @@
+// Per-session write-ahead journal of the streaming service.
+//
+// Durability contract (docs/serve.md): an event is acked only after its
+// record is appended to the session journal and fsynced — so any acked
+// event survives SIGKILL, and recovery rebuilds the exact session state
+// by replaying the checkpoint plus the journal tail through the same
+// apply path the live service uses. Events the client never saw acked
+// may or may not be present; both outcomes are valid histories.
+//
+// On-disk layout under `<root>/<session>/`:
+//   journal.log        header line + one record line per admitted event
+//   checkpoint.dlog    base program text at the checkpoint (atomic
+//                      tmp+fsync+rename publish, util/atomic_io.h)
+//
+// journal.log framing (one '\n'-terminated line each):
+//   H provmark-serve-journal v1 <session> <seed>
+//   R <seq> <kind> <priority> <bytes> <fnv64-hex> <escaped payload>
+//
+// `bytes` and the FNV-1a checksum cover the *escaped* payload field, and
+// a record only counts if its line ends in '\n' — so a crash mid-append
+// leaves a tail that fails one of (field parse, length, checksum,
+// terminator) and recovery truncates the journal to the last good
+// record instead of propagating garbage into a session. The checkpoint
+// file carries the same header plus `C <seq>`: a crash between
+// checkpoint publish and journal compaction replays a harmless overlap
+// (records <= checkpoint seq are skipped by seq comparison).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace provmark::serve {
+
+/// One journaled event.
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::Fact;
+  Priority priority = Priority::Normal;
+  std::string payload;
+};
+
+/// What recovery found on disk for one session.
+struct RecoveredSession {
+  std::uint64_t seed = 0;
+  std::uint64_t checkpoint_seq = 0;  ///< 0 = no checkpoint
+  std::string checkpoint_program;    ///< base program text ("" without one)
+  std::vector<JournalRecord> records;  ///< strictly seq > checkpoint_seq
+  std::uint64_t torn_bytes = 0;  ///< journal tail discarded as torn
+};
+
+class Journal {
+ public:
+  /// Open (creating if needed) the journal for `session` under `root`.
+  /// A fresh session writes its header immediately — the seed is fixed
+  /// at creation and never changes, which is what makes `run` events
+  /// replayable from the journal alone.
+  Journal(const std::filesystem::path& root, const std::string& session,
+          std::uint64_t seed);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Parse journal + checkpoint from disk. Truncates a torn journal
+  /// tail in place (rewriting the file) so later appends extend a
+  /// well-formed log. Throws std::runtime_error on unreadable files or
+  /// a corrupt header.
+  RecoveredSession recover();
+
+  /// Append one record and fsync before returning — the ack barrier.
+  /// Throws std::runtime_error when the write cannot be made durable.
+  void append(const JournalRecord& record);
+
+  /// Publish `program_text` as the checkpoint at `seq` and compact the
+  /// journal down to records with seq > `seq`. Both steps are atomic
+  /// publishes; the checkpoint lands first, so every crash point leaves
+  /// a recoverable (checkpoint, journal) pair.
+  void checkpoint(const std::string& program_text, std::uint64_t seq);
+
+  const std::filesystem::path& dir() const { return dir_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  void open_for_append();
+  std::string header_line() const;
+
+  std::filesystem::path dir_;
+  std::string session_;
+  std::uint64_t seed_;
+  int fd_ = -1;
+  /// Records since recover()/checkpoint, kept so compaction can rewrite
+  /// the journal without re-reading disk.
+  std::vector<JournalRecord> live_records_;
+};
+
+/// Format / parse one `R` record line (without the trailing newline).
+/// parse_record throws std::runtime_error on any framing violation —
+/// the strictness recover() turns into tail truncation.
+std::string format_record(const JournalRecord& record);
+JournalRecord parse_record(std::string_view line);
+
+/// Session ids present under a journal root (sorted; directories with a
+/// journal.log).
+std::vector<std::string> list_sessions(const std::filesystem::path& root);
+
+}  // namespace provmark::serve

@@ -1,0 +1,105 @@
+// Wire protocol of the streaming provenance service (docs/serve.md).
+//
+// A request is one line of space-separated fields; payload fields are
+// escaped so any byte sequence — clause text with spaces and newlines,
+// whole benchmark programs — rides in a single field. The same framing
+// is used on the AF_UNIX socket (`provmark serve` / `provmark feed`),
+// in the in-process Service API tests, and for the journal's record
+// payloads, so a journaled event replays through exactly the code path
+// that admitted it.
+//
+// Requests:
+//   event <session> <fact|rule|run> <low|normal|high> <payload>
+//   query <session> <deadline-ms> <pattern>     e.g. path(a,X)
+//   digest <session> <deadline-ms>              fixpoint digest
+//   dump <session> <deadline-ms>                canonical fixpoint dump
+//   stats                                       service counters
+//   ping
+//
+// Responses:
+//   ok <seq>                  event journaled and acked (durable)
+//   result <body>             query/digest/dump/stats/ping payload
+//   shed                      load-shed: retry later, event NOT journaled
+//   busy                      backpressure: queue full / lock deadline
+//   quarantined <reason>      session is poisoned; events refused
+//   too-large <message>       payload exceeds the input-size guard
+//   bad-request <message>     malformed request line
+//   error <message>           internal failure
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace provmark::serve {
+
+/// Mutating, journaled event kinds. `fact` and `rule` payloads are
+/// Datalog program text loaded into the session engine; `run` payloads
+/// are "<system>\n<benchmark program text>" — the pipeline runs with a
+/// seed derived from (session seed, event seq) and the result graph is
+/// asserted into the engine as facts.
+enum class EventKind { Fact, Rule, Run };
+
+/// Read-only request kinds; never journaled, never mutate a session.
+enum class QueryKind { Query, Digest, Dump, Stats, Ping };
+
+/// Shedding priority of an event. Under load, Low sheds first (at half
+/// the global budget), Normal at the full budget; High is never
+/// silently shed — it gets `busy` backpressure instead.
+enum class Priority { Low = 0, Normal = 1, High = 2 };
+
+struct Request {
+  bool is_event = false;
+  EventKind event = EventKind::Fact;
+  QueryKind query = QueryKind::Ping;
+  std::string session;
+  Priority priority = Priority::Normal;
+  double deadline_ms = 1000;  ///< read-only requests: lock-wait budget
+  std::string payload;
+};
+
+enum class Status {
+  Ok,
+  Result,
+  Shed,
+  Busy,
+  Quarantined,
+  TooLarge,
+  BadRequest,
+  Error,
+};
+
+struct Response {
+  Status status = Status::Error;
+  std::uint64_t seq = 0;  ///< journal sequence (Ok only)
+  std::string body;       ///< result payload or diagnostic message
+};
+
+const char* event_kind_name(EventKind kind);
+const char* query_kind_name(QueryKind kind);
+const char* priority_name(Priority priority);
+const char* status_name(Status status);
+
+/// Escape a payload into one space-free field: '\\'->"\\\\", ' '->"\\s",
+/// '\t'->"\\t", '\n'->"\\n", '\r'->"\\r". Empty payloads encode as "\\0".
+std::string escape_field(std::string_view s);
+
+/// Inverse of escape_field. Throws std::invalid_argument on a dangling
+/// or unknown escape — strictness the journal relies on to detect torn
+/// tails.
+std::string unescape_field(std::string_view s);
+
+/// Serialize a request as one line (no trailing newline).
+std::string format_request(const Request& request);
+
+/// Parse one request line. Throws std::invalid_argument with a pointed
+/// message on any malformed field.
+Request parse_request(std::string_view line);
+
+/// Serialize a response as one line (no trailing newline).
+std::string format_response(const Response& response);
+
+/// Parse one response line (the feed client and tests use this).
+Response parse_response(std::string_view line);
+
+}  // namespace provmark::serve

@@ -1,0 +1,112 @@
+// One client's streaming session: an incremental Datalog fixpoint fed
+// by journaled events.
+//
+// A session is pure logic — no I/O, no locks, no queues; the Service
+// owns its journal, its mutex and its scheduling. That split is what
+// makes the recovery proof simple: replay calls exactly this apply()
+// on exactly the journal's records, so "recovered state == live state"
+// reduces to apply() being a deterministic function of (seed, records).
+//
+//   * fact / rule events load Datalog program text into the engine,
+//     which re-saturates incrementally (the saturated_rows watermark:
+//     a fact-only batch seeds deltas with just the new rows).
+//   * run events execute the full ProvMark pipeline — payload
+//     "<system>\n<program text>" — with a seed derived purely from
+//     (session seed, event seq), then assert the result graph as facts
+//     under graph id r<seq>. Replaying the journal re-runs the same
+//     pipeline with the same seed and lands on the same facts.
+//   * any apply-time failure (malformed clauses, arity conflicts,
+//     unstratified rules, oversized payloads) quarantines the session:
+//     state stops advancing, the typed reason is kept, and — because
+//     the failure is deterministic — replay re-quarantines at the same
+//     seq. One poisoned session never touches its neighbours.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+#include "datalog/engine.h"
+#include "serve/journal.h"
+
+namespace provmark::serve {
+
+struct SessionOptions {
+  /// Payload ceiling for every event, enforced again at apply time (the
+  /// admission check already rejects oversized payloads; this keeps a
+  /// hand-edited journal from bypassing the guard on replay).
+  std::size_t max_payload_bytes = std::size_t{1} << 20;
+  /// Base pipeline options for run events. `pool`, `seed` and `cancel`
+  /// are overridden per apply; everything else (trials, matcher,
+  /// latency) is the service operator's choice.
+  core::PipelineOptions pipeline;
+};
+
+class Session {
+ public:
+  Session(std::string id, std::uint64_t seed, SessionOptions options);
+
+  /// Restore the checkpointed base state: load `program_text` into the
+  /// fresh engine and set the applied watermark to `seq`. Only valid on
+  /// a virgin session (recovery calls it exactly once, before replaying
+  /// the journal tail). Throws on malformed text — checkpoints are
+  /// published atomically from a known-good state, so corruption here
+  /// is a hard error, not a torn tail.
+  void restore(const std::string& program_text, std::uint64_t seq);
+
+  /// Apply one admitted event. Returns false only when `cancel` went
+  /// true mid-run (shutdown): the session is unchanged and the event —
+  /// already journaled — will be replayed by the next recovery. All
+  /// other failures quarantine the session and return true.
+  bool apply(const JournalRecord& record,
+             const std::atomic<bool>* cancel = nullptr);
+
+  bool quarantined() const { return quarantined_; }
+  const std::string& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Highest seq apply() has consumed (0 before the first).
+  std::uint64_t applied_seq() const { return applied_seq_; }
+  /// Events applied since construction / the last checkpoint_taken().
+  std::uint64_t applied_since_checkpoint() const {
+    return applied_since_checkpoint_;
+  }
+  void checkpoint_taken() { applied_since_checkpoint_ = 0; }
+
+  /// The base program text reproducing this session's engine state —
+  /// what the journal checkpoints. Run results are included as their
+  /// asserted facts, so a checkpointed restore never re-runs pipelines.
+  const std::string& program_log() const { return program_log_; }
+
+  /// Canonical fixpoint serialization: every relation in sorted name
+  /// order, tuples in sorted order, one escaped fact per line. Two
+  /// sessions are state-identical iff their dumps are byte-identical.
+  std::string dump();
+
+  /// 16-hex-digit FNV-1a digest of dump() — the identity the recovery
+  /// gates compare.
+  std::string digest();
+
+  /// Run a query pattern (e.g. "path(a,X)") against the fixpoint.
+  /// Returns one "VAR=value ..." line per binding. Read-only: a
+  /// malformed pattern throws but never quarantines.
+  std::string query(const std::string& pattern_text);
+
+  const std::string& id() const { return id_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  void quarantine(const std::string& reason);
+
+  std::string id_;
+  std::uint64_t seed_;
+  SessionOptions options_;
+  datalog::Engine engine_;
+  std::string program_log_;
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t applied_since_checkpoint_ = 0;
+  bool quarantined_ = false;
+  std::string quarantine_reason_;
+};
+
+}  // namespace provmark::serve

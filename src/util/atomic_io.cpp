@@ -1,0 +1,55 @@
+#include "util/atomic_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace provmark::util {
+
+void sync_dir(const std::filesystem::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& text) {
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("cannot write " + tmp.string() + ": " +
+                             std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < text.size()) {
+    ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("short write to " + tmp.string() + ": " +
+                               std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot fsync " + tmp.string());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot publish " + path.string() + ": " +
+                             std::strerror(err));
+  }
+  sync_dir(path.parent_path());
+}
+
+}  // namespace provmark::util

@@ -1,0 +1,25 @@
+// Crash-safe file publication, hoisted from the shard writer so every
+// subsystem with durability promises (shard artifacts, the streaming
+// service's checkpoints and journal compactions) commits bytes the same
+// way: write to `<path>.tmp.<pid>`, fsync, rename over the final name,
+// fsync the parent directory. A reader can never observe a half-written
+// file; a crash leaves at worst an ignorable `.tmp.<pid>` orphan.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace provmark::util {
+
+/// fsync a directory so a just-renamed entry survives a crash. Best
+/// effort: filesystems that reject directory fsync are silently
+/// tolerated.
+void sync_dir(const std::filesystem::path& dir);
+
+/// The atomic commit described in the module comment. Throws
+/// std::runtime_error (with errno text) when any step fails; the tmp
+/// file is unlinked on failure so retries start clean.
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& text);
+
+}  // namespace provmark::util

@@ -26,6 +26,12 @@ std::atomic<bool> g_armed{false};
 std::mutex g_mutex;
 std::vector<LiveRule> g_rules;
 std::atomic<int> g_cells_completed{0};
+std::atomic<int> g_events_admitted{0};
+std::atomic<int> g_applies_seen{0};
+
+bool is_serve_kind(FaultKind kind) {
+  return kind == FaultKind::ServeCrash || kind == FaultKind::SlowClient;
+}
 
 double parse_number(const std::string& key, const std::string& value) {
   try {
@@ -64,9 +70,14 @@ FaultRule parse_rule(const std::string& clause) {
     rule.kind = FaultKind::TornWrite;
   } else if (kind == "hang") {
     rule.kind = FaultKind::Hang;
+  } else if (kind == "serve-crash") {
+    rule.kind = FaultKind::ServeCrash;
+  } else if (kind == "slow-client") {
+    rule.kind = FaultKind::SlowClient;
   } else {
-    throw std::invalid_argument("fault-spec: unknown fault kind '" + kind +
-                                "' (crash | torn-write | hang)");
+    throw std::invalid_argument(
+        "fault-spec: unknown fault kind '" + kind +
+        "' (crash | torn-write | hang | serve-crash | slow-client)");
   }
   for (const std::string& param :
        util::split_nonempty(clause.substr(colon + 1), ',')) {
@@ -77,9 +88,24 @@ FaultRule parse_rule(const std::string& clause) {
     }
     const std::string key = std::string(util::trim(param.substr(0, eq)));
     const std::string value = std::string(util::trim(param.substr(eq + 1)));
-    if (key == "shard") {
+    if (key == "shard" && !is_serve_kind(rule.kind)) {
       rule.shard = parse_int(key, value);
-    } else if (key == "attempt") {
+    } else if (key == "after-events" && rule.kind == FaultKind::ServeCrash) {
+      rule.after_events = parse_int(key, value);
+      if (rule.after_events < 1) {
+        throw std::invalid_argument("fault-spec: after-events must be >= 1");
+      }
+    } else if (key == "ms" && rule.kind == FaultKind::SlowClient) {
+      rule.stall_ms = parse_number(key, value);
+      if (rule.stall_ms < 0) {
+        throw std::invalid_argument("fault-spec: ms must be >= 0");
+      }
+    } else if (key == "events" && rule.kind == FaultKind::SlowClient) {
+      rule.stall_events = parse_int(key, value);
+      if (rule.stall_events < 1) {
+        throw std::invalid_argument("fault-spec: events must be >= 1");
+      }
+    } else if (key == "attempt" && !is_serve_kind(rule.kind)) {
       rule.attempt = value == "any" ? -1 : parse_int(key, value);
     } else if (key == "after-cell" && rule.kind == FaultKind::Crash) {
       rule.after_cell = parse_int(key, value);
@@ -102,8 +128,9 @@ FaultRule parse_rule(const std::string& clause) {
                                   "' for " + kind_name(rule.kind));
     }
   }
-  if (rule.shard < 0) {
-    throw std::invalid_argument("fault-spec: every rule needs shard=<id>");
+  if (rule.shard < 0 && !is_serve_kind(rule.kind)) {
+    throw std::invalid_argument("fault-spec: every shard-side rule needs "
+                                "shard=<id>");
   }
   if (rule.kind == FaultKind::TornWrite && rule.file.empty()) {
     throw std::invalid_argument("fault-spec: torn-write needs file=<name>");
@@ -121,6 +148,10 @@ const char* kind_name(FaultKind kind) {
       return "torn-write";
     case FaultKind::Hang:
       return "hang";
+    case FaultKind::ServeCrash:
+      return "serve-crash";
+    case FaultKind::SlowClient:
+      return "slow-client";
   }
   return "unknown";
 }
@@ -140,9 +171,12 @@ void arm(const FaultSpec& spec, int shard_id, int attempt) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_rules.clear();
   g_cells_completed.store(0);
+  g_events_admitted.store(0);
+  g_applies_seen.store(0);
   for (const FaultRule& rule : spec.rules) {
-    if (rule.shard == shard_id &&
-        (rule.attempt < 0 || rule.attempt == attempt)) {
+    if (is_serve_kind(rule.kind) ||
+        (rule.shard == shard_id &&
+         (rule.attempt < 0 || rule.attempt == attempt))) {
       g_rules.push_back(LiveRule{rule, false});
     }
   }
@@ -212,6 +246,40 @@ bool tear_content(std::string_view file_name, std::string* content) {
     return true;
   }
   return false;
+}
+
+void serve_event_admitted() {
+  if (!g_armed.load()) return;
+  const int admitted = g_events_admitted.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (LiveRule& live : g_rules) {
+    if (live.rule.kind != FaultKind::ServeCrash || live.fired) continue;
+    if (admitted < live.rule.after_events) continue;
+    live.fired = true;
+    std::fprintf(stderr,
+                 "fault-injection: serve-crash after event %d — _exit(%d)\n",
+                 admitted, kCrashExitCode);
+    std::fflush(stderr);
+    ::_exit(kCrashExitCode);
+  }
+}
+
+void serve_before_apply() {
+  if (!g_armed.load()) return;
+  const int seen = g_applies_seen.fetch_add(1) + 1;
+  double stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (const LiveRule& live : g_rules) {
+      if (live.rule.kind != FaultKind::SlowClient) continue;
+      if (live.rule.stall_events >= 0 && seen > live.rule.stall_events) {
+        continue;
+      }
+      stall_ms = live.rule.stall_ms;
+    }
+  }
+  if (stall_ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(stall_ms / 1e3));
 }
 
 }  // namespace provmark::util::fault

@@ -18,13 +18,31 @@
 //                                 artifacts (a straggler with all work
 //                                 done), until the supervisor kills it
 //
-// Rules are joined with ';' and target exactly one (shard, attempt)
-// pair: `attempt=K` defaults to 0 — the first try — so retries and
-// straggler re-dispatches run fault-free and the sweep converges;
-// `attempt=any` keeps a rule armed on every attempt (how tests produce
-// a shard that fails until quarantined). Everything is deterministic:
-// a rule either fires at its trigger point or it does not — no clocks,
-// no randomness — so the chaos bench and CI gate reproduce bit-for-bit.
+// The streaming service (docs/serve.md) makes the same kind of promise
+// — recover bit-identically after SIGKILL, shed load instead of
+// corrupting sessions — so it gets serve-side kinds:
+//
+//   serve-crash:after-events=5    the daemon calls _exit(70) right
+//                                 after journaling+acking its 5th
+//                                 admitted event (SIGKILL-equivalent:
+//                                 no drain, no checkpoint)
+//   slow-client:ms=50             every worker apply stalls 50ms, so a
+//                                 normal feed rate overruns the queues
+//                                 and exercises the shedding path
+//                                 (`events=N` limits the stall to the
+//                                 first N applies)
+//
+// Rules are joined with ';'. Shard-side kinds target exactly one
+// (shard, attempt) pair: `attempt=K` defaults to 0 — the first try —
+// so retries and straggler re-dispatches run fault-free and the sweep
+// converges; `attempt=any` keeps a rule armed on every attempt (how
+// tests produce a shard that fails until quarantined). Serve-side
+// kinds live in a single long-running daemon with no shard or attempt
+// coordinates, so they take neither key and arm unconditionally.
+// Everything is deterministic: a rule either fires at its trigger
+// point or it does not — no clocks, no randomness — so the chaos bench
+// and CI gate reproduce bit-for-bit. (slow-client stalls wall-clock
+// time but fires on deterministic event counts.)
 //
 // The injector is process-global and disarmed by default; every hook
 // is a no-op (one relaxed atomic load) until arm() is called, which
@@ -37,7 +55,7 @@
 
 namespace provmark::util::fault {
 
-enum class FaultKind { Crash, TornWrite, Hang };
+enum class FaultKind { Crash, TornWrite, Hang, ServeCrash, SlowClient };
 
 const char* kind_name(FaultKind kind);
 
@@ -47,12 +65,15 @@ constexpr int kCrashExitCode = 70;
 
 struct FaultRule {
   FaultKind kind = FaultKind::Crash;
-  int shard = -1;    ///< target shard id (required in the spec)
+  int shard = -1;    ///< target shard id (required for shard-side kinds)
   int attempt = 0;   ///< target attempt; -1 = every attempt ("any")
   int after_cell = 1;          ///< crash: fire after this many cells
   std::string file;            ///< torn-write: artifact name to tear
   double keep_fraction = 0.5;  ///< torn-write: prefix fraction kept
   double hang_seconds = 3600;  ///< hang: stall duration before publish
+  int after_events = 1;   ///< serve-crash: fire after this many admits
+  double stall_ms = 50;   ///< slow-client: stall per worker apply
+  int stall_events = -1;  ///< slow-client: applies stalled; -1 = all
 };
 
 struct FaultSpec {
@@ -64,8 +85,10 @@ struct FaultSpec {
 /// unknown kind, unknown key, or missing required key.
 FaultSpec parse_fault_spec(const std::string& text);
 
-/// Arm `spec` for this process: rules whose (shard, attempt) match the
-/// given pair become live. Resets all fire-once state.
+/// Arm `spec` for this process: shard-side rules whose (shard, attempt)
+/// match the given pair become live; serve-side rules (serve-crash,
+/// slow-client) are always live — the daemon arms with (0, 0). Resets
+/// all fire-once state.
 void arm(const FaultSpec& spec, int shard_id, int attempt);
 
 /// Disarm every rule (tests call this between scenarios).
@@ -90,5 +113,17 @@ void before_publish();
 /// true; the caller must have recorded the intended content hash
 /// *before* this call, so the tear is detectable.
 bool tear_content(std::string_view file_name, std::string* content);
+
+/// Serve admission hook: one event was journaled and acked. A live
+/// serve-crash rule whose after-events count is reached calls _exit(70)
+/// — the moment an unclean death is hardest on the journal (the client
+/// believes the event durable; recovery must agree).
+void serve_event_admitted();
+
+/// Serve worker hook: an admitted event is about to be applied to its
+/// session. A live slow-client rule stalls here for stall_ms (the first
+/// stall_events applies, or every apply when -1), backing the queues up
+/// so overload shedding fires under test control.
+void serve_before_apply();
 
 }  // namespace provmark::util::fault

@@ -1,0 +1,52 @@
+// Input-size guards for parsers that accept untrusted bytes.
+//
+// The batch pipeline only ever parsed files the process itself wrote,
+// so unbounded allocation was a non-issue. The streaming service
+// (src/serve/) accepts network-borne program text and fact documents
+// from arbitrary clients, where "parse whatever arrives" is an
+// invitation to allocate without bound. Every parser on that path —
+// bench_suite::parse_program, datalog::from_datalog, and the serve
+// admission layer itself — takes a byte limit and rejects oversized
+// input with this typed error *before* touching the bytes, so the
+// caller can turn it into a protocol-level rejection (or a quarantine)
+// instead of an OOM kill.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace provmark::util {
+
+/// Input exceeded a configured byte limit. Carries the observed size
+/// and the limit so service-layer callers can report both without
+/// re-parsing the message.
+class InputSizeError : public std::runtime_error {
+ public:
+  InputSizeError(const std::string& what_input, std::size_t size,
+                 std::size_t limit)
+      : std::runtime_error(what_input + ": " + std::to_string(size) +
+                           " bytes exceeds the " + std::to_string(limit) +
+                           "-byte limit"),
+        size(size),
+        limit(limit) {}
+
+  std::size_t size;
+  std::size_t limit;
+};
+
+/// Default cap for whole-document parsers (program text, fact
+/// documents): far above any legitimate benchmark artifact, far below
+/// anything that could distress the allocator.
+constexpr std::size_t kDefaultMaxInputBytes = std::size_t{64} << 20;
+
+/// Throw InputSizeError when `size` exceeds `limit`. A limit of 0
+/// disables the guard (trusted in-process callers).
+inline void check_input_size(const char* what_input, std::size_t size,
+                             std::size_t limit) {
+  if (limit != 0 && size > limit) {
+    throw InputSizeError(what_input, size, limit);
+  }
+}
+
+}  // namespace provmark::util

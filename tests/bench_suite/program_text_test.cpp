@@ -127,5 +127,21 @@ TEST(ProgramText, OpcodeFromName) {
   EXPECT_THROW(opcode_from_name("bogus"), std::invalid_argument);
 }
 
+TEST(ProgramText, OversizedInputRejectedBeforeParsing) {
+  const std::string text = "name close\ntarget close var=fd\n";
+  // At or under the limit parses; one byte over throws the typed error
+  // carrying both the observed size and the limit.
+  EXPECT_NO_THROW(parse_program(text, text.size()));
+  try {
+    parse_program(text, text.size() - 1);
+    FAIL() << "expected util::InputSizeError";
+  } catch (const util::InputSizeError& e) {
+    EXPECT_EQ(e.size, text.size());
+    EXPECT_EQ(e.limit, text.size() - 1);
+  }
+  // 0 disables the guard entirely.
+  EXPECT_NO_THROW(parse_program(text, 0));
+}
+
 }  // namespace
 }  // namespace provmark::bench_suite

@@ -2,6 +2,7 @@
 // trips, merge determinism (any shard order produces the exact
 // single-process bytes), and resume-after-partial-sweep detection.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -455,6 +456,44 @@ TEST(ShardIntegrity, DuplicatePublishIsBenign) {
               std::string::npos)
         << entry.path();
   }
+}
+
+TEST(ShardStaging, RemoveOrphanedStagingSweepsDeadPidsOnly) {
+  TempDir tmp("orphans");
+  // A dead pid's staging dir and tmp file: orphaned, must go. Pid 1 is
+  // alive on any Linux box (init) — its leftovers must survive; so must
+  // names without a pid suffix and published shard dirs.
+  const pid_t dead = [] {
+    pid_t pid = ::fork();
+    if (pid == 0) ::_exit(0);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return pid;
+  }();
+  const fs::path orphan_dir =
+      tmp.path / ("shard-3.staging." + std::to_string(dead));
+  const fs::path orphan_tmp =
+      tmp.path / ("time.log.tmp." + std::to_string(dead));
+  const fs::path live_dir = tmp.path / "shard-4.staging.1";
+  const fs::path published = tmp.path / "shard-0";
+  const fs::path odd_name = tmp.path / "shard-5.staging.notapid";
+  fs::create_directories(orphan_dir);
+  fs::create_directories(live_dir);
+  fs::create_directories(published);
+  fs::create_directories(odd_name);
+  { std::ofstream out(orphan_dir / "cell-0.result"); out << "partial"; }
+  { std::ofstream out(orphan_tmp); out << "torn"; }
+
+  EXPECT_EQ(remove_orphaned_staging(tmp.str()), 2u);
+  EXPECT_FALSE(fs::exists(orphan_dir));
+  EXPECT_FALSE(fs::exists(orphan_tmp));
+  EXPECT_TRUE(fs::exists(live_dir));
+  EXPECT_TRUE(fs::exists(published));
+  EXPECT_TRUE(fs::exists(odd_name));
+
+  // Idempotent, and harmless on a missing directory.
+  EXPECT_EQ(remove_orphaned_staging(tmp.str()), 0u);
+  EXPECT_EQ(remove_orphaned_staging(tmp.str() + "/nope"), 0u);
 }
 
 }  // namespace

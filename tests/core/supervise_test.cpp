@@ -4,8 +4,14 @@
 // determinism. No real processes, no real sleeps — every millisecond
 // below is simulated, so these tests are exact and instant.
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -341,6 +347,68 @@ TEST(Supervise, BackoffIsDeterministicJitteredAndMonotone) {
     distinct.insert(backoff_ms(seed, 0, 1, options));
   }
   EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(ProcessWorkerHostSignals, SigtermForwardsToLiveWorkersThenDies) {
+  // Real processes: an "orchestrator" child installs signal forwarding,
+  // spawns a long-sleeping worker grandchild, and is then SIGTERM'd.
+  // The worker must die with it (no orphaned shard processes) and the
+  // orchestrator must exit *by* SIGTERM, not with a made-up code.
+  namespace fs = std::filesystem;
+  const fs::path pid_file =
+      fs::temp_directory_path() /
+      ("provmark_supervise_fwd_" + std::to_string(::getpid()));
+  fs::remove(pid_file);
+
+  const pid_t orchestrator = ::fork();
+  ASSERT_GE(orchestrator, 0);
+  if (orchestrator == 0) {
+    ProcessWorkerHost host = ProcessWorkerHost::fork_mode(
+        [](int, int) {
+          ::sleep(60);  // a worker mid-cell, oblivious to the shutdown
+          return 0;
+        },
+        [](int) { return false; });
+    host.install_signal_forwarding(/*grace_ms=*/5'000);
+    const std::uint64_t token = host.spawn(0, 0);
+    if (token == 0) ::_exit(9);
+    {
+      std::ofstream out(pid_file);
+      out << token << "\n";
+    }
+    WorkerEvent event;
+    while (true) host.wait_any(100, &event);  // forwarding fires in here
+  }
+
+  // Wait for the worker grandchild's pid to be published.
+  pid_t worker = 0;
+  for (int i = 0; i < 200 && worker == 0; ++i) {
+    std::ifstream in(pid_file);
+    if (!(in >> worker)) {
+      worker = 0;
+      ::usleep(50'000);
+    }
+  }
+  ASSERT_GT(worker, 0) << "orchestrator never spawned its worker";
+
+  ASSERT_EQ(::kill(orchestrator, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(orchestrator, &status, 0), orchestrator);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  // The worker was reparented to init if leaked; poll until ESRCH.
+  bool worker_dead = false;
+  for (int i = 0; i < 200 && !worker_dead; ++i) {
+    if (::kill(worker, 0) != 0 && errno == ESRCH) {
+      worker_dead = true;
+    } else {
+      ::usleep(50'000);
+    }
+  }
+  if (!worker_dead) ::kill(worker, SIGKILL);  // don't leak it past the test
+  EXPECT_TRUE(worker_dead) << "worker outlived the orchestrator";
+  fs::remove(pid_file);
 }
 
 }  // namespace

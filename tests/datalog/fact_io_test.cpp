@@ -143,5 +143,20 @@ TEST(FactIo, EmptyGraphProducesEmptyDocument) {
   EXPECT_EQ(to_datalog(graph::PropertyGraph{}, "g"), "");
 }
 
+TEST(FactIo, OversizedDocumentRejectedBeforeParsing) {
+  const std::string text = to_datalog(sample(), "g2");
+  EXPECT_NO_THROW(from_datalog(text, text.size()));
+  try {
+    from_datalog(text, text.size() - 1);
+    FAIL() << "expected util::InputSizeError";
+  } catch (const util::InputSizeError& e) {
+    EXPECT_EQ(e.size, text.size());
+    EXPECT_EQ(e.limit, text.size() - 1);
+  }
+  EXPECT_THROW(single_graph_from_datalog(text, "g2", text.size() - 1),
+               util::InputSizeError);
+  EXPECT_NO_THROW(single_graph_from_datalog(text, "g2", 0));
+}
+
 }  // namespace
 }  // namespace provmark::datalog

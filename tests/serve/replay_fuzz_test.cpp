@@ -1,0 +1,262 @@
+// Crash-replay identity fuzz for the streaming service.
+//
+// Two attack angles on the same claim — a crash at *any* point leaves a
+// journal whose replay reaches the exact fixpoint the uninterrupted
+// stream reaches:
+//
+//   * kill-at-every-record-boundary: for generator-seeded streams over
+//     all six recorders, truncate the journal at every record boundary
+//     (and mid-record, the torn-tail case), recover, feed the remainder
+//     of the stream, and demand the reference digest — 25 streams, every
+//     boundary each.
+//   * real SIGKILL: a forked child runs a threaded service over multiple
+//     client sessions and SIGKILLs itself mid-stream; the parent
+//     recovers the journal root and checks every session's digest
+//     against a fresh service fed the same records.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_suite/generator.h"
+#include "bench_suite/program_text.h"
+#include "serve/journal.h"
+#include "serve/service.h"
+
+namespace provmark::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("provmark_serve_fuzz_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+ServiceOptions test_options(const fs::path& root) {
+  ServiceOptions options;
+  options.root = root;
+  options.workers = 0;
+  options.checkpoint_every = 0;  // keep every record replayable
+  options.pipeline.trials = 2;
+  return options;
+}
+
+Request event_request(const std::string& session, EventKind kind,
+                      const std::string& payload) {
+  Request request;
+  request.is_event = true;
+  request.event = kind;
+  request.session = session;
+  request.priority = Priority::Normal;
+  request.payload = payload;
+  return request;
+}
+
+std::string digest_of(Service& service, const std::string& session) {
+  Request request;
+  request.is_event = false;
+  request.query = QueryKind::Digest;
+  request.session = session;
+  Response response = service.submit(request);
+  EXPECT_EQ(response.status, Status::Result) << response.body;
+  return response.body;
+}
+
+const char* kRecorders[] = {"spade",         "opus",  "camflow",
+                            "spade-camflow", "audit", "ebpf"};
+
+/// One generator-seeded stream: facts, a recursive rule, a pipeline run
+/// on the stream's recorder, and a post-run fact (so replay must get
+/// the run's asserted facts right *and* keep appending after them).
+std::vector<std::pair<EventKind, std::string>> make_stream(
+    std::uint64_t seed) {
+  const char* recorder = kRecorders[seed % 6];
+  bench_suite::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.scale = 3;
+  gen.depth = 1;
+  gen.fan_out = 1;
+  const std::string program =
+      bench_suite::format_program(bench_suite::generate_program(gen));
+  const std::string s = std::to_string(seed);
+  return {
+      {EventKind::Fact, "edge(a" + s + ",b" + s + ")."},
+      {EventKind::Fact, "edge(b" + s + ",c" + s + ")."},
+      {EventKind::Rule,
+       "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z)."},
+      {EventKind::Run, std::string(recorder) + "\n" + program},
+      {EventKind::Fact, "edge(c" + s + ",a" + s + ")."},
+  };
+}
+
+TEST(ReplayFuzz, KillAtEveryRecordBoundaryOver25SeededStreams) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("stream seed " + std::to_string(seed));
+    const std::string session = "s" + std::to_string(seed);
+    const auto stream = make_stream(seed);
+
+    // Reference: the uninterrupted stream.
+    TempDir ref_root("ref" + std::to_string(seed));
+    std::string reference_digest;
+    std::string full_journal;
+    {
+      Service reference(test_options(ref_root.path));
+      for (const auto& [kind, payload] : stream) {
+        Response response =
+            reference.submit(event_request(session, kind, payload));
+        ASSERT_EQ(response.status, Status::Ok) << response.body;
+      }
+      reference.pump();
+      reference_digest = digest_of(reference, session);
+      full_journal = slurp(ref_root.path / session / "journal.log");
+    }
+
+    // Record boundaries of the journal (offset after header, after
+    // record 1, ...).
+    std::vector<std::size_t> boundary;
+    boundary.push_back(full_journal.find('\n') + 1);
+    for (std::size_t pos = boundary[0]; pos < full_journal.size();) {
+      pos = full_journal.find('\n', pos) + 1;
+      boundary.push_back(pos);
+    }
+    ASSERT_EQ(boundary.size(), stream.size() + 1);
+
+    for (std::size_t k = 0; k < boundary.size(); ++k) {
+      SCOPED_TRACE("crash after " + std::to_string(k) + " records");
+      // Two crash images per boundary: a clean cut (the fsync'd prefix)
+      // and a torn cut (half the next record made it to disk).
+      std::vector<std::string> images;
+      images.push_back(full_journal.substr(0, boundary[k]));
+      if (k < boundary.size() - 1) {
+        const std::size_t half =
+            boundary[k] + (boundary[k + 1] - boundary[k]) / 2;
+        images.push_back(full_journal.substr(0, half));
+      }
+      for (std::size_t image = 0; image < images.size(); ++image) {
+        TempDir crash_root("crash");
+        fs::create_directories(crash_root.path / session);
+        spit(crash_root.path / session / "journal.log", images[image]);
+
+        Service recovered(test_options(crash_root.path));
+        EXPECT_EQ(recovered.stats().replayed_events, k);
+        if (image == 1) {
+          EXPECT_GT(recovered.stats().torn_bytes_truncated, 0u);
+        }
+        // The client retries everything past its last ack; seqs line up
+        // with the original stream because recovery restored next_seq.
+        for (std::size_t i = k; i < stream.size(); ++i) {
+          Response response = recovered.submit(event_request(
+              session, stream[i].first, stream[i].second));
+          ASSERT_EQ(response.status, Status::Ok) << response.body;
+          EXPECT_EQ(response.seq, i + 1);
+        }
+        recovered.pump();
+        EXPECT_EQ(digest_of(recovered, session), reference_digest);
+      }
+    }
+  }
+}
+
+TEST(ReplayFuzz, RealSigkillMidStreamRecoversBitIdentically) {
+  TempDir root("sigkill");
+  TempDir ref_root("sigkill_ref");
+  const std::vector<std::string> clients = {"alice", "bob", "carol"};
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: a threaded service under live multi-client load, killed
+    // without warning. Everything acked before the kill is journaled.
+    ServiceOptions options;
+    options.root = root.path;
+    options.workers = 2;
+    options.checkpoint_every = 0;
+    options.pipeline.trials = 2;
+    Service service(options);
+    for (int i = 0; i < 40; ++i) {
+      for (const std::string& client : clients) {
+        Request request = event_request(
+            client, EventKind::Fact,
+            "edge(n" + std::to_string(i) + ",n" +
+                std::to_string(i + 1) + ").");
+        if (service.submit(request).status != Status::Ok) ::_exit(9);
+      }
+    }
+    for (const std::string& client : clients) {
+      Request rule = event_request(client, EventKind::Rule,
+                                   "reach(X,Y) :- edge(X,Y).");
+      if (service.submit(rule).status != Status::Ok) ::_exit(9);
+    }
+    // Workers are mid-apply right now; die like a power cut.
+    ::raise(SIGKILL);
+    ::_exit(8);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Recover the kill site.
+  Service recovered(test_options(root.path));
+  ASSERT_EQ(recovered.session_ids().size(), clients.size());
+  EXPECT_GT(recovered.stats().replayed_events, 0u);
+  std::map<std::string, std::string> digests =
+      recovered.session_digests();
+
+  // Reference: a fresh service fed exactly the journaled records, in
+  // seq order per session — "recovered state == live state" for the
+  // acked prefix of every client's stream.
+  ServiceOptions ref_options = test_options(ref_root.path);
+  Service reference(ref_options);
+  for (const std::string& client : clients) {
+    Journal journal(root.path, client, 0);
+    RecoveredSession from_disk = journal.recover();
+    EXPECT_EQ(from_disk.checkpoint_seq, 0u);
+    for (const JournalRecord& record : from_disk.records) {
+      Request request;
+      request.is_event = true;
+      request.event = record.kind;
+      request.session = client;
+      request.priority = record.priority;
+      request.payload = record.payload;
+      Response response = reference.submit(request);
+      ASSERT_EQ(response.status, Status::Ok) << response.body;
+      ASSERT_EQ(response.seq, record.seq);
+    }
+  }
+  reference.pump();
+  for (const std::string& client : clients) {
+    EXPECT_EQ(digests[client], digest_of(reference, client))
+        << "session " << client;
+  }
+}
+
+}  // namespace
+}  // namespace provmark::serve

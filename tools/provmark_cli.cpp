@@ -46,6 +46,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -63,8 +64,10 @@
 #include "datalog/engine.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
+#include "serve/daemon.h"
 #include "systems/recorder.h"
 #include "util/fault.h"
+#include "util/limits.h"
 #include "util/strings.h"
 
 using namespace provmark;
@@ -78,6 +81,8 @@ constexpr const char* kUsage =
     "  provmark merge <output-dir> <shard-dir> [<shard-dir>...]\n"
     "  provmark query <facts.datalog> <atom> [rules.datalog]\n"
     "  provmark gen [--seed S] [--scale K] [gen-options]\n"
+    "  provmark [options] serve <socket> <journal-root> [serve-options]\n"
+    "  provmark feed <socket> [request-file]\n"
     "  provmark --help\n"
     "\n"
     "subcommands:\n"
@@ -114,6 +119,24 @@ constexpr const char* kUsage =
     "         --fan-out F (process-tree shape, default 2x2), --hostile P\n"
     "         (hostile-identifier probability 0..1, default 0.25),\n"
     "         --no-network, --no-memory, --no-failure-probes\n"
+    "  serve  long-lived streaming service (docs/serve.md): per-client\n"
+    "         sessions hold an incremental Datalog fixpoint fed by\n"
+    "         journaled events over an AF_UNIX socket. Bounded admission\n"
+    "         with deterministic overload shedding; every acked event is\n"
+    "         fsynced to <journal-root>/<session>/ before the ack, so\n"
+    "         SIGKILL + restart replays into bit-identical fixpoints.\n"
+    "         SIGTERM/SIGINT drain gracefully (finish queues, checkpoint,\n"
+    "         compact journals, exit 0).\n"
+    "         serve-options: --serve-workers N (apply threads, default 2),\n"
+    "         --queue-cap N (global pending budget, default 256),\n"
+    "         --session-cap N (per-session queue, default 64),\n"
+    "         --checkpoint-every N (applied events between checkpoints,\n"
+    "         default 64). --seed, --fault-spec (serve-crash /\n"
+    "         slow-client rules) and --max-input-bytes are honoured\n"
+    "  feed   stream request lines (see docs/serve.md for the grammar)\n"
+    "         from a file or stdin to a serve socket; prints one response\n"
+    "         line each. Exit 0 when everything was acked/answered, 3\n"
+    "         when any request was shed/refused, 1 on connection failure\n"
     "\n"
     "options:\n"
     "  --threads N  worker threads for the parallel runtime (default:\n"
@@ -153,10 +176,19 @@ constexpr const char* kUsage =
     "                 crash:shard=K,after-cell=M\n"
     "                 torn-write:shard=K,file=NAME[,keep=F]\n"
     "                 hang:shard=K[,seconds=S]\n"
-    "               each rule arms on attempt 0 only unless\n"
+    "                 serve-crash:after-events=M\n"
+    "                 slow-client:ms=T[,events=M]\n"
+    "               each shard rule arms on attempt 0 only unless\n"
     "               attempt=N|any is given, so retried attempts run\n"
-    "               fault-free and the sweep converges (see\n"
+    "               fault-free and the sweep converges; serve rules arm\n"
+    "               unconditionally in the daemon (see\n"
     "               docs/robustness.md for the full grammar)\n"
+    "  --max-input-bytes N\n"
+    "               size ceiling for parsed inputs — @file.prog programs,\n"
+    "               query documents, serve event payloads (default 64 MiB\n"
+    "               for files, 1 MiB for serve payloads; 0 disables).\n"
+    "               Oversized input is refused with a typed error before\n"
+    "               any parsing\n"
     "  --deterministic-timings\n"
     "               (batch) replace measured stage timings with per-cell\n"
     "               pure-hash values so time.log is byte-reproducible\n"
@@ -177,7 +209,17 @@ int usage() {
   return 2;
 }
 
-bench_suite::BenchmarkProgram find_program(const std::string& name) {
+/// One-line diagnostic for a recognizable-but-wrong invocation: scripts
+/// get a pointed stderr message and exit 2 without the full usage wall.
+int bad_usage(const std::string& message) {
+  std::fprintf(stderr, "provmark: %s (try 'provmark --help')\n",
+               message.c_str());
+  return 2;
+}
+
+bench_suite::BenchmarkProgram find_program(
+    const std::string& name,
+    std::size_t max_bytes = util::kDefaultMaxInputBytes) {
   if (!name.empty() && name.front() == '@') {
     // @path/to/file.prog: a user-supplied textual benchmark program.
     std::ifstream in(name.substr(1));
@@ -187,7 +229,7 @@ bench_suite::BenchmarkProgram find_program(const std::string& name) {
     }
     std::string text((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
-    return bench_suite::parse_program(text);
+    return bench_suite::parse_program(text, max_bytes);
   }
   if (name.rfind("scale", 0) == 0 && name.size() > 5) {
     return bench_suite::scale_benchmark(std::stoi(name.substr(5)));
@@ -211,6 +253,11 @@ struct CliOptions {
   bool deterministic_timings = false;
   std::string matcher_order_name;  ///< as given (shard plan fingerprint)
   std::string fault_spec;          ///< "" = no fault injection
+  /// --max-input-bytes: ceiling for parsed input files (0 = unlimited;
+  /// default util::kDefaultMaxInputBytes). serve payloads default
+  /// tighter (1 MiB) unless this is given explicitly.
+  std::size_t max_input_bytes = util::kDefaultMaxInputBytes;
+  bool max_input_bytes_set = false;
 };
 
 matcher::CandidateOrder parse_order(const std::string& name) {
@@ -229,8 +276,8 @@ int run_single(const CliOptions& cli, const std::string& system,
   options.seed = cli.seed;
   options.pool = cli.pool;
   options.matcher = cli.matcher;
-  core::BenchmarkResult result =
-      core::run_benchmark(find_program(benchmark), options);
+  core::BenchmarkResult result = core::run_benchmark(
+      find_program(benchmark, cli.max_input_bytes), options);
   std::printf("%s\n\n", core::summarize(result).c_str());
   std::printf("%s\n", core::result_dot(result).c_str());
   std::printf("%s", datalog::to_datalog(result.result, "result").c_str());
@@ -319,6 +366,12 @@ int run_batch(const CliOptions& cli, const char* argv0,
 
   // -- orchestrator: supervised workers, then merge ------------------------
   std::filesystem::create_directories(output_dir);
+  // Startup hygiene: a previous orchestrator killed mid-sweep leaves
+  // dead workers' staging dirs and .tmp files behind; sweep them before
+  // spawning anything (live pids are left alone).
+  if (std::size_t swept = core::remove_orphaned_staging(output_dir)) {
+    std::printf("removed %zu orphaned staging leftover(s)\n", swept);
+  }
   const std::string exe = self_exe_path(argv0);
   std::vector<int> pending;  // supervise task index -> shard id
   for (int shard = 0; shard < cli.shards; ++shard) {
@@ -359,6 +412,9 @@ int run_batch(const CliOptions& cli, const char* argv0,
     host.set_note([](const std::string& message) {
       std::printf("%s\n", message.c_str());
     });
+    // SIGTERM/SIGINT on the orchestrator forwards to in-flight workers
+    // before the orchestrator dies — no orphaned shard processes.
+    host.install_signal_forwarding();
     host.set_quarantine([&](int task, int attempt,
                             const std::string& diagnostic) {
       const int shard = pending[task];
@@ -470,7 +526,7 @@ int run_gen(const CliOptions& cli, const std::vector<std::string>& args) {
     } else if (args[i] == "--no-failure-probes") {
       options.failure_probes = false;
     } else {
-      return usage();
+      return bad_usage("unknown gen option '" + args[i] + "'");
     }
   }
   std::printf("%s", bench_suite::format_program(
@@ -489,11 +545,15 @@ std::string read_file(const std::string& path) {
 }
 
 int run_query(const std::string& facts_path, const std::string& pattern,
-              const std::string& rules_path) {
+              const std::string& rules_path, std::size_t max_bytes) {
   datalog::Engine engine;
-  engine.load_program(read_file(facts_path));
+  std::string facts = read_file(facts_path);
+  util::check_input_size(facts_path.c_str(), facts.size(), max_bytes);
+  engine.load_program(facts);
   if (!rules_path.empty()) {
-    engine.load_program(read_file(rules_path));
+    std::string rules = read_file(rules_path);
+    util::check_input_size(rules_path.c_str(), rules.size(), max_bytes);
+    engine.load_program(rules);
   }
   datalog::Atom atom = datalog::parse_atom(pattern);
   std::vector<std::map<std::string, std::string>> rows = engine.query(atom);
@@ -537,6 +597,72 @@ int run_query(const std::string& facts_path, const std::string& pattern,
   }
   std::printf("(%zu row%s)\n", rows.size(), rows.size() == 1 ? "" : "s");
   return rows.empty() ? 1 : 0;
+}
+
+int run_serve(const CliOptions& cli, const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return bad_usage(
+        "serve needs: provmark [options] serve <socket> <journal-root> "
+        "[--serve-workers N] [--queue-cap N] [--session-cap N] "
+        "[--checkpoint-every N]");
+  }
+  serve::DaemonOptions options;
+  options.socket_path = args[0];
+  options.service.root = args[1];
+  options.service.seed = cli.seed;
+  options.service.workers = 2;
+  options.service.pipeline.matcher = cli.matcher;
+  options.service.pipeline.pool = nullptr;  // sessions use serial pools
+  if (cli.max_input_bytes_set) {
+    options.service.max_payload_bytes = cli.max_input_bytes;
+  }
+  auto positive = [&](std::size_t i, const char* flag) {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(std::string(flag) + " needs a value");
+    }
+    long long value = std::stoll(args[i + 1]);
+    if (value < 0) {
+      throw std::invalid_argument(std::string(flag) + " must be >= 0");
+    }
+    return static_cast<std::uint64_t>(value);
+  };
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--serve-workers") {
+      options.service.workers = static_cast<int>(positive(i, args[i].c_str()));
+      ++i;
+    } else if (args[i] == "--queue-cap") {
+      options.service.global_queue_cap = positive(i, args[i].c_str());
+      ++i;
+    } else if (args[i] == "--session-cap") {
+      options.service.session_queue_cap = positive(i, args[i].c_str());
+      ++i;
+    } else if (args[i] == "--checkpoint-every") {
+      options.service.checkpoint_every = positive(i, args[i].c_str());
+      ++i;
+    } else {
+      return bad_usage("unknown serve option '" + args[i] + "'");
+    }
+  }
+  if (!cli.fault_spec.empty()) {
+    // Serve-side rules (serve-crash, slow-client) arm regardless of the
+    // (shard, attempt) pair; shard rules stay dormant in the daemon.
+    util::fault::arm(util::fault::parse_fault_spec(cli.fault_spec), 0, 0);
+  }
+  return serve::run_daemon(options);
+}
+
+int run_feed_command(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) {
+    return bad_usage("feed needs: provmark feed <socket> [request-file]");
+  }
+  if (args.size() == 2) {
+    std::ifstream in(args[1]);
+    if (!in.good()) {
+      throw std::runtime_error("cannot read request file " + args[1]);
+    }
+    return serve::run_feed(args[0], in, std::cout);
+  }
+  return serve::run_feed(args[0], std::cin, std::cout);
 }
 
 }  // namespace
@@ -635,31 +761,68 @@ int main(int argc, char** argv) {
         args.erase(args.begin(), args.begin() + 2);
         continue;
       }
-      return usage();
+      if (args[0] == "--max-input-bytes" && args.size() >= 2) {
+        cli.max_input_bytes = std::stoull(args[1]);
+        cli.max_input_bytes_set = true;
+        args.erase(args.begin(), args.begin() + 2);
+        continue;
+      }
+      return bad_usage("unknown option '" + args[0] + "'");
     }
     if (args.empty()) return usage();
-    if (args[0] == "run" && (args.size() == 3 || args.size() == 4)) {
+    if (args[0] == "run") {
+      if (args.size() != 3 && args.size() != 4) {
+        return bad_usage(
+            "run needs: provmark [options] run <system> <benchmark> "
+            "[trials]");
+      }
       return run_single(cli, args[1], args[2],
                         args.size() == 4 ? std::stoi(args[3]) : 0);
     }
-    if (args[0] == "batch" && (args.size() == 3 || args.size() == 4)) {
+    if (args[0] == "batch") {
+      if (args.size() != 3 && args.size() != 4) {
+        return bad_usage(
+            "batch needs: provmark [options] batch <systems> <rb|rg|rh> "
+            "[output-dir]");
+      }
       if (args[2] != "rb" && args[2] != "rg" && args[2] != "rh") {
-        return usage();
+        return bad_usage("unknown result type '" + args[2] +
+                         "' (rb | rg | rh)");
       }
       return run_batch(cli, argv[0], raw_args, args[1], args[2],
                        args.size() == 4 ? args[3] : "finalResult");
     }
-    if (args[0] == "merge" && args.size() >= 3) {
+    if (args[0] == "merge") {
+      if (args.size() < 3) {
+        return bad_usage(
+            "merge needs: provmark merge <output-dir> <shard-dir> "
+            "[<shard-dir>...]");
+      }
       return run_merge(args[1], std::vector<std::string>(args.begin() + 2,
                                                          args.end()));
     }
-    if (args[0] == "query" && (args.size() == 3 || args.size() == 4)) {
-      return run_query(args[1], args[2], args.size() == 4 ? args[3] : "");
+    if (args[0] == "query") {
+      if (args.size() != 3 && args.size() != 4) {
+        return bad_usage(
+            "query needs: provmark query <facts.datalog> <atom> "
+            "[rules.datalog]");
+      }
+      return run_query(args[1], args[2], args.size() == 4 ? args[3] : "",
+                       cli.max_input_bytes);
     }
     if (args[0] == "gen") {
       return run_gen(cli, std::vector<std::string>(args.begin() + 1,
                                                    args.end()));
     }
+    if (args[0] == "serve") {
+      return run_serve(cli, std::vector<std::string>(args.begin() + 1,
+                                                     args.end()));
+    }
+    if (args[0] == "feed") {
+      return run_feed_command(
+          std::vector<std::string>(args.begin() + 1, args.end()));
+    }
+    return bad_usage("unknown subcommand '" + args[0] + "'");
   } catch (const core::ShardRetryableError& e) {
     // Re-running the named shard repairs the sweep — exit 3 so cluster
     // scripts can branch on retryable vs fatal (exit 1) failures.
