@@ -1,0 +1,621 @@
+// Replication + failover gates for the streaming provenance service
+// (src/serve/replicate.* — see docs/serve.md, "Replication & failover").
+//
+// Every scenario drives REAL daemons: forked `run_daemon` processes
+// talking over AF_UNIX sockets, fed through the real `run_feed` client
+// — the same binary paths an operator runs. Four scenarios, each with a
+// hard self-asserting gate (exit 1 on any failure) plus
+// recorded-but-ungated wall-clock metrics:
+//
+//   failover-identity  a primary streams generator-seeded sessions to a
+//                      hot standby, is SIGKILLed mid-service, and the
+//                      standby is promoted. GATES that the promoted
+//                      standby answers every session digest
+//                      byte-identically to a fresh service fed the dead
+//                      primary's journal. Catch-up and promote-to-
+//                      first-answer latency are recorded.
+//   replication-lag    fact-event throughput through a replicated
+//                      primary in async mode (ack on local fsync) with
+//                      the catch-up time to repl_lag_events=0, measured
+//                      by polling the stats health keys — never by
+//                      sleeping.
+//   sync-ack           the same feed in --repl-mode sync, where every
+//                      ack waits for the standby's fsync. GATES that
+//                      every event still acks; the sync/async ack
+//                      overhead ratio is the recorded headline.
+//   chaos              the three replication fault rules, each VERIFIED
+//                      to have fired (daemon log line / exit code 70)
+//                      and survived: repl-link-drop reconnects + resyncs
+//                      to zero lag, repl-partition black-holes the link
+//                      until the standby's missed-heartbeat machinery
+//                      reconnects, replica-crash kills the standby
+//                      after a journaled-but-unacked record and a
+//                      restarted standby resyncs; the scenario ends
+//                      with a kill + promote and GATES digest identity
+//                      one more time — after all injected faults.
+//
+// Children are forked before the parent ever creates a Service, so the
+// parent is threadless at every fork (same discipline as perf_serve).
+//
+// Usage: bench_perf_serve_replication [--smoke] [output.json]
+//   --smoke  smaller feed volume (CI-friendly); identical gating
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/generator.h"
+#include "bench_suite/program_text.h"
+#include "serve/daemon.h"
+#include "serve/journal.h"
+#include "serve/service.h"
+#include "util/fault.h"
+
+using namespace provmark;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+serve::ServiceOptions reference_options(const fs::path& root) {
+  serve::ServiceOptions options;
+  options.root = root;
+  options.workers = 0;  // parent stays threadless across forks
+  options.checkpoint_every = 0;
+  options.pipeline.trials = 2;
+  return options;
+}
+
+struct DaemonSpec {
+  fs::path root;
+  std::string socket_path;
+  std::string replica_of;
+  bool sync = false;
+  std::string fault_spec;
+  fs::path log;  ///< child stdout+stderr (fault-fired verification)
+};
+
+pid_t spawn_daemon(const DaemonSpec& spec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (!spec.log.empty()) {
+    const int fd = ::open(spec.log.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                          0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+  }
+  serve::DaemonOptions options;
+  options.service.root = spec.root;
+  options.service.workers = 1;
+  options.service.checkpoint_every = 0;  // keep journals fully replayable
+  options.service.pipeline.trials = 2;
+  options.socket_path = spec.socket_path;
+  options.replica_of = spec.replica_of;
+  options.repl_sync = spec.sync;
+  options.heartbeat_ms = 50;
+  if (!spec.fault_spec.empty()) {
+    util::fault::arm(util::fault::parse_fault_spec(spec.fault_spec), 0, 0);
+  }
+  ::_exit(serve::run_daemon(options));
+}
+
+/// Feed one request line; returns the raw response line ("" when the
+/// daemon is unreachable).
+std::string feed_one(const std::string& socket_path,
+                     const std::string& request) {
+  std::istringstream in(request + "\n");
+  std::ostringstream out;
+  if (serve::run_feed(socket_path, in, out) == 1) return "";
+  std::string line = out.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+bool wait_until(const std::function<bool()>& predicate, double budget_s) {
+  const auto start = Clock::now();
+  while (seconds_since(start) < budget_s) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+bool stats_show(const std::string& socket_path, const std::string& needle) {
+  const std::string line = feed_one(socket_path, "stats");
+  if (line.empty()) return false;
+  try {
+    serve::Response response = serve::parse_response(line);
+    return response.status == serve::Status::Result &&
+           response.body.find(needle) != std::string::npos;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool caught_up(const std::string& primary_socket) {
+  return stats_show(primary_socket, "repl_connected=1") &&
+         stats_show(primary_socket, "repl_lag_events=0");
+}
+
+bool daemon_ready(const std::string& socket_path) {
+  return feed_one(socket_path, "ping") == "result pong";
+}
+
+void kill_daemon(pid_t pid, int sig) {
+  ::kill(pid, sig);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+bool log_contains(const fs::path& log, const std::string& needle) {
+  std::ifstream in(log);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str().find(needle) != std::string::npos;
+}
+
+serve::Request event_request(const std::string& session,
+                             serve::EventKind kind,
+                             const std::string& payload) {
+  serve::Request request;
+  request.is_event = true;
+  request.event = kind;
+  request.session = session;
+  request.priority = serve::Priority::Normal;
+  request.payload = payload;
+  return request;
+}
+
+const char* kRecorders[] = {"spade",         "opus",  "camflow",
+                            "spade-camflow", "audit", "ebpf"};
+
+std::vector<std::pair<serve::EventKind, std::string>> make_stream(
+    std::uint64_t seed) {
+  bench_suite::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.scale = 3;
+  gen.depth = 1;
+  gen.fan_out = 1;
+  const std::string program =
+      bench_suite::format_program(bench_suite::generate_program(gen));
+  const std::string s = std::to_string(seed);
+  return {
+      {serve::EventKind::Fact, "edge(a" + s + ",b" + s + ")."},
+      {serve::EventKind::Fact, "edge(b" + s + ",c" + s + ")."},
+      {serve::EventKind::Rule,
+       "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z)."},
+      {serve::EventKind::Run,
+       std::string(kRecorders[seed % 6]) + "\n" + program},
+      {serve::EventKind::Fact, "edge(c" + s + ",a" + s + ")."},
+  };
+}
+
+/// Promoted-standby digests vs a fresh reference service fed the dead
+/// primary's journal — the failover identity gate.
+bool digests_match_reference(const fs::path& primary_root,
+                             const std::string& standby_socket,
+                             const fs::path& scratch) {
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  serve::Service reference(reference_options(scratch));
+  bool ok = true;
+  for (const std::string& session : serve::list_sessions(primary_root)) {
+    serve::Journal journal(primary_root, session, 0);
+    for (const serve::JournalRecord& record : journal.recover().records) {
+      serve::Request request;
+      request.is_event = true;
+      request.event = record.kind;
+      request.session = session;
+      request.priority = record.priority;
+      request.payload = record.payload;
+      if (reference.submit(request).status != serve::Status::Ok) ok = false;
+    }
+  }
+  reference.pump();
+  for (const std::string& session : serve::list_sessions(primary_root)) {
+    serve::Request digest;
+    digest.is_event = false;
+    digest.query = serve::QueryKind::Digest;
+    digest.session = session;
+    digest.deadline_ms = 5000;
+    serve::Response expected = reference.submit(digest);
+    const std::string got =
+        feed_one(standby_socket, "digest " + session + " 5000");
+    if (expected.status != serve::Status::Result ||
+        got != "result " + expected.body) {
+      std::fprintf(stderr, "  digest mismatch for %s: got '%s'\n",
+                   session.c_str(), got.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// scenario: failover-identity
+
+struct FailoverOutcome {
+  int sessions = 0;
+  int events = 0;
+  double catchup_seconds = 0;
+  double promote_seconds = 0;
+  bool promoted = false;
+  bool digests_identical = false;
+};
+
+FailoverOutcome run_failover(const fs::path& dir, int nsessions) {
+  fs::create_directories(dir);
+  FailoverOutcome outcome;
+  outcome.sessions = nsessions;
+  DaemonSpec primary_spec{dir / "pj", (dir / "p.sock").string(), "", false,
+                          "", dir / "primary.log"};
+  DaemonSpec standby_spec{dir / "rj", (dir / "r.sock").string(),
+                          primary_spec.socket_path, false, "",
+                          dir / "standby.log"};
+  const pid_t primary = spawn_daemon(primary_spec);
+  if (!wait_until([&] { return daemon_ready(primary_spec.socket_path); }, 10))
+    return outcome;
+  const pid_t standby = spawn_daemon(standby_spec);
+  if (!wait_until([&] { return daemon_ready(standby_spec.socket_path); }, 10))
+    return outcome;
+
+  for (int i = 0; i < nsessions; ++i) {
+    const std::string session = "s" + std::to_string(i);
+    for (const auto& [kind, payload] : make_stream(i + 1)) {
+      const std::string line = feed_one(
+          primary_spec.socket_path,
+          serve::format_request(event_request(session, kind, payload)));
+      if (line.rfind("ok ", 0) == 0) ++outcome.events;
+    }
+  }
+  const auto catchup_start = Clock::now();
+  if (!wait_until([&] { return caught_up(primary_spec.socket_path); }, 30))
+    return outcome;
+  outcome.catchup_seconds = seconds_since(catchup_start);
+
+  kill_daemon(primary, SIGKILL);
+  const auto promote_start = Clock::now();
+  outcome.promoted =
+      feed_one(standby_spec.socket_path, "promote") == "result promoted";
+  // First post-promotion answer, the failover-visible gap.
+  feed_one(standby_spec.socket_path, "digest s0 5000");
+  outcome.promote_seconds = seconds_since(promote_start);
+
+  outcome.digests_identical = digests_match_reference(
+      primary_spec.root, standby_spec.socket_path, dir / "ref");
+  kill_daemon(standby, SIGTERM);
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// scenarios: replication-lag (async) and sync-ack
+
+struct FeedOutcome {
+  int events = 0;
+  double feed_seconds = 0;
+  double events_per_sec = 0;
+  double catchup_seconds = 0;
+  bool all_acked = false;
+  bool caught_up = false;
+};
+
+FeedOutcome run_replicated_feed(const fs::path& dir, int events, bool sync) {
+  fs::create_directories(dir);
+  FeedOutcome outcome;
+  outcome.events = events;
+  DaemonSpec primary_spec{dir / "pj", (dir / "p.sock").string(), "", sync,
+                          "", dir / "primary.log"};
+  DaemonSpec standby_spec{dir / "rj", (dir / "r.sock").string(),
+                          primary_spec.socket_path, false, "",
+                          dir / "standby.log"};
+  const pid_t primary = spawn_daemon(primary_spec);
+  if (!wait_until([&] { return daemon_ready(primary_spec.socket_path); }, 10))
+    return outcome;
+  const pid_t standby = spawn_daemon(standby_spec);
+  if (!wait_until(
+          [&] { return stats_show(primary_spec.socket_path,
+                                  "repl_connected=1"); },
+          10))
+    return outcome;
+
+  std::ostringstream requests;
+  for (int i = 0; i < events; ++i) {
+    requests << serve::format_request(event_request(
+                    "s" + std::to_string(i % 4), serve::EventKind::Fact,
+                    "edge(n" + std::to_string(i) + ",n" +
+                        std::to_string(i + 1) + ")."))
+             << "\n";
+  }
+  std::istringstream in(requests.str());
+  std::ostringstream responses;
+  const auto feed_start = Clock::now();
+  const int rc = serve::run_feed(primary_spec.socket_path, in, responses);
+  outcome.feed_seconds = seconds_since(feed_start);
+  outcome.all_acked = rc == 0;
+  outcome.events_per_sec =
+      outcome.feed_seconds > 0 ? events / outcome.feed_seconds : 0;
+
+  const auto catchup_start = Clock::now();
+  outcome.caught_up =
+      wait_until([&] { return caught_up(primary_spec.socket_path); }, 60);
+  outcome.catchup_seconds = seconds_since(catchup_start);
+
+  kill_daemon(primary, SIGTERM);
+  kill_daemon(standby, SIGTERM);
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// scenario: chaos (fault-injected replication)
+
+struct ChaosOutcome {
+  bool link_drop_fired = false;
+  bool link_drop_converged = false;
+  bool partition_fired = false;
+  bool partition_converged = false;
+  bool replica_crash_exit70 = false;
+  bool replica_crash_resynced = false;
+  bool digests_identical = false;
+};
+
+ChaosOutcome run_chaos(const fs::path& dir) {
+  fs::create_directories(dir);
+  ChaosOutcome outcome;
+
+  // -- repl-link-drop: the primary severs the link after 3 forwarded
+  // records; the standby must reconnect with seeded backoff and resync.
+  {
+    const fs::path sub = dir / "drop";
+    fs::create_directories(sub);
+    DaemonSpec primary_spec{sub / "pj", (sub / "p.sock").string(), "",
+                            false, "repl-link-drop:after-records=3",
+                            sub / "primary.log"};
+    DaemonSpec standby_spec{sub / "rj", (sub / "r.sock").string(),
+                            primary_spec.socket_path, false, "",
+                            sub / "standby.log"};
+    const pid_t primary = spawn_daemon(primary_spec);
+    wait_until([&] { return daemon_ready(primary_spec.socket_path); }, 10);
+    const pid_t standby = spawn_daemon(standby_spec);
+    wait_until(
+        [&] {
+          return stats_show(primary_spec.socket_path, "repl_connected=1");
+        },
+        10);
+    for (int i = 0; i < 6; ++i) {
+      feed_one(primary_spec.socket_path,
+               "event s fact normal edge(d" + std::to_string(i) + ",x).");
+    }
+    outcome.link_drop_converged =
+        wait_until([&] { return caught_up(primary_spec.socket_path); }, 30);
+    outcome.link_drop_fired =
+        log_contains(primary_spec.log, "repl-link-drop");
+    kill_daemon(primary, SIGTERM);
+    kill_daemon(standby, SIGTERM);
+  }
+
+  // -- repl-partition: the link is black-holed for 300ms after 2
+  // forwarded records, then dropped; heartbeats go unanswered until the
+  // standby's missed-heartbeat budget reconnects it.
+  {
+    const fs::path sub = dir / "partition";
+    fs::create_directories(sub);
+    DaemonSpec primary_spec{sub / "pj", (sub / "p.sock").string(), "",
+                            false, "repl-partition:after-records=2,ms=300",
+                            sub / "primary.log"};
+    DaemonSpec standby_spec{sub / "rj", (sub / "r.sock").string(),
+                            primary_spec.socket_path, false, "",
+                            sub / "standby.log"};
+    const pid_t primary = spawn_daemon(primary_spec);
+    wait_until([&] { return daemon_ready(primary_spec.socket_path); }, 10);
+    const pid_t standby = spawn_daemon(standby_spec);
+    wait_until(
+        [&] {
+          return stats_show(primary_spec.socket_path, "repl_connected=1");
+        },
+        10);
+    for (int i = 0; i < 5; ++i) {
+      feed_one(primary_spec.socket_path,
+               "event s fact normal edge(p" + std::to_string(i) + ",x).");
+    }
+    outcome.partition_converged =
+        wait_until([&] { return caught_up(primary_spec.socket_path); }, 30);
+    outcome.partition_fired =
+        log_contains(primary_spec.log, "repl-partition");
+    kill_daemon(primary, SIGTERM);
+    kill_daemon(standby, SIGTERM);
+  }
+
+  // -- replica-crash: the standby _exit(70)s after journaling its 4th
+  // record without acking it; a restarted standby resyncs, and the
+  // scenario ends with the full kill + promote identity check.
+  {
+    const fs::path sub = dir / "crash";
+    fs::create_directories(sub);
+    DaemonSpec primary_spec{sub / "pj", (sub / "p.sock").string(), "",
+                            false, "", sub / "primary.log"};
+    DaemonSpec standby_spec{sub / "rj", (sub / "r.sock").string(),
+                            primary_spec.socket_path, false,
+                            "replica-crash:after-records=4",
+                            sub / "standby.log"};
+    const pid_t primary = spawn_daemon(primary_spec);
+    wait_until([&] { return daemon_ready(primary_spec.socket_path); }, 10);
+    const pid_t standby = spawn_daemon(standby_spec);
+    wait_until(
+        [&] {
+          return stats_show(primary_spec.socket_path, "repl_connected=1");
+        },
+        10);
+    for (const auto& [kind, payload] : make_stream(7)) {
+      feed_one(primary_spec.socket_path,
+               serve::format_request(event_request("s", kind, payload)));
+    }
+    int status = 0;
+    if (::waitpid(standby, &status, 0) == standby && WIFEXITED(status)) {
+      outcome.replica_crash_exit70 =
+          WEXITSTATUS(status) == util::fault::kCrashExitCode;
+    }
+    standby_spec.fault_spec.clear();
+    const pid_t standby2 = spawn_daemon(standby_spec);
+    outcome.replica_crash_resynced =
+        wait_until([&] { return caught_up(primary_spec.socket_path); }, 30);
+    kill_daemon(primary, SIGKILL);
+    if (feed_one(standby_spec.socket_path, "promote") == "result promoted") {
+      outcome.digests_identical = digests_match_reference(
+          primary_spec.root, standby_spec.socket_path, sub / "ref");
+    }
+    kill_daemon(standby2, SIGTERM);
+  }
+
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_serve_replication.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("provmark_bench_serve_repl_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  const int failover_sessions = smoke ? 2 : 4;
+  std::printf("scenario failover-identity: %d generator sessions, "
+              "SIGKILL primary, promote standby\n",
+              failover_sessions);
+  FailoverOutcome failover =
+      run_failover(scratch / "failover", failover_sessions);
+  std::printf("  %d events acked, catch-up %.3fs, promote %.3fs, "
+              "digests %s\n",
+              failover.events, failover.catchup_seconds,
+              failover.promote_seconds,
+              failover.digests_identical ? "identical" : "MISMATCH");
+
+  const int feed_events = smoke ? 200 : 2000;
+  std::printf("scenario replication-lag: %d facts, async mode\n",
+              feed_events);
+  FeedOutcome async_feed =
+      run_replicated_feed(scratch / "async", feed_events, false);
+  std::printf("  %.0f events/s acked, standby caught up in %.3fs\n",
+              async_feed.events_per_sec, async_feed.catchup_seconds);
+
+  std::printf("scenario sync-ack: %d facts, sync mode\n", feed_events);
+  FeedOutcome sync_feed =
+      run_replicated_feed(scratch / "sync", feed_events, true);
+  const double sync_over_async =
+      sync_feed.events_per_sec > 0
+          ? async_feed.events_per_sec / sync_feed.events_per_sec
+          : 0;
+  std::printf("  %.0f events/s acked (%.2fx async ack cost)\n",
+              sync_feed.events_per_sec, sync_over_async);
+
+  std::printf("scenario chaos: link-drop, partition, replica-crash\n");
+  ChaosOutcome chaos = run_chaos(scratch / "chaos");
+  std::printf(
+      "  link-drop %s/%s partition %s/%s replica-crash %s/%s "
+      "post-chaos digests %s\n",
+      chaos.link_drop_fired ? "fired" : "NOT-FIRED",
+      chaos.link_drop_converged ? "converged" : "STUCK",
+      chaos.partition_fired ? "fired" : "NOT-FIRED",
+      chaos.partition_converged ? "converged" : "STUCK",
+      chaos.replica_crash_exit70 ? "exit70" : "WRONG-EXIT",
+      chaos.replica_crash_resynced ? "resynced" : "STUCK",
+      chaos.digests_identical ? "identical" : "MISMATCH");
+
+  const bool all_ok =
+      failover.events == failover_sessions * 5 && failover.promoted &&
+      failover.digests_identical && async_feed.all_acked &&
+      async_feed.caught_up && sync_feed.all_acked && sync_feed.caught_up &&
+      chaos.link_drop_fired && chaos.link_drop_converged &&
+      chaos.partition_fired && chaos.partition_converged &&
+      chaos.replica_crash_exit70 && chaos.replica_crash_resynced &&
+      chaos.digests_identical;
+
+  FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve-replication\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"failover\": {\n");
+  std::fprintf(f, "    \"sessions\": %d,\n", failover.sessions);
+  std::fprintf(f, "    \"events_acked\": %d,\n", failover.events);
+  std::fprintf(f, "    \"catchup_seconds\": %.6f,\n",
+               failover.catchup_seconds);
+  std::fprintf(f, "    \"promote_to_first_answer_seconds\": %.6f,\n",
+               failover.promote_seconds);
+  std::fprintf(f, "    \"promoted\": %s,\n",
+               failover.promoted ? "true" : "false");
+  std::fprintf(f, "    \"digests_identical\": %s\n  },\n",
+               failover.digests_identical ? "true" : "false");
+  std::fprintf(f, "  \"async\": {\n");
+  std::fprintf(f, "    \"events\": %d,\n", async_feed.events);
+  std::fprintf(f, "    \"acked_events_per_sec\": %.1f,\n",
+               async_feed.events_per_sec);
+  std::fprintf(f, "    \"catchup_seconds\": %.6f,\n",
+               async_feed.catchup_seconds);
+  std::fprintf(f, "    \"all_acked\": %s,\n",
+               async_feed.all_acked ? "true" : "false");
+  std::fprintf(f, "    \"caught_up\": %s\n  },\n",
+               async_feed.caught_up ? "true" : "false");
+  std::fprintf(f, "  \"sync\": {\n");
+  std::fprintf(f, "    \"events\": %d,\n", sync_feed.events);
+  std::fprintf(f, "    \"acked_events_per_sec\": %.1f,\n",
+               sync_feed.events_per_sec);
+  std::fprintf(f, "    \"ack_cost_vs_async\": %.3f,\n", sync_over_async);
+  std::fprintf(f, "    \"all_acked\": %s,\n",
+               sync_feed.all_acked ? "true" : "false");
+  std::fprintf(f, "    \"caught_up\": %s\n  },\n",
+               sync_feed.caught_up ? "true" : "false");
+  std::fprintf(f, "  \"chaos\": {\n");
+  std::fprintf(f, "    \"link_drop_fired\": %s,\n",
+               chaos.link_drop_fired ? "true" : "false");
+  std::fprintf(f, "    \"link_drop_converged\": %s,\n",
+               chaos.link_drop_converged ? "true" : "false");
+  std::fprintf(f, "    \"partition_fired\": %s,\n",
+               chaos.partition_fired ? "true" : "false");
+  std::fprintf(f, "    \"partition_converged\": %s,\n",
+               chaos.partition_converged ? "true" : "false");
+  std::fprintf(f, "    \"replica_crash_exit70\": %s,\n",
+               chaos.replica_crash_exit70 ? "true" : "false");
+  std::fprintf(f, "    \"replica_crash_resynced\": %s,\n",
+               chaos.replica_crash_resynced ? "true" : "false");
+  std::fprintf(f, "    \"digests_identical\": %s\n  },\n",
+               chaos.digests_identical ? "true" : "false");
+  std::fprintf(f, "  \"identical\": %s\n}\n", all_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", output.c_str());
+
+  fs::remove_all(scratch);
+  return all_ok ? 0 : 1;
+}

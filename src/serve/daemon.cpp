@@ -6,18 +6,27 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "core/supervise.h"
+#include "serve/replicate.h"
 
 namespace provmark::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 int g_signal_pipe_write = -1;
 
@@ -29,10 +38,23 @@ void on_signal(int) {
   }
 }
 
+/// One response awaiting delivery on a connection. Responses go back
+/// in request order, so a sync-mode event ack parked behind the
+/// standby's fsync also parks every later response on that connection.
+struct Parked {
+  bool ready = false;
+  bool gated = false;  ///< waiting on the standby's cumulative ack
+  std::string session;
+  std::uint64_t seq = 0;
+  std::string line;  ///< response line, no newline
+};
+
 struct Connection {
   int fd = -1;
   std::string inbuf;
   std::string outbuf;
+  bool is_replica_link = false;  ///< inbound conn that sent repl-hello
+  std::deque<Parked> parked;
 };
 
 bool flush_outbuf(Connection& conn) {
@@ -70,10 +92,108 @@ int make_listener(const std::string& socket_path) {
   return fd;
 }
 
+int connect_unix(const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Read what's available into `inbuf`. Returns false when the peer is
+/// gone. EOF (n == 0) always closes — errno is stale there, so it must
+/// not be consulted (the historical loop did, and kept dead
+/// connections around whenever errno happened to hold EINTR/EAGAIN).
+bool read_available(int fd, std::string& inbuf) {
+  char buffer[4096];
+  ssize_t n;
+  do {
+    n = ::recv(fd, buffer, sizeof(buffer), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) return false;
+  if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
+  inbuf.append(buffer, static_cast<std::size_t>(n));
+  return true;
+}
+
+/// Pop one complete line from `inbuf` ('\r' stripped); false when no
+/// full line is buffered.
+bool next_line(std::string& inbuf, std::string& line) {
+  std::size_t nl = inbuf.find('\n');
+  if (nl == std::string::npos) return false;
+  line = inbuf.substr(0, nl);
+  inbuf.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
 }  // namespace
 
 int run_daemon(const DaemonOptions& options) {
-  Service service(options.service);
+  // The Service is constructed before the replicators but its sinks
+  // must reach them, so the sinks capture atomics filled in afterwards
+  // (a sink fired during recovery simply sees nullptr and no-ops).
+  std::atomic<PrimaryReplicator*> primary_ptr{nullptr};
+  std::atomic<ReplicaReplicator*> replica_ptr{nullptr};
+  std::atomic<bool> serving_as_replica{!options.replica_of.empty()};
+
+  DaemonOptions opts = options;
+  opts.service.on_record = [&primary_ptr](const std::string& session,
+                                          const JournalRecord& record) {
+    if (PrimaryReplicator* p = primary_ptr.load()) p->on_record(session, record);
+  };
+  opts.service.on_checkpoint = [&primary_ptr, &replica_ptr](
+                                   const std::string& session,
+                                   std::uint64_t seq,
+                                   const std::string& digest) {
+    if (PrimaryReplicator* p = primary_ptr.load()) {
+      p->on_checkpoint(session, seq, digest);
+    }
+    if (ReplicaReplicator* r = replica_ptr.load()) {
+      r->on_checkpoint(session, seq, digest);
+    }
+  };
+  opts.service.on_applied =
+      [&replica_ptr, &serving_as_replica](
+          const std::string& session, std::uint64_t seq,
+          const std::function<std::string()>& digest_now) {
+        if (!serving_as_replica.load()) return;
+        if (ReplicaReplicator* r = replica_ptr.load()) {
+          r->on_applied(session, seq, digest_now);
+        }
+      };
+  opts.service.stats_extra = [&primary_ptr, &replica_ptr,
+                              &serving_as_replica]() -> std::string {
+    if (serving_as_replica.load()) {
+      if (ReplicaReplicator* r = replica_ptr.load()) return r->stats_text();
+    } else if (PrimaryReplicator* p = primary_ptr.load()) {
+      return p->stats_text();
+    }
+    return std::string();
+  };
+
+  Service service(opts.service);
+
+  ReplicationConfig repl_config;
+  repl_config.sync_mode = options.repl_sync;
+  repl_config.heartbeat_ms = options.heartbeat_ms;
+  repl_config.promote_after_missed = options.promote_after_missed;
+  repl_config.seed = options.service.seed;
+  PrimaryReplicator primary(service, repl_config);
+  ReplicaReplicator replica(service, repl_config);
+  primary_ptr.store(&primary);
+  replica_ptr.store(&replica);
 
   int listener = make_listener(options.socket_path);
   if (listener < 0) {
@@ -97,19 +217,274 @@ int run_daemon(const DaemonOptions& options) {
 
   std::printf("serve: listening on %s\n", options.socket_path.c_str());
   std::fflush(stdout);
+  if (serving_as_replica.load()) {
+    std::fprintf(stderr, "serve: standby of %s (mode %s)\n",
+                 options.replica_of.c_str(),
+                 options.repl_sync ? "sync" : "async");
+  }
 
   std::map<int, Connection> connections;
+  int replica_conn_fd = -1;  ///< primary: the inbound replication link
+
+  // Standby link to the primary, with seeded-backoff reconnect.
+  int link_fd = -1;
+  std::string link_inbuf;
+  std::string link_outbuf;
+  int connect_attempt = 0;
+  Clock::time_point next_connect = Clock::now();
+  Clock::time_point last_heartbeat = Clock::now();
+
+  // repl-partition fault enactment: black-hole the replication link
+  // (drop inbound, hold outbound) until the deadline, then drop it.
+  bool partitioned = false;
+  Clock::time_point partition_until{};
+
+  core::SuperviseOptions backoff_opts;
+  backoff_opts.seed = repl_config.seed;
+  backoff_opts.backoff_base_ms = repl_config.backoff_base_ms;
+  backoff_opts.backoff_cap_ms = repl_config.backoff_cap_ms;
+
+  auto fail_gated_parked = [&connections] {
+    // The standby is gone (or its stream died): every parked sync-mode
+    // ack becomes `busy` — journaled but unacknowledged is a valid
+    // history, and the client's retry path owns it from here.
+    for (auto& [fd, conn] : connections) {
+      for (Parked& parked : conn.parked) {
+        if (parked.gated && !parked.ready) {
+          parked.gated = false;
+          parked.ready = true;
+          parked.line = format_response(Response{Status::Busy, 0, ""});
+        }
+      }
+    }
+  };
+
+  auto drop_replica_conn = [&](const char* why) {
+    if (replica_conn_fd < 0) return;
+    std::fprintf(stderr, "serve: replication link closed (%s)\n", why);
+    auto it = connections.find(replica_conn_fd);
+    if (it != connections.end()) {
+      ::close(it->second.fd);
+      connections.erase(it);
+    }
+    replica_conn_fd = -1;
+    partitioned = false;
+    primary.on_replica_disconnected();
+    fail_gated_parked();
+  };
+
+  auto drop_link = [&](const char* why) {
+    if (link_fd < 0) return;
+    std::fprintf(stderr, "serve: link to primary lost (%s)\n", why);
+    ::close(link_fd);
+    link_fd = -1;
+    link_inbuf.clear();
+    link_outbuf.clear();
+    replica.on_link_disconnected();
+  };
+
+  auto promote = [&](const char* how) {
+    drop_link(how);
+    serving_as_replica.store(false);
+    // Finish replicated catch-up so the first answers we give as
+    // primary already cover every record the dead primary acked.
+    service.flush();
+    std::fprintf(stderr, "serve: promoted to primary (%s)\n", how);
+  };
+
+  auto resolve_parked = [&](Connection& conn) {
+    for (Parked& parked : conn.parked) {
+      if (!parked.gated || parked.ready) continue;
+      switch (primary.ack_state(parked.session, parked.seq)) {
+        case PrimaryReplicator::AckState::Acked:
+          parked.gated = false;
+          parked.ready = true;
+          break;
+        case PrimaryReplicator::AckState::Failed:
+          parked.gated = false;
+          parked.ready = true;
+          parked.line = format_response(Response{Status::Busy, 0, ""});
+          break;
+        case PrimaryReplicator::AckState::Pending:
+          break;
+      }
+    }
+    while (!conn.parked.empty() && conn.parked.front().ready) {
+      conn.outbuf += conn.parked.front().line;
+      conn.outbuf += '\n';
+      conn.parked.pop_front();
+    }
+  };
+
+  auto respond = [&](Connection& conn, const Response& response) {
+    if (conn.parked.empty()) {
+      conn.outbuf += format_response(response);
+      conn.outbuf += '\n';
+    } else {
+      Parked parked;
+      parked.ready = true;
+      parked.line = format_response(response);
+      conn.parked.push_back(std::move(parked));
+    }
+  };
+
+  auto handle_request_line = [&](Connection& conn, const std::string& line) {
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const std::exception& e) {
+      respond(conn, Response{Status::BadRequest, 0, e.what()});
+      return;
+    }
+    if (!request.is_event && request.query == QueryKind::Promote) {
+      if (serving_as_replica.load()) {
+        promote("promote request");
+        respond(conn, Response{Status::Result, 0, "promoted"});
+      } else {
+        respond(conn, Response{Status::Result, 0, "already-primary"});
+      }
+      return;
+    }
+    if (request.is_event && serving_as_replica.load()) {
+      respond(conn,
+              Response{Status::Error, 0,
+                       "standby: events are refused until promotion; "
+                       "feed the primary or run `provmark promote`"});
+      return;
+    }
+    if (request.is_event && !serving_as_replica.load() &&
+        primary.sync_mode()) {
+      if (!primary.replica_connected()) {
+        // Nothing journaled: in sync mode an ack promises standby
+        // durability, which no standby can currently provide.
+        respond(conn, Response{Status::Busy, 0, ""});
+        return;
+      }
+      Response response = service.submit(request);
+      if (response.status == Status::Ok) {
+        Parked parked;
+        parked.gated = true;
+        parked.session = request.session;
+        parked.seq = response.seq;
+        parked.line = format_response(response);
+        conn.parked.push_back(std::move(parked));
+      } else {
+        respond(conn, response);
+      }
+      return;
+    }
+    respond(conn, service.submit(request));
+  };
+
+  auto handle_repl_line = [&](Connection& conn, const std::string& line) {
+    if (serving_as_replica.load()) {
+      respond(conn, Response{Status::Error, 0,
+                             "standby: cannot host a replication link"});
+      return;
+    }
+    if (!conn.is_replica_link) {
+      if (line.rfind("repl-hello ", 0) != 0) {
+        respond(conn, Response{Status::BadRequest, 0,
+                               "replication verbs require repl-hello first"});
+        return;
+      }
+      if (replica_conn_fd >= 0) {
+        // A newer standby supersedes the old link.
+        drop_replica_conn("superseded by a new standby");
+      }
+      conn.is_replica_link = true;
+      replica_conn_fd = conn.fd;
+      primary.on_replica_connected();
+      std::fprintf(stderr, "serve: replication link attached\n");
+    }
+    try {
+      primary.handle_line(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: replication protocol error: %s\n",
+                   e.what());
+      drop_replica_conn("protocol error");
+    }
+  };
+
   bool shutting_down = false;
   while (!shutting_down) {
+    const Clock::time_point now = Clock::now();
+
+    // Standby link maintenance: (re)connect with seeded backoff.
+    if (serving_as_replica.load() && link_fd < 0 && now >= next_connect) {
+      link_fd = connect_unix(options.replica_of);
+      if (link_fd >= 0) {
+        connect_attempt = 0;
+        link_inbuf.clear();
+        link_outbuf.clear();
+        replica.on_link_connected();
+        link_outbuf += replica.take_output();
+        last_heartbeat = now;
+        std::fprintf(stderr, "serve: connected to primary %s\n",
+                     options.replica_of.c_str());
+      } else {
+        ++connect_attempt;
+        next_connect =
+            now + std::chrono::milliseconds(core::backoff_ms(
+                      repl_config.seed, 0, connect_attempt, backoff_opts));
+      }
+    }
+
+    // Standby heartbeats: tick, then enforce the reconnect and
+    // auto-promote budgets.
+    if (serving_as_replica.load() && link_fd >= 0 &&
+        now - last_heartbeat >=
+            std::chrono::duration<double, std::milli>(
+                repl_config.heartbeat_ms)) {
+      last_heartbeat = now;
+      replica.heartbeat_tick();
+      link_outbuf += replica.take_output();
+      const int missed = replica.missed_heartbeats();
+      if (repl_config.promote_after_missed > 0 &&
+          missed >= repl_config.promote_after_missed) {
+        std::fprintf(stderr,
+                     "serve: %d heartbeats unanswered, auto-promoting\n",
+                     missed);
+        promote("missed-heartbeat budget");
+      } else if (missed >= options.reconnect_after_missed) {
+        drop_link("heartbeats unanswered");
+        connect_attempt = 1;
+        next_connect =
+            now + std::chrono::milliseconds(core::backoff_ms(
+                      repl_config.seed, 0, connect_attempt, backoff_opts));
+      }
+    }
+
+    // repl-partition: deadline passed -> drop the link for real.
+    if (partitioned && now >= partition_until) {
+      drop_replica_conn("partition deadline");
+    }
+
+    const bool repl_active = serving_as_replica.load() ||
+                             replica_conn_fd >= 0 || partitioned ||
+                             link_fd >= 0;
+    const int timeout =
+        repl_active
+            ? std::max(10, static_cast<int>(repl_config.heartbeat_ms / 4))
+            : -1;
+
     std::vector<pollfd> fds;
     fds.push_back({signal_pipe[0], POLLIN, 0});
     fds.push_back({listener, POLLIN, 0});
     for (auto& [fd, conn] : connections) {
       short events = POLLIN;
-      if (!conn.outbuf.empty()) events |= POLLOUT;
+      const bool held = partitioned && fd == replica_conn_fd;
+      if (!conn.outbuf.empty() && !held) events |= POLLOUT;
       fds.push_back({fd, events, 0});
     }
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    const std::size_t link_index = fds.size();
+    if (link_fd >= 0) {
+      short events = POLLIN;
+      if (!link_outbuf.empty()) events |= POLLOUT;
+      fds.push_back({link_fd, events, 0});
+    }
+
+    if (::poll(fds.data(), fds.size(), timeout) < 0) {
       if (errno == EINTR) continue;
       break;
     }
@@ -128,44 +503,140 @@ int run_daemon(const DaemonOptions& options) {
     }
 
     std::vector<int> closed;
-    for (std::size_t i = 2; i < fds.size(); ++i) {
-      Connection& conn = connections[fds[i].fd];
+    for (std::size_t i = 2; i < fds.size() && i < link_index; ++i) {
+      auto conn_it = connections.find(fds[i].fd);
+      if (conn_it == connections.end()) continue;
+      Connection& conn = conn_it->second;
       if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
         if (conn.outbuf.empty() || !(fds[i].revents & POLLHUP)) {
           closed.push_back(conn.fd);
           continue;
         }
       }
+      const int cfd = conn.fd;
       if (fds[i].revents & POLLIN) {
-        char buffer[4096];
-        ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
-        if (n <= 0 && errno != EINTR && errno != EAGAIN) {
+        if (!read_available(conn.fd, conn.inbuf)) {
           closed.push_back(conn.fd);
           continue;
         }
-        if (n > 0) conn.inbuf.append(buffer, static_cast<std::size_t>(n));
-        std::size_t nl;
-        while ((nl = conn.inbuf.find('\n')) != std::string::npos) {
-          std::string line = conn.inbuf.substr(0, nl);
-          conn.inbuf.erase(0, nl + 1);
-          if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (partitioned && conn.fd == replica_conn_fd) {
+          conn.inbuf.clear();  // black-hole: inbound bytes vanish
+        }
+        // handle_repl_line can drop this very connection (protocol
+        // error on the replication link), so re-find it per line.
+        std::string line;
+        while (true) {
+          auto alive = connections.find(cfd);
+          if (alive == connections.end()) break;
+          if (!next_line(alive->second.inbuf, line)) break;
           if (line.empty()) continue;
-          Response response;
-          try {
-            response = service.submit(parse_request(line));
-          } catch (const std::exception& e) {
-            response = Response{Status::BadRequest, 0, e.what()};
+          if (alive->second.is_replica_link ||
+              line.rfind("repl-", 0) == 0) {
+            handle_repl_line(alive->second, line);
+          } else {
+            handle_request_line(alive->second, line);
           }
-          conn.outbuf += format_response(response) + "\n";
         }
       }
-      if (!conn.outbuf.empty() && !flush_outbuf(conn)) {
-        closed.push_back(conn.fd);
+      auto alive = connections.find(cfd);
+      if (alive == connections.end()) continue;
+      const bool held = partitioned && cfd == replica_conn_fd;
+      if (!held && !alive->second.outbuf.empty() &&
+          !flush_outbuf(alive->second)) {
+        closed.push_back(cfd);
       }
     }
     for (int fd : closed) {
-      ::close(fd);
-      connections.erase(fd);
+      if (fd == replica_conn_fd) {
+        drop_replica_conn("peer closed");
+      } else {
+        auto it = connections.find(fd);
+        if (it != connections.end()) {
+          ::close(it->second.fd);
+          connections.erase(it);
+        }
+      }
+    }
+
+    // Standby link I/O.
+    if (link_fd >= 0 && link_index < fds.size()) {
+      const pollfd& lp = fds[link_index];
+      bool lost = false;
+      if (lp.revents & (POLLERR | POLLHUP | POLLNVAL)) lost = true;
+      if (!lost && (lp.revents & POLLIN)) {
+        if (!read_available(link_fd, link_inbuf)) {
+          lost = true;
+        } else {
+          std::string line;
+          while (next_line(link_inbuf, line)) {
+            if (line.empty()) continue;
+            try {
+              replica.handle_line(line);
+            } catch (const std::exception& e) {
+              std::fprintf(stderr,
+                           "serve: replication protocol error: %s\n",
+                           e.what());
+              lost = true;
+              break;
+            }
+            if (!serving_as_replica.load()) break;  // promoted mid-batch
+          }
+        }
+      }
+      if (lost) {
+        drop_link("peer closed");
+        connect_attempt = 1;
+        next_connect = Clock::now() +
+                       std::chrono::milliseconds(core::backoff_ms(
+                           repl_config.seed, 0, connect_attempt,
+                           backoff_opts));
+      }
+    }
+
+    // Drain replicator output: worker-thread sinks (repl-check,
+    // repl-ack, repl-diverged) queue lines between poll wakes.
+    if (!serving_as_replica.load()) {
+      primary.flush_pending_resets();
+      if (replica_conn_fd >= 0) {
+        auto it = connections.find(replica_conn_fd);
+        if (it != connections.end()) {
+          it->second.outbuf += primary.take_output();
+          // Link faults fire at forwarded records; enact them here.
+          if (primary.take_link_drop_request()) {
+            drop_replica_conn("fault-injection: repl-link-drop");
+          } else {
+            const double ms = primary.take_partition_request_ms();
+            if (ms > 0 && !partitioned) {
+              partitioned = true;
+              partition_until =
+                  Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(ms));
+            }
+          }
+        }
+      }
+    }
+    if (link_fd >= 0) {
+      link_outbuf += replica.take_output();
+      if (!link_outbuf.empty()) {
+        Connection shim;
+        shim.fd = link_fd;
+        shim.outbuf = std::move(link_outbuf);
+        if (!flush_outbuf(shim)) {
+          drop_link("peer closed");
+        } else {
+          link_outbuf = std::move(shim.outbuf);
+        }
+      }
+    }
+
+    // Sync-mode acks: release what the standby has fsynced.
+    for (auto& [fd, conn] : connections) {
+      if (conn.parked.empty()) continue;
+      resolve_parked(conn);
+      const bool held = partitioned && fd == replica_conn_fd;
+      if (!held && !conn.outbuf.empty()) flush_outbuf(conn);
     }
   }
 
@@ -174,10 +645,13 @@ int run_daemon(const DaemonOptions& options) {
   // any buffered responses are flushed best-effort.
   std::fprintf(stderr, "serve: draining\n");
   service.drain();
+  fail_gated_parked();
   for (auto& [fd, conn] : connections) {
+    resolve_parked(conn);
     flush_outbuf(conn);
     ::close(fd);
   }
+  if (link_fd >= 0) ::close(link_fd);
   ::close(listener);
   ::close(signal_pipe[0]);
   ::close(signal_pipe[1]);
@@ -187,23 +661,24 @@ int run_daemon(const DaemonOptions& options) {
   return 0;
 }
 
+std::int64_t feed_backoff_ms(std::uint64_t seed, int request_index,
+                             int attempt, const FeedOptions& options) {
+  core::SuperviseOptions sup;
+  sup.seed = seed;
+  sup.backoff_base_ms = options.backoff_base_ms;
+  sup.backoff_cap_ms = options.backoff_cap_ms;
+  // Keyed by (seed, request index, attempt): the exact schedule two
+  // runs of the same feed sleep is reproducible, which the retry tests
+  // assert literally.
+  return core::backoff_ms(seed, request_index, attempt, sup);
+}
+
 int run_feed(const std::string& socket_path, std::istream& in,
-             std::ostream& out) {
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return 1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    std::fprintf(stderr, "feed: socket path too long\n");
-    return 1;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+             std::ostream& out, const FeedOptions& options) {
+  int fd = connect_unix(socket_path);
+  if (fd < 0) {
     std::fprintf(stderr, "feed: cannot connect to %s: %s\n",
                  socket_path.c_str(), std::strerror(errno));
-    ::close(fd);
     return 1;
   }
   ::signal(SIGPIPE, SIG_IGN);
@@ -211,49 +686,70 @@ int run_feed(const std::string& socket_path, std::istream& in,
   bool all_ok = true;
   std::string line;
   std::string response_buf;
+  int request_index = -1;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    ++request_index;
     const std::string framed = line + "\n";
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-      ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                         MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        std::fprintf(stderr, "feed: connection lost\n");
-        ::close(fd);
-        return 1;
+    for (int attempt = 0;; ++attempt) {
+      std::size_t sent = 0;
+      while (sent < framed.size()) {
+        ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          std::fprintf(stderr, "feed: connection lost\n");
+          ::close(fd);
+          return 1;
+        }
+        sent += static_cast<std::size_t>(n);
       }
-      sent += static_cast<std::size_t>(n);
-    }
-    // Synchronous request/response: one line back per line sent.
-    std::size_t nl;
-    while ((nl = response_buf.find('\n')) == std::string::npos) {
-      char buffer[4096];
-      ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        std::fprintf(stderr, "feed: connection closed by daemon\n");
-        ::close(fd);
-        return 1;
+      // Synchronous request/response: one line back per line sent.
+      std::size_t nl;
+      while ((nl = response_buf.find('\n')) == std::string::npos) {
+        char buffer[4096];
+        ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          std::fprintf(stderr, "feed: connection closed by daemon\n");
+          ::close(fd);
+          return 1;
+        }
+        response_buf.append(buffer, static_cast<std::size_t>(n));
       }
-      response_buf.append(buffer, static_cast<std::size_t>(n));
-    }
-    const std::string response_line = response_buf.substr(0, nl);
-    response_buf.erase(0, nl + 1);
-    out << response_line << "\n";
-    try {
-      Response response = parse_response(response_line);
-      if (response.status != Status::Ok &&
-          response.status != Status::Result) {
-        all_ok = false;
+      const std::string response_line = response_buf.substr(0, nl);
+      response_buf.erase(0, nl + 1);
+
+      bool retry = false;
+      bool ok = true;
+      try {
+        Response response = parse_response(response_line);
+        ok = response.status == Status::Ok ||
+             response.status == Status::Result;
+        retry = (response.status == Status::Shed ||
+                 response.status == Status::Busy) &&
+                attempt < options.retries;
+      } catch (const std::exception&) {
+        ok = false;
       }
-    } catch (const std::exception&) {
-      all_ok = false;
+      if (retry) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            feed_backoff_ms(options.seed, request_index, attempt + 1,
+                            options)));
+        continue;
+      }
+      out << response_line << "\n";
+      if (!ok) all_ok = false;
+      break;
     }
   }
   ::close(fd);
   return all_ok ? 0 : 3;
+}
+
+int run_feed(const std::string& socket_path, std::istream& in,
+             std::ostream& out) {
+  return run_feed(socket_path, in, out, FeedOptions{});
 }
 
 }  // namespace provmark::serve

@@ -11,8 +11,22 @@
 // the graceful half of the crash-recovery story. The ungraceful half
 // (SIGKILL, serve-crash fault injection) is what the journal exists
 // for.
+//
+// Replication (docs/serve.md, "Replication & failover"): a primary
+// daemon hosts a PrimaryReplicator; an inbound connection that opens
+// with `repl-hello` becomes the replication link and every acked
+// record streams down it. A daemon started with `replica_of` runs as a
+// hot standby instead: it dials the primary, tails the record stream
+// through ReplicaReplicator, keeps warm sessions, answers read-only
+// queries locally, refuses events, and promotes to a full primary on
+// `provmark promote` or after `promote_after_missed` unanswered
+// heartbeats. In `repl_sync` mode the daemon parks each client event
+// ack until the standby's cumulative ack covers it — parked acks
+// become `busy` if the standby drops (journaled-but-unacked is a valid
+// history; the client retries).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -23,17 +37,53 @@ namespace provmark::serve {
 struct DaemonOptions {
   ServiceOptions service;
   std::string socket_path;
+
+  /// Non-empty: run as a hot standby of the primary at this socket.
+  std::string replica_of;
+  /// Primary: hold client event acks until the standby fsynced them.
+  bool repl_sync = false;
+  /// Standby heartbeat period (and the daemon's replication poll tick).
+  double heartbeat_ms = 500;
+  /// Standby: auto-promote after this many consecutive unanswered
+  /// heartbeats; 0 = only explicit `provmark promote`.
+  int promote_after_missed = 0;
+  /// Standby: consecutive missed heartbeats before dropping the link
+  /// and reconnecting with seeded backoff.
+  int reconnect_after_missed = 3;
 };
 
 /// Run the daemon until SIGTERM/SIGINT; returns the process exit code
 /// (0 on clean drain). Replaces a stale socket file at `socket_path`.
 int run_daemon(const DaemonOptions& options);
 
+/// Client-side retry envelope for `provmark feed` (docs/cli.md). With
+/// retries = 0 (the default) behaviour is identical to the historical
+/// client: every `shed`/`busy` is final. With retries > 0 a shed or
+/// busy response is retried after a deterministic seeded exponential
+/// backoff — the same envelope the sweep supervisor uses
+/// (core::backoff_ms), keyed by (seed, request index, attempt) so two
+/// runs of the same feed sleep the exact same schedule.
+struct FeedOptions {
+  int retries = 0;
+  std::uint64_t seed = 42;
+  std::int64_t backoff_base_ms = 50;
+  std::int64_t backoff_cap_ms = 2000;
+};
+
+/// The deterministic sleep before retry `attempt` (1-based) of the
+/// request at `request_index` (0-based). Exposed so tests can assert
+/// the exact schedule.
+std::int64_t feed_backoff_ms(std::uint64_t seed, int request_index,
+                             int attempt, const FeedOptions& options);
+
 /// Stream newline-framed request lines from `in` (blank lines and
 /// `#` comments skipped) to the daemon at `socket_path`, writing one
-/// response line each to `out`. Returns 0 when every event was acked
-/// and every query answered, 3 when any request was shed, refused or
-/// errored, 1 on connection failure.
+/// response line each to `out` (only the final response of a retried
+/// request is printed). Returns 0 when every event was acked and every
+/// query answered, 3 when any request was shed, refused or errored,
+/// 1 on connection failure.
+int run_feed(const std::string& socket_path, std::istream& in,
+             std::ostream& out, const FeedOptions& options);
 int run_feed(const std::string& socket_path, std::istream& in,
              std::ostream& out);
 

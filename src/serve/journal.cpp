@@ -114,8 +114,12 @@ Journal::Journal(const std::filesystem::path& root,
   const std::filesystem::path log = dir_ / kJournalName;
   if (!std::filesystem::exists(log)) {
     // Fresh session: the header (and with it the seed) is committed
-    // atomically before any event can be admitted.
+    // atomically before any event can be admitted. The session
+    // directory entry itself is also new, so the journal *root* must be
+    // fsynced too — otherwise power loss could drop the whole session
+    // directory out from under already-acked events.
     util::write_file_atomic(log, header_line() + "\n");
+    util::sync_dir(root);
   }
   open_for_append();
 }
@@ -221,8 +225,56 @@ RecoveredSession Journal::recover() {
     open_for_append();
   }
   seed_ = out.seed;
+  checkpoint_seq_ = out.checkpoint_seq;
   live_records_ = out.records;
   return out;
+}
+
+std::uint64_t Journal::last_seq() const {
+  return live_records_.empty() ? checkpoint_seq_ : live_records_.back().seq;
+}
+
+std::vector<JournalRecord> Journal::records_after(std::uint64_t after) const {
+  std::vector<JournalRecord> out;
+  for (const JournalRecord& record : live_records_) {
+    if (record.seq > after) out.push_back(record);
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> Journal::records_digest(
+    std::uint64_t after, std::uint64_t through) const {
+  if (after > through) return std::nullopt;
+  // The range must be fully covered by live records: every seq in
+  // (after, through] present exactly once, in order. A range reaching
+  // below the checkpoint is gone from this journal (compaction) and a
+  // range past last_seq() does not exist yet — both mean "no common
+  // digest", which the handshake resolves with a checkpoint reset.
+  if (after < checkpoint_seq_ || through > last_seq()) return std::nullopt;
+  std::string bytes;
+  std::uint64_t expected = after + 1;
+  for (const JournalRecord& record : live_records_) {
+    if (record.seq <= after) continue;
+    if (record.seq > through) break;
+    if (record.seq != expected) return std::nullopt;
+    ++expected;
+    bytes += format_record(record);
+    bytes += '\n';
+  }
+  if (expected != through + 1) return std::nullopt;
+  return util::stable_hash(bytes);
+}
+
+std::string Journal::checkpoint_program() const {
+  const std::filesystem::path ckpt = dir_ / kCheckpointName;
+  if (!std::filesystem::exists(ckpt)) return "";
+  const std::string text = read_whole_file(ckpt);
+  const std::size_t first_nl = text.find('\n');
+  const std::size_t second_nl =
+      first_nl == std::string::npos ? std::string::npos
+                                    : text.find('\n', first_nl + 1);
+  if (second_nl == std::string::npos) corrupt("checkpoint too short");
+  return text.substr(second_nl + 1);
 }
 
 void Journal::append(const JournalRecord& record) {
@@ -266,6 +318,7 @@ void Journal::checkpoint(const std::string& program_text,
   }
   util::write_file_atomic(dir_ / kJournalName, compacted);
   live_records_ = std::move(keep);
+  checkpoint_seq_ = seq;
   open_for_append();
 }
 

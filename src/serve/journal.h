@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,33 @@ class Journal {
   const std::filesystem::path& dir() const { return dir_; }
   std::uint64_t seed() const { return seed_; }
 
+  // -- replication accessors (docs/serve.md, Replication & failover) --
+  // The replication layer describes a journal by (checkpoint seq, last
+  // seq, digest over the live record range) so a standby and its
+  // primary can find the last common prefix without shipping payloads.
+
+  /// Seq of the current checkpoint (0 = none). Tracked from recover()
+  /// and checkpoint().
+  std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+
+  /// Highest journaled seq: the last live record, or the checkpoint seq
+  /// when the journal is fully compacted.
+  std::uint64_t last_seq() const;
+
+  /// Records with seq > `after`, in order (a copy of the live tail).
+  std::vector<JournalRecord> records_after(std::uint64_t after) const;
+
+  /// FNV-1a over the formatted record lines with `after` < seq <=
+  /// `through` (newline-terminated, exactly the journal bytes modulo
+  /// compaction). nullopt when the range is not fully covered by live
+  /// records — the caller must fall back to a checkpoint reset.
+  std::optional<std::uint64_t> records_digest(std::uint64_t after,
+                                              std::uint64_t through) const;
+
+  /// Re-read the checkpoint's program text from disk ("" when no
+  /// checkpoint exists) — the base a replica reset ships.
+  std::string checkpoint_program() const;
+
  private:
   void open_for_append();
   std::string header_line() const;
@@ -91,6 +119,7 @@ class Journal {
   std::filesystem::path dir_;
   std::string session_;
   std::uint64_t seed_;
+  std::uint64_t checkpoint_seq_ = 0;
   int fd_ = -1;
   /// Records since recover()/checkpoint, kept so compaction can rewrite
   /// the journal without re-reading disk.

@@ -40,15 +40,9 @@ double parse_deadline(const std::string& text) {
 /// Session ids become journal directory names, so restrict them to a
 /// filesystem- and protocol-safe alphabet.
 void check_session(const std::string& id) {
-  if (id.empty() || id.size() > 128) {
-    fail("session id must be 1..128 characters");
-  }
-  for (char c : id) {
-    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
-    if (!ok || id == "." || id == "..") {
-      fail("session id '" + id + "' has characters outside [A-Za-z0-9._-]");
-    }
+  if (!valid_session_id(id)) {
+    fail("session id '" + id +
+         "' must be 1..128 characters of [A-Za-z0-9._-]");
   }
 }
 
@@ -70,8 +64,19 @@ const char* query_kind_name(QueryKind kind) {
     case QueryKind::Dump: return "dump";
     case QueryKind::Stats: return "stats";
     case QueryKind::Ping: return "ping";
+    case QueryKind::Promote: return "promote";
   }
   return "?";
+}
+
+bool valid_session_id(std::string_view id) {
+  if (id.empty() || id.size() > 128 || id == "." || id == "..") return false;
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 const char* priority_name(Priority priority) {
@@ -147,6 +152,7 @@ std::string format_request(const Request& request) {
   switch (request.query) {
     case QueryKind::Stats: return "stats";
     case QueryKind::Ping: return "ping";
+    case QueryKind::Promote: return "promote";
     case QueryKind::Query:
       return "query " + request.session + " " +
              util::format("%g", request.deadline_ms) + " " +
@@ -205,8 +211,12 @@ Request parse_request(std::string_view line) {
     request.query = QueryKind::Ping;
     return request;
   }
+  if (verb == "promote" && fields.size() == 1) {
+    request.query = QueryKind::Promote;
+    return request;
+  }
   fail("unknown request '" + verb +
-       "' (event | query | digest | dump | stats | ping)");
+       "' (event | query | digest | dump | stats | ping | promote)");
 }
 
 std::string format_response(const Response& response) {

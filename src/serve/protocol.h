@@ -15,6 +15,7 @@
 //   dump <session> <deadline-ms>                canonical fixpoint dump
 //   stats                                       service counters
 //   ping
+//   promote                                     replica -> primary switch
 //
 // Responses:
 //   ok <seq>                  event journaled and acked (durable)
@@ -41,7 +42,12 @@ namespace provmark::serve {
 enum class EventKind { Fact, Rule, Run };
 
 /// Read-only request kinds; never journaled, never mutate a session.
-enum class QueryKind { Query, Digest, Dump, Stats, Ping };
+/// Promote is the one exception to "read-only": it asks a standby
+/// daemon to stop tailing its primary and start serving (docs/serve.md,
+/// Replication & failover) — the daemon intercepts it before the
+/// Service ever sees it, so sessions are still never mutated by a
+/// QueryKind.
+enum class QueryKind { Query, Digest, Dump, Stats, Ping, Promote };
 
 /// Shedding priority of an event. Under load, Low sheds first (at half
 /// the global budget), Normal at the full budget; High is never
@@ -101,5 +107,11 @@ std::string format_response(const Response& response);
 
 /// Parse one response line (the feed client and tests use this).
 Response parse_response(std::string_view line);
+
+/// True when `id` is a protocol-legal session id: 1..128 chars of
+/// [A-Za-z0-9._-] and not "." / "..". Session ids become journal
+/// directory names, so the replication layer re-validates every id
+/// arriving on the wire with this before touching the filesystem.
+bool valid_session_id(std::string_view id);
 
 }  // namespace provmark::serve

@@ -96,9 +96,15 @@ Service::SessionState* Service::find_session(const std::string& id) {
 }
 
 Service::SessionState& Service::open_session(const std::string& id) {
+  return open_session_seeded(id, session_seed(options_.seed, id));
+}
+
+Service::SessionState& Service::open_session_seeded(const std::string& id,
+                                                    std::uint64_t seed) {
   if (SessionState* state = find_session(id)) return *state;
-  auto state = std::make_unique<SessionState>(
-      options_.root, id, session_seed(options_.seed, id), session_options_);
+  auto state =
+      std::make_unique<SessionState>(options_.root, id, seed,
+                                     session_options_);
   SessionState& ref = *state;
   sessions_.emplace(id, std::move(state));
   return ref;
@@ -162,6 +168,10 @@ Response Service::submit(const Request& request) {
     }
     seq = record.seq;
     ++state.next_seq;
+    // The record sink fires under mu_, which serializes all appends —
+    // so a standby sees records in exactly journal order. Sinks only
+    // buffer (see the typedef contract), so holding mu_ here is cheap.
+    if (options_.on_record) options_.on_record(request.session, record);
     state.queue.push_back(std::move(record));
     ++pending_;
     ++stats_.admitted;
@@ -181,8 +191,16 @@ Response Service::handle_query(const Request& request) {
   switch (request.query) {
     case QueryKind::Ping:
       return Response{Status::Result, 0, "pong"};
-    case QueryKind::Stats:
-      return Response{Status::Result, 0, stats().to_text()};
+    case QueryKind::Stats: {
+      std::string body = stats().to_text();
+      if (options_.stats_extra) body += options_.stats_extra();
+      return Response{Status::Result, 0, std::move(body)};
+    }
+    case QueryKind::Promote:
+      // The daemon intercepts promote before the Service; reaching the
+      // Service means there is no replication layer to promote.
+      return Response{Status::BadRequest, 0,
+                      "promote: this service is not a replica"};
     default:
       break;
   }
@@ -238,12 +256,18 @@ void Service::maybe_checkpoint(SessionState& state,
       state.session.applied_seq() == 0) {
     return;
   }
+  const std::uint64_t seq = state.session.applied_seq();
   {
     std::lock_guard<std::mutex> journal_lock(state.journal_mutex);
-    state.journal.checkpoint(state.session.program_log(),
-                             state.session.applied_seq());
+    state.journal.checkpoint(state.session.program_log(), seq);
   }
   state.session.checkpoint_taken();
+  if (options_.on_checkpoint) {
+    // Callers hold the apply lock, so the digest is the fixpoint at
+    // exactly `seq` — the divergence check compares it on the standby
+    // once the standby has applied through the same seq.
+    options_.on_checkpoint(state.session.id(), seq, state.session.digest());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.checkpoints;
 }
@@ -265,6 +289,10 @@ bool Service::apply_one(std::unique_lock<std::mutex>& lock) {
     applied = state->session.apply(record, &cancel_);
     if (applied && options_.checkpoint_every > 0) {
       maybe_checkpoint(*state, options_.checkpoint_every);
+    }
+    if (applied && options_.on_applied) {
+      options_.on_applied(state->session.id(), record.seq,
+                          [state] { return state->session.digest(); });
     }
   }
 
@@ -357,6 +385,158 @@ std::map<std::string, std::string> Service::session_digests() {
     out[id] = state->session.digest();
   }
   return out;
+}
+
+void Service::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (workers_.empty()) {
+    while (apply_one(lock)) {
+    }
+  }
+  idle_cv_.wait(lock, [this] { return pending_ + in_flight_ == 0; });
+}
+
+std::optional<Service::JournalPosition> Service::journal_position(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState* state = find_session(id);
+  if (state == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> journal_lock(state->journal_mutex);
+  return JournalPosition{state->session.seed(),
+                         state->journal.checkpoint_seq(),
+                         state->journal.last_seq()};
+}
+
+std::optional<std::uint64_t> Service::records_digest(const std::string& id,
+                                                     std::uint64_t after,
+                                                     std::uint64_t through) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState* state = find_session(id);
+  if (state == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> journal_lock(state->journal_mutex);
+  return state->journal.records_digest(after, through);
+}
+
+std::vector<JournalRecord> Service::records_after(const std::string& id,
+                                                  std::uint64_t after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState* state = find_session(id);
+  if (state == nullptr) return {};
+  std::lock_guard<std::mutex> journal_lock(state->journal_mutex);
+  return state->journal.records_after(after);
+}
+
+std::optional<Service::ResyncSnapshot> Service::resync_snapshot(
+    const std::string& id) {
+  SessionState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state = find_session(id);
+  }
+  if (state == nullptr) return std::nullopt;
+  // Journal state only — no apply lock — so a snapshot never waits
+  // behind a long pipeline run, and quarantined sessions (which are
+  // never checkpointed after poisoning) snapshot their pre-poisoning
+  // checkpoint plus the poisoning tail: replaying it re-quarantines
+  // the standby deterministically.
+  std::lock_guard<std::mutex> journal_lock(state->journal_mutex);
+  ResyncSnapshot out;
+  out.seed = state->session.seed();
+  out.base_seq = state->journal.checkpoint_seq();
+  out.base_program = state->journal.checkpoint_program();
+  out.records = state->journal.records_after(out.base_seq);
+  return out;
+}
+
+Response Service::apply_replicated(const std::string& id, std::uint64_t seed,
+                                   const JournalRecord& record) {
+  if (record.payload.size() > options_.max_payload_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected_oversized;
+    return Response{Status::TooLarge,
+                    0,
+                    util::format("payload is %zu bytes, limit %zu",
+                                 record.payload.size(),
+                                 options_.max_payload_bytes)};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_ || stop_) return Response{Status::Busy, 0, ""};
+  SessionState& state = open_session_seeded(id, seed);
+  if (state.session.seed() != seed) {
+    return Response{Status::Error, 0,
+                    util::format("seed mismatch for session '%s': "
+                                 "journal has %llu, primary sent %llu",
+                                 id.c_str(),
+                                 static_cast<unsigned long long>(
+                                     state.session.seed()),
+                                 static_cast<unsigned long long>(seed))};
+  }
+  if (record.seq < state.next_seq) {
+    // Idempotent redelivery after a reconnect: already journaled, so
+    // acking again is safe and expected.
+    return Response{Status::Ok, record.seq, "duplicate"};
+  }
+  if (record.seq != state.next_seq) {
+    return Response{Status::Error, 0,
+                    util::format("sequence gap for session '%s': "
+                                 "expected %llu, got %llu",
+                                 id.c_str(),
+                                 static_cast<unsigned long long>(
+                                     state.next_seq),
+                                 static_cast<unsigned long long>(
+                                     record.seq))};
+  }
+  // No shed/busy/quarantine refusal: the primary already admitted this
+  // record, so refusing it here would silently fork history. Session::
+  // apply on a quarantined session is a deterministic no-op, so both
+  // sides skip poisoned tails identically.
+  {
+    std::lock_guard<std::mutex> journal_lock(state.journal_mutex);
+    state.journal.append(record);  // fsync: the replication ack barrier
+  }
+  ++state.next_seq;
+  if (options_.on_record) options_.on_record(id, record);
+  state.queue.push_back(record);
+  ++pending_;
+  ++stats_.admitted;
+  if (!state.scheduled) {
+    state.scheduled = true;
+    ready_.push_back(&state);
+    work_cv_.notify_one();
+  }
+  return Response{Status::Ok, record.seq, ""};
+}
+
+void Service::reset_session(const std::string& id, std::uint64_t seed,
+                            std::uint64_t base_seq,
+                            const std::string& base_program) {
+  std::unique_ptr<SessionState> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      if (it->second->scheduled || !it->second->queue.empty()) {
+        throw std::runtime_error("reset_session('" + id +
+                                 "'): applies pending — flush() first");
+      }
+      old = std::move(it->second);
+      sessions_.erase(it);
+    }
+  }
+  old.reset();  // close the journal fd before removing the directory
+  std::filesystem::remove_all(options_.root / id);
+  {
+    // Seed a fresh journal holding only the primary's checkpoint, then
+    // reopen it through the normal SessionState recovery path — reset
+    // streams reuse exactly the machinery a restart would.
+    Journal journal(options_.root, id, seed);
+    journal.recover();
+    if (base_seq > 0 || !base_program.empty()) {
+      journal.checkpoint(base_program, base_seq);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  open_session_seeded(id, seed);
 }
 
 }  // namespace provmark::serve

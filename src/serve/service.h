@@ -31,9 +31,11 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +46,30 @@
 #include "serve/session.h"
 
 namespace provmark::serve {
+
+// -- replication sinks (docs/serve.md, Replication & failover) --------------
+// The replication layer observes the service through three optional
+// callbacks instead of owning any service internals. Sinks run under
+// service locks (record: the admission mutex; checkpoint/applied: the
+// session's apply lock) and therefore must only buffer — never call
+// back into the Service.
+
+/// One record was appended + fsynced to a session's journal (both the
+/// live submit path and replica catch-up fire it, in journal order).
+using RecordSink =
+    std::function<void(const std::string& session, const JournalRecord&)>;
+
+/// A session checkpointed at `seq`; `digest` is its fixpoint digest at
+/// exactly that seq — the divergence-detection exchange rides on it.
+using CheckpointSink = std::function<void(
+    const std::string& session, std::uint64_t seq, const std::string& digest)>;
+
+/// A session applied the record at `seq`; `digest_now()` computes the
+/// fixpoint digest at exactly this seq (only called when the observer
+/// has a pending check — digests are not free).
+using AppliedSink = std::function<void(
+    const std::string& session, std::uint64_t seq,
+    const std::function<std::string()>& digest_now)>;
 
 struct ServiceOptions {
   /// Journal root; one subdirectory per session.
@@ -67,6 +93,15 @@ struct ServiceOptions {
   std::uint64_t checkpoint_every = 64;
   /// Base pipeline options for run events (trials, matcher, latency).
   core::PipelineOptions pipeline;
+  /// Replication observers (see the sink typedefs above); empty = off.
+  RecordSink on_record;
+  CheckpointSink on_checkpoint;
+  AppliedSink on_applied;
+  /// Extra key=value lines appended to the `stats` response body —
+  /// how the daemon surfaces replication health (repl_lag_events,
+  /// last_heartbeat_ms, repl_mode) without the Service knowing about
+  /// replication. Called without service locks held.
+  std::function<std::string()> stats_extra;
 };
 
 struct ServiceStats {
@@ -128,6 +163,66 @@ class Service {
   /// identity gates compare these maps across a kill.
   std::map<std::string, std::string> session_digests();
 
+  /// Wait until every admitted event is applied (pumping on the calling
+  /// thread when workers == 0). Unlike drain() this does not stop
+  /// admission — promotion uses it to finish replicated catch-up before
+  /// the standby starts answering as primary.
+  void flush();
+
+  // -- replication API (docs/serve.md, Replication & failover) --------------
+
+  /// Where a session's journal stands: its pinned seed, checkpoint seq
+  /// and highest journaled seq. nullopt for unknown sessions.
+  struct JournalPosition {
+    std::uint64_t seed = 0;
+    std::uint64_t checkpoint_seq = 0;
+    std::uint64_t last_seq = 0;
+  };
+  std::optional<JournalPosition> journal_position(const std::string& id);
+
+  /// Journal::records_digest under the session's locks — how the
+  /// handshake decides whether a standby's tail is a prefix of ours.
+  std::optional<std::uint64_t> records_digest(const std::string& id,
+                                              std::uint64_t after,
+                                              std::uint64_t through);
+
+  /// Live journal records with seq > `after` (what a resuming standby
+  /// is missing). Empty for unknown sessions.
+  std::vector<JournalRecord> records_after(const std::string& id,
+                                           std::uint64_t after);
+
+  /// Everything a standby needs to rebuild a session from our last
+  /// checkpoint: the pinned seed, the checkpoint (seq, program) and the
+  /// live records above it. Quarantined sessions resync the same way —
+  /// their checkpoint predates the poisoning record, so replaying the
+  /// tail re-quarantines the replica deterministically.
+  struct ResyncSnapshot {
+    std::uint64_t seed = 0;
+    std::uint64_t base_seq = 0;
+    std::string base_program;
+    std::vector<JournalRecord> records;  ///< seq > base_seq, in order
+  };
+  std::optional<ResyncSnapshot> resync_snapshot(const std::string& id);
+
+  /// Apply one record streamed from a primary: journal + fsync it with
+  /// the primary-assigned seq, queue the apply, return Ok — the ack the
+  /// standby sends upstream. No admission/shedding (the primary already
+  /// admitted it; refusing here would silently fork history) and no
+  /// quarantine refusal (the primary's journal can extend past a
+  /// poisoning record; Session::apply skips them identically on both
+  /// sides). A duplicate seq is Ok (idempotent redelivery after
+  /// reconnect); a gap is an Error — the stream must reset.
+  Response apply_replicated(const std::string& id, std::uint64_t seed,
+                            const JournalRecord& record);
+
+  /// Drop a session's state and journal and re-seed it from a primary's
+  /// checkpoint snapshot (reset stream). The caller must ensure no
+  /// applies are pending for the session (flush() first); throws
+  /// otherwise.
+  void reset_session(const std::string& id, std::uint64_t seed,
+                     std::uint64_t base_seq,
+                     const std::string& base_program);
+
  private:
   struct SessionState {
     SessionState(const std::filesystem::path& root, const std::string& id,
@@ -149,6 +244,10 @@ class Service {
 
   SessionState* find_session(const std::string& id);
   SessionState& open_session(const std::string& id);
+  /// open_session with an explicit seed — replica streams pin the
+  /// *primary's* session seed instead of deriving one locally.
+  SessionState& open_session_seeded(const std::string& id,
+                                    std::uint64_t seed);
   Response handle_query(const Request& request);
   /// Apply one event of one ready session; returns false when no work
   /// was available. `lock` holds mu_ on entry and exit.

@@ -10,7 +10,11 @@
 namespace provmark::util {
 
 void sync_dir(const std::filesystem::path& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  // A bare relative filename has an empty parent_path(); open("") fails,
+  // which used to silently skip the directory fsync for such paths. The
+  // containing directory of a bare name is the working directory.
+  const std::filesystem::path target = dir.empty() ? "." : dir;
+  int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd >= 0) {
     ::fsync(fd);
     ::close(fd);

@@ -11,9 +11,11 @@
 
 namespace provmark::util {
 
-/// fsync a directory so a just-renamed entry survives a crash. Best
-/// effort: filesystems that reject directory fsync are silently
-/// tolerated.
+/// fsync a directory so a just-renamed entry survives a crash — the
+/// rename itself survives SIGKILL but not power loss until the parent
+/// directory is flushed. An empty path means the working directory (the
+/// parent of a bare relative filename). Best effort: filesystems that
+/// reject directory fsync are silently tolerated.
 void sync_dir(const std::filesystem::path& dir);
 
 /// The atomic commit described in the module comment. Throws

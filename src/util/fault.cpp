@@ -28,9 +28,13 @@ std::vector<LiveRule> g_rules;
 std::atomic<int> g_cells_completed{0};
 std::atomic<int> g_events_admitted{0};
 std::atomic<int> g_applies_seen{0};
+std::atomic<int> g_records_forwarded{0};
+std::atomic<int> g_replica_records{0};
 
 bool is_serve_kind(FaultKind kind) {
-  return kind == FaultKind::ServeCrash || kind == FaultKind::SlowClient;
+  return kind == FaultKind::ServeCrash || kind == FaultKind::SlowClient ||
+         kind == FaultKind::ReplLinkDrop || kind == FaultKind::ReplicaCrash ||
+         kind == FaultKind::ReplPartition;
 }
 
 double parse_number(const std::string& key, const std::string& value) {
@@ -74,10 +78,17 @@ FaultRule parse_rule(const std::string& clause) {
     rule.kind = FaultKind::ServeCrash;
   } else if (kind == "slow-client") {
     rule.kind = FaultKind::SlowClient;
+  } else if (kind == "repl-link-drop") {
+    rule.kind = FaultKind::ReplLinkDrop;
+  } else if (kind == "replica-crash") {
+    rule.kind = FaultKind::ReplicaCrash;
+  } else if (kind == "repl-partition") {
+    rule.kind = FaultKind::ReplPartition;
   } else {
     throw std::invalid_argument(
         "fault-spec: unknown fault kind '" + kind +
-        "' (crash | torn-write | hang | serve-crash | slow-client)");
+        "' (crash | torn-write | hang | serve-crash | slow-client | "
+        "repl-link-drop | replica-crash | repl-partition)");
   }
   for (const std::string& param :
        util::split_nonempty(clause.substr(colon + 1), ',')) {
@@ -99,6 +110,19 @@ FaultRule parse_rule(const std::string& clause) {
       rule.stall_ms = parse_number(key, value);
       if (rule.stall_ms < 0) {
         throw std::invalid_argument("fault-spec: ms must be >= 0");
+      }
+    } else if (key == "after-records" &&
+               (rule.kind == FaultKind::ReplLinkDrop ||
+                rule.kind == FaultKind::ReplicaCrash ||
+                rule.kind == FaultKind::ReplPartition)) {
+      rule.after_records = parse_int(key, value);
+      if (rule.after_records < 1) {
+        throw std::invalid_argument("fault-spec: after-records must be >= 1");
+      }
+    } else if (key == "ms" && rule.kind == FaultKind::ReplPartition) {
+      rule.partition_ms = parse_number(key, value);
+      if (rule.partition_ms <= 0) {
+        throw std::invalid_argument("fault-spec: partition ms must be > 0");
       }
     } else if (key == "events" && rule.kind == FaultKind::SlowClient) {
       rule.stall_events = parse_int(key, value);
@@ -152,6 +176,12 @@ const char* kind_name(FaultKind kind) {
       return "serve-crash";
     case FaultKind::SlowClient:
       return "slow-client";
+    case FaultKind::ReplLinkDrop:
+      return "repl-link-drop";
+    case FaultKind::ReplicaCrash:
+      return "replica-crash";
+    case FaultKind::ReplPartition:
+      return "repl-partition";
   }
   return "unknown";
 }
@@ -173,6 +203,8 @@ void arm(const FaultSpec& spec, int shard_id, int attempt) {
   g_cells_completed.store(0);
   g_events_admitted.store(0);
   g_applies_seen.store(0);
+  g_records_forwarded.store(0);
+  g_replica_records.store(0);
   for (const FaultRule& rule : spec.rules) {
     if (is_serve_kind(rule.kind) ||
         (rule.shard == shard_id &&
@@ -280,6 +312,64 @@ void serve_before_apply() {
   }
   if (stall_ms <= 0) return;
   std::this_thread::sleep_for(std::chrono::duration<double>(stall_ms / 1e3));
+}
+
+ReplLinkFault repl_record_forwarded() {
+  ReplLinkFault result;
+  if (!g_armed.load()) return result;
+  const int forwarded = g_records_forwarded.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (LiveRule& live : g_rules) {
+    if (live.fired) continue;
+    if (live.rule.kind == FaultKind::ReplLinkDrop &&
+        forwarded >= live.rule.after_records) {
+      live.fired = true;
+      result.drop = true;
+      std::fprintf(stderr,
+                   "fault-injection: repl-link-drop after record %d\n",
+                   forwarded);
+      std::fflush(stderr);
+      return result;
+    }
+    if (live.rule.kind == FaultKind::ReplPartition &&
+        forwarded >= live.rule.after_records) {
+      live.fired = true;
+      result.partition_ms = live.rule.partition_ms;
+      std::fprintf(stderr,
+                   "fault-injection: repl-partition for %.0fms after "
+                   "record %d\n",
+                   result.partition_ms, forwarded);
+      std::fflush(stderr);
+      return result;
+    }
+  }
+  return result;
+}
+
+void replica_record_journaled() {
+  if (!g_armed.load()) return;
+  const int journaled = g_replica_records.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (LiveRule& live : g_rules) {
+    if (live.rule.kind != FaultKind::ReplicaCrash || live.fired) continue;
+    if (journaled < live.rule.after_records) continue;
+    live.fired = true;
+    std::fprintf(stderr,
+                 "fault-injection: replica-crash after record %d — "
+                 "_exit(%d)\n",
+                 journaled, kCrashExitCode);
+    std::fflush(stderr);
+    ::_exit(kCrashExitCode);
+  }
+}
+
+int fired_count(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  int fired = 0;
+  for (const LiveRule& live : g_rules) {
+    if (live.rule.kind == kind && live.fired) ++fired;
+  }
+  return fired;
 }
 
 }  // namespace provmark::util::fault

@@ -32,6 +32,29 @@
 //                                 (`events=N` limits the stall to the
 //                                 first N applies)
 //
+// The replication layer (primary + hot standby, docs/serve.md) adds
+// link- and replica-level failures:
+//
+//   repl-link-drop:after-records=5
+//                                 the primary severs the replication
+//                                 connection right after forwarding its
+//                                 5th record — the standby must
+//                                 reconnect with seeded backoff and
+//                                 resync from the last common prefix
+//   replica-crash:after-records=5
+//                                 the *standby* calls _exit(70) after
+//                                 journaling its 5th replicated record,
+//                                 before sending the ack — the hardest
+//                                 replication crash point (durable but
+//                                 unacknowledged)
+//   repl-partition:after-records=5[,ms=300]
+//                                 the primary black-holes the
+//                                 replication link (both directions)
+//                                 for ms after forwarding its 5th
+//                                 record, then drops it — heartbeats go
+//                                 unanswered, so the standby's
+//                                 missed-heartbeat machinery fires
+//
 // Rules are joined with ';'. Shard-side kinds target exactly one
 // (shard, attempt) pair: `attempt=K` defaults to 0 — the first try —
 // so retries and straggler re-dispatches run fault-free and the sweep
@@ -55,7 +78,16 @@
 
 namespace provmark::util::fault {
 
-enum class FaultKind { Crash, TornWrite, Hang, ServeCrash, SlowClient };
+enum class FaultKind {
+  Crash,
+  TornWrite,
+  Hang,
+  ServeCrash,
+  SlowClient,
+  ReplLinkDrop,
+  ReplicaCrash,
+  ReplPartition,
+};
 
 const char* kind_name(FaultKind kind);
 
@@ -74,6 +106,11 @@ struct FaultRule {
   int after_events = 1;   ///< serve-crash: fire after this many admits
   double stall_ms = 50;   ///< slow-client: stall per worker apply
   int stall_events = -1;  ///< slow-client: applies stalled; -1 = all
+  /// repl-link-drop / repl-partition: fire after this many records
+  /// forwarded by the primary; replica-crash: after this many records
+  /// journaled by the standby.
+  int after_records = 1;
+  double partition_ms = 500;  ///< repl-partition: black-hole duration
 };
 
 struct FaultSpec {
@@ -125,5 +162,28 @@ void serve_event_admitted();
 /// stall_events applies, or every apply when -1), backing the queues up
 /// so overload shedding fires under test control.
 void serve_before_apply();
+
+/// What a repl-link-drop / repl-partition rule decided at a forwarded
+/// record. At most one fires per call (drop wins over partition).
+struct ReplLinkFault {
+  bool drop = false;         ///< sever the replication connection now
+  double partition_ms = 0;   ///< >0: black-hole the link this long
+};
+
+/// Primary replicator hook: one journal record was forwarded to the
+/// standby. A live repl-link-drop or repl-partition rule whose
+/// after-records count is reached fires (once) and is reported in the
+/// result; the daemon enacts it on the connection.
+ReplLinkFault repl_record_forwarded();
+
+/// Standby hook: one replicated record was journaled and fsynced, the
+/// ack not yet sent. A live replica-crash rule whose after-records
+/// count is reached calls _exit(70) — durable-but-unacknowledged, the
+/// hardest point for resync to get right.
+void replica_record_journaled();
+
+/// How many live rules of `kind` have fired in this process since
+/// arm(). The chaos gates assert every injected fault actually fired.
+int fired_count(FaultKind kind);
 
 }  // namespace provmark::util::fault

@@ -82,7 +82,8 @@ constexpr const char* kUsage =
     "  provmark query <facts.datalog> <atom> [rules.datalog]\n"
     "  provmark gen [--seed S] [--scale K] [gen-options]\n"
     "  provmark [options] serve <socket> <journal-root> [serve-options]\n"
-    "  provmark feed <socket> [request-file]\n"
+    "  provmark feed <socket> [request-file] [--feed-retries N]\n"
+    "  provmark promote <socket>\n"
     "  provmark --help\n"
     "\n"
     "subcommands:\n"
@@ -132,11 +133,31 @@ constexpr const char* kUsage =
     "         --session-cap N (per-session queue, default 64),\n"
     "         --checkpoint-every N (applied events between checkpoints,\n"
     "         default 64). --seed, --fault-spec (serve-crash /\n"
-    "         slow-client rules) and --max-input-bytes are honoured\n"
+    "         slow-client / repl-* rules) and --max-input-bytes are\n"
+    "         honoured.\n"
+    "         replication (docs/serve.md, Replication & failover):\n"
+    "         --replica-of <socket> runs this daemon as a hot standby of\n"
+    "         the primary at <socket>: it tails the primary's journal\n"
+    "         stream, fsyncs and applies every record, answers read-only\n"
+    "         queries, refuses events until promoted. --repl-mode\n"
+    "         async|sync (primary; sync holds each client ack until the\n"
+    "         standby fsynced the record, default async), --heartbeat-ms\n"
+    "         M (standby heartbeat period, default 500), --promote-after\n"
+    "         K (standby auto-promotes after K unanswered heartbeats;\n"
+    "         default 0 = only explicit promote)\n"
     "  feed   stream request lines (see docs/serve.md for the grammar)\n"
     "         from a file or stdin to a serve socket; prints one response\n"
     "         line each. Exit 0 when everything was acked/answered, 3\n"
-    "         when any request was shed/refused, 1 on connection failure\n"
+    "         when any request was shed/refused, 1 on connection failure.\n"
+    "         --feed-retries N retries each shed/busy response up to N\n"
+    "         times with deterministic seeded exponential backoff (keyed\n"
+    "         by --seed, request index, attempt; default 0 = no retry)\n"
+    "  promote\n"
+    "         ask the standby daemon at <socket> to stop tailing its\n"
+    "         primary and start serving (prints 'result promoted'; a\n"
+    "         daemon that is already primary prints 'result\n"
+    "         already-primary'). Exit 0 on success, 1 on connection\n"
+    "         failure\n"
     "\n"
     "options:\n"
     "  --threads N  worker threads for the parallel runtime (default:\n"
@@ -178,6 +199,9 @@ constexpr const char* kUsage =
     "                 hang:shard=K[,seconds=S]\n"
     "                 serve-crash:after-events=M\n"
     "                 slow-client:ms=T[,events=M]\n"
+    "                 repl-link-drop:after-records=M\n"
+    "                 replica-crash:after-records=M\n"
+    "                 repl-partition:after-records=M[,ms=T]\n"
     "               each shard rule arms on attempt 0 only unless\n"
     "               attempt=N|any is given, so retried attempts run\n"
     "               fault-free and the sweep converges; serve rules arm\n"
@@ -639,6 +663,30 @@ int run_serve(const CliOptions& cli, const std::vector<std::string>& args) {
     } else if (args[i] == "--checkpoint-every") {
       options.service.checkpoint_every = positive(i, args[i].c_str());
       ++i;
+    } else if (args[i] == "--replica-of") {
+      if (i + 1 >= args.size()) {
+        return bad_usage("--replica-of needs the primary's socket path");
+      }
+      options.replica_of = args[i + 1];
+      ++i;
+    } else if (args[i] == "--repl-mode") {
+      if (i + 1 >= args.size() ||
+          (args[i + 1] != "async" && args[i + 1] != "sync")) {
+        return bad_usage("--repl-mode needs 'async' or 'sync'");
+      }
+      options.repl_sync = args[i + 1] == "sync";
+      ++i;
+    } else if (args[i] == "--heartbeat-ms") {
+      options.heartbeat_ms =
+          static_cast<double>(positive(i, args[i].c_str()));
+      if (options.heartbeat_ms <= 0) {
+        return bad_usage("--heartbeat-ms must be > 0");
+      }
+      ++i;
+    } else if (args[i] == "--promote-after") {
+      options.promote_after_missed =
+          static_cast<int>(positive(i, args[i].c_str()));
+      ++i;
     } else {
       return bad_usage("unknown serve option '" + args[i] + "'");
     }
@@ -651,18 +699,46 @@ int run_serve(const CliOptions& cli, const std::vector<std::string>& args) {
   return serve::run_daemon(options);
 }
 
-int run_feed_command(const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 2) {
-    return bad_usage("feed needs: provmark feed <socket> [request-file]");
-  }
-  if (args.size() == 2) {
-    std::ifstream in(args[1]);
-    if (!in.good()) {
-      throw std::runtime_error("cannot read request file " + args[1]);
+int run_feed_command(const CliOptions& cli,
+                     const std::vector<std::string>& args) {
+  serve::FeedOptions feed;
+  feed.seed = cli.seed;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--feed-retries") {
+      if (i + 1 >= args.size()) {
+        return bad_usage("--feed-retries needs a value");
+      }
+      feed.retries = std::stoi(args[i + 1]);
+      if (feed.retries < 0) {
+        return bad_usage("--feed-retries must be >= 0");
+      }
+      ++i;
+    } else {
+      positional.push_back(args[i]);
     }
-    return serve::run_feed(args[0], in, std::cout);
   }
-  return serve::run_feed(args[0], std::cin, std::cout);
+  if (positional.empty() || positional.size() > 2) {
+    return bad_usage(
+        "feed needs: provmark feed <socket> [request-file] "
+        "[--feed-retries N]");
+  }
+  if (positional.size() == 2) {
+    std::ifstream in(positional[1]);
+    if (!in.good()) {
+      throw std::runtime_error("cannot read request file " + positional[1]);
+    }
+    return serve::run_feed(positional[0], in, std::cout, feed);
+  }
+  return serve::run_feed(positional[0], std::cin, std::cout, feed);
+}
+
+int run_promote(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return bad_usage("promote needs: provmark promote <socket>");
+  }
+  std::istringstream in("promote\n");
+  return serve::run_feed(args[0], in, std::cout);
 }
 
 }  // namespace
@@ -820,6 +896,10 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "feed") {
       return run_feed_command(
+          cli, std::vector<std::string>(args.begin() + 1, args.end()));
+    }
+    if (args[0] == "promote") {
+      return run_promote(
           std::vector<std::string>(args.begin() + 1, args.end()));
     }
     return bad_usage("unknown subcommand '" + args[0] + "'");
