@@ -1,0 +1,799 @@
+// Cluster sharding gates for the streaming provenance service
+// (src/serve/cluster.* — see docs/serve.md, "Cluster sharding").
+//
+// Every scenario drives a REAL router: a forked `run_cluster` process
+// that itself forks N `run_daemon` members, fed through the real
+// `run_feed` client with `--feed-retries` semantics — the same binary
+// paths an operator runs. Three scenarios, each with hard
+// self-asserting gates (exit 1 on any failure) plus recorded
+// wall-clock metrics:
+//
+//   routing-fairness   a generator-seeded multi-session stream through
+//                      a healthy 3-member cluster. GATES that every
+//                      member received at least its hash-share of
+//                      requests (member<k>_routed vs a locally
+//                      recomputed member_for distribution) and that
+//                      every session digest through the router is
+//                      bit-identical to one unsharded reference
+//                      service fed the same per-session streams.
+//   member-kill        SIGKILL each member in turn mid-stream while
+//                      the feed rides the restart windows on client
+//                      retries. GATES zero acked loss (every event
+//                      acked, every fed fact present in the final
+//                      dump), busy-window accounting
+//                      (busy_member_down > 0 — the router answered
+//                      busy, never dropped), full recovery
+//                      (members_up back to 3, member_restarts >= 3)
+//                      and digest identity vs the unsharded reference
+//                      one more time — after every member died once.
+//   chaos              the three cluster fault rules armed together:
+//                      cluster-member-crash (a member _exit(70)s after
+//                      its Nth admitted event), member-hang (a member
+//                      stops heartbeating and must be killed by the
+//                      router's deadline), route-drop (the router
+//                      severs one member link mid-request). Each is
+//                      VERIFIED to have fired (log lines, stats
+//                      counters) and survived: the cluster converges
+//                      back to members_up=3 and digests match the
+//                      reference after all injected faults.
+//
+// The parent is threadless at every fork (reference services run
+// workers=0 and die in scope, same discipline as the replication
+// bench).
+//
+// Usage: bench_perf_serve_cluster [--smoke] [output.json]
+//   --smoke  smaller feed volume (CI-friendly); identical gating
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/generator.h"
+#include "bench_suite/program_text.h"
+#include "serve/cluster.h"
+#include "serve/daemon.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "util/fault.h"
+
+using namespace provmark;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kMembers = 3;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+serve::ServiceOptions reference_options(const fs::path& root) {
+  serve::ServiceOptions options;
+  options.root = root;
+  options.workers = 0;  // parent stays threadless across forks
+  options.checkpoint_every = 0;
+  options.pipeline.trials = 2;
+  return options;
+}
+
+struct ClusterSpec {
+  fs::path root;
+  std::string socket_path;
+  std::string fault_spec;
+  fs::path log;  ///< router + member stdout+stderr (members inherit)
+};
+
+pid_t spawn_cluster(const ClusterSpec& spec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (!spec.log.empty()) {
+    const int fd =
+        ::open(spec.log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+  }
+  serve::ClusterOptions options;
+  options.socket_path = spec.socket_path;
+  options.root = spec.root;
+  options.members = kMembers;
+  options.member_window = 32;
+  options.heartbeat_ms = 50;       // deadline defaults to 8x = 400ms
+  options.backoff_base_ms = 50;    // fast restarts keep the bench quick
+  options.backoff_cap_ms = 500;
+  options.service.workers = 1;
+  options.service.checkpoint_every = 0;  // journals stay fully replayable
+  options.service.pipeline.trials = 2;
+  options.fault_spec = spec.fault_spec;
+  if (!spec.fault_spec.empty()) {
+    // Router-side arming, exactly what the CLI does: route-drop rules
+    // arm here; member rules re-arm inside each member child with its
+    // own (member, incarnation) coordinates.
+    util::fault::arm(util::fault::parse_fault_spec(spec.fault_spec), -1, -1);
+  }
+  ::_exit(serve::run_cluster(options));
+}
+
+serve::FeedOptions retry_options() {
+  serve::FeedOptions options;
+  options.retries = 60;  // rides out any restart window in this bench
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 100;
+  return options;
+}
+
+/// Feed one request line with restart-window retries; returns the raw
+/// final response line ("" when the budget ran out).
+std::string feed_one_retry(const std::string& socket_path,
+                           const std::string& request) {
+  std::istringstream in(request + "\n");
+  std::ostringstream out;
+  if (serve::run_feed(socket_path, in, out, retry_options()) == 1) return "";
+  std::string line = out.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+bool wait_until(const std::function<bool()>& predicate, double budget_s) {
+  const auto start = Clock::now();
+  while (seconds_since(start) < budget_s) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// The full stats body behind `socket_path` (router or member), parsed
+/// into key -> value.
+std::map<std::string, std::string> stats_of(const std::string& socket_path) {
+  std::map<std::string, std::string> out;
+  const std::string line = feed_one_retry(socket_path, "stats");
+  if (line.empty()) return out;
+  try {
+    const serve::Response response = serve::parse_response(line);
+    if (response.status != serve::Status::Result) return out;
+    std::istringstream body(response.body);
+    std::string kv;
+    while (std::getline(body, kv)) {
+      const std::size_t eq = kv.find('=');
+      if (eq != std::string::npos) out[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+  } catch (const std::exception&) {
+  }
+  return out;
+}
+
+std::int64_t stats_int(const std::map<std::string, std::string>& stats,
+                       const std::string& key) {
+  const auto it = stats.find(key);
+  if (it == stats.end()) return -1;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+bool cluster_ready(const std::string& socket_path) {
+  return stats_int(stats_of(socket_path), "members_up") == kMembers;
+}
+
+/// Drain barrier before any digest/dump identity gate: a query waits
+/// only for the apply lock, not for the session queues, so right after
+/// a feed the tail of a stream can still be pending. Poll each
+/// member's OWN socket (the router intercepts `stats`) until it
+/// reports pending=0.
+bool members_drained(const fs::path& cluster_root) {
+  for (int m = 0; m < kMembers; ++m) {
+    const std::map<std::string, std::string> stats =
+        stats_of(serve::member_socket_path(cluster_root, m));
+    if (stats_int(stats, "pending") != 0) return false;
+  }
+  return true;
+}
+
+bool wait_drained(const fs::path& cluster_root) {
+  return wait_until([&] { return members_drained(cluster_root); }, 30);
+}
+
+void kill_process(pid_t pid, int sig) {
+  ::kill(pid, sig);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+std::string read_log(const fs::path& log) {
+  std::ifstream in(log);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Member pids as the router logged them: the LAST "spawned (pid N)"
+/// line per member is the live incarnation.
+std::map<int, pid_t> member_pids(const fs::path& log) {
+  std::map<int, pid_t> pids;
+  std::istringstream in(read_log(log));
+  std::string line;
+  while (std::getline(in, line)) {
+    int member = -1;
+    int incarnation = -1;
+    int pid = -1;
+    if (std::sscanf(line.c_str(),
+                    "cluster: member %d incarnation %d spawned (pid %d)",
+                    &member, &incarnation, &pid) == 3) {
+      pids[member] = static_cast<pid_t>(pid);
+    }
+  }
+  return pids;
+}
+
+serve::Request event_request(const std::string& session,
+                             serve::EventKind kind,
+                             const std::string& payload) {
+  serve::Request request;
+  request.is_event = true;
+  request.event = kind;
+  request.session = session;
+  request.priority = serve::Priority::Normal;
+  request.payload = payload;
+  return request;
+}
+
+const char* kRecorders[] = {"spade",         "opus",  "camflow",
+                            "spade-camflow", "audit", "ebpf"};
+
+using Stream = std::vector<std::pair<serve::EventKind, std::string>>;
+
+Stream make_stream(std::uint64_t seed) {
+  bench_suite::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.scale = 3;
+  gen.depth = 1;
+  gen.fan_out = 1;
+  const std::string program =
+      bench_suite::format_program(bench_suite::generate_program(gen));
+  const std::string s = std::to_string(seed);
+  return {
+      {serve::EventKind::Fact, "edge(a" + s + ",b" + s + ")."},
+      {serve::EventKind::Fact, "edge(b" + s + ",c" + s + ")."},
+      {serve::EventKind::Rule,
+       "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z)."},
+      {serve::EventKind::Run,
+       std::string(kRecorders[seed % 6]) + "\n" + program},
+      {serve::EventKind::Fact, "edge(c" + s + ",a" + s + ")."},
+  };
+}
+
+/// Session ids such that every member owns at least one session —
+/// deterministic (member_for is a fixed hash), checked at build time
+/// of the session list.
+std::vector<std::string> make_sessions(int minimum) {
+  std::vector<std::string> sessions;
+  std::vector<int> owned(kMembers, 0);
+  for (int i = 0; static_cast<int>(sessions.size()) < minimum ||
+                  *std::min_element(owned.begin(), owned.end()) == 0;
+       ++i) {
+    const std::string session = "session-" + std::to_string(i);
+    ++owned[serve::member_for(session, kMembers)];
+    sessions.push_back(session);
+  }
+  return sessions;
+}
+
+/// Feed every session's stream through the router (session-major, so
+/// per-session order is preserved); returns acked event count, -1 on
+/// a spent retry budget.
+int feed_streams(const std::string& socket_path,
+                 const std::map<std::string, Stream>& streams) {
+  std::ostringstream requests;
+  int total = 0;
+  for (const auto& [session, stream] : streams) {
+    for (const auto& [kind, payload] : stream) {
+      requests << serve::format_request(event_request(session, kind, payload))
+               << "\n";
+      ++total;
+    }
+  }
+  std::istringstream in(requests.str());
+  std::ostringstream responses;
+  const int rc = serve::run_feed(socket_path, in, responses, retry_options());
+  return rc == 0 ? total : -1;
+}
+
+/// Digest-identity gate: every session digest through the router must
+/// be bit-identical to ONE unsharded reference service fed the same
+/// per-session streams. (Datalog relations are sets, so the client's
+/// at-least-once re-sends during restart windows are idempotent.)
+bool digests_match_reference(const std::map<std::string, Stream>& streams,
+                             const std::string& socket_path,
+                             const fs::path& scratch) {
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  serve::Service reference(reference_options(scratch));
+  bool ok = true;
+  for (const auto& [session, stream] : streams) {
+    for (const auto& [kind, payload] : stream) {
+      if (reference.submit(event_request(session, kind, payload)).status !=
+          serve::Status::Ok) {
+        ok = false;
+      }
+    }
+  }
+  reference.pump();
+  for (const auto& [session, stream] : streams) {
+    serve::Request digest;
+    digest.is_event = false;
+    digest.query = serve::QueryKind::Digest;
+    digest.session = session;
+    digest.deadline_ms = 5000;
+    const serve::Response expected = reference.submit(digest);
+    const std::string got =
+        feed_one_retry(socket_path, "digest " + session + " 5000");
+    if (expected.status != serve::Status::Result ||
+        got != "result " + expected.body) {
+      std::fprintf(stderr, "  digest mismatch for %s: got '%s'\n",
+                   session.c_str(), got.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Recovery-identity gate for ack-barrier crash faults: the stream-fed
+/// reference cannot apply here, because the member crashes BETWEEN the
+/// journal fsync and the ack — the client's re-send is journaled under
+/// a fresh seq, and a duplicated Run event lands its result graph
+/// under a second r<seq> id. What recovery must preserve is the
+/// JOURNAL: replay every member's journals (each session lives in
+/// exactly one member root) into one unsharded reference service and
+/// require the routed digests to be bit-identical to it.
+bool digests_match_journal_reference(const fs::path& cluster_root,
+                                     const std::string& socket_path,
+                                     const fs::path& scratch) {
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  serve::Service reference(reference_options(scratch));
+  bool ok = true;
+  std::vector<std::string> sessions;
+  for (int m = 0; m < kMembers; ++m) {
+    const fs::path root = serve::member_root(cluster_root, m);
+    for (const std::string& session : serve::list_sessions(root)) {
+      sessions.push_back(session);
+      serve::Journal journal(root, session, 0);
+      for (const serve::JournalRecord& record : journal.recover().records) {
+        serve::Request request;
+        request.is_event = true;
+        request.event = record.kind;
+        request.session = session;
+        request.priority = record.priority;
+        request.payload = record.payload;
+        if (reference.submit(request).status != serve::Status::Ok) ok = false;
+      }
+    }
+  }
+  reference.pump();
+  for (const std::string& session : sessions) {
+    serve::Request digest;
+    digest.is_event = false;
+    digest.query = serve::QueryKind::Digest;
+    digest.session = session;
+    digest.deadline_ms = 5000;
+    const serve::Response expected = reference.submit(digest);
+    const std::string got =
+        feed_one_retry(socket_path, "digest " + session + " 5000");
+    if (expected.status != serve::Status::Result ||
+        got != "result " + expected.body) {
+      std::fprintf(stderr, "  journal digest mismatch for %s: got '%s'\n",
+                   session.c_str(), got.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Zero-acked-loss spot check: every fed fact appears in the session's
+/// final dump through the router.
+bool facts_survived(const std::map<std::string, Stream>& streams,
+                    const std::string& socket_path) {
+  bool ok = true;
+  for (const auto& [session, stream] : streams) {
+    const std::string line =
+        feed_one_retry(socket_path, "dump " + session + " 5000");
+    if (line.rfind("result ", 0) != 0) {
+      std::fprintf(stderr, "  dump failed for %s: '%s'\n", session.c_str(),
+                   line.c_str());
+      ok = false;
+      continue;
+    }
+    const std::string dump = serve::unescape_field(line.substr(7));
+    for (const auto& [kind, payload] : stream) {
+      if (kind != serve::EventKind::Fact) continue;
+      // "edge(a1,b1)." feeds become "edge(a1,b1)" dump lines.
+      std::string fact = payload;
+      if (!fact.empty() && fact.back() == '.') fact.pop_back();
+      if (dump.find(fact) == std::string::npos) {
+        std::fprintf(stderr, "  acked fact lost for %s: %s\n",
+                     session.c_str(), payload.c_str());
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// scenario: routing-fairness
+
+struct FairnessOutcome {
+  int sessions = 0;
+  int events_fed = 0;
+  double feed_seconds = 0;
+  double events_per_sec = 0;
+  bool all_acked = false;
+  bool fair = false;
+  bool digests_identical = false;
+};
+
+FairnessOutcome run_fairness(const fs::path& dir, int nsessions) {
+  fs::create_directories(dir);
+  FairnessOutcome outcome;
+  ClusterSpec spec{dir / "cluster", (dir / "front.sock").string(), "",
+                   dir / "cluster.log"};
+  const pid_t router = spawn_cluster(spec);
+  if (!wait_until([&] { return cluster_ready(spec.socket_path); }, 30)) {
+    kill_process(router, SIGKILL);
+    return outcome;
+  }
+
+  const std::vector<std::string> sessions = make_sessions(nsessions);
+  outcome.sessions = static_cast<int>(sessions.size());
+  std::map<std::string, Stream> streams;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    streams[sessions[i]] = make_stream(i + 1);
+  }
+
+  const auto feed_start = Clock::now();
+  const int fed = feed_streams(spec.socket_path, streams);
+  outcome.feed_seconds = seconds_since(feed_start);
+  outcome.all_acked = fed > 0;
+  outcome.events_fed = fed > 0 ? fed : 0;
+  outcome.events_per_sec =
+      outcome.feed_seconds > 0 ? outcome.events_fed / outcome.feed_seconds : 0;
+
+  // Fairness: each member must have been forwarded at least its
+  // hash-share of events (5 per owned session; retries can only add).
+  std::vector<int> owned(kMembers, 0);
+  for (const std::string& session : sessions) {
+    ++owned[serve::member_for(session, kMembers)];
+  }
+  const std::map<std::string, std::string> stats =
+      stats_of(spec.socket_path);
+  outcome.fair = true;
+  for (int m = 0; m < kMembers; ++m) {
+    const std::int64_t routed =
+        stats_int(stats, "member" + std::to_string(m) + "_routed");
+    if (routed < owned[static_cast<std::size_t>(m)] * 5) {
+      std::fprintf(stderr,
+                   "  member %d routed %lld, owns %d sessions (want >= %d)\n",
+                   m, static_cast<long long>(routed),
+                   owned[static_cast<std::size_t>(m)],
+                   owned[static_cast<std::size_t>(m)] * 5);
+      outcome.fair = false;
+    }
+  }
+
+  outcome.digests_identical =
+      wait_drained(spec.root) &&
+      digests_match_reference(streams, spec.socket_path, dir / "ref");
+  kill_process(router, SIGTERM);
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// scenario: member-kill
+
+struct KillOutcome {
+  int sessions = 0;
+  int kills = 0;
+  bool all_acked = true;
+  bool busy_accounted = false;
+  bool recovered = false;
+  std::int64_t member_restarts = 0;
+  std::int64_t busy_member_down = 0;
+  double worst_recovery_seconds = 0;
+  bool facts_intact = false;
+  bool digests_identical = false;
+};
+
+KillOutcome run_member_kill(const fs::path& dir, int nsessions) {
+  fs::create_directories(dir);
+  KillOutcome outcome;
+  ClusterSpec spec{dir / "cluster", (dir / "front.sock").string(), "",
+                   dir / "cluster.log"};
+  const pid_t router = spawn_cluster(spec);
+  if (!wait_until([&] { return cluster_ready(spec.socket_path); }, 30)) {
+    kill_process(router, SIGKILL);
+    outcome.all_acked = false;
+    return outcome;
+  }
+
+  const std::vector<std::string> sessions = make_sessions(nsessions);
+  outcome.sessions = static_cast<int>(sessions.size());
+  std::map<std::string, Stream> streams;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    streams[sessions[i]] = make_stream(i + 1);
+  }
+
+  // Partition the sessions into one chunk per member; before feeding
+  // chunk K, SIGKILL member K. The chunk is fed INTO the restart
+  // window: requests for the dead member's sessions answer busy until
+  // its journal replay finishes, and the client's retries ride it out.
+  std::vector<std::vector<std::string>> chunks(kMembers);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    chunks[i % kMembers].push_back(sessions[i]);
+  }
+  for (int victim = 0; victim < kMembers; ++victim) {
+    const std::map<int, pid_t> pids = member_pids(spec.log);
+    const auto pid = pids.find(victim);
+    if (pid == pids.end()) {
+      outcome.all_acked = false;
+      break;
+    }
+    ::kill(pid->second, SIGKILL);  // the router reaps; never wait here
+    ++outcome.kills;
+
+    std::map<std::string, Stream> chunk_streams;
+    for (const std::string& session : chunks[static_cast<std::size_t>(
+             victim)]) {
+      chunk_streams[session] = streams[session];
+    }
+    const auto recovery_start = Clock::now();
+    if (feed_streams(spec.socket_path, chunk_streams) < 0) {
+      outcome.all_acked = false;
+    }
+    if (!wait_until([&] { return cluster_ready(spec.socket_path); }, 30)) {
+      outcome.all_acked = false;
+      break;
+    }
+    outcome.worst_recovery_seconds = std::max(
+        outcome.worst_recovery_seconds, seconds_since(recovery_start));
+  }
+
+  const std::map<std::string, std::string> stats =
+      stats_of(spec.socket_path);
+  outcome.member_restarts = stats_int(stats, "member_restarts");
+  outcome.busy_member_down = stats_int(stats, "busy_member_down");
+  outcome.recovered = stats_int(stats, "members_up") == kMembers &&
+                      outcome.member_restarts >= kMembers;
+  // The restart windows were REFUSED with busy, not silently dropped —
+  // the accounting must show it.
+  outcome.busy_accounted = outcome.busy_member_down > 0;
+
+  const bool drained = wait_drained(spec.root);
+  outcome.facts_intact = drained && facts_survived(streams, spec.socket_path);
+  outcome.digests_identical =
+      drained && digests_match_reference(streams, spec.socket_path, dir / "ref");
+  kill_process(router, SIGTERM);
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// scenario: chaos
+
+struct ChaosOutcome {
+  bool member_crash_fired = false;
+  bool member_hang_fired = false;
+  bool hung_kill_counted = false;
+  bool route_drop_fired = false;
+  bool all_acked = false;
+  bool recovered = false;
+  bool digests_identical = false;
+};
+
+ChaosOutcome run_chaos(const fs::path& dir, int nsessions) {
+  fs::create_directories(dir);
+  ChaosOutcome outcome;
+  // Member 1 crashes hard after its 4th admitted event (incarnation 0
+  // only — the restart runs fault-free). Member 2 keeps serving but
+  // goes silent on the control channel after its 3rd event; the
+  // router's heartbeat deadline must kill it. The router itself drops
+  // one member link on the 12th forwarded request.
+  ClusterSpec spec{dir / "cluster", (dir / "front.sock").string(),
+                   "cluster-member-crash:member=1,after-events=4;"
+                   "member-hang:member=2,after-events=3;"
+                   "route-drop:after-requests=12",
+                   dir / "cluster.log"};
+  const pid_t router = spawn_cluster(spec);
+  if (!wait_until([&] { return cluster_ready(spec.socket_path); }, 30)) {
+    kill_process(router, SIGKILL);
+    return outcome;
+  }
+
+  const std::vector<std::string> sessions = make_sessions(nsessions);
+  std::map<std::string, Stream> streams;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    streams[sessions[i]] = make_stream(i + 1);
+  }
+
+  outcome.all_acked = feed_streams(spec.socket_path, streams) > 0;
+  // The hang fires DURING the feed but its kill lands only when the
+  // heartbeat deadline expires, possibly after the last ack — wait for
+  // the full sequence (crash restart + hung kill + both recoveries) to
+  // play out before gating.
+  if (!wait_until(
+          [&] {
+            const std::map<std::string, std::string> stats =
+                stats_of(spec.socket_path);
+            return stats_int(stats, "hung_kills") >= 1 &&
+                   stats_int(stats, "member_restarts") >= 2 &&
+                   stats_int(stats, "members_up") == kMembers;
+          },
+          30)) {
+    std::fprintf(stderr, "  chaos cluster never converged\n");
+    kill_process(router, SIGKILL);
+    return outcome;
+  }
+
+  const std::string log = read_log(spec.log);
+  outcome.member_crash_fired =
+      log.find("fault-injection: cluster-member-crash") != std::string::npos;
+  outcome.member_hang_fired =
+      log.find("fault-injection: member-hang") != std::string::npos &&
+      log.find("missed its heartbeat deadline") != std::string::npos;
+  outcome.route_drop_fired =
+      log.find("fault-injection: route-drop") != std::string::npos;
+
+  const std::map<std::string, std::string> stats =
+      stats_of(spec.socket_path);
+  outcome.hung_kill_counted = stats_int(stats, "hung_kills") >= 1;
+  outcome.route_drop_fired =
+      outcome.route_drop_fired && stats_int(stats, "route_drops") >= 1;
+  outcome.recovered = stats_int(stats, "members_up") == kMembers &&
+                      stats_int(stats, "member_restarts") >= 2;
+
+  outcome.digests_identical =
+      wait_drained(spec.root) &&
+      digests_match_journal_reference(spec.root, spec.socket_path,
+                                      dir / "ref");
+  kill_process(router, SIGTERM);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_serve_cluster.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("provmark_bench_serve_cluster_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  const int fairness_sessions = smoke ? 9 : 24;
+  std::printf("scenario routing-fairness: %d+ generator sessions across "
+              "%d members\n",
+              fairness_sessions, kMembers);
+  FairnessOutcome fairness =
+      run_fairness(scratch / "fairness", fairness_sessions);
+  std::printf("  %d sessions, %d events, %.0f events/s, fairness %s, "
+              "digests %s\n",
+              fairness.sessions, fairness.events_fed,
+              fairness.events_per_sec, fairness.fair ? "ok" : "SKEWED",
+              fairness.digests_identical ? "identical" : "MISMATCH");
+
+  const int kill_sessions = smoke ? 9 : 18;
+  std::printf("scenario member-kill: SIGKILL each of %d members "
+              "mid-stream\n",
+              kMembers);
+  KillOutcome kill = run_member_kill(scratch / "kill", kill_sessions);
+  std::printf("  %d kills, %lld restarts, busy_member_down=%lld, worst "
+              "recovery %.3fs, facts %s, digests %s\n",
+              kill.kills, static_cast<long long>(kill.member_restarts),
+              static_cast<long long>(kill.busy_member_down),
+              kill.worst_recovery_seconds,
+              kill.facts_intact ? "intact" : "LOST",
+              kill.digests_identical ? "identical" : "MISMATCH");
+
+  std::printf("scenario chaos: member-crash + member-hang + route-drop\n");
+  ChaosOutcome chaos = run_chaos(scratch / "chaos", smoke ? 9 : 12);
+  std::printf(
+      "  crash %s hang %s (hung_kills %s) route-drop %s recovery %s "
+      "digests %s\n",
+      chaos.member_crash_fired ? "fired" : "NOT-FIRED",
+      chaos.member_hang_fired ? "fired" : "NOT-FIRED",
+      chaos.hung_kill_counted ? "counted" : "NOT-COUNTED",
+      chaos.route_drop_fired ? "fired" : "NOT-FIRED",
+      chaos.recovered ? "converged" : "STUCK",
+      chaos.digests_identical ? "identical" : "MISMATCH");
+
+  const bool all_ok =
+      fairness.all_acked && fairness.fair && fairness.digests_identical &&
+      kill.all_acked && kill.kills == kMembers && kill.busy_accounted &&
+      kill.recovered && kill.facts_intact && kill.digests_identical &&
+      chaos.all_acked && chaos.member_crash_fired &&
+      chaos.member_hang_fired && chaos.hung_kill_counted &&
+      chaos.route_drop_fired && chaos.recovered && chaos.digests_identical;
+
+  FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve-cluster\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"members\": %d,\n", kMembers);
+  std::fprintf(f, "  \"fairness\": {\n");
+  std::fprintf(f, "    \"sessions\": %d,\n", fairness.sessions);
+  std::fprintf(f, "    \"events\": %d,\n", fairness.events_fed);
+  std::fprintf(f, "    \"acked_events_per_sec\": %.1f,\n",
+               fairness.events_per_sec);
+  std::fprintf(f, "    \"all_acked\": %s,\n",
+               fairness.all_acked ? "true" : "false");
+  std::fprintf(f, "    \"fair\": %s,\n", fairness.fair ? "true" : "false");
+  std::fprintf(f, "    \"digests_identical\": %s\n  },\n",
+               fairness.digests_identical ? "true" : "false");
+  std::fprintf(f, "  \"member_kill\": {\n");
+  std::fprintf(f, "    \"kills\": %d,\n", kill.kills);
+  std::fprintf(f, "    \"member_restarts\": %lld,\n",
+               static_cast<long long>(kill.member_restarts));
+  std::fprintf(f, "    \"busy_member_down\": %lld,\n",
+               static_cast<long long>(kill.busy_member_down));
+  std::fprintf(f, "    \"worst_recovery_seconds\": %.6f,\n",
+               kill.worst_recovery_seconds);
+  std::fprintf(f, "    \"all_acked\": %s,\n",
+               kill.all_acked ? "true" : "false");
+  std::fprintf(f, "    \"busy_accounted\": %s,\n",
+               kill.busy_accounted ? "true" : "false");
+  std::fprintf(f, "    \"facts_intact\": %s,\n",
+               kill.facts_intact ? "true" : "false");
+  std::fprintf(f, "    \"digests_identical\": %s\n  },\n",
+               kill.digests_identical ? "true" : "false");
+  std::fprintf(f, "  \"chaos\": {\n");
+  std::fprintf(f, "    \"member_crash_fired\": %s,\n",
+               chaos.member_crash_fired ? "true" : "false");
+  std::fprintf(f, "    \"member_hang_fired\": %s,\n",
+               chaos.member_hang_fired ? "true" : "false");
+  std::fprintf(f, "    \"hung_kill_counted\": %s,\n",
+               chaos.hung_kill_counted ? "true" : "false");
+  std::fprintf(f, "    \"route_drop_fired\": %s,\n",
+               chaos.route_drop_fired ? "true" : "false");
+  std::fprintf(f, "    \"all_acked\": %s,\n",
+               chaos.all_acked ? "true" : "false");
+  std::fprintf(f, "    \"recovered\": %s,\n",
+               chaos.recovered ? "true" : "false");
+  std::fprintf(f, "    \"digests_identical\": %s\n  },\n",
+               chaos.digests_identical ? "true" : "false");
+  std::fprintf(f, "  \"identical\": %s\n}\n", all_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", output.c_str());
+
+  fs::remove_all(scratch);
+  return all_ok ? 0 : 1;
+}

@@ -306,6 +306,171 @@ SuperviseReport supervise(int task_count, WorkerHost& host,
   return report;
 }
 
+// -- DaemonSupervisor --------------------------------------------------------
+
+const char* member_state_name(MemberState state) {
+  switch (state) {
+    case MemberState::Starting:
+      return "starting";
+    case MemberState::Up:
+      return "up";
+    case MemberState::Stopping:
+      return "stopping";
+    case MemberState::Backoff:
+      return "backoff";
+    case MemberState::Failed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+DaemonSupervisor::DaemonSupervisor(int member_count, DaemonHost& host,
+                                   DaemonPolicy policy)
+    : host_(host), policy_(policy),
+      members_(static_cast<std::size_t>(member_count)) {}
+
+void DaemonSupervisor::launch(int member) {
+  Member& m = members_[static_cast<std::size_t>(member)];
+  const int incarnation = ++m.incarnation;
+  if (incarnation > 0) ++total_restarts_;
+  const std::uint64_t token = host_.spawn_member(member, incarnation);
+  if (token == 0) {
+    m.state = MemberState::Backoff;  // instant death; reschedule
+    m.token = 0;
+    schedule_restart(member, "spawn failed");
+    return;
+  }
+  m.state = MemberState::Starting;
+  m.token = token;
+  m.deadline_ms = host_.now_ms() + policy_.start_deadline_ms;
+  host_.note(util::format("member %d incarnation %d starting", member,
+                          incarnation));
+}
+
+void DaemonSupervisor::schedule_restart(int member, const std::string& why) {
+  Member& m = members_[static_cast<std::size_t>(member)];
+  ++m.streak;
+  if (policy_.max_restarts >= 0 && m.streak > policy_.max_restarts) {
+    m.state = MemberState::Failed;
+    m.token = 0;
+    host_.note(util::format(
+        "member %d failed %d consecutive incarnations (%s); giving up",
+        member, m.streak, why.c_str()));
+    return;
+  }
+  SuperviseOptions envelope;
+  envelope.seed = policy_.seed;
+  envelope.backoff_base_ms = policy_.backoff_base_ms;
+  envelope.backoff_cap_ms = policy_.backoff_cap_ms;
+  const std::int64_t delay =
+      backoff_ms(policy_.seed, member, m.streak, envelope);
+  m.state = MemberState::Backoff;
+  m.token = 0;
+  m.restart_at_ms = host_.now_ms() + delay;
+  host_.note(util::format("member %d down (%s); restarting in %lld ms",
+                          member, why.c_str(),
+                          static_cast<long long>(delay)));
+}
+
+void DaemonSupervisor::start() {
+  for (int member = 0; member < static_cast<int>(members_.size()); ++member) {
+    launch(member);
+  }
+}
+
+void DaemonSupervisor::heartbeat(int member) {
+  Member& m = members_[static_cast<std::size_t>(member)];
+  if (m.state == MemberState::Starting) {
+    m.state = MemberState::Up;
+    m.streak = 0;  // the incarnation proved itself live
+    host_.note(util::format("member %d up (incarnation %d)", member,
+                            m.incarnation));
+  }
+  if (m.state == MemberState::Up) {
+    m.deadline_ms = host_.now_ms() + policy_.heartbeat_deadline_ms;
+  }
+}
+
+void DaemonSupervisor::member_exited(std::uint64_t token, bool signaled,
+                                     int code) {
+  const int member = member_of(token);
+  if (member < 0) return;  // a corpse from a superseded incarnation
+  const std::string why =
+      signaled ? util::format("killed by signal %d", code)
+               : util::format("exit code %d", code);
+  schedule_restart(member, why);
+}
+
+void DaemonSupervisor::tick() {
+  const std::int64_t now = host_.now_ms();
+  for (int member = 0; member < static_cast<int>(members_.size()); ++member) {
+    Member& m = members_[static_cast<std::size_t>(member)];
+    switch (m.state) {
+      case MemberState::Starting:
+      case MemberState::Up:
+        if (now >= m.deadline_ms) {
+          ++hung_kills_;
+          host_.note(util::format(
+              "member %d missed its %s deadline; killing", member,
+              m.state == MemberState::Up ? "heartbeat" : "start"));
+          m.state = MemberState::Stopping;
+          host_.kill_member(m.token);
+        }
+        break;
+      case MemberState::Backoff:
+        if (now >= m.restart_at_ms) launch(member);
+        break;
+      case MemberState::Stopping:
+      case MemberState::Failed:
+        break;
+    }
+  }
+}
+
+MemberState DaemonSupervisor::state(int member) const {
+  return members_[static_cast<std::size_t>(member)].state;
+}
+
+int DaemonSupervisor::incarnation(int member) const {
+  return members_[static_cast<std::size_t>(member)].incarnation;
+}
+
+std::uint64_t DaemonSupervisor::token(int member) const {
+  return members_[static_cast<std::size_t>(member)].token;
+}
+
+int DaemonSupervisor::member_of(std::uint64_t token) const {
+  if (token == 0) return -1;
+  for (int member = 0; member < static_cast<int>(members_.size()); ++member) {
+    if (members_[static_cast<std::size_t>(member)].token == token) {
+      return member;
+    }
+  }
+  return -1;
+}
+
+int DaemonSupervisor::members_up() const {
+  int up = 0;
+  for (const Member& m : members_) up += m.state == MemberState::Up;
+  return up;
+}
+
+std::int64_t DaemonSupervisor::next_deadline_ms(std::int64_t cap) const {
+  std::int64_t next = cap;
+  const std::int64_t now =
+      const_cast<DaemonHost&>(host_).now_ms();
+  for (const Member& m : members_) {
+    std::int64_t at = -1;
+    if (m.state == MemberState::Starting || m.state == MemberState::Up) {
+      at = m.deadline_ms;
+    } else if (m.state == MemberState::Backoff) {
+      at = m.restart_at_ms;
+    }
+    if (at >= 0) next = std::min(next, at - now);
+  }
+  return std::max<std::int64_t>(1, next);
+}
+
 // -- ProcessWorkerHost -------------------------------------------------------
 
 ProcessWorkerHost ProcessWorkerHost::exec_mode(ArgvFn argv_for,

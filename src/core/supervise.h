@@ -152,6 +152,127 @@ struct SuperviseReport {
 SuperviseReport supervise(int task_count, WorkerHost& host,
                           const SuperviseOptions& options);
 
+// -- long-lived daemon supervision -------------------------------------------
+//
+// supervise() above drives run-to-completion workers: an attempt ends
+// by publishing or dying, and "done" is a terminal state. A daemon
+// fleet (the serve cluster router's members) inverts that: members are
+// *supposed* to run forever, liveness is proven by heartbeats over a
+// control channel, and the supervisor's job is to notice silence or
+// death and restart the member with the same seeded backoff envelope —
+// there is no terminal success, only the current incarnation.
+//
+// DaemonSupervisor is the same pure-event-loop idea as supervise():
+// the owner (the cluster router's poll loop, or a scripted test with a
+// virtual clock) feeds it heartbeats, reaped exits and clock ticks; it
+// decides kills, restart schedules and per-member state. All process
+// mechanics stay in the host.
+
+/// Lifecycle of one supervised daemon member.
+enum class MemberState {
+  Starting,  ///< spawned; journal replay in progress, no heartbeat yet
+  Up,        ///< heartbeats flowing within the deadline
+  Stopping,  ///< killed by the supervisor (hang / overdue start);
+             ///< awaiting the corpse through member_exited
+  Backoff,   ///< dead; next incarnation scheduled at restart_at
+  Failed,    ///< consecutive-failure budget exhausted (max_restarts >= 0)
+};
+
+const char* member_state_name(MemberState state);
+
+/// The daemon supervisor's window onto the outside world.
+class DaemonHost {
+ public:
+  virtual ~DaemonHost() = default;
+
+  /// Launch incarnation `incarnation` (0-based) of `member`. Returns an
+  /// opaque nonzero token, or 0 when the launch itself failed (treated
+  /// as an instant death, rescheduled with backoff).
+  virtual std::uint64_t spawn_member(int member, int incarnation) = 0;
+
+  /// Forcibly terminate a member (hung past its heartbeat deadline or
+  /// overdue starting). The death still arrives via member_exited.
+  virtual void kill_member(std::uint64_t token) = 0;
+
+  /// Monotonic milliseconds; all deadlines use this clock only.
+  virtual std::int64_t now_ms() = 0;
+
+  /// Progress/diagnostic line for humans; hosts may print or discard.
+  virtual void note(const std::string&) {}
+};
+
+struct DaemonPolicy {
+  std::uint64_t seed = 42;
+  std::int64_t backoff_base_ms = 250;
+  std::int64_t backoff_cap_ms = 10'000;
+  /// Up: a member silent this long is declared hung and killed.
+  std::int64_t heartbeat_deadline_ms = 2'000;
+  /// Starting: budget for bind + journal replay before the first
+  /// heartbeat; exceeded means killed and rescheduled.
+  std::int64_t start_deadline_ms = 30'000;
+  /// Consecutive failed incarnations (death before reaching Up resets
+  /// nothing; reaching Up resets the streak) before the member is
+  /// marked Failed. -1 = restart forever.
+  int max_restarts = -1;
+};
+
+/// Pure state machine over DaemonHost. Not thread-safe; the owner's
+/// event loop is the only caller.
+class DaemonSupervisor {
+ public:
+  DaemonSupervisor(int member_count, DaemonHost& host, DaemonPolicy policy);
+
+  /// Spawn incarnation 0 of every member.
+  void start();
+
+  /// A liveness heartbeat arrived from `member` (control channel).
+  /// Starting -> Up (and the failure streak resets); Up refreshes the
+  /// deadline; ignored in other states (a corpse's buffered bytes).
+  void heartbeat(int member);
+
+  /// The host reaped a member process. Schedules the next incarnation
+  /// with backoff_ms(seed, member, streak), or marks Failed once the
+  /// consecutive-failure budget is spent.
+  void member_exited(std::uint64_t token, bool signaled, int code);
+
+  /// Drive deadlines: kill hung/overdue members, launch due restarts.
+  /// Call once per event-loop iteration.
+  void tick();
+
+  MemberState state(int member) const;
+  /// 0-based spawn count - 1 for the member's current/last incarnation.
+  int incarnation(int member) const;
+  /// The host token of the live incarnation (0 when none).
+  std::uint64_t token(int member) const;
+  /// Which member owns a live token, or -1.
+  int member_of(std::uint64_t token) const;
+  int members_up() const;
+  std::int64_t total_restarts() const { return total_restarts_; }
+  std::int64_t hung_kills() const { return hung_kills_; }
+  /// Milliseconds until the next internal deadline (restart timer or
+  /// heartbeat/start deadline), clamped to [1, cap]; poll-loop timeout.
+  std::int64_t next_deadline_ms(std::int64_t cap) const;
+
+ private:
+  struct Member {
+    MemberState state = MemberState::Backoff;
+    std::uint64_t token = 0;
+    int incarnation = -1;
+    int streak = 0;  ///< consecutive incarnations dead before Up
+    std::int64_t deadline_ms = 0;    ///< Starting/Up: liveness deadline
+    std::int64_t restart_at_ms = 0;  ///< Backoff: next spawn time
+  };
+
+  void launch(int member);
+  void schedule_restart(int member, const std::string& why);
+
+  DaemonHost& host_;
+  DaemonPolicy policy_;
+  std::vector<Member> members_;
+  std::int64_t total_restarts_ = 0;
+  std::int64_t hung_kills_ = 0;
+};
+
 // -- real-process host -------------------------------------------------------
 
 /// WorkerHost over real child processes. Two launch modes:

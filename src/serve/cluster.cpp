@@ -1,0 +1,720 @@
+#include "serve/cluster.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "core/supervise.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/socket_util.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace provmark::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int g_signal_pipe_write = -1;
+
+void on_signal(int) {
+  // async-signal-safe: one byte wakes the poll loop.
+  const char byte = 1;
+  if (g_signal_pipe_write >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe_write, &byte, 1);
+  }
+}
+
+/// One response slot on a client connection, filled in request order.
+/// Forwarded requests park unready; locally answered requests behind
+/// them park ready and wait their turn.
+struct RouterParked {
+  std::uint64_t slot = 0;
+  bool ready = false;
+  std::string line;  ///< response line, no newline
+};
+
+struct ClientConn {
+  int fd = -1;
+  std::uint64_t id = 0;  ///< generation id: fd numbers get reused
+  std::string inbuf;
+  std::string outbuf;
+  std::deque<RouterParked> parked;
+  std::uint64_t next_slot = 1;
+};
+
+/// A request forwarded to a member, awaiting its in-order response.
+struct Outstanding {
+  std::uint64_t conn_id = 0;
+  std::uint64_t slot = 0;
+};
+
+/// The router's side of one member: proxy socket, heartbeat pipe, and
+/// the FIFO of in-flight requests (the member answers per-connection
+/// in request order, so front() always owns the next response line).
+struct MemberLink {
+  int fd = -1;
+  int hb_fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  std::deque<Outstanding> outstanding;
+  Clock::time_point next_connect{};
+  std::uint64_t routed = 0;
+};
+
+/// DaemonHost over forked run_daemon children. The fork happens in the
+/// single-threaded router, so the child is safe to run the full
+/// Service machinery; it re-arms the fault spec with its own
+/// (member, incarnation) coordinates and closes every inherited router
+/// descriptor so connection lifetimes stay accurate.
+class RouterHost final : public core::DaemonHost {
+ public:
+  RouterHost(const ClusterOptions& options, std::vector<MemberLink>& links)
+      : options_(options), links_(links) {}
+
+  std::function<void()> close_inherited_in_child;
+
+  std::uint64_t spawn_member(int member, int incarnation) override {
+    int hb[2];
+    if (::pipe(hb) != 0) return 0;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(hb[0]);
+      ::close(hb[1]);
+      return 0;
+    }
+    if (pid == 0) {
+      ::close(hb[0]);
+      if (close_inherited_in_child) close_inherited_in_child();
+      ::signal(SIGTERM, SIG_DFL);
+      ::signal(SIGINT, SIG_DFL);
+      ::signal(SIGPIPE, SIG_IGN);
+      if (!options_.fault_spec.empty()) {
+        try {
+          util::fault::arm(
+              util::fault::parse_fault_spec(options_.fault_spec), member,
+              incarnation);
+        } catch (...) {
+          ::_exit(2);
+        }
+      } else {
+        util::fault::disarm();
+      }
+      DaemonOptions daemon;
+      daemon.service = options_.service;
+      daemon.service.root = member_root(options_.root, member);
+      daemon.socket_path = member_socket_path(options_.root, member);
+      daemon.cluster_member = member;
+      daemon.heartbeat_fd = hb[1];
+      daemon.member_heartbeat_ms = options_.heartbeat_ms;
+      int code = 1;
+      try {
+        code = run_daemon(daemon);
+      } catch (...) {
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    ::close(hb[1]);
+    MemberLink& link = links_[static_cast<std::size_t>(member)];
+    if (link.hb_fd >= 0) ::close(link.hb_fd);
+    link.hb_fd = hb[0];
+    note(util::format("member %d incarnation %d spawned (pid %d)", member,
+                      incarnation, static_cast<int>(pid)));
+    return static_cast<std::uint64_t>(pid);
+  }
+
+  void kill_member(std::uint64_t token) override {
+    ::kill(static_cast<pid_t>(token), SIGKILL);
+  }
+
+  std::int64_t now_ms() override {
+    static const auto t0 = Clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - t0)
+        .count();
+  }
+
+  void note(const std::string& message) override {
+    std::fprintf(stderr, "cluster: %s\n", message.c_str());
+    std::fflush(stderr);
+  }
+
+ private:
+  const ClusterOptions& options_;
+  std::vector<MemberLink>& links_;
+};
+
+}  // namespace
+
+int member_for(const std::string& session, int members) {
+  if (members <= 1) return 0;
+  return static_cast<int>(util::stable_hash(session) %
+                          static_cast<std::uint64_t>(members));
+}
+
+std::filesystem::path member_root(const std::filesystem::path& root,
+                                  int member) {
+  return root / ("member-" + std::to_string(member));
+}
+
+std::string member_socket_path(const std::filesystem::path& root,
+                               int member) {
+  return (root / ("member-" + std::to_string(member) + ".sock")).string();
+}
+
+std::string RouterStats::to_text() const {
+  std::string text;
+  text += "cluster_role=router\n";
+  text += util::format("cluster_members=%d\n", cluster_members);
+  text += util::format("members_up=%d\n", members_up);
+  text += util::format("member_restarts=%lld\n",
+                       static_cast<long long>(member_restarts));
+  text += util::format("hung_kills=%lld\n",
+                       static_cast<long long>(hung_kills));
+  text += util::format("routed_events=%llu\n",
+                       static_cast<unsigned long long>(routed_events));
+  text += util::format("routed_queries=%llu\n",
+                       static_cast<unsigned long long>(routed_queries));
+  text += util::format("proxied_responses=%llu\n",
+                       static_cast<unsigned long long>(proxied_responses));
+  text += util::format("busy_member_down=%llu\n",
+                       static_cast<unsigned long long>(busy_member_down));
+  text += util::format("busy_window_full=%llu\n",
+                       static_cast<unsigned long long>(busy_window_full));
+  text += util::format("route_drops=%llu\n",
+                       static_cast<unsigned long long>(route_drops));
+  text += util::format("heartbeats_seen=%llu\n",
+                       static_cast<unsigned long long>(heartbeats_seen));
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    text += util::format("member%zu_state=%s\n", k,
+                         members[k].state.c_str());
+    text += util::format("member%zu_routed=%llu\n", k,
+                         static_cast<unsigned long long>(members[k].routed));
+  }
+  return text;
+}
+
+int run_cluster(const ClusterOptions& options) {
+  namespace fault = util::fault;
+
+  if (options.members < 1) {
+    std::fprintf(stderr, "cluster: need at least one member\n");
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.root, ec);
+  for (int m = 0; m < options.members; ++m) {
+    std::filesystem::create_directories(member_root(options.root, m), ec);
+    if (ec) {
+      std::fprintf(stderr, "cluster: cannot create %s: %s\n",
+                   member_root(options.root, m).string().c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+
+  std::string listen_error;
+  int listener = make_unix_listener(options.socket_path, &listen_error);
+  if (listener < 0) {
+    std::fprintf(stderr, "cluster: %s\n", listen_error.c_str());
+    return 1;
+  }
+
+  int signal_pipe[2];
+  if (::pipe(signal_pipe) != 0) {
+    ::close(listener);
+    std::fprintf(stderr, "cluster: cannot create signal pipe\n");
+    return 1;
+  }
+  g_signal_pipe_write = signal_pipe[1];
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<MemberLink> links(static_cast<std::size_t>(options.members));
+  std::map<int, ClientConn> connections;
+  std::uint64_t next_conn_id = 1;
+
+  RouterHost host(options, links);
+  host.close_inherited_in_child = [&] {
+    ::close(listener);
+    ::close(signal_pipe[0]);
+    ::close(signal_pipe[1]);
+    for (const auto& [fd, conn] : connections) ::close(fd);
+    for (const MemberLink& link : links) {
+      if (link.fd >= 0) ::close(link.fd);
+      if (link.hb_fd >= 0) ::close(link.hb_fd);
+    }
+  };
+
+  core::DaemonPolicy policy;
+  policy.seed = options.service.seed;
+  policy.backoff_base_ms = options.backoff_base_ms;
+  policy.backoff_cap_ms = options.backoff_cap_ms;
+  policy.heartbeat_deadline_ms = static_cast<std::int64_t>(
+      options.heartbeat_deadline_ms > 0 ? options.heartbeat_deadline_ms
+                                        : 8 * options.heartbeat_ms);
+  policy.start_deadline_ms =
+      static_cast<std::int64_t>(options.start_deadline_ms);
+  policy.max_restarts = options.max_restarts;
+  core::DaemonSupervisor supervisor(options.members, host, policy);
+
+  std::uint64_t routed_events = 0;
+  std::uint64_t routed_queries = 0;
+  std::uint64_t proxied_responses = 0;
+  std::uint64_t busy_member_down = 0;
+  std::uint64_t busy_window_full = 0;
+  std::uint64_t route_drops = 0;
+  std::uint64_t heartbeats_seen = 0;
+
+  const std::string busy_line = format_response(Response{Status::Busy, 0, ""});
+
+  auto flush_ready = [](ClientConn& conn) {
+    while (!conn.parked.empty() && conn.parked.front().ready) {
+      conn.outbuf += conn.parked.front().line;
+      conn.outbuf += '\n';
+      conn.parked.pop_front();
+    }
+  };
+
+  auto fill_slot = [&](const Outstanding& o, const std::string& line) {
+    for (auto& [fd, conn] : connections) {
+      if (conn.id != o.conn_id) continue;
+      for (RouterParked& parked : conn.parked) {
+        if (parked.slot != o.slot) continue;
+        parked.ready = true;
+        parked.line = line;
+        break;
+      }
+      flush_ready(conn);
+      return;
+    }
+    // The client hung up while its request was in flight; nothing to
+    // deliver.
+  };
+
+  auto drop_member_link = [&](int member, const char* why) {
+    MemberLink& link = links[static_cast<std::size_t>(member)];
+    if (link.fd >= 0) {
+      host.note(util::format("member %d link closed (%s)", member, why));
+      ::close(link.fd);
+      link.fd = -1;
+    }
+    link.inbuf.clear();
+    link.outbuf.clear();
+    // Never silently drop: every request in flight to the dead link is
+    // answered busy — journaled-but-unacked is a valid history the
+    // client's retry path owns (same contract as sync-mode failover).
+    while (!link.outstanding.empty()) {
+      fill_slot(link.outstanding.front(), busy_line);
+      link.outstanding.pop_front();
+    }
+    link.next_connect = Clock::now() + std::chrono::milliseconds(20);
+  };
+
+  auto collect_stats = [&]() {
+    RouterStats stats;
+    stats.cluster_members = options.members;
+    stats.members_up = supervisor.members_up();
+    stats.member_restarts = supervisor.total_restarts();
+    stats.hung_kills = supervisor.hung_kills();
+    stats.routed_events = routed_events;
+    stats.routed_queries = routed_queries;
+    stats.proxied_responses = proxied_responses;
+    stats.busy_member_down = busy_member_down;
+    stats.busy_window_full = busy_window_full;
+    stats.route_drops = route_drops;
+    stats.heartbeats_seen = heartbeats_seen;
+    stats.members.resize(static_cast<std::size_t>(options.members));
+    for (int m = 0; m < options.members; ++m) {
+      auto& member = stats.members[static_cast<std::size_t>(m)];
+      member.state = core::member_state_name(supervisor.state(m));
+      member.routed = links[static_cast<std::size_t>(m)].routed;
+    }
+    return stats;
+  };
+
+  auto respond = [&](ClientConn& conn, const Response& response) {
+    if (conn.parked.empty()) {
+      conn.outbuf += format_response(response);
+      conn.outbuf += '\n';
+    } else {
+      RouterParked parked;
+      parked.slot = conn.next_slot++;
+      parked.ready = true;
+      parked.line = format_response(response);
+      conn.parked.push_back(std::move(parked));
+    }
+  };
+
+  auto handle_client_line = [&](ClientConn& conn, const std::string& line) {
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const std::exception& e) {
+      respond(conn, Response{Status::BadRequest, 0, e.what()});
+      return;
+    }
+    if (!request.is_event) {
+      if (request.query == QueryKind::Ping) {
+        respond(conn, Response{Status::Result, 0, "pong"});
+        return;
+      }
+      if (request.query == QueryKind::Stats) {
+        respond(conn,
+                Response{Status::Result, 0, collect_stats().to_text()});
+        return;
+      }
+      if (request.query == QueryKind::Promote) {
+        respond(conn, Response{Status::BadRequest, 0,
+                               "cluster members are primaries; promote "
+                               "targets a standby daemon"});
+        return;
+      }
+    }
+    const int m = member_for(request.session, options.members);
+    MemberLink& link = links[static_cast<std::size_t>(m)];
+    if (link.fd < 0) {
+      // Down or mid-restart: busy until the new incarnation finishes
+      // journal replay and binds its socket. Never a silent drop.
+      ++busy_member_down;
+      respond(conn, Response{Status::Busy, 0, ""});
+      return;
+    }
+    if (static_cast<int>(link.outstanding.size()) >= options.member_window) {
+      ++busy_window_full;
+      respond(conn, Response{Status::Busy, 0, ""});
+      return;
+    }
+    link.outbuf += line;
+    link.outbuf += '\n';
+    RouterParked parked;
+    parked.slot = conn.next_slot++;
+    conn.parked.push_back(parked);
+    link.outstanding.push_back(Outstanding{conn.id, parked.slot});
+    ++link.routed;
+    if (request.is_event) {
+      ++routed_events;
+    } else {
+      ++routed_queries;
+    }
+    if (fault::route_request_forwarded()) {
+      ++route_drops;
+      drop_member_link(m, "fault-injection: route-drop");
+    }
+  };
+
+  std::printf("cluster: routing %s across %d members under %s\n",
+              options.socket_path.c_str(), options.members,
+              options.root.string().c_str());
+  std::fflush(stdout);
+
+  supervisor.start();
+
+  bool shutting_down = false;
+  while (!shutting_down) {
+    // Reap member corpses; their deaths drive the restart schedule.
+    for (;;) {
+      int status = 0;
+      pid_t pid;
+      do {
+        pid = ::waitpid(-1, &status, WNOHANG);
+      } while (pid < 0 && errno == EINTR);
+      if (pid <= 0) break;
+      const std::uint64_t token = static_cast<std::uint64_t>(pid);
+      const int member = supervisor.member_of(token);
+      if (member >= 0) drop_member_link(member, "member process died");
+      supervisor.member_exited(token, WIFSIGNALED(status),
+                               WIFSIGNALED(status) ? WTERMSIG(status)
+                                                   : WEXITSTATUS(status));
+    }
+    supervisor.tick();
+
+    const Clock::time_point now = Clock::now();
+    bool connecting = false;
+    for (int m = 0; m < options.members; ++m) {
+      MemberLink& link = links[static_cast<std::size_t>(m)];
+      const core::MemberState state = supervisor.state(m);
+      if (link.fd >= 0 ||
+          (state != core::MemberState::Starting &&
+           state != core::MemberState::Up)) {
+        continue;
+      }
+      connecting = true;
+      if (now < link.next_connect) continue;
+      link.fd = connect_unix(member_socket_path(options.root, m));
+      if (link.fd < 0) {
+        link.next_connect = now + std::chrono::milliseconds(20);
+      } else {
+        link.inbuf.clear();
+        link.outbuf.clear();
+        host.note(util::format("member %d routable", m));
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<int> owners;  ///< parallel: member id, or -1 for client
+    std::vector<char> kinds;  ///< 'h' heartbeat, 'm' member link, 'c' client
+    fds.push_back({signal_pipe[0], POLLIN, 0});
+    owners.push_back(-1);
+    kinds.push_back('s');
+    fds.push_back({listener, POLLIN, 0});
+    owners.push_back(-1);
+    kinds.push_back('l');
+    for (int m = 0; m < options.members; ++m) {
+      MemberLink& link = links[static_cast<std::size_t>(m)];
+      if (link.hb_fd >= 0) {
+        fds.push_back({link.hb_fd, POLLIN, 0});
+        owners.push_back(m);
+        kinds.push_back('h');
+      }
+      if (link.fd >= 0) {
+        short events = POLLIN;
+        if (!link.outbuf.empty()) events |= POLLOUT;
+        fds.push_back({link.fd, events, 0});
+        owners.push_back(m);
+        kinds.push_back('m');
+      }
+    }
+    for (auto& [fd, conn] : connections) {
+      short events = POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+      owners.push_back(-1);
+      kinds.push_back('c');
+    }
+
+    std::int64_t timeout = supervisor.next_deadline_ms(200);
+    if (connecting) timeout = std::min<std::int64_t>(timeout, 20);
+    if (::poll(fds.data(), fds.size(), static_cast<int>(timeout)) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      shutting_down = true;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) {
+        ClientConn conn;
+        conn.fd = fd;
+        conn.id = next_conn_id++;
+        connections.emplace(fd, std::move(conn));
+      }
+    }
+
+    std::vector<int> closed_clients;
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      if (kinds[i] == 'h') {
+        const int m = owners[i];
+        MemberLink& link = links[static_cast<std::size_t>(m)];
+        if (link.hb_fd != fds[i].fd) continue;  // replaced this iteration
+        if (revents & POLLIN) {
+          char beats[256];
+          ssize_t n;
+          do {
+            n = ::read(link.hb_fd, beats, sizeof(beats));
+          } while (n < 0 && errno == EINTR);
+          if (n > 0) {
+            heartbeats_seen += static_cast<std::uint64_t>(n);
+            for (ssize_t b = 0; b < n; ++b) supervisor.heartbeat(m);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+        }
+        // EOF or error: the writer is gone; the corpse arrives via
+        // waitpid. A fresh spawn installs a fresh pipe.
+        ::close(link.hb_fd);
+        link.hb_fd = -1;
+        continue;
+      }
+      if (kinds[i] == 'm') {
+        const int m = owners[i];
+        MemberLink& link = links[static_cast<std::size_t>(m)];
+        if (link.fd != fds[i].fd) continue;  // dropped this iteration
+        if (revents & (POLLERR | POLLNVAL)) {
+          drop_member_link(m, "socket error");
+          continue;
+        }
+        if (revents & POLLIN) {
+          if (!read_available(link.fd, link.inbuf)) {
+            drop_member_link(m, "peer closed");
+            continue;
+          }
+          std::string line;
+          while (link.fd >= 0 && next_line(link.inbuf, line)) {
+            if (line.empty()) continue;
+            if (link.outstanding.empty()) {
+              drop_member_link(m, "unsolicited response");
+              break;
+            }
+            const Outstanding o = link.outstanding.front();
+            link.outstanding.pop_front();
+            ++proxied_responses;
+            fill_slot(o, line);
+          }
+          if (link.fd < 0) continue;
+        } else if (revents & POLLHUP) {
+          drop_member_link(m, "peer closed");
+          continue;
+        }
+        if (!link.outbuf.empty() && !flush_buffer(link.fd, link.outbuf)) {
+          drop_member_link(m, "peer closed");
+        }
+        continue;
+      }
+      if (kinds[i] != 'c') continue;
+      auto conn_it = connections.find(fds[i].fd);
+      if (conn_it == connections.end()) continue;
+      ClientConn& conn = conn_it->second;
+      if (revents & (POLLERR | POLLNVAL)) {
+        closed_clients.push_back(conn.fd);
+        continue;
+      }
+      if (revents & POLLIN) {
+        if (!read_available(conn.fd, conn.inbuf)) {
+          closed_clients.push_back(conn.fd);
+          continue;
+        }
+        std::string line;
+        while (next_line(conn.inbuf, line)) {
+          if (line.empty()) continue;
+          handle_client_line(conn, line);
+        }
+      } else if (revents & POLLHUP) {
+        if (conn.outbuf.empty()) {
+          closed_clients.push_back(conn.fd);
+          continue;
+        }
+      }
+    }
+    for (int fd : closed_clients) {
+      auto it = connections.find(fd);
+      if (it != connections.end()) {
+        ::close(it->second.fd);
+        connections.erase(it);
+      }
+    }
+
+    // Flush whatever the member deliveries queued up.
+    std::vector<int> flush_failed;
+    for (auto& [fd, conn] : connections) {
+      if (!conn.outbuf.empty() && !flush_buffer(conn.fd, conn.outbuf)) {
+        flush_failed.push_back(fd);
+      }
+    }
+    for (int fd : flush_failed) {
+      auto it = connections.find(fd);
+      if (it != connections.end()) {
+        ::close(it->second.fd);
+        connections.erase(it);
+      }
+    }
+    for (int m = 0; m < options.members; ++m) {
+      MemberLink& link = links[static_cast<std::size_t>(m)];
+      if (link.fd >= 0 && !link.outbuf.empty() &&
+          !flush_buffer(link.fd, link.outbuf)) {
+        drop_member_link(m, "peer closed");
+      }
+    }
+  }
+
+  std::fprintf(stderr, "cluster: shutting down\n");
+  ::close(listener);
+
+  // In-flight proxied requests become busy; clients get their buffered
+  // responses flushed best-effort before the sockets close.
+  for (int m = 0; m < options.members; ++m) {
+    MemberLink& link = links[static_cast<std::size_t>(m)];
+    while (!link.outstanding.empty()) {
+      fill_slot(link.outstanding.front(), busy_line);
+      link.outstanding.pop_front();
+    }
+  }
+  for (auto& [fd, conn] : connections) {
+    flush_ready(conn);
+    flush_buffer(conn.fd, conn.outbuf);
+    ::close(fd);
+  }
+
+  // Graceful member shutdown: SIGTERM (each drains + checkpoints),
+  // SIGKILL whatever outlives the grace window, reap everything.
+  for (int m = 0; m < options.members; ++m) {
+    const std::uint64_t token = supervisor.token(m);
+    if (token != 0) ::kill(static_cast<pid_t>(token), SIGTERM);
+  }
+  const Clock::time_point kill_deadline =
+      Clock::now() + std::chrono::seconds(5);
+  bool any_live = true;
+  bool killed = false;
+  while (any_live) {
+    any_live = false;
+    for (int m = 0; m < options.members; ++m) {
+      any_live |= supervisor.token(m) != 0;
+    }
+    if (!any_live) break;
+    int status = 0;
+    pid_t pid;
+    do {
+      pid = ::waitpid(-1, &status, WNOHANG);
+    } while (pid < 0 && errno == EINTR);
+    if (pid > 0) {
+      supervisor.member_exited(static_cast<std::uint64_t>(pid),
+                               WIFSIGNALED(status),
+                               WIFSIGNALED(status) ? WTERMSIG(status)
+                                                   : WEXITSTATUS(status));
+      // member_exited schedules a restart; drop the token so the loop
+      // above sees the member as reaped rather than respawning it.
+      continue;
+    }
+    if (pid < 0 && errno == ECHILD) break;
+    if (Clock::now() >= kill_deadline) {
+      if (killed) break;
+      for (int m = 0; m < options.members; ++m) {
+        const std::uint64_t token = supervisor.token(m);
+        if (token != 0) ::kill(static_cast<pid_t>(token), SIGKILL);
+      }
+      killed = true;
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  for (MemberLink& link : links) {
+    if (link.fd >= 0) ::close(link.fd);
+    if (link.hb_fd >= 0) ::close(link.hb_fd);
+  }
+  ::close(signal_pipe[0]);
+  ::close(signal_pipe[1]);
+  g_signal_pipe_write = -1;
+  ::unlink(options.socket_path.c_str());
+  std::fprintf(stderr, "cluster: clean shutdown\n");
+  return 0;
+}
+
+}  // namespace provmark::serve

@@ -1,0 +1,125 @@
+// Session-sharded serve cluster: one routing front end, N supervised
+// member daemons (docs/serve.md, "Cluster sharding").
+//
+// `provmark cluster` hosts a router that accepts the existing
+// feed/query wire protocol on one AF_UNIX socket and proxies each
+// session's requests to the member that owns it — ownership is
+// stable_hash(session id) mod N, so a session's whole event stream
+// lands in exactly one member's journal and PR-8's fsync-before-ack
+// contract survives sharding end to end: `ok <seq>` still means "one
+// member journaled and fsynced this event".
+//
+// Members are long-lived `run_daemon` children, each with its own
+// journal subdirectory (<root>/member-K) and socket (<root>/
+// member-K.sock). Supervision is core::DaemonSupervisor — the
+// daemon-mode generalization of the PR-6 sweep supervisor: every
+// member streams liveness heartbeats over an inherited control pipe;
+// silence past the deadline or a reaped corpse means kill + restart
+// with the same seeded backoff envelope (core::backoff_ms). During a
+// member's restart window — from death until the new incarnation
+// finishes journal replay and binds its socket — the router answers
+// `busy` for that member's sessions and for every request already in
+// flight to it. Nothing is ever silently dropped: a client that
+// retries busy (feed --feed-retries) rides the window out, and the
+// restarted member recovers bit-identically from its journal.
+//
+// The router itself holds no session state and journals nothing, so
+// request proxying is O(1): parse, hash, bounded-window forward. Each
+// member link caps its in-flight requests (`member_window`); a full
+// window answers `busy` (backpressure, never queueing unbounded bytes
+// in the router).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace provmark::serve {
+
+struct ClusterOptions {
+  /// Front socket the router listens on (the one clients feed).
+  std::string socket_path;
+  /// Cluster root; member K journals into <root>/member-K and listens
+  /// on <root>/member-K.sock.
+  std::filesystem::path root;
+  int members = 3;
+  /// Per-member in-flight request cap; a full window answers `busy`.
+  int member_window = 32;
+  /// Member liveness heartbeat period (control pipe).
+  double heartbeat_ms = 200;
+  /// Silence budget before a member is declared hung and killed;
+  /// 0 = 8 × heartbeat_ms.
+  double heartbeat_deadline_ms = 0;
+  /// Starting budget (bind + journal replay) before the first beat.
+  double start_deadline_ms = 30'000;
+  /// Restart backoff envelope (core::backoff_ms, seeded by
+  /// service.seed).
+  std::int64_t backoff_base_ms = 250;
+  std::int64_t backoff_cap_ms = 10'000;
+  /// Consecutive failed incarnations before a member is given up on;
+  /// -1 = restart forever.
+  int max_restarts = -1;
+  /// Template for every member's Service (workers, queue caps, seed,
+  /// checkpoint cadence). All members share the same seed: a session's
+  /// seed derives from (seed, session id), so digests are bit-identical
+  /// to an unsharded daemon fed the same per-session streams.
+  ServiceOptions service;
+  /// Forwarded fault-injection spec: member-targeted rules re-arm in
+  /// each member child with (member, incarnation); route-drop rules
+  /// fire in the router.
+  std::string fault_spec;
+};
+
+/// The member that owns `session`: stable_hash mod members.
+/// Deterministic across runs and processes — the routing fairness gate
+/// and the unsharded reference reconstruction both rely on it.
+int member_for(const std::string& session, int members);
+
+/// <root>/member-K — member K's journal directory.
+std::filesystem::path member_root(const std::filesystem::path& root,
+                                  int member);
+
+/// <root>/member-K.sock — member K's listening socket.
+std::string member_socket_path(const std::filesystem::path& root,
+                               int member);
+
+/// Router health counters, the body of a `stats` response on the front
+/// socket. Key order is a published contract
+/// (tests/serve/stats_contract_test.cpp) — CI polling scripts grep
+/// these names.
+struct RouterStats {
+  int cluster_members = 0;
+  int members_up = 0;
+  std::int64_t member_restarts = 0;
+  std::int64_t hung_kills = 0;
+  std::uint64_t routed_events = 0;
+  std::uint64_t routed_queries = 0;
+  std::uint64_t proxied_responses = 0;
+  /// `busy` answered because the owning member was down/restarting.
+  std::uint64_t busy_member_down = 0;
+  /// `busy` answered because the member's in-flight window was full.
+  std::uint64_t busy_window_full = 0;
+  std::uint64_t route_drops = 0;
+  std::uint64_t heartbeats_seen = 0;
+
+  struct Member {
+    std::string state = "backoff";  ///< core::member_state_name
+    std::uint64_t routed = 0;       ///< requests forwarded to it
+  };
+  std::vector<Member> members;
+
+  /// key=value lines: the fixed keys above in order, then
+  /// member<k>_state= / member<k>_routed= per member.
+  std::string to_text() const;
+};
+
+/// Run the router + member fleet until SIGTERM/SIGINT: spawn members,
+/// proxy, supervise, restart. On shutdown members are SIGTERMed (each
+/// drains + checkpoints) and reaped. Returns the process exit code
+/// (0 on clean shutdown, 1 when the front listener cannot be bound).
+int run_cluster(const ClusterOptions& options);
+
+}  // namespace provmark::serve

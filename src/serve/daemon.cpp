@@ -21,6 +21,8 @@
 
 #include "core/supervise.h"
 #include "serve/replicate.h"
+#include "serve/socket_util.h"
+#include "util/fault.h"
 
 namespace provmark::serve {
 
@@ -57,85 +59,11 @@ struct Connection {
   std::deque<Parked> parked;
 };
 
+// Socket plumbing (listener with stale-socket probe, connects, line
+// framing) lives in serve/socket_util.h, shared with the cluster
+// router.
 bool flush_outbuf(Connection& conn) {
-  while (!conn.outbuf.empty()) {
-    ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      return false;  // peer gone
-    }
-    conn.outbuf.erase(0, static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
-int make_listener(const std::string& socket_path) {
-  ::unlink(socket_path.c_str());
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    errno = ENAMETOOLONG;
-    return -1;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-int connect_unix(const std::string& socket_path) {
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    errno = ENAMETOOLONG;
-    return -1;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-/// Read what's available into `inbuf`. Returns false when the peer is
-/// gone. EOF (n == 0) always closes — errno is stale there, so it must
-/// not be consulted (the historical loop did, and kept dead
-/// connections around whenever errno happened to hold EINTR/EAGAIN).
-bool read_available(int fd, std::string& inbuf) {
-  char buffer[4096];
-  ssize_t n;
-  do {
-    n = ::recv(fd, buffer, sizeof(buffer), 0);
-  } while (n < 0 && errno == EINTR);
-  if (n == 0) return false;
-  if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
-  inbuf.append(buffer, static_cast<std::size_t>(n));
-  return true;
-}
-
-/// Pop one complete line from `inbuf` ('\r' stripped); false when no
-/// full line is buffered.
-bool next_line(std::string& inbuf, std::string& line) {
-  std::size_t nl = inbuf.find('\n');
-  if (nl == std::string::npos) return false;
-  line = inbuf.substr(0, nl);
-  inbuf.erase(0, nl + 1);
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  return true;
+  return flush_buffer(conn.fd, conn.outbuf);
 }
 
 }  // namespace
@@ -173,14 +101,20 @@ int run_daemon(const DaemonOptions& options) {
           r->on_applied(session, seq, digest_now);
         }
       };
+  const int cluster_member = options.cluster_member;
   opts.service.stats_extra = [&primary_ptr, &replica_ptr,
-                              &serving_as_replica]() -> std::string {
+                              &serving_as_replica,
+                              cluster_member]() -> std::string {
+    std::string text;
     if (serving_as_replica.load()) {
-      if (ReplicaReplicator* r = replica_ptr.load()) return r->stats_text();
+      if (ReplicaReplicator* r = replica_ptr.load()) text = r->stats_text();
     } else if (PrimaryReplicator* p = primary_ptr.load()) {
-      return p->stats_text();
+      text = p->stats_text();
     }
-    return std::string();
+    if (cluster_member >= 0) {
+      text += "cluster_member=" + std::to_string(cluster_member) + "\n";
+    }
+    return text;
   };
 
   Service service(opts.service);
@@ -195,10 +129,10 @@ int run_daemon(const DaemonOptions& options) {
   primary_ptr.store(&primary);
   replica_ptr.store(&replica);
 
-  int listener = make_listener(options.socket_path);
+  std::string listen_error;
+  int listener = make_unix_listener(options.socket_path, &listen_error);
   if (listener < 0) {
-    std::fprintf(stderr, "serve: cannot listen on %s: %s\n",
-                 options.socket_path.c_str(), std::strerror(errno));
+    std::fprintf(stderr, "serve: %s\n", listen_error.c_str());
     return 1;
   }
 
@@ -222,6 +156,24 @@ int run_daemon(const DaemonOptions& options) {
                  options.replica_of.c_str(),
                  options.repl_sync ? "sync" : "async");
   }
+
+  // Cluster-member liveness: one byte per period on the control pipe
+  // to the supervising router. The first beat is sent only now —
+  // after the Service constructor finished journal replay and the
+  // listener is bound — so the router's Starting→Up transition means
+  // "replay complete, routable". A fired member-hang fault goes
+  // silent here and lets the router's deadline machinery kill us.
+  auto send_heartbeat = [&options] {
+    if (options.heartbeat_fd < 0) return;
+    if (util::fault::member_heartbeats_suppressed()) return;
+    const char byte = 'h';
+    ssize_t n;
+    do {
+      n = ::write(options.heartbeat_fd, &byte, 1);
+    } while (n < 0 && errno == EINTR);
+  };
+  Clock::time_point last_member_heartbeat = Clock::now();
+  send_heartbeat();
 
   std::map<int, Connection> connections;
   int replica_conn_fd = -1;  ///< primary: the inbound replication link
@@ -410,6 +362,14 @@ int run_daemon(const DaemonOptions& options) {
   while (!shutting_down) {
     const Clock::time_point now = Clock::now();
 
+    if (options.heartbeat_fd >= 0 &&
+        now - last_member_heartbeat >=
+            std::chrono::duration<double, std::milli>(
+                options.member_heartbeat_ms)) {
+      last_member_heartbeat = now;
+      send_heartbeat();
+    }
+
     // Standby link maintenance: (re)connect with seeded backoff.
     if (serving_as_replica.load() && link_fd < 0 && now >= next_connect) {
       link_fd = connect_unix(options.replica_of);
@@ -463,10 +423,17 @@ int run_daemon(const DaemonOptions& options) {
     const bool repl_active = serving_as_replica.load() ||
                              replica_conn_fd >= 0 || partitioned ||
                              link_fd >= 0;
-    const int timeout =
+    int timeout =
         repl_active
             ? std::max(10, static_cast<int>(repl_config.heartbeat_ms / 4))
             : -1;
+    if (options.heartbeat_fd >= 0) {
+      // Wake often enough to keep the liveness beat ahead of the
+      // router's deadline even when no client traffic arrives.
+      const int beat =
+          std::max(10, static_cast<int>(options.member_heartbeat_ms / 2));
+      timeout = timeout < 0 ? beat : std::min(timeout, beat);
+    }
 
     std::vector<pollfd> fds;
     fds.push_back({signal_pipe[0], POLLIN, 0});
@@ -675,13 +642,8 @@ std::int64_t feed_backoff_ms(std::uint64_t seed, int request_index,
 
 int run_feed(const std::string& socket_path, std::istream& in,
              std::ostream& out, const FeedOptions& options) {
-  int fd = connect_unix(socket_path);
-  if (fd < 0) {
-    std::fprintf(stderr, "feed: cannot connect to %s: %s\n",
-                 socket_path.c_str(), std::strerror(errno));
-    return 1;
-  }
   ::signal(SIGPIPE, SIG_IGN);
+  int fd = -1;
 
   bool all_ok = true;
   std::string line;
@@ -692,17 +654,51 @@ int run_feed(const std::string& socket_path, std::istream& in,
     ++request_index;
     const std::string framed = line + "\n";
     for (int attempt = 0;; ++attempt) {
+      // Connection failures — refused connects, resets, the daemon
+      // closing mid-request — consume the same per-request retry
+      // budget as shed/busy, so a feed with --feed-retries rides out a
+      // daemon or cluster-member restart window. Re-sending after a
+      // mid-request loss is at-least-once delivery by design.
+      auto connection_lost = [&](const char* what) -> int {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+        response_buf.clear();
+        if (attempt < options.retries) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              feed_backoff_ms(options.seed, request_index, attempt + 1,
+                              options)));
+          return 0;  // retry
+        }
+        std::fprintf(stderr, "feed: %s\n", what);
+        return 1;  // budget spent: fatal
+      };
+
+      if (fd < 0) {
+        fd = connect_unix(socket_path);
+        if (fd < 0) {
+          const std::string what =
+              "cannot connect to " + socket_path + ": " +
+              std::strerror(errno);
+          if (connection_lost(what.c_str()) != 0) return 1;
+          continue;
+        }
+      }
+
       std::size_t sent = 0;
+      bool lost = false;
       while (sent < framed.size()) {
         ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
                            MSG_NOSIGNAL);
         if (n < 0) {
           if (errno == EINTR) continue;
-          std::fprintf(stderr, "feed: connection lost\n");
-          ::close(fd);
-          return 1;
+          lost = true;
+          break;
         }
         sent += static_cast<std::size_t>(n);
+      }
+      if (lost) {
+        if (connection_lost("connection lost") != 0) return 1;
+        continue;
       }
       // Synchronous request/response: one line back per line sent.
       std::size_t nl;
@@ -711,11 +707,14 @@ int run_feed(const std::string& socket_path, std::istream& in,
         ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
         if (n <= 0) {
           if (n < 0 && errno == EINTR) continue;
-          std::fprintf(stderr, "feed: connection closed by daemon\n");
-          ::close(fd);
-          return 1;
+          lost = true;
+          break;
         }
         response_buf.append(buffer, static_cast<std::size_t>(n));
+      }
+      if (lost) {
+        if (connection_lost("connection closed by daemon") != 0) return 1;
+        continue;
       }
       const std::string response_line = response_buf.substr(0, nl);
       response_buf.erase(0, nl + 1);
@@ -743,7 +742,7 @@ int run_feed(const std::string& socket_path, std::istream& in,
       break;
     }
   }
-  ::close(fd);
+  if (fd >= 0) ::close(fd);
   return all_ok ? 0 : 3;
 }
 

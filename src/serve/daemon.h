@@ -50,6 +50,20 @@ struct DaemonOptions {
   /// Standby: consecutive missed heartbeats before dropping the link
   /// and reconnecting with seeded backoff.
   int reconnect_after_missed = 3;
+
+  /// Cluster member mode (docs/serve.md "Cluster sharding"): >= 0 when
+  /// this daemon is member K of a routed fleet. Surfaces as a
+  /// `cluster_member=K` stats line so health pollers can tell members
+  /// apart from standalone primaries.
+  int cluster_member = -1;
+  /// Liveness control channel: when >= 0, the daemon writes one
+  /// heartbeat byte to this fd (a pipe to the supervising router)
+  /// every `member_heartbeat_ms`, starting the moment the listener is
+  /// bound — i.e. after journal replay completed. Silence past the
+  /// router's deadline means a wedged event loop; the router kills and
+  /// restarts the member.
+  int heartbeat_fd = -1;
+  double member_heartbeat_ms = 200;
 };
 
 /// Run the daemon until SIGTERM/SIGINT; returns the process exit code
@@ -58,11 +72,19 @@ int run_daemon(const DaemonOptions& options);
 
 /// Client-side retry envelope for `provmark feed` (docs/cli.md). With
 /// retries = 0 (the default) behaviour is identical to the historical
-/// client: every `shed`/`busy` is final. With retries > 0 a shed or
-/// busy response is retried after a deterministic seeded exponential
-/// backoff — the same envelope the sweep supervisor uses
-/// (core::backoff_ms), keyed by (seed, request index, attempt) so two
-/// runs of the same feed sleep the exact same schedule.
+/// client: every `shed`/`busy` is final and any connection failure is
+/// fatal. With retries > 0 a shed or busy response is retried after a
+/// deterministic seeded exponential backoff — the same envelope the
+/// sweep supervisor uses (core::backoff_ms), keyed by (seed, request
+/// index, attempt) so two runs of the same feed sleep the exact same
+/// schedule. Connection failures (connect refused, ECONNRESET, the
+/// daemon closing mid-request) consume the same per-request budget:
+/// the client reconnects and re-sends the current request, which is
+/// what lets a feed ride out a daemon or cluster-member restart
+/// window. Re-sending after a mid-request connection loss is
+/// at-least-once delivery — the daemon may have journaled the event
+/// before dying — which is the documented client choice (both
+/// histories are valid; see docs/serve.md).
 struct FeedOptions {
   int retries = 0;
   std::uint64_t seed = 42;

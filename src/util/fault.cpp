@@ -30,11 +30,25 @@ std::atomic<int> g_events_admitted{0};
 std::atomic<int> g_applies_seen{0};
 std::atomic<int> g_records_forwarded{0};
 std::atomic<int> g_replica_records{0};
+std::atomic<int> g_requests_forwarded{0};
 
 bool is_serve_kind(FaultKind kind) {
   return kind == FaultKind::ServeCrash || kind == FaultKind::SlowClient ||
          kind == FaultKind::ReplLinkDrop || kind == FaultKind::ReplicaCrash ||
          kind == FaultKind::ReplPartition;
+}
+
+/// Kinds that live in the cluster router process: no (shard, attempt)
+/// coordinates, armed unconditionally like the serve kinds.
+bool is_router_kind(FaultKind kind) {
+  return kind == FaultKind::RouteDrop;
+}
+
+/// Kinds that live in one cluster member process, targeted by
+/// `member=<id>` (the shard coordinate slot) + optional incarnation.
+bool is_member_kind(FaultKind kind) {
+  return kind == FaultKind::ClusterMemberCrash ||
+         kind == FaultKind::MemberHang;
 }
 
 double parse_number(const std::string& key, const std::string& value) {
@@ -84,11 +98,18 @@ FaultRule parse_rule(const std::string& clause) {
     rule.kind = FaultKind::ReplicaCrash;
   } else if (kind == "repl-partition") {
     rule.kind = FaultKind::ReplPartition;
+  } else if (kind == "cluster-member-crash") {
+    rule.kind = FaultKind::ClusterMemberCrash;
+  } else if (kind == "member-hang") {
+    rule.kind = FaultKind::MemberHang;
+  } else if (kind == "route-drop") {
+    rule.kind = FaultKind::RouteDrop;
   } else {
     throw std::invalid_argument(
         "fault-spec: unknown fault kind '" + kind +
         "' (crash | torn-write | hang | serve-crash | slow-client | "
-        "repl-link-drop | replica-crash | repl-partition)");
+        "repl-link-drop | replica-crash | repl-partition | "
+        "cluster-member-crash | member-hang | route-drop)");
   }
   for (const std::string& param :
        util::split_nonempty(clause.substr(colon + 1), ',')) {
@@ -99,12 +120,24 @@ FaultRule parse_rule(const std::string& clause) {
     }
     const std::string key = std::string(util::trim(param.substr(0, eq)));
     const std::string value = std::string(util::trim(param.substr(eq + 1)));
-    if (key == "shard" && !is_serve_kind(rule.kind)) {
+    if (key == "shard" && !is_serve_kind(rule.kind) &&
+        !is_member_kind(rule.kind) && !is_router_kind(rule.kind)) {
       rule.shard = parse_int(key, value);
-    } else if (key == "after-events" && rule.kind == FaultKind::ServeCrash) {
+    } else if (key == "member" && is_member_kind(rule.kind)) {
+      rule.shard = parse_int(key, value);
+    } else if (key == "after-events" &&
+               (rule.kind == FaultKind::ServeCrash ||
+                is_member_kind(rule.kind))) {
       rule.after_events = parse_int(key, value);
       if (rule.after_events < 1) {
         throw std::invalid_argument("fault-spec: after-events must be >= 1");
+      }
+    } else if (key == "after-requests" &&
+               rule.kind == FaultKind::RouteDrop) {
+      rule.after_requests = parse_int(key, value);
+      if (rule.after_requests < 1) {
+        throw std::invalid_argument(
+            "fault-spec: after-requests must be >= 1");
       }
     } else if (key == "ms" && rule.kind == FaultKind::SlowClient) {
       rule.stall_ms = parse_number(key, value);
@@ -129,7 +162,8 @@ FaultRule parse_rule(const std::string& clause) {
       if (rule.stall_events < 1) {
         throw std::invalid_argument("fault-spec: events must be >= 1");
       }
-    } else if (key == "attempt" && !is_serve_kind(rule.kind)) {
+    } else if (key == "attempt" && !is_serve_kind(rule.kind) &&
+               !is_router_kind(rule.kind)) {
       rule.attempt = value == "any" ? -1 : parse_int(key, value);
     } else if (key == "after-cell" && rule.kind == FaultKind::Crash) {
       rule.after_cell = parse_int(key, value);
@@ -152,7 +186,12 @@ FaultRule parse_rule(const std::string& clause) {
                                   "' for " + kind_name(rule.kind));
     }
   }
-  if (rule.shard < 0 && !is_serve_kind(rule.kind)) {
+  if (rule.shard < 0 && is_member_kind(rule.kind)) {
+    throw std::invalid_argument("fault-spec: every cluster-member rule "
+                                "needs member=<id>");
+  }
+  if (rule.shard < 0 && !is_serve_kind(rule.kind) &&
+      !is_member_kind(rule.kind) && !is_router_kind(rule.kind)) {
     throw std::invalid_argument("fault-spec: every shard-side rule needs "
                                 "shard=<id>");
   }
@@ -182,6 +221,12 @@ const char* kind_name(FaultKind kind) {
       return "replica-crash";
     case FaultKind::ReplPartition:
       return "repl-partition";
+    case FaultKind::ClusterMemberCrash:
+      return "cluster-member-crash";
+    case FaultKind::MemberHang:
+      return "member-hang";
+    case FaultKind::RouteDrop:
+      return "route-drop";
   }
   return "unknown";
 }
@@ -205,8 +250,9 @@ void arm(const FaultSpec& spec, int shard_id, int attempt) {
   g_applies_seen.store(0);
   g_records_forwarded.store(0);
   g_replica_records.store(0);
+  g_requests_forwarded.store(0);
   for (const FaultRule& rule : spec.rules) {
-    if (is_serve_kind(rule.kind) ||
+    if (is_serve_kind(rule.kind) || is_router_kind(rule.kind) ||
         (rule.shard == shard_id &&
          (rule.attempt < 0 || rule.attempt == attempt))) {
       g_rules.push_back(LiveRule{rule, false});
@@ -285,15 +331,51 @@ void serve_event_admitted() {
   const int admitted = g_events_admitted.fetch_add(1) + 1;
   std::lock_guard<std::mutex> lock(g_mutex);
   for (LiveRule& live : g_rules) {
-    if (live.rule.kind != FaultKind::ServeCrash || live.fired) continue;
-    if (admitted < live.rule.after_events) continue;
+    if (live.fired || admitted < live.rule.after_events) continue;
+    if (live.rule.kind == FaultKind::ServeCrash ||
+        live.rule.kind == FaultKind::ClusterMemberCrash) {
+      live.fired = true;
+      std::fprintf(stderr,
+                   "fault-injection: %s after event %d — _exit(%d)\n",
+                   kind_name(live.rule.kind), admitted, kCrashExitCode);
+      std::fflush(stderr);
+      ::_exit(kCrashExitCode);
+    }
+    if (live.rule.kind == FaultKind::MemberHang) {
+      live.fired = true;
+      std::fprintf(stderr,
+                   "fault-injection: member-hang after event %d — "
+                   "heartbeats suppressed (member %d)\n",
+                   admitted, live.rule.shard);
+      std::fflush(stderr);
+    }
+  }
+}
+
+bool member_heartbeats_suppressed() {
+  if (!g_armed.load()) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (const LiveRule& live : g_rules) {
+    if (live.rule.kind == FaultKind::MemberHang && live.fired) return true;
+  }
+  return false;
+}
+
+bool route_request_forwarded() {
+  if (!g_armed.load()) return false;
+  const int forwarded = g_requests_forwarded.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (LiveRule& live : g_rules) {
+    if (live.rule.kind != FaultKind::RouteDrop || live.fired) continue;
+    if (forwarded < live.rule.after_requests) continue;
     live.fired = true;
     std::fprintf(stderr,
-                 "fault-injection: serve-crash after event %d — _exit(%d)\n",
-                 admitted, kCrashExitCode);
+                 "fault-injection: route-drop after request %d\n",
+                 forwarded);
     std::fflush(stderr);
-    ::_exit(kCrashExitCode);
+    return true;
   }
+  return false;
 }
 
 void serve_before_apply() {

@@ -55,6 +55,30 @@
 //                                 unanswered, so the standby's
 //                                 missed-heartbeat machinery fires
 //
+// The cluster router (a fleet of supervised serve daemons behind one
+// routing front end, docs/serve.md "Cluster sharding") adds member-
+// and route-level failures:
+//
+//   cluster-member-crash:member=1,after-events=5
+//                                 cluster member 1 calls _exit(70)
+//                                 right after journaling+acking its 5th
+//                                 admitted event — the router must
+//                                 answer `busy` for its sessions until
+//                                 the restarted incarnation finishes
+//                                 journal replay
+//   member-hang:member=2,after-events=3
+//                                 member 2 silently stops sending
+//                                 liveness heartbeats after its 3rd
+//                                 admitted event (a wedged event loop);
+//                                 the supervisor's heartbeat deadline
+//                                 must kill and restart it
+//   route-drop:after-requests=7   the *router* severs its proxy
+//                                 connection to a member right after
+//                                 forwarding its 7th request;
+//                                 outstanding requests on that link
+//                                 become `busy` and the router
+//                                 reconnects
+//
 // Rules are joined with ';'. Shard-side kinds target exactly one
 // (shard, attempt) pair: `attempt=K` defaults to 0 — the first try —
 // so retries and straggler re-dispatches run fault-free and the sweep
@@ -62,6 +86,11 @@
 // tests produce a shard that fails until quarantined). Serve-side
 // kinds live in a single long-running daemon with no shard or attempt
 // coordinates, so they take neither key and arm unconditionally.
+// Cluster member kinds take `member=<id>` (the same coordinate slot as
+// shard) plus an optional `attempt=<incarnation>` defaulting to 0 —
+// the first incarnation — so a restarted member runs fault-free and
+// the fleet converges; `route-drop` runs in the router process and
+// arms unconditionally like the serve kinds.
 // Everything is deterministic: a rule either fires at its trigger
 // point or it does not — no clocks, no randomness — so the chaos bench
 // and CI gate reproduce bit-for-bit. (slow-client stalls wall-clock
@@ -87,6 +116,9 @@ enum class FaultKind {
   ReplLinkDrop,
   ReplicaCrash,
   ReplPartition,
+  ClusterMemberCrash,
+  MemberHang,
+  RouteDrop,
 };
 
 const char* kind_name(FaultKind kind);
@@ -111,6 +143,8 @@ struct FaultRule {
   /// journaled by the standby.
   int after_records = 1;
   double partition_ms = 500;  ///< repl-partition: black-hole duration
+  /// route-drop: fire after this many requests the router forwarded.
+  int after_requests = 1;
 };
 
 struct FaultSpec {
@@ -152,9 +186,11 @@ void before_publish();
 bool tear_content(std::string_view file_name, std::string* content);
 
 /// Serve admission hook: one event was journaled and acked. A live
-/// serve-crash rule whose after-events count is reached calls _exit(70)
-/// — the moment an unclean death is hardest on the journal (the client
-/// believes the event durable; recovery must agree).
+/// serve-crash or cluster-member-crash rule whose after-events count is
+/// reached calls _exit(70) — the moment an unclean death is hardest on
+/// the journal (the client believes the event durable; recovery must
+/// agree). A member-hang rule latches here instead (see
+/// member_heartbeats_suppressed).
 void serve_event_admitted();
 
 /// Serve worker hook: an admitted event is about to be applied to its
@@ -175,6 +211,18 @@ struct ReplLinkFault {
 /// after-records count is reached fires (once) and is reported in the
 /// result; the daemon enacts it on the connection.
 ReplLinkFault repl_record_forwarded();
+
+/// Cluster member hook: consulted by the member daemon before each
+/// liveness heartbeat. True once a member-hang rule has fired (at its
+/// after-events admission count, reported by serve_event_admitted) —
+/// the daemon then stays silent on the control channel, simulating a
+/// wedged event loop, until the supervisor's deadline kills it.
+bool member_heartbeats_suppressed();
+
+/// Router hook: one request was forwarded to a cluster member. Returns
+/// true when a live route-drop rule's after-requests count is reached
+/// (fires once); the router severs that member connection.
+bool route_request_forwarded();
 
 /// Standby hook: one replicated record was journaled and fsynced, the
 /// ack not yet sent. A live replica-crash rule whose after-records

@@ -206,5 +206,158 @@ TEST(FeedRetry, ErrorsAreNeverRetried) {
   EXPECT_EQ(server.received().size(), 1u);
 }
 
+/// Scripted server for connection-failure tests: serves a sequence of
+/// connections, each with its own canned response script; when a
+/// script runs out the connection is closed (mid-stream loss) and the
+/// next accept starts the next script.
+class MultiServer {
+ public:
+  MultiServer(std::string socket_path,
+              std::vector<std::vector<std::string>> scripts)
+      : path_(std::move(socket_path)), scripts_(std::move(scripts)) {
+    ::unlink(path_.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error(std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + path_);
+    }
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 4) != 0) {
+      throw std::runtime_error(std::strerror(errno));
+    }
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~MultiServer() {
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  std::vector<std::string> received() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_;
+  }
+
+ private:
+  void serve() {
+    for (const std::vector<std::string>& script : scripts_) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      std::string buf;
+      std::size_t next_response = 0;
+      bool open = true;
+      char chunk[4096];
+      while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          break;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while (open && (nl = buf.find('\n')) != std::string::npos) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            received_.push_back(buf.substr(0, nl));
+          }
+          buf.erase(0, nl + 1);
+          if (next_response < script.size()) {
+            const std::string out = script[next_response++] + "\n";
+            (void)::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+          } else {
+            // The request past the script is READ but never acked —
+            // the daemon died with it in flight. Drop the connection,
+            // exactly what a daemon restart looks like.
+            open = false;
+          }
+        }
+      }
+      ::close(fd);
+    }
+  }
+
+  std::string path_;
+  std::vector<std::vector<std::string>> scripts_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::mutex mu_;
+  std::vector<std::string> received_;
+};
+
+TEST(FeedRetry, ConnectRefusedIsRetriedUntilTheDaemonAppears) {
+  const std::string socket_path = test_socket("refused");
+  ::unlink(socket_path.c_str());
+
+  FeedOptions options;
+  options.retries = 20;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 20;
+
+  int rc = -1;
+  std::string printed;
+  std::thread client([&] {
+    std::istringstream in("event s fact normal edge(a,b).\n");
+    std::ostringstream out;
+    rc = run_feed(socket_path, in, out, options);
+    printed = out.str();
+  });
+  // The daemon comes up only after the client has already burned a few
+  // connect attempts — the restart-window shape.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    LineServer server(socket_path, {"ok 1"});
+    client.join();
+  }
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(printed, "ok 1\n");
+}
+
+TEST(FeedRetry, ConnectionLostMidStreamReconnectsAndResends) {
+  const std::string socket_path = test_socket("midstream");
+  // Connection 1 acks one event then dies; connection 2 finishes the
+  // stream. The client must re-send the in-flight request verbatim.
+  MultiServer server(socket_path, {{"ok 1"}, {"ok 2"}});
+
+  FeedOptions options;
+  options.retries = 5;
+  options.backoff_base_ms = 1;
+  options.backoff_cap_ms = 4;
+  std::istringstream in(
+      "event s fact normal edge(a,b).\n"
+      "event s fact normal edge(b,c).\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_feed(socket_path, in, out, options), 0);
+  EXPECT_EQ(out.str(), "ok 1\nok 2\n");
+
+  const std::vector<std::string> seen = server.received();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "event s fact normal edge(a,b).");
+  // The lost request was re-sent byte-identically on the new
+  // connection (at-least-once delivery, docs/serve.md).
+  EXPECT_EQ(seen[1], "event s fact normal edge(b,c).");
+  EXPECT_EQ(seen[2], seen[1]);
+}
+
+TEST(FeedRetry, ExhaustedConnectionBudgetIsAConnectionFailure) {
+  const std::string socket_path = test_socket("nobody");
+  ::unlink(socket_path.c_str());
+
+  FeedOptions options;
+  options.retries = 2;
+  options.backoff_base_ms = 1;
+  options.backoff_cap_ms = 2;
+  std::istringstream in("event s fact normal edge(a,b).\n");
+  std::ostringstream out;
+  // Nothing ever listens: the per-request budget runs out and the
+  // historical connection-failure exit code comes back.
+  EXPECT_EQ(run_feed(socket_path, in, out, options), 1);
+  EXPECT_EQ(out.str(), "");
+}
+
 }  // namespace
 }  // namespace provmark::serve

@@ -1,0 +1,116 @@
+// Stale-socket handling tests (src/serve/socket_util.h): the daemon
+// must reclaim a socket file left behind by a crashed predecessor but
+// NEVER clobber a live daemon's socket or a path that is not a socket
+// at all — clobbering a live daemon would silently split a cluster
+// member's sessions across two journals.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "serve/socket_util.h"
+
+namespace provmark::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_path(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          ("provmark_sockutil_" + tag + "_" + std::to_string(::getpid()) +
+           ".sock"))
+      .string();
+}
+
+TEST(SocketUtil, BindsAFreshPath) {
+  const std::string path = test_path("fresh");
+  ::unlink(path.c_str());
+  std::string error;
+  const int fd = make_unix_listener(path, &error);
+  ASSERT_GE(fd, 0) << error;
+  EXPECT_TRUE(fs::exists(path));
+  ::close(fd);
+  ::unlink(path.c_str());
+}
+
+TEST(SocketUtil, ReclaimsAStaleSocketFile) {
+  const std::string path = test_path("stale");
+  // A daemon that died by SIGKILL leaves its socket file behind with
+  // nobody listening. Simulate by binding and closing WITHOUT unlink.
+  std::string error;
+  int fd = make_unix_listener(path, &error);
+  ASSERT_GE(fd, 0) << error;
+  ::close(fd);
+  ASSERT_TRUE(fs::exists(path));  // the corpse's socket file
+
+  // The restarted daemon probes, finds nobody home, unlinks, binds.
+  fd = make_unix_listener(path, &error);
+  ASSERT_GE(fd, 0) << error;
+  ::close(fd);
+  ::unlink(path.c_str());
+}
+
+TEST(SocketUtil, RefusesToClobberALiveDaemon) {
+  const std::string path = test_path("live");
+  std::string error;
+  const int first = make_unix_listener(path, &error);
+  ASSERT_GE(first, 0) << error;
+
+  // A second daemon pointed at the same socket must fail — the
+  // connect-probe succeeds, so somebody live is serving it.
+  errno = 0;
+  std::string second_error;
+  const int second = make_unix_listener(path, &second_error);
+  EXPECT_LT(second, 0);
+  EXPECT_EQ(errno, EADDRINUSE);
+  EXPECT_NE(second_error.find("live daemon"), std::string::npos)
+      << second_error;
+
+  // And the live daemon's socket file is untouched.
+  EXPECT_TRUE(fs::exists(path));
+  ::close(first);
+  ::unlink(path.c_str());
+}
+
+TEST(SocketUtil, RefusesToUnlinkANonSocketPath) {
+  const std::string path = test_path("regular");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("precious\n", f);
+    std::fclose(f);
+  }
+  errno = 0;
+  std::string error;
+  const int fd = make_unix_listener(path, &error);
+  EXPECT_LT(fd, 0);
+  EXPECT_EQ(errno, EEXIST);
+  // The file survives with its content intact — never unlinked.
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_GT(fs::file_size(path), 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(SocketUtil, ConnectUnixReachesAListenerAndFailsCleanlyWithout) {
+  const std::string path = test_path("connect");
+  ::unlink(path.c_str());
+  EXPECT_LT(connect_unix(path), 0);
+
+  std::string error;
+  const int listener = make_unix_listener(path, &error);
+  ASSERT_GE(listener, 0) << error;
+  const int client = connect_unix(path);
+  EXPECT_GE(client, 0);
+  if (client >= 0) ::close(client);
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace provmark::serve

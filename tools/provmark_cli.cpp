@@ -64,6 +64,7 @@
 #include "datalog/engine.h"
 #include "datalog/fact_io.h"
 #include "runtime/thread_pool.h"
+#include "serve/cluster.h"
 #include "serve/daemon.h"
 #include "systems/recorder.h"
 #include "util/fault.h"
@@ -82,6 +83,8 @@ constexpr const char* kUsage =
     "  provmark query <facts.datalog> <atom> [rules.datalog]\n"
     "  provmark gen [--seed S] [--scale K] [gen-options]\n"
     "  provmark [options] serve <socket> <journal-root> [serve-options]\n"
+    "  provmark [options] cluster <socket> <cluster-root> "
+    "[cluster-options]\n"
     "  provmark feed <socket> [request-file] [--feed-retries N]\n"
     "  provmark promote <socket>\n"
     "  provmark --help\n"
@@ -145,6 +148,30 @@ constexpr const char* kUsage =
     "         M (standby heartbeat period, default 500), --promote-after\n"
     "         K (standby auto-promotes after K unanswered heartbeats;\n"
     "         default 0 = only explicit promote)\n"
+    "  cluster\n"
+    "         session-sharded serve fleet (docs/serve.md, Cluster\n"
+    "         sharding): a router on <socket> proxies the feed/query\n"
+    "         protocol to N supervised member daemons, each journaling\n"
+    "         into <cluster-root>/member-K and listening on\n"
+    "         <cluster-root>/member-K.sock. Sessions map to members by\n"
+    "         stable hash, so digests are bit-identical to one unsharded\n"
+    "         daemon fed the same per-session streams. Dead or hung\n"
+    "         members (liveness heartbeats over a control pipe) are\n"
+    "         killed and restarted with seeded backoff; their sessions\n"
+    "         answer 'busy' (never dropped) until journal replay\n"
+    "         finishes. SIGTERM drains members gracefully; exit 0 on\n"
+    "         clean shutdown, 1 when the front socket cannot be bound.\n"
+    "         cluster-options: --members N (default 3), --member-window\n"
+    "         N (per-member in-flight cap, default 32), --heartbeat-ms M\n"
+    "         (member liveness period, default 200),\n"
+    "         --heartbeat-deadline-ms M (silence before a member is\n"
+    "         declared hung, default 8x heartbeat), --start-deadline-ms\n"
+    "         M (bind+replay budget, default 30000), --max-restarts K\n"
+    "         (consecutive failures before giving a member up, default\n"
+    "         -1 = forever), plus the serve-options --serve-workers,\n"
+    "         --queue-cap, --session-cap, --checkpoint-every applied to\n"
+    "         every member. --seed and --fault-spec (cluster-member-\n"
+    "         crash / member-hang / route-drop rules) are honoured.\n"
     "  feed   stream request lines (see docs/serve.md for the grammar)\n"
     "         from a file or stdin to a serve socket; prints one response\n"
     "         line each. Exit 0 when everything was acked/answered, 3\n"
@@ -202,10 +229,14 @@ constexpr const char* kUsage =
     "                 repl-link-drop:after-records=M\n"
     "                 replica-crash:after-records=M\n"
     "                 repl-partition:after-records=M[,ms=T]\n"
+    "                 cluster-member-crash:member=K,after-events=M\n"
+    "                 member-hang:member=K,after-events=M\n"
+    "                 route-drop:after-requests=M\n"
     "               each shard rule arms on attempt 0 only unless\n"
     "               attempt=N|any is given, so retried attempts run\n"
     "               fault-free and the sweep converges; serve rules arm\n"
-    "               unconditionally in the daemon (see\n"
+    "               unconditionally in the daemon, and member rules arm\n"
+    "               in the targeted member's incarnation (see\n"
     "               docs/robustness.md for the full grammar)\n"
     "  --max-input-bytes N\n"
     "               size ceiling for parsed inputs — @file.prog programs,\n"
@@ -699,6 +730,98 @@ int run_serve(const CliOptions& cli, const std::vector<std::string>& args) {
   return serve::run_daemon(options);
 }
 
+int run_cluster_command(const CliOptions& cli,
+                        const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return bad_usage(
+        "cluster needs: provmark [options] cluster <socket> <cluster-root> "
+        "[--members N] [--member-window N] [--heartbeat-ms M] "
+        "[--heartbeat-deadline-ms M] [--start-deadline-ms M] "
+        "[--max-restarts K] [serve-options]");
+  }
+  serve::ClusterOptions options;
+  options.socket_path = args[0];
+  options.root = args[1];
+  options.service.seed = cli.seed;
+  options.service.workers = 2;
+  options.service.pipeline.matcher = cli.matcher;
+  options.service.pipeline.pool = nullptr;  // members use serial pools
+  options.fault_spec = cli.fault_spec;
+  if (cli.max_input_bytes_set) {
+    options.service.max_payload_bytes = cli.max_input_bytes;
+  }
+  auto positive = [&](std::size_t i, const char* flag) {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(std::string(flag) + " needs a value");
+    }
+    long long value = std::stoll(args[i + 1]);
+    if (value < 0) {
+      throw std::invalid_argument(std::string(flag) + " must be >= 0");
+    }
+    return static_cast<std::uint64_t>(value);
+  };
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--members") {
+      options.members = static_cast<int>(positive(i, args[i].c_str()));
+      if (options.members < 1) {
+        return bad_usage("--members must be >= 1");
+      }
+      ++i;
+    } else if (args[i] == "--member-window") {
+      options.member_window = static_cast<int>(positive(i, args[i].c_str()));
+      if (options.member_window < 1) {
+        return bad_usage("--member-window must be >= 1");
+      }
+      ++i;
+    } else if (args[i] == "--heartbeat-ms") {
+      options.heartbeat_ms =
+          static_cast<double>(positive(i, args[i].c_str()));
+      if (options.heartbeat_ms <= 0) {
+        return bad_usage("--heartbeat-ms must be > 0");
+      }
+      ++i;
+    } else if (args[i] == "--heartbeat-deadline-ms") {
+      options.heartbeat_deadline_ms =
+          static_cast<double>(positive(i, args[i].c_str()));
+      ++i;
+    } else if (args[i] == "--start-deadline-ms") {
+      options.start_deadline_ms =
+          static_cast<double>(positive(i, args[i].c_str()));
+      if (options.start_deadline_ms <= 0) {
+        return bad_usage("--start-deadline-ms must be > 0");
+      }
+      ++i;
+    } else if (args[i] == "--max-restarts") {
+      if (i + 1 >= args.size()) {
+        return bad_usage("--max-restarts needs a value");
+      }
+      options.max_restarts = std::stoi(args[i + 1]);
+      ++i;
+    } else if (args[i] == "--serve-workers") {
+      options.service.workers = static_cast<int>(positive(i, args[i].c_str()));
+      ++i;
+    } else if (args[i] == "--queue-cap") {
+      options.service.global_queue_cap = positive(i, args[i].c_str());
+      ++i;
+    } else if (args[i] == "--session-cap") {
+      options.service.session_queue_cap = positive(i, args[i].c_str());
+      ++i;
+    } else if (args[i] == "--checkpoint-every") {
+      options.service.checkpoint_every = positive(i, args[i].c_str());
+      ++i;
+    } else {
+      return bad_usage("unknown cluster option '" + args[i] + "'");
+    }
+  }
+  if (!cli.fault_spec.empty()) {
+    // Router-side rules (route-drop) arm here; member-targeted rules
+    // stay dormant in the router and re-arm inside each member child
+    // with its own (member, incarnation) coordinates.
+    util::fault::arm(util::fault::parse_fault_spec(cli.fault_spec), -1, -1);
+  }
+  return serve::run_cluster(options);
+}
+
 int run_feed_command(const CliOptions& cli,
                      const std::vector<std::string>& args) {
   serve::FeedOptions feed;
@@ -893,6 +1016,10 @@ int main(int argc, char** argv) {
     if (args[0] == "serve") {
       return run_serve(cli, std::vector<std::string>(args.begin() + 1,
                                                      args.end()));
+    }
+    if (args[0] == "cluster") {
+      return run_cluster_command(
+          cli, std::vector<std::string>(args.begin() + 1, args.end()));
     }
     if (args[0] == "feed") {
       return run_feed_command(
